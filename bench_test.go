@@ -1,0 +1,330 @@
+package hmmer3gpu
+
+// One testing.B benchmark per paper table/figure. Each benchmark runs
+// a representative point of the corresponding experiment and reports
+// the modelled paper-scale speedup as a custom metric
+// ("paper-speedup-x"); cmd/hmmbench regenerates the full sweeps.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/bench"
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/refimpl"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+var benchAbc = alphabet.New()
+
+func benchModel(b *testing.B, m int) *hmm.Plan7 {
+	b.Helper()
+	h, err := workload.Model("bench", m, benchAbc, int64(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func benchDB(b *testing.B, kind workload.DBSpec, h *hmm.Plan7) *seq.Database {
+	b.Helper()
+	db, err := workload.Generate(kind, h, benchAbc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchProfiles(h *hmm.Plan7, db *seq.Database) (*profile.MSVProfile, *profile.VitProfile) {
+	p := profile.Config(h)
+	p.SetLength(int(db.MeanLen()))
+	return profile.NewMSVProfile(p), profile.NewVitProfile(p)
+}
+
+func envnrSpec(nSeqs int) workload.DBSpec {
+	s := workload.EnvnrLike(1, 11)
+	s.NumSeqs = nSeqs
+	return s
+}
+
+// BenchmarkFig9MSVKernel runs the Figure 9 MSV point (M=400, shared
+// configuration, Envnr-like) on the simulated K40 and reports the
+// modelled speedup vs the SSE baseline.
+func BenchmarkFig9MSVKernel(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(100), h)
+	mp, _ := benchProfiles(h, db)
+	spec := simt.TeslaK40()
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := simt.NewDevice(spec)
+		ddb := gpu.UploadDB(dev, db)
+		rep, err := (&gpu.Searcher{Dev: dev, Mem: gpu.MemShared}).MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := ddb.TotalResidues * int64(mp.M)
+		speedup = perf.Speedup(perf.CPUTimeMSV(perf.BaselineI5(), cells),
+			perf.GPUTime(spec, rep.Launch))
+		b.SetBytes(cells)
+	}
+	b.ReportMetric(speedup, "paper-speedup-x")
+}
+
+// BenchmarkFig9ViterbiKernel runs the Figure 9 P7Viterbi point (M=200,
+// auto configuration, Envnr-like).
+func BenchmarkFig9ViterbiKernel(b *testing.B) {
+	h := benchModel(b, 200)
+	db := benchDB(b, envnrSpec(60), h)
+	_, vp := benchProfiles(h, db)
+	spec := simt.TeslaK40()
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := simt.NewDevice(spec)
+		ddb := gpu.UploadDB(dev, db)
+		rep, err := (&gpu.Searcher{Dev: dev}).ViterbiSearch(gpu.UploadVitProfile(dev, vp), ddb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := ddb.TotalResidues * int64(vp.M)
+		speedup = perf.Speedup(perf.CPUTimeVit(perf.BaselineI5(), cells),
+			perf.GPUTime(spec, rep.Launch))
+		b.SetBytes(cells)
+	}
+	b.ReportMetric(speedup, "paper-speedup-x")
+}
+
+// BenchmarkFig10CombinedPipeline runs one Figure 10 point: combined
+// MSV+Viterbi on a single K40 with HMMER3 thresholds.
+func BenchmarkFig10CombinedPipeline(b *testing.B) {
+	h := benchModel(b, 400)
+	sp := envnrSpec(300)
+	db := benchDB(b, sp, h)
+	opts := pipeline.DefaultOptions()
+	opts.SkipForward = true
+	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: 3, TailMass: 0.04}
+	pl, err := pipeline.New(h, int(db.MeanLen()), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := simt.TeslaK40()
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := simt.NewDevice(spec)
+		res, err := pl.RunGPU(dev, gpu.MemAuto, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra := res.Extra.(*pipeline.GPUExtra)
+		gpuT := perf.GPUTime(spec, extra.MSVReport.Launch)
+		if extra.VitReport != nil {
+			gpuT += perf.GPUTime(spec, extra.VitReport.Launch)
+		}
+		cpuT := perf.CPUTimeMSV(perf.BaselineI5(), res.MSV.Cells) +
+			perf.CPUTimeVit(perf.BaselineI5(), res.Viterbi.Cells)
+		speedup = perf.Speedup(cpuT, gpuT)
+	}
+	b.ReportMetric(speedup, "paper-speedup-x")
+}
+
+// BenchmarkFig11MultiGPU runs one Figure 11 point: the combined stages
+// partitioned over four Fermi GTX 580s.
+func BenchmarkFig11MultiGPU(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(300), h)
+	mp, _ := benchProfiles(h, db)
+	spec := simt.GTX580()
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := simt.NewSystem(spec, 4)
+		ms := &gpu.MultiSearcher{Sys: sys}
+		rep, err := ms.MSVSearch(mp, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rep.PerDevice {
+			if r != nil {
+				if t := perf.GPUTime(spec, r.Launch); t > worst {
+					worst = t
+				}
+			}
+		}
+		cells := db.TotalResidues() * int64(mp.M)
+		speedup = perf.Speedup(perf.CPUTimeMSV(perf.BaselineI5(), cells), worst)
+	}
+	b.ReportMetric(speedup, "paper-speedup-x")
+}
+
+// BenchmarkFig1PipelineStages runs the Figure 1 pipeline statistics
+// workload on the CPU engine and reports the MSV pass rate.
+func BenchmarkFig1PipelineStages(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(800), h)
+	opts := pipeline.DefaultOptions()
+	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: 5, TailMass: 0.04}
+	pl, err := pipeline.New(h, int(db.MeanLen()), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pass float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pl.RunCPU(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass = res.MSV.PassFraction()
+	}
+	b.ReportMetric(pass*100, "msv-pass-%")
+}
+
+// BenchmarkPfamPlanning measures the launch planner over the Pfam
+// sweep (the §IV table).
+func BenchmarkPfamPlanning(b *testing.B) {
+	spec := simt.TeslaK40()
+	for i := 0; i < b.N; i++ {
+		for _, m := range workload.PaperModelSizes {
+			if _, err := gpu.PlanMSV(spec, m, gpu.MemAuto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Real-throughput benchmarks of the Go implementations ----------
+
+// BenchmarkCPUStripedMSV measures the actual Go throughput of the
+// 16-lane striped MSV filter (the baseline implementation itself).
+func BenchmarkCPUStripedMSV(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(60), h)
+	mp, _ := benchProfiles(h, db)
+	eng := cpu.NewMSVEngine(mp)
+	cells := db.TotalResidues() * int64(mp.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range db.Seqs {
+			eng.Filter(s.Residues)
+		}
+		b.SetBytes(cells)
+	}
+}
+
+// BenchmarkCPUStripedViterbi measures the 8-lane striped Viterbi
+// filter with lazy-F.
+func BenchmarkCPUStripedViterbi(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(30), h)
+	_, vp := benchProfiles(h, db)
+	eng := cpu.NewVitEngine(vp)
+	cells := db.TotalResidues() * int64(vp.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range db.Seqs {
+			eng.Filter(s.Residues)
+		}
+		b.SetBytes(cells)
+	}
+}
+
+// BenchmarkScalarGoldenMSV measures the unvectorised golden filter for
+// comparison with the striped engine.
+func BenchmarkScalarGoldenMSV(b *testing.B) {
+	h := benchModel(b, 400)
+	db := benchDB(b, envnrSpec(30), h)
+	mp, _ := benchProfiles(h, db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range db.Seqs {
+			cpu.MSVFilterScalar(mp, s.Residues)
+		}
+	}
+}
+
+// BenchmarkReferenceForward measures the full-precision Forward stage
+// (the pipeline's final, slowest per-cell stage).
+func BenchmarkReferenceForward(b *testing.B) {
+	h := benchModel(b, 100)
+	p := profile.Config(h)
+	p.SetLength(200)
+	rng := rand.New(rand.NewSource(9))
+	dsq := make([]byte, 200)
+	for i := range dsq {
+		dsq[i] = byte(rng.Intn(20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refimpl.Forward(p, dsq)
+	}
+}
+
+// BenchmarkAblationSyncFree compares against BenchmarkAblationSynced:
+// the same MSV workload through the warp-synchronous kernel vs the
+// barrier-laden multi-warp baseline of Figure 4.
+func BenchmarkAblationSyncFree(b *testing.B) {
+	h := benchModel(b, 256)
+	db := benchDB(b, envnrSpec(40), h)
+	mp, _ := benchProfiles(h, db)
+	spec := simt.TeslaK40()
+	var t float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := simt.NewDevice(spec)
+		ddb := gpu.UploadDB(dev, db)
+		rep, err := (&gpu.Searcher{Dev: dev, Mem: gpu.MemShared}).MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t = perf.GPUTime(spec, rep.Launch)
+	}
+	b.ReportMetric(t*1e6, "modelled-us")
+}
+
+// BenchmarkAblationSynced is the synchronised counterpart.
+func BenchmarkAblationSynced(b *testing.B) {
+	h := benchModel(b, 256)
+	db := benchDB(b, envnrSpec(40), h)
+	mp, _ := benchProfiles(h, db)
+	spec := simt.TeslaK40()
+	var t float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev := simt.NewDevice(spec)
+		ddb := gpu.UploadDB(dev, db)
+		rep, err := (&gpu.Searcher{Dev: dev}).MSVSearchSynced(gpu.UploadMSVProfile(dev, mp), ddb, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t = perf.GPUTime(spec, rep.Launch)
+	}
+	b.ReportMetric(t*1e6, "modelled-us")
+}
+
+// BenchmarkBenchFig9Point exercises the full harness path for a single
+// Figure 9 sweep point.
+func BenchmarkBenchFig9Point(b *testing.B) {
+	cfg := bench.QuickConfig()
+	cfg.Sizes = []int{400}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

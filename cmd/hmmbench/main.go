@@ -1,0 +1,112 @@
+// Command hmmbench regenerates the paper's tables and figures on the
+// simulated devices:
+//
+//	hmmbench -experiment fig1      pipeline pass rates & time split (Fig. 1)
+//	hmmbench -experiment fig9      per-stage speedups & occupancy (Fig. 9)
+//	hmmbench -experiment fig10     combined speedup, single K40 (Fig. 10)
+//	hmmbench -experiment fig11     combined speedup, 4x GTX 580 (Fig. 11)
+//	hmmbench -experiment pfam      Pfam model-size statistics (§IV)
+//	hmmbench -experiment ablation  §III design-choice ablations
+//	hmmbench -experiment all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hmmer3gpu/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|all")
+		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
+		seed       = flag.Int64("seed", 0, "override the workload seed")
+		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
+		workers    = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
+		csvDir     = flag.String("csv", "", "also write fig9/fig10/fig11 CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, tok := range strings.Split(*sizes, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || m < 1 {
+				fatalf("bad -sizes entry %q", tok)
+			}
+			cfg.Sizes = append(cfg.Sizes, m)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("==> %s\n", name)
+		if err := f(); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	if *csvDir != "" {
+		fmt.Printf("==> csv export to %s\n", *csvDir)
+		if err := bench.ExportCSV(cfg, *csvDir, os.Stdout); err != nil {
+			fatalf("csv export: %v", err)
+		}
+		fmt.Println()
+		return
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	ran := false
+	if want("fig1") {
+		run("fig1", func() error { _, err := bench.Fig1(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("fig9") {
+		run("fig9", func() error { _, err := bench.Fig9(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("fig10") {
+		run("fig10", func() error { _, err := bench.Fig10(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("fig11") {
+		run("fig11", func() error { _, err := bench.Fig11(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("pfam") {
+		run("pfam", func() error { _, err := bench.Pfam(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("ablation") {
+		run("ablation", func() error { _, err := bench.Ablations(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("extension") {
+		run("extension", func() error { _, err := bench.Extension(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if want("sensitivity") {
+		run("sensitivity", func() error { _, err := bench.Sensitivity(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if !ran {
+		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|all)", *experiment)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hmmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

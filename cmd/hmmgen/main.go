@@ -1,0 +1,78 @@
+// Command hmmgen writes synthetic workloads to disk: a Pfam-like query
+// model in HMMER3 ASCII format and a Swissprot- or Env_nr-like FASTA
+// database with planted homologs — the inputs the other tools consume.
+//
+//	hmmgen -m 400 -db envnr -scale 0.0005 -out ./work
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/workload"
+)
+
+func main() {
+	var (
+		m        = flag.Int("m", 400, "query model size")
+		dbKind   = flag.String("db", "envnr", "database shape: swissprot|envnr")
+		scale    = flag.Float64("scale", 0.0002, "database scale factor (1 = full paper size)")
+		homologs = flag.Float64("homologs", -1, "planted homolog fraction (-1 = database default)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		outDir   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	abc := alphabet.New()
+	model, err := workload.Model(fmt.Sprintf("synthetic-M%d", *m), *m, abc, *seed)
+	check(err)
+
+	var spec workload.DBSpec
+	switch *dbKind {
+	case "swissprot":
+		spec = workload.SwissprotLike(*scale, *seed+1)
+	case "envnr":
+		spec = workload.EnvnrLike(*scale, *seed+1)
+	default:
+		fatalf("unknown -db %q", *dbKind)
+	}
+	if *homologs >= 0 {
+		spec.HomologFrac = *homologs
+	}
+	db, err := workload.Generate(spec, model, abc)
+	check(err)
+
+	check(os.MkdirAll(*outDir, 0o755))
+	hmmPath := filepath.Join(*outDir, fmt.Sprintf("query-M%d.hmm", *m))
+	fastaPath := filepath.Join(*outDir, spec.Name+".fasta")
+
+	hf, err := os.Create(hmmPath)
+	check(err)
+	check(hmm.Write(hf, model))
+	check(hf.Close())
+
+	ff, err := os.Create(fastaPath)
+	check(err)
+	check(seq.WriteFASTA(ff, db, abc))
+	check(ff.Close())
+
+	fmt.Printf("wrote %s (M=%d)\n", hmmPath, model.M)
+	fmt.Printf("wrote %s (%d sequences, %d residues, %.1f%% homologs)\n",
+		fastaPath, db.NumSeqs(), db.TotalResidues(), spec.HomologFrac*100)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hmmgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,223 @@
+// Command hmmsearch searches a profile HMM against a FASTA sequence
+// database with the accelerated HMMER3 pipeline, on the CPU engine or
+// on a simulated GPU:
+//
+//	hmmsearch -engine cpu        query.hmm targets.fasta
+//	hmmsearch -engine gpu        query.hmm targets.fasta   (Tesla K40)
+//	hmmsearch -engine multigpu   query.hmm targets.fasta   (4x GTX 580)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/refimpl"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "cpu", "cpu|gpu|multigpu")
+		mem     = flag.String("mem", "auto", "GPU memory configuration: auto|shared|global")
+		evalue  = flag.Float64("E", 10.0, "report hits with E-value <= this")
+		aligns  = flag.Bool("alignments", false, "render domain alignments for reported hits")
+		null2   = flag.Bool("null2", false, "apply the biased-composition score correction")
+		gpufwd  = flag.Bool("gpufwd", false, "run the Forward stage on the device too (-engine gpu)")
+		tblout  = flag.String("tblout", "", "write a machine-readable per-target table to this file")
+		stream  = flag.Int("stream", 0, "CPU engine only: stream the database in batches of this many sequences (constant memory); 0 loads it whole")
+		targlen = flag.Int("targlen", 350, "assumed typical target length for -stream (the length model cannot be derived from an unread stream)")
+		workers = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
+		devices = flag.Int("devices", 4, "device count for -engine multigpu")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hmmsearch [flags] <query.hmm> <targets.fasta>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	abc := alphabet.New()
+
+	if *stream > 0 {
+		if *engine != "cpu" {
+			fatalf("-stream requires -engine cpu")
+		}
+		runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue)
+		return
+	}
+
+	query, db := loadInputs(abc, flag.Arg(0), flag.Arg(1))
+
+	opts := pipeline.DefaultOptions()
+	opts.Workers = *workers
+	opts.ComputeAlignments = *aligns
+	opts.UseNull2 = *null2
+	opts.GPUForward = *gpufwd
+	pl, err := pipeline.New(query, int(db.MeanLen()), opts)
+	check(err)
+
+	memCfg := gpu.MemAuto
+	switch *mem {
+	case "auto":
+	case "shared":
+		memCfg = gpu.MemShared
+	case "global":
+		memCfg = gpu.MemGlobal
+	default:
+		fatalf("unknown -mem %q", *mem)
+	}
+
+	var res *pipeline.Result
+	switch *engine {
+	case "cpu":
+		res, err = pl.RunCPU(db)
+	case "gpu":
+		res, err = pl.RunGPU(simt.NewDevice(simt.TeslaK40()), memCfg, db)
+	case "multigpu":
+		res, err = pl.RunMultiGPU(simt.NewSystem(simt.GTX580(), *devices), memCfg, db)
+	default:
+		fatalf("unknown -engine %q", *engine)
+	}
+	check(err)
+
+	fmt.Printf("Query:    %s (M=%d)\n", query.Name, query.M)
+	fmt.Printf("Database: %s (%d sequences, %d residues)\n",
+		flag.Arg(1), db.NumSeqs(), db.TotalResidues())
+	fmt.Printf("Pipeline: MSV %d/%d passed (%.2f%%) in %v; Viterbi %d/%d (%.2f%%) in %v; Forward %d/%d in %v\n\n",
+		res.MSV.Out, res.MSV.In, res.MSV.PassFraction()*100, res.MSV.Wall,
+		res.Viterbi.Out, res.Viterbi.In, res.Viterbi.PassFraction()*100, res.Viterbi.Wall,
+		res.Forward.Out, res.Forward.In, res.Forward.Wall)
+
+	fmt.Printf("%-12s %-28s %10s %10s %10s %10s\n",
+		"E-value", "sequence", "fwd bits", "vit bits", "msv bits", "P-value")
+	shown := 0
+	for _, h := range res.Hits {
+		if h.EValue > *evalue {
+			continue
+		}
+		fmt.Printf("%-12.3g %-28s %10.2f %10.2f %10.2f %10.3g\n",
+			h.EValue, h.Name, h.FwdBits, h.VitBits, h.MSVBits, h.PValue)
+		shown++
+		if *aligns {
+			for d, dom := range h.Domains {
+				fmt.Printf("\n  domain %d: hmm %d..%d, seq %d..%d\n", d+1,
+					dom.HMMFrom, dom.HMMTo, dom.SeqFrom, dom.SeqTo)
+				printWrapped(dom, query.Name, h.Name)
+			}
+			if len(h.Envelopes) > 0 {
+				fmt.Printf("  posterior envelopes:")
+				for _, e := range h.Envelopes {
+					fmt.Printf(" %d..%d", e.From, e.To)
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no hits below the E-value threshold)")
+	}
+
+	if *tblout != "" {
+		check(writeTblout(*tblout, query.Name, res))
+		fmt.Printf("\nper-target table written to %s\n", *tblout)
+	}
+}
+
+// writeTblout emits a HMMER-style space-separated per-target table.
+func writeTblout(path, queryName string, res *pipeline.Result) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(fh, "# target              query                 e-value   fwd-bits  vit-bits  msv-bits\n")
+	for _, h := range res.Hits {
+		fmt.Fprintf(fh, "%-20s %-20s %9.3g %9.2f %9.2f %9.2f\n",
+			h.Name, queryName, h.EValue, h.FwdBits, h.VitBits, h.MSVBits)
+	}
+	return fh.Close()
+}
+
+// printWrapped renders a three-row alignment in 60-column blocks.
+func printWrapped(dom refimpl.DomainAlignment, qname, tname string) {
+	const width = 60
+	model, match, target := dom.Model, dom.Match, dom.Target
+	for len(model) > 0 {
+		n := width
+		if n > len(model) {
+			n = len(model)
+		}
+		fmt.Printf("  %-14.14s %s\n", qname, model[:n])
+		fmt.Printf("  %-14.14s %s\n", "", match[:n])
+		fmt.Printf("  %-14.14s %s\n", tname, target[:n])
+		model, match, target = model[n:], match[n:], target[n:]
+	}
+}
+
+// runStreaming searches a FASTA stream without loading it into memory.
+func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targetLen, workers int, evalue float64) {
+	hf, err := os.Open(hmmPath)
+	check(err)
+	query, err := hmm.Read(hf, abc)
+	check(err)
+	hf.Close()
+
+	opts := pipeline.DefaultOptions()
+	opts.Workers = workers
+	pl, err := pipeline.New(query, targetLen, opts)
+	check(err)
+
+	ff, err := os.Open(fastaPath)
+	check(err)
+	defer ff.Close()
+	res, err := pl.RunCPUStream(ff, batch)
+	check(err)
+
+	fmt.Printf("Query:    %s (M=%d, streamed in batches of %d)\n", query.Name, query.M, batch)
+	fmt.Printf("Pipeline: MSV %d/%d passed; Viterbi %d; Forward hits %d\n\n",
+		res.MSV.Out, res.MSV.In, res.Viterbi.Out, len(res.Hits))
+	fmt.Printf("%-12s %-28s %10s\n", "E-value", "sequence", "fwd bits")
+	shown := 0
+	for _, h := range res.Hits {
+		if h.EValue > evalue {
+			continue
+		}
+		fmt.Printf("%-12.3g %-28s %10.2f\n", h.EValue, h.Name, h.FwdBits)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (no hits below the E-value threshold)")
+	}
+}
+
+func loadInputs(abc *alphabet.Alphabet, hmmPath, fastaPath string) (*hmm.Plan7, *seq.Database) {
+	hf, err := os.Open(hmmPath)
+	check(err)
+	defer hf.Close()
+	query, err := hmm.Read(hf, abc)
+	check(err)
+
+	ff, err := os.Open(fastaPath)
+	check(err)
+	defer ff.Close()
+	db, err := seq.ReadFASTA(ff, abc)
+	check(err)
+	return query, db
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hmmsearch: "+format+"\n", args...)
+	os.Exit(1)
+}

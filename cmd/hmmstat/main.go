@@ -1,0 +1,69 @@
+// Command hmmstat summarises the models in a HMMER3 file: length,
+// information content, composition and calibration parameters —
+// the equivalent of HMMER's hmmstat utility.
+//
+//	hmmstat pfam-like.hmm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/simt"
+)
+
+func main() {
+	plan := flag.Bool("plan", false, "also show the K40 kernel launch plans per model")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hmmstat [flags] <models.hmm>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	abc := alphabet.New()
+	fh, err := os.Open(flag.Arg(0))
+	check(err)
+	defer fh.Close()
+	models, err := hmm.ReadAll(fh, abc)
+	check(err)
+
+	fmt.Printf("%-4s %-24s %-12s %6s %10s %10s %10s %10s\n",
+		"#", "name", "accession", "M", "bits/pos", "msv-mu", "vit-mu", "fwd-tau")
+	for i, m := range models {
+		acc := m.Acc
+		if acc == "" {
+			acc = "-"
+		}
+		stats := []string{"-", "-", "-"}
+		if m.Stats.Calibrated {
+			stats[0] = fmt.Sprintf("%.2f", m.Stats.MSVMu)
+			stats[1] = fmt.Sprintf("%.2f", m.Stats.VitMu)
+			stats[2] = fmt.Sprintf("%.2f", m.Stats.FwdTau)
+		}
+		fmt.Printf("%-4d %-24s %-12s %6d %10.2f %10s %10s %10s\n",
+			i+1, m.Name, acc, m.M, m.MeanMatchEntropy(), stats[0], stats[1], stats[2])
+
+		if *plan {
+			spec := simt.TeslaK40()
+			if p, err := gpu.PlanMSV(spec, m.M, gpu.MemAuto); err == nil {
+				fmt.Printf("     msv: %s config, %s\n", p.MemConfig, p.Occupancy)
+			}
+			if p, err := gpu.PlanViterbi(spec, m.M, gpu.MemAuto); err == nil {
+				fmt.Printf("     vit: %s config, %s\n", p.MemConfig, p.Occupancy)
+			}
+		}
+	}
+	fmt.Printf("\n%d models\n", len(models))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmmstat: %v\n", err)
+		os.Exit(1)
+	}
+}

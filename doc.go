@@ -1,0 +1,16 @@
+// Package hmmer3gpu is a from-scratch Go reproduction of "Fine-Grained
+// Acceleration of HMMER 3.0 via Architecture-aware Optimization on
+// Massively Parallel Processors" (Jiang & Ganesan, IPDPSW 2015).
+//
+// The implementation lives under internal/: the Plan7 profile-HMM core
+// and HMMER3 file formats (hmm, msa, profile, seq, alphabet), the
+// full-precision reference algorithms (refimpl), the striped SSE-style
+// CPU baseline (cpu), a warp-accurate SIMT device simulator (simt), the
+// paper's warp-synchronous GPU kernels (gpu), score statistics (stats),
+// the hmmsearch pipeline (pipeline), the performance model (perf),
+// synthetic workloads (workload) and the figure-regeneration harness
+// (bench). See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The benchmarks in bench_test.go regenerate one data point per paper
+// figure; cmd/hmmbench produces the full sweeps.
+package hmmer3gpu

@@ -1,0 +1,55 @@
+// Pipelinestats: reproduces the Figure 1 study — what fraction of a
+// database crosses each pipeline stage, and how the baseline's
+// execution time splits across MSV, P7Viterbi and Forward. The paper
+// reports 2.2% / 0.1% pass rates and an 80.6 / 14.5 / 4.9 time split
+// for a size-400 model against Env_nr.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/workload"
+)
+
+func main() {
+	abc := alphabet.New()
+	query, err := workload.Model("fig1-demo", 400, abc, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := workload.EnvnrLike(0.001, 6) // ~6.5k sequences
+	db, err := workload.Generate(spec, query, abc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pl, err := pipeline.New(query, int(db.MeanLen()), pipeline.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pl.RunCPU(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := perf.BaselineI5()
+	msvT := perf.CPUTimeMSV(c, res.MSV.Cells)
+	vitT := perf.CPUTimeVit(c, res.Viterbi.Cells)
+	fwdT := perf.CPUTimeFwd(c, res.Forward.Cells)
+	total := msvT + vitT + fwdT
+
+	fmt.Printf("HMMER3 task pipeline on %s (M=%d, %d sequences)\n\n", db.Name, query.M, db.NumSeqs())
+	fmt.Printf("%-12s %9s %9s %12s %16s\n", "stage", "in", "out", "pass", "time share")
+	fmt.Printf("%-12s %9d %9d %10.2f%%  %6.1f%%  (paper: 80.6%%)\n",
+		"MSV", res.MSV.In, res.MSV.Out, res.MSV.PassFraction()*100, 100*msvT/total)
+	fmt.Printf("%-12s %9d %9d %10.2f%%  %6.1f%%  (paper: 14.5%%)\n",
+		"P7Viterbi", res.Viterbi.In, res.Viterbi.Out, res.Viterbi.PassFraction()*100, 100*vitT/total)
+	fmt.Printf("%-12s %9d %9d %10.2f%%  %6.1f%%  (paper:  4.9%%)\n",
+		"Forward", res.Forward.In, res.Forward.Out,
+		float64(res.Viterbi.Out)/float64(res.MSV.In)*100, 100*fwdT/total)
+	fmt.Printf("\npaper reference pass rates: 2.2%% cross MSV, 0.1%% cross P7Viterbi\n")
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a query model, generate a small target database,
+// and run the accelerated hmmsearch pipeline on a simulated Tesla K40 —
+// the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/workload"
+)
+
+func main() {
+	abc := alphabet.New()
+
+	// A Pfam-like query model of 120 match states.
+	query, err := workload.Model("example-family", 120, abc, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small Env_nr-like database with 2% planted homologs.
+	spec := workload.EnvnrLike(0.0002, 2)
+	spec.HomologFrac = 0.02
+	db, err := workload.Generate(spec, query, abc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d sequences, %d residues\n", db.NumSeqs(), db.TotalResidues())
+
+	// Configure and calibrate the three-stage pipeline.
+	pl, err := pipeline.New(query, int(db.MeanLen()), pipeline.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Search on a simulated Kepler K40 with the auto (optimal) memory
+	// strategy; the Forward stage runs on the host as in the paper.
+	dev := simt.NewDevice(simt.TeslaK40())
+	res, err := pl.RunGPU(dev, gpu.MemAuto, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MSV filter:     %4d / %4d passed (%.2f%%)\n",
+		res.MSV.Out, res.MSV.In, res.MSV.PassFraction()*100)
+	fmt.Printf("P7Viterbi:      %4d / %4d passed\n", res.Viterbi.Out, res.Viterbi.In)
+	fmt.Printf("Forward:        %4d final hits\n\n", len(res.Hits))
+
+	for i, h := range res.Hits {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Hits)-5)
+			break
+		}
+		fmt.Printf("  %-24s E-value %.3g (%.1f bits)\n", h.Name, h.EValue, h.FwdBits)
+	}
+}

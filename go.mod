@@ -1,0 +1,3 @@
+module hmmer3gpu
+
+go 1.22

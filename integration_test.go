@@ -1,0 +1,128 @@
+package hmmer3gpu
+
+// End-to-end integration: generate a workload, round-trip it through
+// the on-disk formats (HMMER3 ASCII + FASTA), and run the search on
+// every engine — CPU, single simulated K40, and a 4x Fermi system —
+// asserting they retrieve the same hits.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+func TestEndToEndAllEngines(t *testing.T) {
+	abc := alphabet.New()
+	query, err := workload.Model("it-query", 110, abc, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.EnvnrLike(0.0001, 22)
+	spec.HomologFrac = 0.03
+	db, err := workload.Generate(spec, query, abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip both inputs through their file formats.
+	dir := t.TempDir()
+	hmmPath := filepath.Join(dir, "q.hmm")
+	fastaPath := filepath.Join(dir, "db.fasta")
+	hf, err := os.Create(hmmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hmm.Write(hf, query); err != nil {
+		t.Fatal(err)
+	}
+	hf.Close()
+	ff, err := os.Create(fastaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTA(ff, db, abc); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+
+	hf2, err := os.Open(hmmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf2.Close()
+	query2, err := hmm.Read(hf2, abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff2, err := os.Open(fastaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff2.Close()
+	db2, err := seq.ReadFASTA(ff2, abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumSeqs() != db.NumSeqs() {
+		t.Fatalf("FASTA round trip lost sequences: %d vs %d", db2.NumSeqs(), db.NumSeqs())
+	}
+	for i := range db.Seqs {
+		if !bytes.Equal(db.Seqs[i].Residues, db2.Seqs[i].Residues) {
+			t.Fatalf("sequence %d corrupted by the FASTA round trip", i)
+		}
+	}
+
+	// Search with the round-tripped inputs on all three engines.
+	opts := pipeline.DefaultOptions()
+	opts.Calibration = stats.CalibrateOptions{N: 128, L: 100, Seed: 23, TailMass: 0.04}
+	pl, err := pipeline.New(query2, int(db2.MeanLen()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuRes, err := pl.RunCPU(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuRes, err := pl.RunGPU(simt.NewDevice(simt.TeslaK40()), gpu.MemAuto, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiRes, err := pl.RunMultiGPU(simt.NewSystem(simt.GTX580(), 4), gpu.MemAuto, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(cpuRes.Hits) == 0 {
+		t.Fatal("no hits found; homologs were planted")
+	}
+	for name, res := range map[string]*pipeline.Result{"gpu": gpuRes, "multigpu": multiRes} {
+		if len(res.Hits) != len(cpuRes.Hits) {
+			t.Fatalf("%s found %d hits, cpu found %d", name, len(res.Hits), len(cpuRes.Hits))
+		}
+		for i := range res.Hits {
+			a, b := cpuRes.Hits[i], res.Hits[i]
+			if a.Index != b.Index || a.FwdBits != b.FwdBits || a.EValue != b.EValue {
+				t.Fatalf("%s hit %d differs: %+v vs %+v", name, i, b, a)
+			}
+		}
+	}
+
+	// The quantised-model round trip may shift scores by at most the
+	// serialisation precision; hits must be planted homologs with
+	// decisive E-values.
+	for _, h := range cpuRes.Hits {
+		if h.EValue > 1e-3 {
+			t.Errorf("hit %s has weak E-value %g", h.Name, h.EValue)
+		}
+	}
+}

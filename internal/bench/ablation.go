@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+// AblationReport quantifies the §III design choices one at a time.
+type AblationReport struct {
+	// Sync: warp-synchronous kernel vs the synchronised multi-warp
+	// baseline of Figure 4 (same scores, different schedule).
+	SyncFreeTime float64
+	SyncedTime   float64
+	SyncedSyncs  int64
+	SyncedStalls int64
+
+	// Reduction: Kepler warp-shuffle vs the shared-memory fallback
+	// (a K40 with shuffle disabled).
+	ShuffleTime        float64
+	SharedRedTime      float64
+	SharedRedOccupancy float64
+	ShuffleOccupancy   float64
+
+	// Packing: 6-residues-per-word vs one byte fetch per row.
+	PackedTime        float64
+	UnpackedTime      float64
+	PackedLoadTrans   int64
+	UnpackedLoadTrans int64
+
+	// LazyF: warp-vote lazy evaluation vs the eager worst-case loop
+	// and vs the §VI prefix-scan extension, on a typical and on a
+	// gap-heavy model.
+	LazyTime         float64
+	EagerTime        float64
+	ScanTime         float64 // prefix-scan D-D resolution, typical model
+	LazyTimeGappy    float64
+	ScanTimeGappy    float64
+	LazyItersTypical float64 // iterations per chunk, typical model
+	LazyItersGappy   float64 // iterations per chunk, gap-heavy model
+
+	// Homology: overall combined speedup as the planted homolog
+	// fraction grows (§V: more homology -> more Viterbi work -> lower
+	// overall speedup).
+	HomologyFracs    []float64
+	HomologySpeedups []float64
+}
+
+// Ablations runs all five ablation studies.
+func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
+	var rep AblationReport
+	abc := alphabet.New()
+	const m = 256
+	h, err := cfg.model(m)
+	if err != nil {
+		return rep, err
+	}
+	db, err := cfg.database(Envnr, cfg.VitCellBudget, h)
+	if err != nil {
+		return rep, err
+	}
+	mp, vp := configuredProfiles(h, db)
+	spec := k40()
+
+	// --- A1: synchronisation ---------------------------------------
+	{
+		dev := simt.NewDevice(spec)
+		ddb := gpu.UploadDB(dev, db)
+		s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, HostWorkers: cfg.Workers}
+		free, err := s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+		if err != nil {
+			return rep, err
+		}
+		rep.SyncFreeTime = perf.GPUTime(spec, free.Launch)
+
+		dev2 := simt.NewDevice(spec)
+		ddb2 := gpu.UploadDB(dev2, db)
+		s2 := &gpu.Searcher{Dev: dev2, HostWorkers: cfg.Workers}
+		synced, err := s2.MSVSearchSynced(gpu.UploadMSVProfile(dev2, mp), ddb2, false)
+		if err != nil {
+			return rep, err
+		}
+		rep.SyncedTime = perf.GPUTime(spec, synced.Launch)
+		rep.SyncedSyncs = synced.Launch.Stats.Syncs
+		rep.SyncedStalls = synced.Launch.Stats.SyncStallCycles
+		fprintf(w, "A1 synchronisation: warp-synchronous %.3gs vs synced multi-warp %.3gs (%.2fx; %d barriers, %d stall cycles)\n",
+			rep.SyncFreeTime, rep.SyncedTime, rep.SyncedTime/rep.SyncFreeTime,
+			rep.SyncedSyncs, rep.SyncedStalls)
+	}
+
+	// --- A2: warp-shuffle reduction ---------------------------------
+	{
+		noShfl := spec
+		noShfl.Name = "K40 (shuffle disabled)"
+		noShfl.HasShuffle = false
+
+		for i, sp := range []simt.DeviceSpec{spec, noShfl} {
+			dev := simt.NewDevice(sp)
+			ddb := gpu.UploadDB(dev, db)
+			s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, HostWorkers: cfg.Workers}
+			r, err := s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+			if err != nil {
+				return rep, err
+			}
+			t := perf.GPUTime(sp, r.Launch)
+			if i == 0 {
+				rep.ShuffleTime = t
+				rep.ShuffleOccupancy = r.Plan.Occupancy.Fraction
+			} else {
+				rep.SharedRedTime = t
+				rep.SharedRedOccupancy = r.Plan.Occupancy.Fraction
+			}
+		}
+		fprintf(w, "A2 reduction: shuffle %.3gs (occ %.0f%%) vs shared-memory %.3gs (occ %.0f%%) => %.2fx\n",
+			rep.ShuffleTime, rep.ShuffleOccupancy*100,
+			rep.SharedRedTime, rep.SharedRedOccupancy*100,
+			rep.SharedRedTime/rep.ShuffleTime)
+	}
+
+	// --- A3: residue packing ----------------------------------------
+	{
+		for i, disable := range []bool{false, true} {
+			dev := simt.NewDevice(spec)
+			ddb := gpu.UploadDB(dev, db)
+			// Global config: model reads go through the cached-load
+			// counters, so GlobalLoadTransactions isolates the
+			// sequence-fetch traffic that packing reduces.
+			s := &gpu.Searcher{Dev: dev, Mem: gpu.MemGlobal, DisablePacking: disable, HostWorkers: cfg.Workers}
+			r, err := s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+			if err != nil {
+				return rep, err
+			}
+			if i == 0 {
+				rep.PackedTime = perf.GPUTime(spec, r.Launch)
+				rep.PackedLoadTrans = r.Launch.Stats.GlobalLoadTransactions
+			} else {
+				rep.UnpackedTime = perf.GPUTime(spec, r.Launch)
+				rep.UnpackedLoadTrans = r.Launch.Stats.GlobalLoadTransactions
+			}
+		}
+		fprintf(w, "A3 packing: packed %.3gs (%d seq-fetch transactions) vs unpacked %.3gs (%d) => %.2fx traffic\n",
+			rep.PackedTime, rep.PackedLoadTrans, rep.UnpackedTime, rep.UnpackedLoadTrans,
+			float64(rep.UnpackedLoadTrans)/float64(rep.PackedLoadTrans))
+	}
+
+	// --- A4: parallel lazy-F ----------------------------------------
+	{
+		runVit := func(prof *gpu.DeviceVitProfile, eager, scan bool) (float64, float64, error) {
+			dev := simt.NewDevice(spec)
+			ddb := gpu.UploadDB(dev, db)
+			s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, EagerLazyF: eager, DDScan: scan, HostWorkers: cfg.Workers}
+			r, err := s.ViterbiSearch(prof, ddb)
+			if err != nil {
+				return 0, 0, err
+			}
+			chunks := float64(ddb.TotalResidues) * float64((m+31)/32)
+			return perf.GPUTime(spec, r.Launch), float64(r.LazyF.Iterations) / chunks, nil
+		}
+		dev0 := simt.NewDevice(spec)
+		prof := gpu.UploadVitProfile(dev0, vp)
+		var err error
+		rep.LazyTime, rep.LazyItersTypical, err = runVit(prof, false, false)
+		if err != nil {
+			return rep, err
+		}
+		rep.EagerTime, _, err = runVit(prof, true, false)
+		if err != nil {
+			return rep, err
+		}
+		rep.ScanTime, _, err = runVit(prof, false, true)
+		if err != nil {
+			return rep, err
+		}
+		// Gap-heavy model: the D-D path is taken often, lazy-F iterates
+		// more (the paper's §VI caveat about large, delete-heavy models).
+		gappy, err := hmm.Random("gappy", m, abc,
+			hmm.BuildParams{MatchIdentity: 0.7, GapOpen: 0.15, GapExtend: 0.9},
+			rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return rep, err
+		}
+		_, gvp := configuredProfiles(gappy, db)
+		gprof := gpu.UploadVitProfile(simt.NewDevice(spec), gvp)
+		rep.LazyTimeGappy, rep.LazyItersGappy, err = runVit(gprof, false, false)
+		if err != nil {
+			return rep, err
+		}
+		rep.ScanTimeGappy, _, err = runVit(gprof, false, true)
+		if err != nil {
+			return rep, err
+		}
+		fprintf(w, "A4 lazy-F: lazy %.3gs vs eager %.3gs (%.2fx) vs prefix-scan %.3gs; iterations/chunk %.2f typical, %.2f gap-heavy; gap-heavy lazy %.3gs vs scan %.3gs\n",
+			rep.LazyTime, rep.EagerTime, rep.EagerTime/rep.LazyTime, rep.ScanTime,
+			rep.LazyItersTypical, rep.LazyItersGappy, rep.LazyTimeGappy, rep.ScanTimeGappy)
+	}
+
+	// --- A5: homology dependence ------------------------------------
+	{
+		for _, frac := range []float64{0, 0.02, 0.08} {
+			spec2 := Envnr.specMinSeqs(cfg.MSVCellBudget, m, cfg.Seed+999, 400)
+			spec2.HomologFrac = frac
+			data, err := workload.Generate(spec2, h, abc)
+			if err != nil {
+				return rep, err
+			}
+			sp, err := combinedOnDB(cfg, spec, h, data)
+			if err != nil {
+				return rep, err
+			}
+			rep.HomologyFracs = append(rep.HomologyFracs, frac)
+			rep.HomologySpeedups = append(rep.HomologySpeedups, sp)
+		}
+		fprintf(w, "A5 homology: combined speedup by planted-homolog fraction:")
+		for i := range rep.HomologyFracs {
+			fprintf(w, " %.0f%%:%.2fx", rep.HomologyFracs[i]*100, rep.HomologySpeedups[i])
+		}
+		fprintf(w, "\n")
+	}
+	return rep, nil
+}
+
+// combinedOnDB measures the combined MSV+Viterbi speedup on a given
+// database (used by the homology sweep).
+func combinedOnDB(cfg Config, spec simt.DeviceSpec, h *hmm.Plan7, data *seq.Database) (float64, error) {
+	opts := pipeline.DefaultOptions()
+	opts.SkipForward = true
+	opts.Workers = cfg.Workers
+	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: cfg.Seed, TailMass: 0.04}
+	pl, err := pipeline.New(h, int(data.MeanLen()), opts)
+	if err != nil {
+		return 0, err
+	}
+	dev := simt.NewDevice(spec)
+	res, err := pl.RunGPU(dev, gpu.MemAuto, data)
+	if err != nil {
+		return 0, err
+	}
+	// Extrapolate to paper scale so the fixed launch overhead does not
+	// flatten the comparison (see fig10.go).
+	scale := float64(Envnr.FullResidues()) / float64(data.TotalResidues())
+	extra := res.Extra.(*pipeline.GPUExtra)
+	gpuT := perf.GPUTimeScaled(spec, extra.MSVReport.Launch, scale)
+	if extra.VitReport != nil {
+		gpuT += perf.GPUTimeScaled(spec, extra.VitReport.Launch, scale)
+	}
+	cpuT := perf.CPUTimeMSV(perf.BaselineI5(), int64(float64(res.MSV.Cells)*scale)) +
+		perf.CPUTimeVit(perf.BaselineI5(), int64(float64(res.Viterbi.Cells)*scale))
+	return perf.Speedup(cpuT, gpuT), nil
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: each figure's rows serialise to one file, ready for
+// plotting against the paper's curves.
+
+// WriteFig9CSV writes the Figure 9 sweep.
+func WriteFig9CSV(rows []Fig9Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"db", "stage", "m", "shared_fits",
+		"shared_speedup", "global_speedup", "optimal_speedup",
+		"shared_occupancy", "global_occupancy",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.DB.String(), r.Stage.String(), strconv.Itoa(r.M),
+			strconv.FormatBool(r.SharedFits),
+			f(r.SharedSpeedup), f(r.GlobalSpeedup), f(r.OptimalSpeedup),
+			f(r.SharedOcc), f(r.GlobalOcc),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV writes the Figure 10 sweep.
+func WriteFig10CSV(rows []Fig10Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"db", "m", "overall_speedup", "msv_pass"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.DB.String(), strconv.Itoa(r.M), f(r.Overall), f(r.MSVPass),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig11CSV writes the Figure 11 sweep.
+func WriteFig11CSV(rows []Fig11Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"db", "m", "overall_4gpu", "overall_1gpu", "scaling_efficiency"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.DB.String(), strconv.Itoa(r.M), f(r.Overall4), f(r.Overall1), f(r.ScalingEfficiency),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV runs the three speedup figures and writes fig9.csv,
+// fig10.csv and fig11.csv into dir.
+func ExportCSV(cfg Config, dir string, progress io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	r9, err := Fig9(cfg, progress)
+	if err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "fig9.csv"), func(w io.Writer) error {
+		return WriteFig9CSV(r9, w)
+	}); err != nil {
+		return err
+	}
+	r10, err := Fig10(cfg, progress)
+	if err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "fig10.csv"), func(w io.Writer) error {
+		return WriteFig10CSV(r10, w)
+	}); err != nil {
+		return err
+	}
+	r11, err := Fig11(cfg, progress)
+	if err != nil {
+		return err
+	}
+	return writeCSVFile(filepath.Join(dir, "fig11.csv"), func(w io.Writer) error {
+		return WriteFig11CSV(r11, w)
+	})
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

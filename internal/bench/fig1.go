@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"io"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+// Fig1Stats reproduces the pipeline statistics of Figure 1: the
+// fraction of sequences crossing each stage threshold and the share of
+// baseline execution time each stage accounts for. The paper reports,
+// for a model of size 400 against Env_nr: 2.2% of sequences pass MSV,
+// 0.1% pass P7Viterbi; execution time splits 80.6% / 14.5% / 4.9%.
+type Fig1Stats struct {
+	NumSeqs int
+
+	MSVPass float64
+	VitPass float64 // fraction of ALL sequences reaching Forward
+
+	MSVTimeShare float64
+	VitTimeShare float64
+	FwdTimeShare float64
+}
+
+// Fig1 runs the full pipeline (CPU engine, Forward included) on an
+// Env_nr-like database with a size-400 model and reports the stage
+// statistics.
+func Fig1(cfg Config, w io.Writer) (Fig1Stats, error) {
+	var out Fig1Stats
+	const m = 400
+	h, err := cfg.model(m)
+	if err != nil {
+		return out, err
+	}
+	// A larger sequence count than the kernel benches use: stage pass
+	// fractions need statistics, and the CPU engine is fast. The
+	// homolog fraction is lowered to Env_nr levels for a 400-size
+	// query (the paper's 0.1% Forward-stage rate implies very few true
+	// members in the 6.5M-sequence database).
+	spec := Envnr.spec(40*cfg.MSVCellBudget, m, cfg.Seed+12)
+	spec.HomologFrac = 0.0005
+	data, err := workload.Generate(spec, h, alphabet.New())
+	if err != nil {
+		return out, err
+	}
+
+	opts := pipeline.DefaultOptions()
+	opts.Workers = cfg.Workers
+	opts.Calibration = stats.CalibrateOptions{N: 128, L: 100, Seed: cfg.Seed, TailMass: 0.04}
+	pl, err := pipeline.New(h, int(data.MeanLen()), opts)
+	if err != nil {
+		return out, err
+	}
+	res, err := pl.RunCPU(data)
+	if err != nil {
+		return out, err
+	}
+
+	out.NumSeqs = data.NumSeqs()
+	out.MSVPass = res.MSV.PassFraction()
+	out.VitPass = float64(res.Viterbi.Out) / float64(res.MSV.In)
+
+	c := perf.BaselineI5()
+	msvT := perf.CPUTimeMSV(c, res.MSV.Cells)
+	vitT := perf.CPUTimeVit(c, res.Viterbi.Cells)
+	fwdT := perf.CPUTimeFwd(c, res.Forward.Cells)
+	total := msvT + vitT + fwdT
+	out.MSVTimeShare = msvT / total
+	out.VitTimeShare = vitT / total
+	out.FwdTimeShare = fwdT / total
+
+	fprintf(w, "Figure 1 — HMMER3 task pipeline statistics (Envnr-like, M=%d, %d seqs)\n", m, out.NumSeqs)
+	fprintf(w, "%-16s %12s %12s %14s %12s\n", "stage", "in", "out", "pass (paper)", "time (paper)")
+	fprintf(w, "%-16s %12d %12d %6.2f%% (2.2%%) %6.1f%% (80.6%%)\n",
+		"MSV", res.MSV.In, res.MSV.Out, out.MSVPass*100, out.MSVTimeShare*100)
+	fprintf(w, "%-16s %12d %12d %6.2f%% (0.1%%) %6.1f%% (14.5%%)\n",
+		"P7Viterbi", res.Viterbi.In, res.Viterbi.Out, out.VitPass*100, out.VitTimeShare*100)
+	fprintf(w, "%-16s %12d %12d %14s %6.1f%% (4.9%%)\n",
+		"Forward", res.Forward.In, res.Forward.Out, "", out.FwdTimeShare*100)
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"io"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+// Fig10Row is one point of Figure 10: the overall speedup of the
+// combined MSV + P7Viterbi pipeline segment on a single Tesla K40.
+type Fig10Row struct {
+	DB DBKind
+	M  int
+	// Overall is (T_cpu_msv + T_cpu_vit) / (T_gpu_msv + T_gpu_vit).
+	Overall float64
+	// MSVPass is the fraction of sequences surviving the MSV filter,
+	// which sets the Viterbi stage's share of the work (§V).
+	MSVPass float64
+}
+
+// Fig10 regenerates Figure 10: overall combined-stage speedups for
+// both databases across the size sweep on a single K40, using the
+// auto (optimal) memory strategy and HMMER3's filter thresholds.
+func Fig10(cfg Config, w io.Writer) ([]Fig10Row, error) {
+	spec := k40()
+	fprintf(w, "Figure 10 — overall MSV+P7Viterbi speedup on a single %s\n", spec.Name)
+	fprintf(w, "%12s %8s %10s %10s\n", "DB", "M", "overall", "MSV-pass")
+	var rows []Fig10Row
+	for _, db := range []DBKind{Swissprot, Envnr} {
+		for _, m := range cfg.Sizes {
+			row, err := combinedPoint(cfg, spec, nil, db, m)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			fprintf(w, "%12s %8d %9.2fx %9.2f%%\n", db, m, row.Overall, row.MSVPass*100)
+		}
+	}
+	return rows, nil
+}
+
+// combinedPoint measures one combined-pipeline point on a single
+// device (sys == nil) or across a multi-device system (Fig. 11).
+func combinedPoint(cfg Config, spec simt.DeviceSpec, sys *simt.System, db DBKind, m int) (Fig10Row, error) {
+	row := Fig10Row{DB: db, M: m}
+	h, err := cfg.model(m)
+	if err != nil {
+		return row, err
+	}
+	// Pass-fraction statistics need a minimum sequence count even when
+	// the cell budget would allow fewer.
+	dbSpec := db.specMinSeqs(cfg.MSVCellBudget, m, cfg.Seed+int64(m)*2+int64(db), 300)
+	data, err := workload.Generate(dbSpec, h, alphabet.New())
+	if err != nil {
+		return row, err
+	}
+
+	opts := pipeline.DefaultOptions()
+	opts.SkipForward = true
+	opts.Workers = cfg.Workers
+	// A lighter calibration is plenty for stable pass fractions.
+	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: cfg.Seed, TailMass: 0.04}
+	pl, err := pipeline.New(h, int(data.MeanLen()), opts)
+	if err != nil {
+		return row, err
+	}
+
+	// Extrapolate run times to the full paper-scale database; with n
+	// devices each shard carries scale/n of the full workload.
+	scale := float64(db.FullResidues()) / float64(data.TotalResidues())
+
+	var msvT, vitT float64
+	var res *pipeline.Result
+	if sys == nil {
+		dev := simt.NewDevice(spec)
+		res, err = pl.RunGPU(dev, gpu.MemAuto, data)
+		if err != nil {
+			return row, err
+		}
+		extra := res.Extra.(*pipeline.GPUExtra)
+		msvT = perf.GPUTimeScaled(spec, extra.MSVReport.Launch, scale)
+		if extra.VitReport != nil {
+			vitT = perf.GPUTimeScaled(spec, extra.VitReport.Launch, scale)
+		}
+	} else {
+		res, err = pl.RunMultiGPU(sys, gpu.MemAuto, data)
+		if err != nil {
+			return row, err
+		}
+		extra := res.Extra.(*pipeline.MultiGPUExtra)
+		// Devices run concurrently: the stage finishes with the slowest.
+		for _, rep := range extra.MSV.PerDevice {
+			if rep != nil {
+				if t := perf.GPUTimeScaled(spec, rep.Launch, scale); t > msvT {
+					msvT = t
+				}
+			}
+		}
+		if extra.Vit != nil {
+			for _, rep := range extra.Vit.PerDevice {
+				if rep != nil {
+					if t := perf.GPUTimeScaled(spec, rep.Launch, scale); t > vitT {
+						vitT = t
+					}
+				}
+			}
+		}
+	}
+
+	cpuT := perf.CPUTimeMSV(perf.BaselineI5(), int64(float64(res.MSV.Cells)*scale)) +
+		perf.CPUTimeVit(perf.BaselineI5(), int64(float64(res.Viterbi.Cells)*scale))
+	row.Overall = perf.Speedup(cpuT, msvT+vitT)
+	row.MSVPass = res.MSV.PassFraction()
+	return row, nil
+}

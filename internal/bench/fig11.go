@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"io"
+
+	"hmmer3gpu/internal/simt"
+)
+
+// Fig11Row is one point of Figure 11: overall combined-stage speedup
+// on four Fermi GTX 580s, plus the single-Fermi value so the paper's
+// "almost linear" multi-device scaling claim is checkable.
+type Fig11Row struct {
+	DB DBKind
+	M  int
+	// Overall4 is the 4-GPU combined speedup; Overall1 the 1-GPU one.
+	Overall4 float64
+	Overall1 float64
+	// ScalingEfficiency is Overall4 / (4 * Overall1).
+	ScalingEfficiency float64
+}
+
+// Fig11 regenerates Figure 11: overall speedups for both databases on
+// a 4x GTX 580 (Fermi) system.
+func Fig11(cfg Config, w io.Writer) ([]Fig11Row, error) {
+	spec := gtx580()
+	fprintf(w, "Figure 11 — overall MSV+P7Viterbi speedup on 4x %s\n", spec.Name)
+	fprintf(w, "%12s %8s %10s %10s %10s\n", "DB", "M", "4-GPU", "1-GPU", "scaling")
+	var rows []Fig11Row
+	for _, db := range []DBKind{Swissprot, Envnr} {
+		for _, m := range cfg.Sizes {
+			sys := simt.NewSystem(spec, 4)
+			p4, err := combinedPoint(cfg, spec, sys, db, m)
+			if err != nil {
+				return nil, err
+			}
+			p1, err := combinedPoint(cfg, spec, nil, db, m)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig11Row{DB: db, M: m, Overall4: p4.Overall, Overall1: p1.Overall}
+			if p1.Overall > 0 {
+				row.ScalingEfficiency = p4.Overall / (4 * p1.Overall)
+			}
+			rows = append(rows, row)
+			fprintf(w, "%12s %8d %9.2fx %9.2fx %9.0f%%\n",
+				db, m, row.Overall4, row.Overall1, row.ScalingEfficiency*100)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// Stage names for Figure 9's two panels per database.
+type Stage int
+
+const (
+	StageMSV Stage = iota
+	StageViterbi
+)
+
+func (s Stage) String() string {
+	if s == StageMSV {
+		return "MSV"
+	}
+	return "P7Viterbi"
+}
+
+// Fig9Row is one sweep point of Figure 9: a (database, stage, model
+// size) cell with both memory configurations.
+type Fig9Row struct {
+	DB    DBKind
+	Stage Stage
+	M     int
+
+	// SharedFits reports whether the model fits the shared
+	// configuration at all (M=2405 does not, for MSV on the K40).
+	SharedFits bool
+
+	SharedSpeedup float64
+	GlobalSpeedup float64
+	// OptimalSpeedup is the paper's black curve: the better of the two.
+	OptimalSpeedup float64
+
+	SharedOcc float64
+	GlobalOcc float64
+}
+
+// runStage executes one kernel over db on a fresh device and returns
+// the GPU time and DP cells, both extrapolated to the kind's full
+// paper-scale database (the simulator's counters are linear in the
+// workload; see perf.GPUTimeScaled).
+func runStage(spec simt.DeviceSpec, kind DBKind, stage Stage, mem gpu.MemConfig,
+	mp *profile.MSVProfile, vp *profile.VitProfile, db *seq.Database, workers int) (float64, int64, error) {
+
+	dev := simt.NewDevice(spec)
+	ddb := gpu.UploadDB(dev, db)
+	s := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: workers}
+	var rep *gpu.SearchReport
+	var err error
+	var m int
+	if stage == StageMSV {
+		rep, err = s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
+		m = mp.M
+	} else {
+		rep, err = s.ViterbiSearch(gpu.UploadVitProfile(dev, vp), ddb)
+		m = vp.M
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	scale := float64(kind.FullResidues()) / float64(ddb.TotalResidues)
+	fullCells := kind.FullResidues() * int64(m)
+	return perf.GPUTimeScaled(spec, rep.Launch, scale), fullCells, nil
+}
+
+// cpuStageTime returns the modelled baseline seconds for one stage.
+func cpuStageTime(stage Stage, cells int64) float64 {
+	if stage == StageMSV {
+		return perf.CPUTimeMSV(perf.BaselineI5(), cells)
+	}
+	return perf.CPUTimeVit(perf.BaselineI5(), cells)
+}
+
+// Fig9 regenerates Figure 9: per-stage speedups and occupancies for
+// both databases across the model-size sweep, for the shared and
+// global memory configurations on the Tesla K40.
+func Fig9(cfg Config, w io.Writer) ([]Fig9Row, error) {
+	spec := k40()
+	var rows []Fig9Row
+	fprintf(w, "Figure 9 — stage speedups vs HMMER3 SSE on %s (baseline: %s)\n",
+		spec.Name, perf.BaselineI5().Name)
+
+	for _, db := range []DBKind{Swissprot, Envnr} {
+		for _, stage := range []Stage{StageMSV, StageViterbi} {
+			fprintf(w, "\n[%s / %s]\n", db, stage)
+			fprintf(w, "%8s %14s %14s %12s %12s %12s\n",
+				"M", "shared-speedup", "global-speedup", "shared-occ", "global-occ", "optimal")
+			for _, m := range cfg.Sizes {
+				row, err := fig9Point(cfg, spec, db, stage, m)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+				sh := "   n/a"
+				if row.SharedFits {
+					sh = fmt.Sprintf("%6.2f", row.SharedSpeedup)
+				}
+				fprintf(w, "%8d %14s %14.2f %11.0f%% %11.0f%% %12.2f\n",
+					m, sh, row.GlobalSpeedup,
+					row.SharedOcc*100, row.GlobalOcc*100, row.OptimalSpeedup)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig9Point(cfg Config, spec simt.DeviceSpec, db DBKind, stage Stage, m int) (Fig9Row, error) {
+	row := Fig9Row{DB: db, Stage: stage, M: m}
+	h, err := cfg.model(m)
+	if err != nil {
+		return row, err
+	}
+	budget := cfg.MSVCellBudget
+	if stage == StageViterbi {
+		budget = cfg.VitCellBudget
+	}
+	data, err := cfg.database(db, budget, h)
+	if err != nil {
+		return row, err
+	}
+	mp, vp := configuredProfiles(h, data)
+
+	planOf := gpu.PlanMSV
+	if stage == StageViterbi {
+		planOf = gpu.PlanViterbi
+	}
+
+	if plan, err := planOf(spec, m, gpu.MemShared); err == nil {
+		row.SharedFits = true
+		row.SharedOcc = plan.Occupancy.Fraction
+		t, cells, err := runStage(spec, db, stage, gpu.MemShared, mp, vp, data, cfg.Workers)
+		if err != nil {
+			return row, err
+		}
+		row.SharedSpeedup = perf.Speedup(cpuStageTime(stage, cells), t)
+	}
+	plan, err := planOf(spec, m, gpu.MemGlobal)
+	if err != nil {
+		return row, err
+	}
+	row.GlobalOcc = plan.Occupancy.Fraction
+	t, cells, err := runStage(spec, db, stage, gpu.MemGlobal, mp, vp, data, cfg.Workers)
+	if err != nil {
+		return row, err
+	}
+	row.GlobalSpeedup = perf.Speedup(cpuStageTime(stage, cells), t)
+
+	row.OptimalSpeedup = row.GlobalSpeedup
+	if row.SharedFits && row.SharedSpeedup > row.OptimalSpeedup {
+		row.OptimalSpeedup = row.SharedSpeedup
+	}
+	return row, nil
+}

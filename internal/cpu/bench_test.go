@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkStripedMSVFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	_, mp, _ := buildProfiles(b, 400, 250, 1)
+	eng := NewMSVEngine(mp)
+	dsq := randomSeq(rng, 250)
+	b.SetBytes(int64(400 * 250))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Filter(dsq)
+	}
+}
+
+func BenchmarkStripedVitFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	_, _, vp := buildProfiles(b, 400, 250, 2)
+	eng := NewVitEngine(vp)
+	dsq := randomSeq(rng, 250)
+	b.SetBytes(int64(400 * 250))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Filter(dsq)
+	}
+}
+
+func BenchmarkScalarMSVFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	_, mp, _ := buildProfiles(b, 400, 250, 3)
+	dsq := randomSeq(rng, 250)
+	b.SetBytes(int64(400 * 250))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MSVFilterScalar(mp, dsq)
+	}
+}
+
+func BenchmarkScalarVitFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	_, _, vp := buildProfiles(b, 400, 250, 4)
+	dsq := randomSeq(rng, 250)
+	b.SetBytes(int64(400 * 250))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VitFilterScalar(vp, dsq)
+	}
+}

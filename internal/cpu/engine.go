@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"runtime"
+	"sync"
+
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/seq"
+)
+
+// Engine runs the striped filters over whole databases with a worker
+// pool, the multi-core half of the paper's baseline configuration
+// (HMMER 3.0 "utilizing multi-core and SSE capabilities").
+type Engine struct {
+	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MSVAll computes MSV filter scores for every sequence in db. Each
+// worker owns a private MSVEngine; results land at the sequence's
+// database index.
+func (e Engine) MSVAll(mp *profile.MSVProfile, db *seq.Database) []FilterResult {
+	out := make([]FilterResult, db.NumSeqs())
+	e.parallel(db.NumSeqs(), func() any {
+		return NewMSVEngine(mp)
+	}, func(state any, i int) {
+		out[i] = state.(*MSVEngine).Filter(db.Seqs[i].Residues)
+	})
+	return out
+}
+
+// ViterbiAll computes Viterbi filter scores for every sequence in db.
+func (e Engine) ViterbiAll(vp *profile.VitProfile, db *seq.Database) []FilterResult {
+	out := make([]FilterResult, db.NumSeqs())
+	e.parallel(db.NumSeqs(), func() any {
+		return NewVitEngine(vp)
+	}, func(state any, i int) {
+		out[i] = state.(*VitEngine).Filter(db.Seqs[i].Residues)
+	})
+	return out
+}
+
+// parallel fans n indexed tasks out over the worker pool. newState
+// constructs per-worker private state (a filter engine).
+func (e Engine) parallel(n int, newState func() any, do func(state any, i int)) {
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		state := newState()
+		for i := 0; i < n; i++ {
+			do(state, i)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	grab := func(batch int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= n {
+			return n, n
+		}
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wi := 0; wi < w; wi++ {
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for {
+				lo, hi := grab(32)
+				if lo >= hi {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					do(state, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,82 @@
+package cpu
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+)
+
+// MSVEngine is the striped 16-lane byte MSV filter — the CPU side of
+// the paper's comparison ("16, 8-bit SIMD registers thus achieving
+// 16-fold speedup on a commodity processor"). Build one per profile and
+// reuse it across sequences; it is not safe for concurrent use (each
+// worker goroutine owns its own engine).
+type MSVEngine struct {
+	mp *profile.MSVProfile
+	q  int
+	// rsc[r][q] is the striped emission cost vector for residue r.
+	rsc [][]vecU8
+	dp  []vecU8
+}
+
+// NewMSVEngine prepares the striped emission layout for mp.
+func NewMSVEngine(mp *profile.MSVProfile) *MSVEngine {
+	q := profile.StripedSegments(mp.M, MSVWidth)
+	striped := mp.Striped(MSVWidth)
+	e := &MSVEngine{mp: mp, q: q}
+	e.rsc = make([][]vecU8, len(striped))
+	for r := range striped {
+		row := make([]vecU8, q)
+		for qi := 0; qi < q; qi++ {
+			copy(row[qi][:], striped[r][qi*MSVWidth:(qi+1)*MSVWidth])
+		}
+		e.rsc[r] = row
+	}
+	e.dp = make([]vecU8, q)
+	return e
+}
+
+// Filter computes the MSV filter score of dsq. The scores are
+// bit-identical to MSVFilterScalar.
+func (e *MSVEngine) Filter(dsq []byte) FilterResult {
+	mp := e.mp
+	q := e.q
+	dp := e.dp
+	zero := splatU8(0)
+	biasv := splatU8(mp.Bias)
+	for i := range dp {
+		dp[i] = zero
+	}
+
+	const base = uint8(profile.MSVBase)
+	overflowAt := mp.OverflowThreshold()
+	xJ := uint8(0)
+	xB := satmath.SubU8(base, mp.TJB)
+
+	for i := 0; i < len(dsq); i++ {
+		rsc := e.rsc[dsq[i]]
+		xEv := zero
+		xBv := splatU8(satmath.SubU8(xB, mp.TBM))
+
+		// The striped diagonal: the previous row's last stripe, lanes
+		// shifted up one, feeds stripe 0.
+		mpv := shiftU8(dp[q-1], 0)
+		for qi := 0; qi < q; qi++ {
+			sv := maxU8v(mpv, xBv)
+			sv = addsU8v(sv, biasv)
+			sv = subsU8v(sv, rsc[qi])
+			xEv = maxU8v(xEv, sv)
+			mpv = dp[qi]
+			dp[qi] = sv
+		}
+
+		xE := hmaxU8(xEv)
+		if xE >= overflowAt {
+			return FilterResult{Score: math.Inf(1), Overflowed: true}
+		}
+		xJ = satmath.MaxU8(xJ, satmath.SubU8(xE, mp.TEC))
+		xB = satmath.SubU8(satmath.MaxU8(base, xJ), mp.TJB)
+	}
+	return FilterResult{Score: mp.ScoreToNats(xJ)}
+}

@@ -1,0 +1,110 @@
+package cpu
+
+import "hmmer3gpu/internal/satmath"
+
+// Emulated SSE vectors. HMMER 3.0's filters use 128-bit registers: 16
+// unsigned byte lanes for MSV, 8 signed word lanes for the Viterbi
+// filter. The paper's CPU baseline is exactly this configuration.
+const (
+	// MSVWidth is the byte-lane count of the MSV filter vectors.
+	MSVWidth = 16
+	// VitWidth is the word-lane count of the Viterbi filter vectors.
+	VitWidth = 8
+)
+
+type vecU8 [MSVWidth]uint8
+
+type vecI16 [VitWidth]int16
+
+func splatU8(x uint8) vecU8 {
+	var v vecU8
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+func splatI16(x int16) vecI16 {
+	var v vecI16
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+func maxU8v(a, b vecU8) vecU8 {
+	for i := range a {
+		a[i] = satmath.MaxU8(a[i], b[i])
+	}
+	return a
+}
+
+func addsU8v(a, b vecU8) vecU8 {
+	for i := range a {
+		a[i] = satmath.AddU8(a[i], b[i])
+	}
+	return a
+}
+
+func subsU8v(a, b vecU8) vecU8 {
+	for i := range a {
+		a[i] = satmath.SubU8(a[i], b[i])
+	}
+	return a
+}
+
+// shiftU8 moves every lane up by one (lane l takes lane l-1) and fills
+// lane 0 with fill — the striped-diagonal wrap (SSE pslldq by one
+// element).
+func shiftU8(a vecU8, fill uint8) vecU8 {
+	copy(a[1:], a[:MSVWidth-1])
+	a[0] = fill
+	return a
+}
+
+func hmaxU8(a vecU8) uint8 {
+	m := a[0]
+	for _, x := range a[1:] {
+		m = satmath.MaxU8(m, x)
+	}
+	return m
+}
+
+func maxI16v(a, b vecI16) vecI16 {
+	for i := range a {
+		a[i] = satmath.MaxI16(a[i], b[i])
+	}
+	return a
+}
+
+func addsI16v(a, b vecI16) vecI16 {
+	for i := range a {
+		a[i] = satmath.AddI16(a[i], b[i])
+	}
+	return a
+}
+
+func shiftI16(a vecI16, fill int16) vecI16 {
+	copy(a[1:], a[:VitWidth-1])
+	a[0] = fill
+	return a
+}
+
+func hmaxI16(a vecI16) int16 {
+	m := a[0]
+	for _, x := range a[1:] {
+		m = satmath.MaxI16(m, x)
+	}
+	return m
+}
+
+// anyGtI16 reports whether any lane of a exceeds the matching lane of
+// b (the SSE movemask test that terminates the lazy-F loop).
+func anyGtI16(a, b vecI16) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package cpu
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+)
+
+// VitEngine is the striped 8-lane word P7Viterbi filter with Farrar's
+// lazy-F treatment of the D-D chain — HMMER 3.0's ViterbiFilter, the
+// second stage of the paper's CPU baseline. Not safe for concurrent
+// use; each worker owns its own engine.
+type VitEngine struct {
+	vp *profile.VitProfile
+	q  int
+
+	// msc[r][q] is the striped emission vector for residue r
+	// (lane l of stripe q holds node q + l*Q + 1).
+	msc [][]vecI16
+	// Source-aligned transition vectors for the M update: lane l of
+	// stripe q holds the transition out of node q + l*Q (= k-1).
+	tMM, tIM, tDM []vecI16
+	// Same-node transition vectors: lane l of stripe q holds the
+	// transition out of node q + l*Q + 1 (= k).
+	tMI, tII, tMD, tDD []vecI16
+
+	mmx, imx, dmx []vecI16
+
+	// qM and lM are the striped coordinates of node M (for the D_M
+	// local exit contribution to E).
+	qM, lM int
+}
+
+// LazyFInfo counts the work done by the lazy-F correction loop over
+// one sequence: how many DP rows needed iterated correction passes
+// beyond the mandatory completion sweep, and how many such passes ran
+// in total. The paper's §III-B argument — that the D-D path is rarely
+// taken, so lazy evaluation beats unconditional prefix sums — is
+// quantified by these counters (see the lazyf ablation benchmark).
+type LazyFInfo struct {
+	Rows           int // DP rows processed
+	RowsIterated   int // rows that needed >= 1 iterated pass
+	IteratedPasses int // total iterated passes
+}
+
+// NewVitEngine prepares the striped layouts for vp.
+func NewVitEngine(vp *profile.VitProfile) *VitEngine {
+	q := profile.StripedSegments(vp.M, VitWidth)
+	e := &VitEngine{vp: vp, q: q}
+
+	neg := satmath.NegInf16
+	stripeByTarget := func(src []int16) []vecI16 {
+		out := make([]vecI16, q)
+		for qi := 0; qi < q; qi++ {
+			for l := 0; l < VitWidth; l++ {
+				k := qi + l*q + 1
+				if k <= vp.M {
+					out[qi][l] = src[k]
+				} else {
+					out[qi][l] = neg
+				}
+			}
+		}
+		return out
+	}
+	stripeBySource := func(src []int16) []vecI16 {
+		out := make([]vecI16, q)
+		for qi := 0; qi < q; qi++ {
+			for l := 0; l < VitWidth; l++ {
+				k := qi + l*q + 1
+				if k <= vp.M {
+					out[qi][l] = src[k-1]
+				} else {
+					out[qi][l] = neg
+				}
+			}
+		}
+		return out
+	}
+
+	e.msc = make([][]vecI16, len(vp.MatUnit))
+	for r := range vp.MatUnit {
+		e.msc[r] = stripeByTarget(vp.MatUnit[r])
+	}
+	e.tMM = stripeBySource(vp.TMM)
+	e.tIM = stripeBySource(vp.TIM)
+	e.tDM = stripeBySource(vp.TDM)
+	e.tMI = stripeByTarget(vp.TMI)
+	e.tII = stripeByTarget(vp.TII)
+	e.tMD = stripeByTarget(vp.TMD)
+	e.tDD = stripeByTarget(vp.TDD)
+
+	e.mmx = make([]vecI16, q)
+	e.imx = make([]vecI16, q)
+	e.dmx = make([]vecI16, q)
+
+	e.qM = (vp.M - 1) % q
+	e.lM = (vp.M - 1) / q
+	return e
+}
+
+// Filter computes the Viterbi filter score of dsq. The scores are
+// bit-identical to VitFilterScalar.
+func (e *VitEngine) Filter(dsq []byte) FilterResult {
+	res, _ := e.run(dsq)
+	return res
+}
+
+// FilterWithStats computes the filter score and reports lazy-F
+// correction statistics for the sequence.
+func (e *VitEngine) FilterWithStats(dsq []byte) (FilterResult, LazyFInfo) {
+	return e.run(dsq)
+}
+
+func (e *VitEngine) run(dsq []byte) (FilterResult, LazyFInfo) {
+	vp := e.vp
+	q := e.q
+	neg := satmath.NegInf16
+	negv := splatI16(neg)
+	var info LazyFInfo
+	for i := 0; i < q; i++ {
+		e.mmx[i], e.imx[i], e.dmx[i] = negv, negv, negv
+	}
+
+	xJ, xC := neg, neg
+	xB := vp.TMove
+
+	for i := 0; i < len(dsq); i++ {
+		msc := e.msc[dsq[i]]
+		xEv := negv
+		xBv := splatI16(satmath.AddI16(xB, vp.TBM))
+
+		mpv := shiftI16(e.mmx[q-1], neg)
+		ipv := shiftI16(e.imx[q-1], neg)
+		dpv := shiftI16(e.dmx[q-1], neg)
+		dcv := negv
+
+		for qi := 0; qi < q; qi++ {
+			oldM, oldI, oldD := e.mmx[qi], e.imx[qi], e.dmx[qi]
+
+			sv := maxI16v(
+				maxI16v(addsI16v(mpv, e.tMM[qi]), addsI16v(ipv, e.tIM[qi])),
+				maxI16v(addsI16v(dpv, e.tDM[qi]), xBv),
+			)
+			sv = addsI16v(sv, msc[qi])
+			xEv = maxI16v(xEv, sv)
+
+			iv := maxI16v(addsI16v(oldM, e.tMI[qi]), addsI16v(oldI, e.tII[qi]))
+
+			newD := dcv
+			dcv = maxI16v(addsI16v(sv, e.tMD[qi]), addsI16v(newD, e.tDD[qi]))
+
+			e.mmx[qi], e.imx[qi], e.dmx[qi] = sv, iv, newD
+			mpv, ipv, dpv = oldM, oldI, oldD
+		}
+
+		// Mandatory completion sweep: the D-D chain wraps from the last
+		// stripe into lane l+1 of stripe 0.
+		dcv = shiftI16(dcv, neg)
+		for qi := 0; qi < q; qi++ {
+			e.dmx[qi] = maxI16v(e.dmx[qi], dcv)
+			dcv = addsI16v(e.dmx[qi], e.tDD[qi])
+		}
+
+		// Lazy-F: iterate only while the wrapped chain still improves
+		// some D cell. The chain decays monotonically (D-D costs are
+		// negative), so as soon as one stripe shows no improvement the
+		// whole remaining chain is dominated and we can stop. At most
+		// VitWidth-1 iterated passes can ever be needed; in practice
+		// rows almost never need any — that rarity is the premise of
+		// the paper's parallel Lazy-F.
+		info.Rows++
+		rowPasses := 0
+	lazyf:
+		for pass := 0; pass < VitWidth-1; pass++ {
+			dcv = shiftI16(dcv, neg)
+			for qi := 0; qi < q; qi++ {
+				if !anyGtI16(dcv, e.dmx[qi]) {
+					break lazyf
+				}
+				e.dmx[qi] = maxI16v(e.dmx[qi], dcv)
+				dcv = addsI16v(e.dmx[qi], e.tDD[qi])
+				if qi == 0 {
+					rowPasses++
+				}
+			}
+		}
+		if rowPasses > 0 {
+			info.RowsIterated++
+			info.IteratedPasses += rowPasses
+		}
+
+		xE := hmaxI16(xEv)
+		xE = satmath.MaxI16(xE, e.dmx[e.qM][e.lM]) // local exit from D_M
+
+		xJ = satmath.MaxI16(xJ, satmath.AddI16(xE, vp.TEJ))
+		xC = satmath.MaxI16(xC, satmath.AddI16(xE, vp.TEC))
+		xB = satmath.AddI16(satmath.MaxI16(0, xJ), vp.TMove)
+	}
+	if profile.Overflowed(xC) {
+		return FilterResult{Score: math.Inf(1), Overflowed: true}, info
+	}
+	return FilterResult{Score: vp.ScoreToNats(xC)}, info
+}

@@ -1,0 +1,249 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+	"hmmer3gpu/internal/simt"
+)
+
+// Synchronised multi-warp MSV kernel — the generic parallelisation the
+// paper argues against (Figure 4): one block scores one sequence, all
+// the block's warps update each DP row in place, which requires two
+// __syncthreads per sweep (after reading the diagonal dependencies and
+// after writing back) plus more for the cross-warp row-max reduction.
+// The warp schedulers' freedom to interleave warps makes every barrier
+// a stall; the paper's warp-synchronous design exists to eliminate
+// them.
+//
+// With skipSyncs the same kernel runs without its barriers,
+// demonstrating the racing hazard at warp boundaries (yellow cells of
+// Figure 4) — the simulator's race tracker flags the unsynchronised
+// cross-warp accesses.
+
+type syncedMSVRun struct {
+	db        *DeviceDB
+	prof      *DeviceMSVProfile
+	warps     int
+	skipSyncs bool
+	out       []cpu.FilterResult
+}
+
+func (r *syncedMSVRun) sync(w *simt.Warp) {
+	if !r.skipSyncs {
+		w.Sync()
+	}
+}
+
+func (r *syncedMSVRun) kernel(w *simt.Warp) {
+	lanes := w.Lanes()
+	mp := r.prof.MP
+	m := mp.M
+	const base = uint8(profile.MSVBase)
+	overflowAt := mp.OverflowThreshold()
+	threads := r.warps * lanes
+	rs := newReduceScratch(lanes)
+	// Block shared layout: row buffer [0, M+1), then one byte per warp
+	// of reduction scratch (word-padded), then Fermi warp scratch.
+	redBase := (m + 1 + 3) &^ 3
+	warpScratch := redBase + ((r.warps + 3) &^ 3)
+
+	addrs := make([]int, lanes)
+	gaddr := make([]int64, lanes)
+	cur := make([]uint8, lanes)
+	temp := make([]uint8, lanes)
+	xEv := make([]uint8, lanes)
+	zero := make([]uint8, lanes)
+
+	for seqID := w.BlockIdx; seqID < len(r.db.Packed); seqID += w.NumBlocks {
+		words := r.db.Packed[seqID]
+		seqAddr := r.db.Addr[seqID]
+		seqLen := r.db.Lens[seqID]
+		w.ALU(4)
+
+		// Cooperatively clear the row buffer.
+		for p0 := w.WarpInBlock * lanes; p0 <= m; p0 += threads {
+			for l := 0; l < lanes; l++ {
+				if p0+l <= m {
+					addrs[l] = p0 + l
+				} else {
+					addrs[l] = -1
+				}
+			}
+			w.SharedStoreU8(addrs, zero)
+		}
+		r.sync(w)
+
+		xJ := uint8(0)
+		xB := satmath.SubU8(base, mp.TJB)
+		overflowed := false
+
+		for i := 0; i < seqLen; i++ {
+			if i%alphabet.ResiduesPerWord == 0 {
+				a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
+				for l := 0; l < lanes; l++ {
+					gaddr[l] = a
+				}
+				w.GlobalLoad(gaddr, 4)
+			}
+			res := alphabet.PackedAt(words, i)
+			if res == alphabet.PackSentinel {
+				break
+			}
+			w.ALU(2)
+			costRow := r.prof.Cost[res]
+			xBtbm := satmath.SubU8(xB, mp.TBM)
+			for l := 0; l < lanes; l++ {
+				xEv[l] = 0
+			}
+			w.ALU(2)
+
+			for sweep := 0; sweep*threads < m; sweep++ {
+				p0 := sweep*threads + w.WarpInBlock*lanes
+				// Read the diagonal dependencies (sources p0+l).
+				for l := 0; l < lanes; l++ {
+					if p0+l < m {
+						addrs[l] = p0 + l
+					} else {
+						addrs[l] = -1
+					}
+				}
+				w.SharedLoadU8Into(cur, addrs)
+				// First synchronisation: everyone must have read before
+				// anyone writes (Figure 4, annotation 1).
+				r.sync(w)
+
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						continue
+					}
+					sv := satmath.MaxU8(cur[l], xBtbm)
+					sv = satmath.AddU8(sv, mp.Bias)
+					sv = satmath.SubU8(sv, costRow[t])
+					temp[l] = sv
+					xEv[l] = satmath.MaxU8(xEv[l], sv)
+				}
+				w.ALU(4)
+				for l := 0; l < lanes; l++ {
+					if p0+1+l <= m {
+						addrs[l] = p0 + 1 + l
+					} else {
+						addrs[l] = -1
+					}
+				}
+				w.SharedStoreU8(addrs, temp)
+				// Second synchronisation: the row must be fully written
+				// before the next sweep reads it (annotation 2).
+				r.sync(w)
+			}
+
+			// Cross-warp row-max reduction through shared memory:
+			// per-warp max, leaders publish, barrier, warp 0 reduces,
+			// barrier, everyone reads the result.
+			warpMax := warpMaxU8(w, xEv, warpScratch+w.WarpInBlock*reduceScratchU8, rs)
+			w.SharedStoreU8([]int{redBase + w.WarpInBlock}, []uint8{warpMax})
+			r.sync(w)
+			var xE uint8
+			if w.WarpInBlock == 0 {
+				for l := 0; l < lanes; l++ {
+					if l < r.warps {
+						addrs[l] = redBase + l
+					} else {
+						addrs[l] = -1
+					}
+				}
+				w.SharedLoadU8Into(temp, addrs)
+				for l := 0; l < r.warps; l++ {
+					if temp[l] > xE {
+						xE = temp[l]
+					}
+				}
+				w.ALU(1)
+				w.SharedStoreU8([]int{redBase}, []uint8{xE})
+			}
+			r.sync(w)
+			xE = w.SharedLoadU8([]int{redBase})[0]
+			// Third barrier: warp 0 will overwrite redBase for the next
+			// row; laggards must have read this row's value first.
+			r.sync(w)
+
+			if xE >= overflowAt {
+				overflowed = true
+				break
+			}
+			xJ = satmath.MaxU8(xJ, satmath.SubU8(xE, mp.TEC))
+			xB = satmath.SubU8(satmath.MaxU8(base, xJ), mp.TJB)
+			w.ALU(4)
+		}
+
+		if w.WarpInBlock == 0 {
+			if overflowed {
+				r.out[seqID] = cpu.FilterResult{Score: math.Inf(1), Overflowed: true}
+			} else {
+				r.out[seqID] = cpu.FilterResult{Score: mp.ScoreToNats(xJ)}
+			}
+			gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
+			for l := 1; l < lanes; l++ {
+				gaddr[l] = -1
+			}
+			w.GlobalStore(gaddr, 8)
+		}
+		r.sync(w)
+	}
+}
+
+// MSVSearchSynced runs the synchronised multi-warp MSV baseline. With
+// skipSyncs=true the barriers are elided to demonstrate the warp-
+// boundary race (check Launch.Stats.SharedRaces); scores are then
+// unreliable by construction.
+func (s *Searcher) MSVSearchSynced(dp *DeviceMSVProfile, db *DeviceDB, skipSyncs bool) (*SearchReport, error) {
+	spec := s.Dev.Spec
+	const warps = 4
+	shared := (dp.MP.M + 1 + 3) & ^3
+	shared += (warps + 3) & ^3
+	shared += warps * reduceScratchU8
+	if shared > spec.SharedMemPerBlockMax {
+		return nil, fmt.Errorf("gpu: model size %d does not fit a single block on %s", dp.MP.M, spec.Name)
+	}
+	occ := spec.CalcOccupancy(simt.KernelResources{
+		RegsPerThread:   msvRegsPerThread,
+		SharedPerBlock:  shared,
+		ThreadsPerBlock: warps * spec.WarpSize,
+	})
+	blocks := occ.BlocksPerSM * spec.SMCount
+	if blocks < 1 {
+		return nil, fmt.Errorf("gpu: model size %d does not fit a single block on %s", dp.MP.M, spec.Name)
+	}
+	run := &syncedMSVRun{
+		db:        db,
+		prof:      dp,
+		warps:     warps,
+		skipSyncs: skipSyncs,
+		out:       make([]cpu.FilterResult, len(db.Packed)),
+	}
+	rep, err := s.Dev.Launch(simt.LaunchConfig{
+		Blocks:              blocks,
+		WarpsPerBlock:       warps,
+		SharedBytesPerBlock: shared,
+		RegsPerThread:       msvRegsPerThread,
+		Cooperative:         true,
+		DetectRaces:         true,
+		HostWorkers:         s.HostWorkers,
+	}, run.kernel)
+	if err != nil {
+		return nil, err
+	}
+	plan := LaunchPlan{
+		MemConfig:      MemGlobal,
+		WarpsPerBlock:  warps,
+		Blocks:         blocks,
+		SharedPerBlock: shared,
+		Occupancy:      occ,
+	}
+	return &SearchReport{Results: run.out, Plan: plan, Launch: rep}, nil
+}

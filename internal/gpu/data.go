@@ -1,0 +1,168 @@
+package gpu
+
+import (
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// Device residue remapping. The on-device alphabet has 24 rows: the 20
+// canonical residues, the genuinely ambiguous B, J and Z, and the
+// fully degenerate X. O (pyrrolysine) and U (selenocysteine) expand to
+// exactly one canonical residue, so they are rewritten to K and C when
+// the database is uploaded; gap-like codes map to an invalid slot that
+// scores as impossible.
+const (
+	devB       = 20
+	devJ       = 21
+	devZ       = 22
+	devX       = 23
+	devInvalid = 24
+)
+
+// remapResidue converts a host digital code to the device alphabet.
+func remapResidue(c byte) byte {
+	switch {
+	case c < 20:
+		return c
+	case c == 20: // B
+		return devB
+	case c == 21: // J
+		return devJ
+	case c == 22: // Z
+		return devZ
+	case c == 23: // O -> K
+		return 8
+	case c == 24: // U -> C
+		return 1
+	case c == 25: // X
+		return devX
+	default:
+		return devInvalid
+	}
+}
+
+// hostRowForDeviceResidue maps a device emission-table row back to the
+// host digital code whose profile scores it carries.
+func hostRowForDeviceResidue(r int) byte {
+	switch r {
+	case devB:
+		return 20 // B
+	case devJ:
+		return 21 // J
+	case devZ:
+		return 22 // Z
+	case devX:
+		return 25 // X
+	default:
+		return byte(r)
+	}
+}
+
+// DeviceDB is a sequence database uploaded to a device: residues
+// remapped to the device alphabet and packed six-per-word with a
+// guaranteed trailing sentinel (Figure 6), plus logical global-memory
+// addresses for traffic metering.
+type DeviceDB struct {
+	// Packed[s] is sequence s in packed form.
+	Packed [][]uint32
+	// Lens[s] is the residue count of sequence s.
+	Lens []int
+	// Addr[s] is the logical global base address of Packed[s].
+	Addr []int64
+	// ScoreAddr is the base address of the per-sequence result array.
+	ScoreAddr int64
+	// TotalResidues is the summed residue count (total DP rows).
+	TotalResidues int64
+}
+
+// UploadDB prepares db for the device.
+func UploadDB(dev *simt.Device, db *seq.Database) *DeviceDB {
+	d := &DeviceDB{
+		Packed: make([][]uint32, db.NumSeqs()),
+		Lens:   make([]int, db.NumSeqs()),
+		Addr:   make([]int64, db.NumSeqs()),
+	}
+	remapped := make([]byte, 0, 1024)
+	for i, s := range db.Seqs {
+		remapped = remapped[:0]
+		for _, c := range s.Residues {
+			remapped = append(remapped, remapResidue(c))
+		}
+		words := profile.PackTerminated(remapped)
+		d.Packed[i] = words
+		d.Lens[i] = s.Len()
+		d.Addr[i] = dev.AllocGlobal(int64(4 * len(words)))
+		d.TotalResidues += int64(s.Len())
+	}
+	d.ScoreAddr = dev.AllocGlobal(int64(8 * db.NumSeqs()))
+	return d
+}
+
+// DeviceMSVProfile is the MSV filter profile in device layout: biased
+// emission cost rows over the 24-residue device alphabet.
+type DeviceMSVProfile struct {
+	MP *profile.MSVProfile
+	// Cost[r][k] for device residue r, node k (row devInvalid is all
+	// 255 so gap codes score as impossible).
+	Cost [][]uint8
+	// TableAddr is the logical global address of the emission table.
+	TableAddr int64
+}
+
+// UploadMSVProfile converts mp to device layout.
+func UploadMSVProfile(dev *simt.Device, mp *profile.MSVProfile) *DeviceMSVProfile {
+	d := &DeviceMSVProfile{MP: mp}
+	d.Cost = make([][]uint8, devInvalid+1)
+	for r := 0; r <= devInvalid; r++ {
+		row := make([]uint8, mp.M+1)
+		if r == devInvalid {
+			for k := range row {
+				row[k] = 255
+			}
+		} else {
+			copy(row, mp.MatCost[hostRowForDeviceResidue(r)])
+			row[0] = 255
+		}
+		d.Cost[r] = row
+	}
+	d.TableAddr = dev.AllocGlobal(int64(deviceAlphaSize * (mp.M + 1)))
+	return d
+}
+
+// DeviceVitProfile is the P7Viterbi filter profile in device layout.
+type DeviceVitProfile struct {
+	VP *profile.VitProfile
+	// MatUnit[r][k] over the device alphabet.
+	MatUnit [][]int16
+	// TableAddr is the logical global address of the emission table;
+	// TransAddr of the transition block.
+	TableAddr int64
+	TransAddr int64
+}
+
+// UploadVitProfile converts vp to device layout.
+func UploadVitProfile(dev *simt.Device, vp *profile.VitProfile) *DeviceVitProfile {
+	d := &DeviceVitProfile{VP: vp}
+	d.MatUnit = make([][]int16, devInvalid+1)
+	for r := 0; r <= devInvalid; r++ {
+		row := make([]int16, vp.M+1)
+		if r == devInvalid {
+			for k := range row {
+				row[k] = satmath.NegInf16
+			}
+		} else {
+			copy(row, vp.MatUnit[hostRowForDeviceResidue(r)])
+			row[0] = satmath.NegInf16
+		}
+		d.MatUnit[r] = row
+	}
+	d.TableAddr = dev.AllocGlobal(int64(2 * deviceAlphaSize * (vp.M + 1)))
+	d.TransAddr = dev.AllocGlobal(int64(7 * 2 * (vp.M + 1)))
+	return d
+}
+
+// packedWordAddr returns the logical address of packed word wi of a
+// sequence based at addr.
+func packedWordAddr(addr int64, wi int) int64 { return addr + int64(4*wi) }

@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"hmmer3gpu/internal/satmath"
+	"hmmer3gpu/internal/simt"
+)
+
+// Prefix-scan D-D resolution — the paper's §VI future work: "in order
+// to accelerate evaluation of sequential dependencies, parallel prefix
+// sums can be employed to establish an upper bound in the number of
+// iterations". Within a 32-position chunk the final D values satisfy
+//
+//	D(t) = max_{j <= t} ( seed(j) + W(j+1..t) ),   W = sum of D-D costs,
+//
+// a weighted max-plus inclusive scan, which a Kogge-Stone ladder
+// resolves in log2(32) = 5 shuffle rounds regardless of how deep the
+// D-D chains run — versus up to 31 vote-loop iterations for the lazy
+// approach on delete-heavy models.
+//
+// Saturation note: D-D costs are negative and the 16-bit floor is
+// absorbing, so accumulated weights use an explicit "absorbing
+// negative infinity" (ddAdd) to keep the scan's one-shot sums exactly
+// equal to the serial clamped step-by-step evaluation (the tests check
+// bit-for-bit equality against the golden filter).
+
+// ddAdd adds two weights with NegInf16 absorbing.
+func ddAdd(a, b int16) int16 {
+	if a == satmath.NegInf16 || b == satmath.NegInf16 {
+		return satmath.NegInf16
+	}
+	s := satmath.AddI16(a, b)
+	// A clamped sum of finite negative weights has reached the floor,
+	// which the serial evaluation also treats as absorbing.
+	return s
+}
+
+// ddScanState holds the preallocated buffers for the scan.
+type ddScanState struct {
+	acc, accOther   []int32
+	wsum, wsumOther []int32
+}
+
+func newDDScanState(lanes int) *ddScanState {
+	return &ddScanState{
+		acc:       make([]int32, lanes),
+		accOther:  make([]int32, lanes),
+		wsum:      make([]int32, lanes),
+		wsumOther: make([]int32, lanes),
+	}
+}
+
+// ddScanResolve computes the final D values of one chunk from the
+// per-lane M-D seeds (st.dv, already including the cross-chunk link in
+// lane 0) and the per-lane incoming D-D edge weights, using shuffle-up
+// exchanges. The result replaces st.dv. weights[l] is the cost of the
+// D(t_l - 1) -> D(t_l) edge; lanes beyond the model are inactive.
+func ddScanResolve(w *simt.Warp, sc *ddScanState, dv []int16, weights []int16, active int) {
+	lanes := w.Lanes()
+	for l := 0; l < lanes; l++ {
+		sc.acc[l] = int32(dv[l])
+		sc.wsum[l] = int32(weights[l])
+	}
+	// Kogge-Stone: after round s, acc[l] covers chains reaching back
+	// 2^(s+1)-1 edges; wsum[l] is the weight of the last 2^(s+1) edges.
+	for shift := 1; shift < lanes; shift <<= 1 {
+		// A shuffle-up by `shift`: one shuffle instruction each for
+		// values and weights.
+		w.ShflUpI32Into(sc.accOther, sc.acc, shift)
+		w.ShflUpI32Into(sc.wsumOther, sc.wsum, shift)
+		w.ALU(3)
+		for l := 0; l < lanes; l++ {
+			if l < shift {
+				continue // no source lane: chain starts here
+			}
+			// Candidate: the chain ending 'shift' lanes back, extended
+			// by this lane's accumulated window weight.
+			cand := ddAdd(int16(sc.accOther[l]), int16(sc.wsum[l]))
+			if int32(cand) > sc.acc[l] {
+				sc.acc[l] = int32(cand)
+			}
+			sc.wsum[l] = int32(ddAdd(int16(sc.wsum[l]), int16(sc.wsumOther[l])))
+		}
+	}
+	for l := 0; l < active; l++ {
+		dv[l] = int16(sc.acc[l])
+	}
+}

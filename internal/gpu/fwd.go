@@ -1,0 +1,199 @@
+package gpu
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/simt"
+)
+
+// GPU Forward kernel — a beyond-the-paper extension in the direction
+// of §VI ("heterogeneous platforms ... are currently being explored to
+// accelerate the application"): the same warp-synchronous,
+// three-tiered framework applied to the full-precision Forward stage.
+// Scores are float32 log-space sums; the within-row D chain — a
+// sequential log-sum recurrence, the additive analogue of the Viterbi
+// D-D problem — is resolved with a Kogge-Stone prefix scan over the
+// log semiring (shuffles, 5 rounds per 32-position chunk). Unlike the
+// integer filters the result is not bit-exact against the float64
+// reference; tests bound the relative error instead.
+
+// negInfF32 is the float32 log-space floor.
+var negInfF32 = float32(math.Inf(-1))
+
+// lseF32 returns log(exp(a)+exp(b)) in float32.
+func lseF32(a, b float32) float32 {
+	if a == negInfF32 {
+		return b
+	}
+	if b == negInfF32 {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + float32(math.Log1p(math.Exp(float64(b-a))))
+}
+
+// DeviceFwdProfile is the Forward profile in device layout (float32).
+type DeviceFwdProfile struct {
+	P *profile.Profile
+	// MSC[r][k] over the device alphabet.
+	MSC [][]float32
+	// Transition arrays, indexed like profile.Profile.
+	TMM, TMI, TMD, TIM, TII, TDM, TDD []float32
+	TBM, TEC, TEJ, TLoop, TMove       float32
+	// TableAddr is the logical global address of the parameter block.
+	TableAddr int64
+}
+
+// UploadFwdProfile converts p to device layout.
+func UploadFwdProfile(dev *simt.Device, p *profile.Profile) *DeviceFwdProfile {
+	m := p.M
+	d := &DeviceFwdProfile{P: p}
+	d.MSC = make([][]float32, devInvalid+1)
+	for r := 0; r <= devInvalid; r++ {
+		row := make([]float32, m+1)
+		row[0] = negInfF32
+		if r == devInvalid {
+			for k := range row {
+				row[k] = negInfF32
+			}
+		} else {
+			src := p.MSC[hostRowForDeviceResidue(r)]
+			for k := 1; k <= m; k++ {
+				row[k] = float32(src[k])
+			}
+		}
+		d.MSC[r] = row
+	}
+	conv := func(src []float64) []float32 {
+		out := make([]float32, len(src))
+		for i, v := range src {
+			out[i] = float32(v)
+		}
+		return out
+	}
+	d.TMM, d.TMI, d.TMD = conv(p.TMM), conv(p.TMI), conv(p.TMD)
+	d.TIM, d.TII = conv(p.TIM), conv(p.TII)
+	d.TDM, d.TDD = conv(p.TDM), conv(p.TDD)
+	d.TBM, d.TEC, d.TEJ = float32(p.TBM), float32(p.TEC), float32(p.TEJ)
+	d.TLoop, d.TMove = float32(p.TLoop), float32(p.TMove)
+	d.TableAddr = dev.AllocGlobal(int64(4 * (devInvalid + 8) * (m + 1)))
+	return d
+}
+
+// FwdResult is one sequence's Forward score.
+type FwdResult struct {
+	// Score is the Forward score in nats (float64 for the caller's
+	// convenience; computed in float32 on the device).
+	Score float64
+}
+
+// fwdRegsPerThread: the Forward kernel's float state (three row
+// vectors, scan ladders, specials) is the heaviest of the three.
+const fwdRegsPerThread = 64
+
+// sharedBytesFwd is the per-block shared footprint: three float32 row
+// buffers per warp plus (for MemShared) the float32 parameter block.
+func sharedBytesFwd(spec simt.DeviceSpec, m, warps int, cfg MemConfig) int {
+	b := warps * 12 * (m + 1)
+	if !spec.HasShuffle {
+		b += warps * 128
+	}
+	if cfg == MemShared {
+		b += 4 * (deviceAlphaSize + 7) * (m + 1)
+	}
+	return b
+}
+
+// PlanForward plans a Forward launch (exported for the harness).
+func PlanForward(spec simt.DeviceSpec, m int, cfg MemConfig) (LaunchPlan, error) {
+	if cfg == MemAuto {
+		shared, errS := PlanForward(spec, m, MemShared)
+		global, errG := PlanForward(spec, m, MemGlobal)
+		switch {
+		case errS != nil && errG != nil:
+			return LaunchPlan{}, errG
+		case errS != nil:
+			return global, nil
+		case errG != nil:
+			return shared, nil
+		case shared.Occupancy.Fraction*2 > global.Occupancy.Fraction:
+			return shared, nil
+		default:
+			return global, nil
+		}
+	}
+	best := LaunchPlan{MemConfig: cfg}
+	found := false
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		if w*spec.WarpSize > spec.MaxThreadsPerBlock {
+			continue
+		}
+		sb := sharedBytesFwd(spec, m, w, cfg)
+		if sb > spec.SharedMemPerBlockMax {
+			continue
+		}
+		occ := spec.CalcOccupancy(simt.KernelResources{
+			RegsPerThread:   fwdRegsPerThread,
+			SharedPerBlock:  sb,
+			ThreadsPerBlock: w * spec.WarpSize,
+		})
+		if occ.BlocksPerSM == 0 {
+			continue
+		}
+		if !found || occ.Fraction >= best.Occupancy.Fraction {
+			found = true
+			best.WarpsPerBlock = w
+			best.SharedPerBlock = sb
+			best.Occupancy = occ
+		}
+	}
+	if !found {
+		return LaunchPlan{}, errFwdTooLarge(m, spec.Name)
+	}
+	best.Blocks = best.Occupancy.BlocksPerSM * spec.SMCount
+	return best, nil
+}
+
+func errFwdTooLarge(m int, name string) error {
+	return &fwdPlanError{m: m, dev: name}
+}
+
+type fwdPlanError struct {
+	m   int
+	dev string
+}
+
+func (e *fwdPlanError) Error() string {
+	return "gpu: forward kernel: model too large for " + e.dev
+}
+
+// ForwardSearch computes Forward scores for every sequence of db on
+// the device. This is an extension beyond the paper's MSV+Viterbi
+// scope; see the package comment in fwd.go.
+func (s *Searcher) ForwardSearch(dp *DeviceFwdProfile, db *DeviceDB) (*SearchReport, []FwdResult, error) {
+	plan, err := PlanForward(s.Dev.Spec, dp.P.M, s.Mem)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := &fwdRun{
+		db:   db,
+		prof: dp,
+		plan: plan,
+		out:  make([]FwdResult, len(db.Packed)),
+	}
+	rep, err := s.Dev.Launch(simt.LaunchConfig{
+		Blocks:              plan.Blocks,
+		WarpsPerBlock:       plan.WarpsPerBlock,
+		SharedBytesPerBlock: plan.SharedPerBlock,
+		RegsPerThread:       fwdRegsPerThread,
+		DetectRaces:         s.DetectRaces,
+		HostWorkers:         s.HostWorkers,
+	}, run.kernel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SearchReport{Plan: plan, Launch: rep}, run.out, nil
+}

@@ -1,0 +1,348 @@
+package gpu
+
+import (
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/simt"
+)
+
+// fwdRun carries one Forward launch's state.
+type fwdRun struct {
+	db   *DeviceDB
+	prof *DeviceFwdProfile
+	plan LaunchPlan
+	out  []FwdResult
+}
+
+// Shared layout: per warp three float32 row buffers (M, I, D), then
+// Fermi scratch, then the parameter block (MemShared).
+func (r *fwdRun) rowBase(warpInBlock int) int {
+	return warpInBlock * 12 * (r.prof.P.M + 1)
+}
+func (r *fwdRun) mOff(rowBase, k int) int { return rowBase + 4*k }
+func (r *fwdRun) iOff(rowBase, k int) int { return rowBase + 4*(r.prof.P.M+1) + 4*k }
+func (r *fwdRun) dOff(rowBase, k int) int { return rowBase + 8*(r.prof.P.M+1) + 4*k }
+func (r *fwdRun) scratchBase(w *simt.Warp) int {
+	// The Fermi reduction scratch sits after the row buffers; it is
+	// only allocated on devices without warp shuffle.
+	return r.plan.WarpsPerBlock*12*(r.prof.P.M+1) + w.WarpInBlock*128
+}
+
+// modelBase returns the shared offset of the parameter block
+// (MemShared only); the Fermi scratch precedes it when present.
+func (r *fwdRun) modelBase(hasShuffle bool) int {
+	base := r.plan.WarpsPerBlock * 12 * (r.prof.P.M + 1)
+	if !hasShuffle {
+		base += r.plan.WarpsPerBlock * 128
+	}
+	return base
+}
+
+type fwdWarpState struct {
+	addrs               []int
+	gaddr               []int64
+	curM, curI, curD    []float32
+	nextM, nextI, nextD []float32
+	pmT, piT            []float32
+	mv, iv, dv          []float32
+	xEv                 []float32
+	wgt                 []float32
+	accO, wsumO         []float32
+	shflA, shflB        []float32
+	negs                []float32
+}
+
+func newFwdWarpState(lanes int) *fwdWarpState {
+	mk := func() []float32 { return make([]float32, lanes) }
+	st := &fwdWarpState{
+		addrs: make([]int, lanes), gaddr: make([]int64, lanes),
+		curM: mk(), curI: mk(), curD: mk(),
+		nextM: mk(), nextI: mk(), nextD: mk(),
+		pmT: mk(), piT: mk(),
+		mv: mk(), iv: mk(), dv: mk(),
+		xEv: mk(), wgt: mk(),
+		accO: mk(), wsumO: mk(),
+		shflA: mk(), shflB: mk(),
+		negs: mk(),
+	}
+	for l := range st.negs {
+		st.negs[l] = negInfF32
+	}
+	return st
+}
+
+// kernel is the warp-synchronous Forward kernel: Algorithm 2's shape
+// with log-sum-exp in place of max and a log-semiring prefix scan in
+// place of Lazy-F (every position accumulates D mass, so lazy
+// short-circuiting does not apply).
+func (r *fwdRun) kernel(w *simt.Warp) {
+	lanes := w.Lanes()
+	p := r.prof
+	m := p.P.M
+	rowBase := r.rowBase(w.WarpInBlock)
+	st := newFwdWarpState(lanes)
+
+	nSeqs := len(r.db.Packed)
+	span := w.TotalWarps()
+	for seqID := w.GlobalWarpID(); seqID < nSeqs; seqID += span {
+		words := r.db.Packed[seqID]
+		seqAddr := r.db.Addr[seqID]
+		seqLen := r.db.Lens[seqID]
+		w.ALU(4)
+
+		for region := 0; region < 3; region++ {
+			for k0 := 0; k0 <= m; k0 += lanes {
+				for l := 0; l < lanes; l++ {
+					if k0+l <= m {
+						st.addrs[l] = rowBase + region*4*(m+1) + 4*(k0+l)
+					} else {
+						st.addrs[l] = -1
+					}
+				}
+				w.SharedStoreF32(st.addrs, st.negs)
+			}
+		}
+
+		xN := float32(0)
+		xB := p.TMove
+		xJ, xC := negInfF32, negInfF32
+
+		for i := 0; i < seqLen; i++ {
+			if i%alphabet.ResiduesPerWord == 0 {
+				a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
+				for l := 0; l < lanes; l++ {
+					st.gaddr[l] = a
+				}
+				w.GlobalLoad(st.gaddr, 4)
+			}
+			res := alphabet.PackedAt(words, i)
+			if res == alphabet.PackSentinel {
+				break
+			}
+			w.ALU(2)
+
+			mscRow := p.MSC[res]
+			xBtbm := xB + p.TBM
+			for l := 0; l < lanes; l++ {
+				st.xEv[l] = negInfF32
+			}
+			w.ALU(2)
+
+			dChain := negInfF32
+			dAtM := negInfF32
+
+			r.load3(w, st, rowBase, 0, m)
+			for p0 := 0; p0 < m; p0 += lanes {
+				if p0+lanes < m {
+					r.prefetch3(w, st, rowBase, p0+lanes, m)
+				}
+				r.loadF(w, st, st.pmT, r.mOff(rowBase, 0), p0+1, m)
+				r.loadF(w, st, st.piT, r.iOff(rowBase, 0), p0+1, m)
+				r.meterModel(w, st, res, p0, m)
+
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						continue
+					}
+					s := t - 1
+					mv := lseF32(
+						lseF32(st.curM[l]+float32(p.TMM[s]), st.curI[l]+float32(p.TIM[s])),
+						lseF32(st.curD[l]+float32(p.TDM[s]), xBtbm),
+					) + mscRow[t]
+					st.mv[l] = mv
+					st.iv[l] = lseF32(st.pmT[l]+float32(p.TMI[t]), st.piT[l]+float32(p.TII[t]))
+					st.xEv[l] = lseF32(st.xEv[l], mv)
+				}
+				w.ALU(16) // lse trees are ~2x the max trees
+
+				r.storeF(w, st, st.mv, r.mOff(rowBase, 0), p0+1, m)
+				r.storeF(w, st, st.iv, r.iOff(rowBase, 0), p0+1, m)
+
+				// D seeds from the new M row.
+				r.loadF(w, st, st.pmT, r.mOff(rowBase, 0), p0, m)
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						st.dv[l] = negInfF32
+						st.wgt[l] = negInfF32
+						continue
+					}
+					st.dv[l] = st.pmT[l] + float32(p.TMD[t-1])
+					st.wgt[l] = float32(p.TDD[t-1])
+				}
+				st.dv[0] = lseF32(st.dv[0], dChain+float32(p.TDD[p0]))
+				w.ALU(3)
+
+				// Log-semiring Kogge-Stone scan over the chunk.
+				r.ddScanLse(w, st)
+				r.storeF(w, st, st.dv, r.dOff(rowBase, 0), p0+1, m)
+
+				lastT := p0 + lanes
+				if lastT > m {
+					lastT = m
+				}
+				dChain = st.dv[lastT-p0-1]
+				if lastT == m {
+					dAtM = st.dv[m-p0-1]
+				}
+				w.ALU(2)
+
+				st.curM, st.nextM = st.nextM, st.curM
+				st.curI, st.nextI = st.nextI, st.curI
+				st.curD, st.nextD = st.nextD, st.curD
+			}
+
+			xE := r.warpLse(w, st)
+			xE = lseF32(xE, dAtM)
+			xJ = lseF32(xJ+p.TLoop, xE+p.TEJ)
+			xC = lseF32(xC+p.TLoop, xE+p.TEC)
+			xN += p.TLoop
+			xB = lseF32(xN, xJ) + p.TMove
+			w.ALU(8)
+		}
+
+		r.out[seqID] = FwdResult{Score: float64(xC + p.TMove)}
+		st.gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
+		for l := 1; l < lanes; l++ {
+			st.gaddr[l] = -1
+		}
+		w.GlobalStore(st.gaddr, 8)
+	}
+}
+
+func (r *fwdRun) load3(w *simt.Warp, st *fwdWarpState, rowBase, p0, m int) {
+	r.loadF(w, st, st.curM, r.mOff(rowBase, 0), p0, m)
+	r.loadF(w, st, st.curI, r.iOff(rowBase, 0), p0, m)
+	r.loadF(w, st, st.curD, r.dOff(rowBase, 0), p0, m)
+}
+
+func (r *fwdRun) prefetch3(w *simt.Warp, st *fwdWarpState, rowBase, p0, m int) {
+	r.loadF(w, st, st.nextM, r.mOff(rowBase, 0), p0, m)
+	r.loadF(w, st, st.nextI, r.iOff(rowBase, 0), p0, m)
+	r.loadF(w, st, st.nextD, r.dOff(rowBase, 0), p0, m)
+}
+
+func (r *fwdRun) loadF(w *simt.Warp, st *fwdWarpState, dst []float32, base0, p0, m int) {
+	for l := 0; l < w.Lanes(); l++ {
+		if p0+l <= m {
+			st.addrs[l] = base0 + 4*(p0+l)
+		} else {
+			st.addrs[l] = -1
+		}
+	}
+	w.SharedLoadF32Into(dst, st.addrs)
+}
+
+func (r *fwdRun) storeF(w *simt.Warp, st *fwdWarpState, vals []float32, base0, p0, m int) {
+	for l := 0; l < w.Lanes(); l++ {
+		if p0+l <= m {
+			st.addrs[l] = base0 + 4*(p0+l)
+		} else {
+			st.addrs[l] = -1
+		}
+	}
+	w.SharedStoreF32(st.addrs, vals)
+}
+
+// meterModel accounts the float parameter fetches (metered like the
+// Viterbi kernel's; values come from the host tables).
+func (r *fwdRun) meterModel(w *simt.Warp, st *fwdWarpState, res byte, p0, m int) {
+	lanes := w.Lanes()
+	base := r.modelBase(w.HasShuffle())
+	for arr := 0; arr < 8; arr++ {
+		if r.plan.MemConfig == MemShared {
+			b := base + arr*4*(m+1)
+			for l := 0; l < lanes; l++ {
+				if p0+1+l <= m {
+					st.addrs[l] = b + 4*(p0+l)
+				} else {
+					st.addrs[l] = -1
+				}
+			}
+			w.SharedLoadF32Into(st.accO, st.addrs)
+			continue
+		}
+		b := r.prof.TableAddr + int64(arr*4*(m+1))
+		for l := 0; l < lanes; l++ {
+			if p0+1+l <= m {
+				st.gaddr[l] = b + int64(4*(p0+l))
+			} else {
+				st.gaddr[l] = -1
+			}
+		}
+		w.GlobalLoadCached(st.gaddr, 4)
+	}
+	_ = res
+}
+
+// ddScanLse resolves the within-chunk D recurrence with a Kogge-Stone
+// scan over (logsum, +): D(t) = logsum_j<=t ( seed(j) + W(j+1..t) ).
+// On Fermi (no shuffle) the chain is evaluated serially in registers,
+// modelled as one warp instruction per step.
+func (r *fwdRun) ddScanLse(w *simt.Warp, st *fwdWarpState) {
+	lanes := w.Lanes()
+	if !w.HasShuffle() {
+		for l := 1; l < lanes; l++ {
+			st.dv[l] = lseF32(st.dv[l], st.dv[l-1]+st.wgt[l])
+		}
+		w.ALU(lanes)
+		return
+	}
+	acc, wsum := st.dv, st.wgt
+	for shift := 1; shift < lanes; shift <<= 1 {
+		w.ShflUpF32Into(st.accO, acc, shift)
+		w.ShflUpF32Into(st.wsumO, wsum, shift)
+		w.ALU(4)
+		for l := lanes - 1; l >= shift; l-- {
+			acc[l] = lseF32(acc[l], st.accO[l]+wsum[l])
+			wsum[l] = wsum[l] + st.wsumO[l]
+		}
+	}
+}
+
+// warpLse reduces the per-lane xE accumulators to the warp-wide
+// log-sum with broadcast.
+func (r *fwdRun) warpLse(w *simt.Warp, st *fwdWarpState) float32 {
+	lanes := w.Lanes()
+	if w.HasShuffle() {
+		copy(st.shflA, st.xEv)
+		for mask := lanes / 2; mask > 0; mask >>= 1 {
+			w.ShflXorF32Into(st.shflB, st.shflA, mask)
+			w.ALU(2)
+			for l := 0; l < lanes; l++ {
+				st.shflA[l] = lseF32(st.shflA[l], st.shflB[l])
+			}
+		}
+		return st.shflA[0]
+	}
+	// Fermi: fold through the shared scratch region.
+	base := r.scratchBase(w)
+	for l := 0; l < lanes; l++ {
+		st.addrs[l] = base + 4*l
+	}
+	w.SharedStoreF32(st.addrs, st.xEv)
+	copy(st.shflA, st.xEv)
+	for stride := lanes / 2; stride > 0; stride >>= 1 {
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				st.addrs[l] = base + 4*(l+stride)
+			} else {
+				st.addrs[l] = -1
+			}
+		}
+		w.SharedLoadF32Into(st.shflB, st.addrs)
+		w.ALU(2)
+		for l := 0; l < stride; l++ {
+			st.shflA[l] = lseF32(st.shflA[l], st.shflB[l])
+		}
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				st.addrs[l] = base + 4*l
+			} else {
+				st.addrs[l] = -1
+			}
+		}
+		w.SharedStoreF32(st.addrs, st.shflA)
+	}
+	return st.shflA[0]
+}

@@ -1,0 +1,264 @@
+package gpu
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+	"hmmer3gpu/internal/simt"
+)
+
+// msvRun carries one MSV launch's state. Results are written at each
+// sequence's database index; warps never share a sequence, so the
+// output needs no locking.
+type msvRun struct {
+	db     *DeviceDB
+	prof   *DeviceMSVProfile
+	plan   LaunchPlan
+	packed bool // residue packing on (off only in the packing ablation)
+	out    []cpu.FilterResult
+}
+
+// Shared-memory layout per block for the MSV kernel:
+//
+//	[0, warps*(M+1))                      per-warp DP row buffers
+//	[+, warps*reduceScratchU8)            Fermi reduction scratch
+//	[+, deviceAlphaSize*(M+1))            emission table (MemShared only)
+func (r *msvRun) rowBase(warpInBlock int) int {
+	return warpInBlock * (r.prof.MP.M + 1)
+}
+
+func (r *msvRun) scratchBase(w *simt.Warp) int {
+	base := r.plan.WarpsPerBlock * (r.prof.MP.M + 1)
+	return base + w.WarpInBlock*reduceScratchU8
+}
+
+func (r *msvRun) modelBase(hasShuffle bool) int {
+	base := r.plan.WarpsPerBlock * (r.prof.MP.M + 1)
+	if !hasShuffle {
+		base += r.plan.WarpsPerBlock * reduceScratchU8
+	}
+	return base
+}
+
+// kernel is the warp-synchronous MSV alignment kernel (Algorithm 1).
+func (r *msvRun) kernel(w *simt.Warp) {
+	lanes := w.Lanes()
+	mp := r.prof.MP
+	m := mp.M
+	const base = uint8(profile.MSVBase)
+	overflowAt := mp.OverflowThreshold()
+	rowBase := r.rowBase(w.WarpInBlock)
+	scratchBase := r.scratchBase(w)
+	rs := newReduceScratch(lanes)
+
+	// Per-warp register buffers (allocated once per warp).
+	addrs := make([]int, lanes)
+	gaddr := make([]int64, lanes)
+	cur := make([]uint8, lanes)
+	next := make([]uint8, lanes)
+	temp := make([]uint8, lanes)
+	xEv := make([]uint8, lanes)
+	zero := make([]uint8, lanes)
+
+	// Block prologue: with the model in shared memory, the block loads
+	// the emission table from global once (metered as the cooperative
+	// load it would be; warp 0 performs it here, which the simulator's
+	// in-order warp start makes visible to its block mates).
+	if r.plan.MemConfig == MemShared && w.WarpInBlock == 0 {
+		mb := r.modelBase(w.HasShuffle())
+		tableBytes := deviceAlphaSize * (m + 1)
+		for off := 0; off < tableBytes; off += 4 * lanes {
+			for l := 0; l < lanes; l++ {
+				if off+4*l < tableBytes {
+					gaddr[l] = r.prof.TableAddr + int64(off+4*l)
+				} else {
+					gaddr[l] = -1
+				}
+			}
+			w.GlobalLoad(gaddr, 4)
+		}
+		// Materialise the table so emission reads flow through the
+		// simulated shared memory (stores metered in 32-byte groups).
+		row := make([]uint8, lanes)
+		for rcode := 0; rcode < deviceAlphaSize; rcode++ {
+			src := r.prof.Cost[rcode]
+			for k0 := 0; k0 <= m; k0 += lanes {
+				n := 0
+				for l := 0; l < lanes; l++ {
+					if k0+l <= m {
+						addrs[l] = mb + rcode*(m+1) + k0 + l
+						row[l] = src[k0+l]
+						n++
+					} else {
+						addrs[l] = -1
+					}
+				}
+				w.SharedStoreU8(addrs, row)
+			}
+		}
+	}
+
+	nSeqs := len(r.db.Packed)
+	span := w.TotalWarps()
+	for seqID := w.GlobalWarpID(); seqID < nSeqs; seqID += span {
+		words := r.db.Packed[seqID]
+		seqAddr := r.db.Addr[seqID]
+		seqLen := r.db.Lens[seqID]
+		w.ALU(4) // loop/index setup
+
+		// Clear this warp's DP row buffer (the -inf floor is byte 0).
+		for p0 := 0; p0 <= m; p0 += lanes {
+			for l := 0; l < lanes; l++ {
+				if p0+l <= m {
+					addrs[l] = rowBase + p0 + l
+				} else {
+					addrs[l] = -1
+				}
+			}
+			w.SharedStoreU8(addrs, zero)
+		}
+
+		xJ := uint8(0)
+		xB := satmath.SubU8(base, mp.TJB)
+		overflowed := false
+
+		for i := 0; i < seqLen; i++ {
+			// Fetch the packed word holding residue i (all lanes read
+			// the same address: one transaction, hardware broadcast).
+			if r.packed {
+				if i%alphabet.ResiduesPerWord == 0 {
+					a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
+					for l := 0; l < lanes; l++ {
+						gaddr[l] = a
+					}
+					w.GlobalLoad(gaddr, 4)
+				}
+			} else {
+				// Packing ablation: one byte-per-residue fetch per row.
+				for l := 0; l < lanes; l++ {
+					gaddr[l] = seqAddr + int64(i)
+				}
+				w.GlobalLoad(gaddr, 1)
+			}
+			res := alphabet.PackedAt(words, i)
+			if res == alphabet.PackSentinel {
+				// Redundant-cell flag (Figure 6): end of sequence.
+				break
+			}
+			w.ALU(2) // decode: shift + mask
+
+			costRow := r.prof.Cost[res]
+			xBtbm := satmath.SubU8(xB, mp.TBM)
+			for l := 0; l < lanes; l++ {
+				xEv[l] = 0
+			}
+			w.ALU(2)
+
+			// Step 1 (Figure 5): load the first 32 previous-row cells.
+			r.loadRow(w, addrs, cur, rowBase, 0, m)
+
+			for p0 := 0; p0 < m; p0 += lanes {
+				// Step 2: cache the next 32 dependencies before the
+				// in-place update can overwrite the warp boundary.
+				if p0+lanes < m {
+					r.loadRow(w, addrs, next, rowBase, p0+lanes, m)
+				}
+
+				// Emission costs for target positions p0+1+l.
+				r.loadCosts(w, addrs, gaddr, temp, costRow, res, p0, m)
+
+				// temp = max(mmx, xB) + bias - em(res, p)  (line 15).
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						continue
+					}
+					sv := satmath.MaxU8(cur[l], xBtbm)
+					sv = satmath.AddU8(sv, mp.Bias)
+					sv = satmath.SubU8(sv, temp[l])
+					temp[l] = sv
+					xEv[l] = satmath.MaxU8(xEv[l], sv)
+				}
+				w.ALU(4)
+
+				// Step 3: write the updated cells back (line 18).
+				for l := 0; l < lanes; l++ {
+					if p0+1+l <= m {
+						addrs[l] = rowBase + p0 + 1 + l
+					} else {
+						addrs[l] = -1
+					}
+				}
+				w.SharedStoreU8(addrs, temp)
+
+				cur, next = next, cur
+			}
+
+			// Warp-shuffled max reduction and broadcast (line 20).
+			xE := warpMaxU8(w, xEv, scratchBase, rs)
+			if xE >= overflowAt {
+				overflowed = true
+				break
+			}
+			xJ = satmath.MaxU8(xJ, satmath.SubU8(xE, mp.TEC))
+			xB = satmath.SubU8(satmath.MaxU8(base, xJ), mp.TJB)
+			w.ALU(4)
+		}
+
+		if overflowed {
+			r.out[seqID] = cpu.FilterResult{Score: math.Inf(1), Overflowed: true}
+		} else {
+			r.out[seqID] = cpu.FilterResult{Score: mp.ScoreToNats(xJ)}
+		}
+		// Save the final score (line 23).
+		gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
+		for l := 1; l < lanes; l++ {
+			gaddr[l] = -1
+		}
+		w.GlobalStore(gaddr, 8)
+	}
+}
+
+// loadRow reads previous-row cells at positions p0+l into dst through
+// shared memory (consecutive bytes: intrinsically conflict-free).
+func (r *msvRun) loadRow(w *simt.Warp, addrs []int, dst []uint8, rowBase, p0, m int) {
+	for l := 0; l < w.Lanes(); l++ {
+		if p0+l <= m {
+			addrs[l] = rowBase + p0 + l
+		} else {
+			addrs[l] = -1
+		}
+	}
+	w.SharedLoadU8Into(dst, addrs)
+}
+
+// loadCosts fetches the emission costs for targets p0+1+l into dst,
+// metering shared or global traffic per the launch's memory
+// configuration.
+func (r *msvRun) loadCosts(w *simt.Warp, addrs []int, gaddr []int64, dst []uint8, costRow []uint8, res byte, p0, m int) {
+	lanes := w.Lanes()
+	if r.plan.MemConfig == MemShared {
+		mb := r.modelBase(w.HasShuffle())
+		for l := 0; l < lanes; l++ {
+			if t := p0 + 1 + l; t <= m {
+				addrs[l] = mb + int(res)*(m+1) + t
+			} else {
+				addrs[l] = -1
+			}
+		}
+		w.SharedLoadU8Into(dst, addrs)
+		return
+	}
+	for l := 0; l < lanes; l++ {
+		if t := p0 + 1 + l; t <= m {
+			gaddr[l] = r.prof.TableAddr + int64(int(res)*(m+1)+t)
+			dst[l] = costRow[t]
+		} else {
+			gaddr[l] = -1
+		}
+	}
+	w.GlobalLoadCached(gaddr, 1)
+}

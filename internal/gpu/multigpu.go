@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// MultiSearcher distributes a database search over the devices of a
+// System — the paper's §IV-A multi-GPU configuration, where the
+// database is partitioned across devices with no cross-device
+// dependencies and scaling is near linear.
+type MultiSearcher struct {
+	Sys *simt.System
+	Mem MemConfig
+	// HostWorkers caps host-side parallelism per device launch.
+	HostWorkers int
+}
+
+// MultiReport is the merged outcome of a multi-device search.
+type MultiReport struct {
+	// Results holds per-sequence scores in original database order.
+	Results []cpu.FilterResult
+	// PerDevice carries each device's report, indexed by device.
+	PerDevice []*SearchReport
+	// ShardResidues is each shard's residue count (the load-balance
+	// picture).
+	ShardResidues []int64
+}
+
+// MSVSearch runs the MSV stage over all devices.
+func (ms *MultiSearcher) MSVSearch(mp *profile.MSVProfile, db *seq.Database) (*MultiReport, error) {
+	shards := db.Partition(len(ms.Sys.Devices))
+	out := &MultiReport{
+		Results:       make([]cpu.FilterResult, 0, db.NumSeqs()),
+		PerDevice:     make([]*SearchReport, len(shards)),
+		ShardResidues: make([]int64, len(shards)),
+	}
+	_, err := ms.Sys.LaunchAll(func(i int, dev *simt.Device) (*simt.LaunchReport, error) {
+		if i >= len(shards) {
+			return &simt.LaunchReport{}, nil
+		}
+		ddb := UploadDB(dev, shards[i])
+		dp := UploadMSVProfile(dev, mp)
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
+		rep, err := s.MSVSearch(dp, ddb)
+		if err != nil {
+			return nil, err
+		}
+		out.PerDevice[i] = rep
+		out.ShardResidues[i] = ddb.TotalResidues
+		return rep.Launch, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range out.PerDevice {
+		if rep != nil {
+			out.Results = append(out.Results, rep.Results...)
+		}
+	}
+	return out, nil
+}
+
+// ViterbiSearch runs the P7Viterbi stage over all devices.
+func (ms *MultiSearcher) ViterbiSearch(vp *profile.VitProfile, db *seq.Database) (*MultiReport, error) {
+	shards := db.Partition(len(ms.Sys.Devices))
+	out := &MultiReport{
+		Results:       make([]cpu.FilterResult, 0, db.NumSeqs()),
+		PerDevice:     make([]*SearchReport, len(shards)),
+		ShardResidues: make([]int64, len(shards)),
+	}
+	_, err := ms.Sys.LaunchAll(func(i int, dev *simt.Device) (*simt.LaunchReport, error) {
+		if i >= len(shards) {
+			return &simt.LaunchReport{}, nil
+		}
+		ddb := UploadDB(dev, shards[i])
+		dp := UploadVitProfile(dev, vp)
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
+		rep, err := s.ViterbiSearch(dp, ddb)
+		if err != nil {
+			return nil, err
+		}
+		out.PerDevice[i] = rep
+		out.ShardResidues[i] = ddb.TotalResidues
+		return rep.Launch, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range out.PerDevice {
+		if rep != nil {
+			out.Results = append(out.Results, rep.Results...)
+		}
+	}
+	return out, nil
+}

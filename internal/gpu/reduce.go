@@ -1,0 +1,154 @@
+package gpu
+
+import "hmmer3gpu/internal/simt"
+
+// Warp-wide max reduction with broadcast, the operation the paper
+// calls "Warp-Shuffled Reduction": on Kepler it is a butterfly
+// exchange (XOR shuffle) — even workload, no shared memory, no
+// synchronisation, and the maximum lands on every lane, ready for the
+// next residue. On Fermi (no shuffle) the classic shared-memory binary
+// reduction runs in a per-warp scratch region instead, consuming
+// shared memory and extra instructions (the occupancy cost §IV-A
+// attributes to the older architecture).
+
+// reduceScratch bundles the preallocated buffers a warp needs for
+// reductions.
+type reduceScratch struct {
+	a, b   []int32
+	addrs  []int
+	bytes  []uint8
+	bytes2 []uint8
+	words  []int16
+	words2 []int16
+}
+
+func newReduceScratch(lanes int) *reduceScratch {
+	return &reduceScratch{
+		a:      make([]int32, lanes),
+		b:      make([]int32, lanes),
+		addrs:  make([]int, lanes),
+		bytes:  make([]uint8, lanes),
+		bytes2: make([]uint8, lanes),
+		words:  make([]int16, lanes),
+		words2: make([]int16, lanes),
+	}
+}
+
+// warpMaxU8 reduces per-lane byte values to the warp-wide maximum.
+// scratchBase is the warp's shared scratch offset (Fermi path only).
+func warpMaxU8(w *simt.Warp, vals []uint8, scratchBase int, rs *reduceScratch) uint8 {
+	lanes := w.Lanes()
+	if w.HasShuffle() {
+		for l := 0; l < lanes; l++ {
+			rs.a[l] = int32(vals[l])
+		}
+		for mask := lanes / 2; mask > 0; mask >>= 1 {
+			w.ShflXorI32Into(rs.b, rs.a, mask)
+			w.ALU(1)
+			for l := 0; l < lanes; l++ {
+				if rs.b[l] > rs.a[l] {
+					rs.a[l] = rs.b[l]
+				}
+			}
+		}
+		return uint8(rs.a[0]) // identical on every lane (broadcast)
+	}
+
+	// Fermi fallback: strided binary reduction through shared memory.
+	// Each stride step is one partner load, one max, one store by the
+	// active half-warp.
+	for l := 0; l < lanes; l++ {
+		rs.addrs[l] = scratchBase + l
+	}
+	w.SharedStoreU8(rs.addrs, vals)
+	cur := rs.bytes
+	copy(cur, vals)
+	for stride := lanes / 2; stride > 0; stride >>= 1 {
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				rs.addrs[l] = scratchBase + l + stride
+			} else {
+				rs.addrs[l] = -1
+			}
+		}
+		partner := rs.bytes2
+		w.SharedLoadU8Into(partner, rs.addrs)
+		w.ALU(1)
+		for l := 0; l < stride; l++ {
+			if partner[l] > cur[l] {
+				cur[l] = partner[l]
+			}
+		}
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				rs.addrs[l] = scratchBase + l
+			} else {
+				rs.addrs[l] = -1
+			}
+		}
+		w.SharedStoreU8(rs.addrs, cur)
+	}
+	// Broadcast the result back to every lane (one shared read).
+	for l := 0; l < lanes; l++ {
+		rs.addrs[l] = scratchBase
+	}
+	w.SharedLoadU8Into(rs.bytes2, rs.addrs)
+	return cur[0]
+}
+
+// warpMaxI16 is the 16-bit variant used by the Viterbi kernel.
+func warpMaxI16(w *simt.Warp, vals []int16, scratchBase int, rs *reduceScratch) int16 {
+	lanes := w.Lanes()
+	if w.HasShuffle() {
+		for l := 0; l < lanes; l++ {
+			rs.a[l] = int32(vals[l])
+		}
+		for mask := lanes / 2; mask > 0; mask >>= 1 {
+			w.ShflXorI32Into(rs.b, rs.a, mask)
+			w.ALU(1)
+			for l := 0; l < lanes; l++ {
+				if rs.b[l] > rs.a[l] {
+					rs.a[l] = rs.b[l]
+				}
+			}
+		}
+		return int16(rs.a[0])
+	}
+
+	for l := 0; l < lanes; l++ {
+		rs.addrs[l] = scratchBase + 2*l
+	}
+	w.SharedStoreI16(rs.addrs, vals)
+	cur := rs.words
+	copy(cur, vals)
+	partner := rs.words2
+	for stride := lanes / 2; stride > 0; stride >>= 1 {
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				rs.addrs[l] = scratchBase + 2*(l+stride)
+			} else {
+				rs.addrs[l] = -1
+			}
+		}
+		w.SharedLoadI16Into(partner, rs.addrs)
+		w.ALU(1)
+		for l := 0; l < stride; l++ {
+			if partner[l] > cur[l] {
+				cur[l] = partner[l]
+			}
+		}
+		for l := 0; l < lanes; l++ {
+			if l < stride {
+				rs.addrs[l] = scratchBase + 2*l
+			} else {
+				rs.addrs[l] = -1
+			}
+		}
+		w.SharedStoreI16(rs.addrs, cur)
+	}
+	for l := 0; l < lanes; l++ {
+		rs.addrs[l] = scratchBase
+	}
+	w.SharedLoadI16Into(partner, rs.addrs)
+	return cur[0]
+}

@@ -1,0 +1,116 @@
+package gpu
+
+import (
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/simt"
+)
+
+// Searcher runs the accelerated filters on one device.
+type Searcher struct {
+	Dev *simt.Device
+	// Mem selects the model-parameter memory configuration
+	// (MemAuto by default).
+	Mem MemConfig
+	// DisablePacking turns residue packing off (one byte-per-residue
+	// global fetch per DP row) — the packing ablation.
+	DisablePacking bool
+	// EagerLazyF disables the warp-vote early exit of the parallel
+	// Lazy-F, running the worst-case D-D loop on every chunk — the
+	// lazy-evaluation ablation.
+	EagerLazyF bool
+	// DDScan resolves the D-D chain with the §VI prefix-scan extension
+	// (5 shuffle rounds per chunk) instead of the vote loop. Requires
+	// warp shuffle; ignored on Fermi devices.
+	DDScan bool
+	// DetectRaces enables the simulator's shared-memory race tracker.
+	DetectRaces bool
+	// HostWorkers caps host-side parallelism (0 = GOMAXPROCS).
+	HostWorkers int
+}
+
+// LazyFStats aggregates the parallel Lazy-F work over a launch.
+type LazyFStats struct {
+	// RowsIterated counts DP rows that needed at least one lazy-F
+	// iteration beyond the initial M-D seeding.
+	RowsIterated int64
+	// Iterations is the total lazy-F iteration count.
+	Iterations int64
+}
+
+// SearchReport is the outcome of one accelerated database pass.
+type SearchReport struct {
+	// Results holds the per-sequence filter scores in database order.
+	Results []cpu.FilterResult
+	// Plan is the launch configuration that ran.
+	Plan LaunchPlan
+	// Launch carries the simulator's counters and occupancy.
+	Launch *simt.LaunchReport
+	// LazyF is populated by Viterbi searches.
+	LazyF LazyFStats
+}
+
+// MSVSearch scores every sequence of db with the MSV kernel.
+func (s *Searcher) MSVSearch(dp *DeviceMSVProfile, db *DeviceDB) (*SearchReport, error) {
+	plan, err := planLaunch(s.Dev.Spec, kindMSV, dp.MP.M, s.Mem)
+	if err != nil {
+		return nil, err
+	}
+	run := &msvRun{
+		db:     db,
+		prof:   dp,
+		plan:   plan,
+		packed: !s.DisablePacking,
+		out:    make([]cpu.FilterResult, len(db.Packed)),
+	}
+	rep, err := s.Dev.Launch(simt.LaunchConfig{
+		Blocks:              plan.Blocks,
+		WarpsPerBlock:       plan.WarpsPerBlock,
+		SharedBytesPerBlock: plan.SharedPerBlock,
+		RegsPerThread:       msvRegsPerThread,
+		DetectRaces:         s.DetectRaces,
+		HostWorkers:         s.HostWorkers,
+	}, run.kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchReport{Results: run.out, Plan: plan, Launch: rep}, nil
+}
+
+// ViterbiSearch scores every sequence of db with the P7Viterbi kernel.
+func (s *Searcher) ViterbiSearch(dp *DeviceVitProfile, db *DeviceDB) (*SearchReport, error) {
+	plan, err := planLaunch(s.Dev.Spec, kindVit, dp.VP.M, s.Mem)
+	if err != nil {
+		return nil, err
+	}
+	nWarps := plan.Blocks * plan.WarpsPerBlock
+	run := &vitRun{
+		db:        db,
+		prof:      dp,
+		plan:      plan,
+		eager:     s.EagerLazyF,
+		ddScan:    s.DDScan && s.Dev.Spec.HasShuffle,
+		out:       make([]cpu.FilterResult, len(db.Packed)),
+		lazyRows:  make([]int64, nWarps),
+		lazyIters: make([]int64, nWarps),
+	}
+	if plan.RowsInGlobal {
+		run.rowAddr = s.Dev.AllocGlobal(int64(nWarps) * int64(6*(dp.VP.M+1)))
+	}
+	rep, err := s.Dev.Launch(simt.LaunchConfig{
+		Blocks:              plan.Blocks,
+		WarpsPerBlock:       plan.WarpsPerBlock,
+		SharedBytesPerBlock: plan.SharedPerBlock,
+		RegsPerThread:       vitRegsPerThread,
+		DetectRaces:         s.DetectRaces,
+		HostWorkers:         s.HostWorkers,
+	}, run.kernel)
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchReport{Results: run.out, Plan: plan, Launch: rep}
+	for i := range run.lazyRows {
+		out.LazyF.RowsIterated += run.lazyRows[i]
+		out.LazyF.Iterations += run.lazyIters[i]
+	}
+	return out, nil
+}

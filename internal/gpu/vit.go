@@ -1,0 +1,471 @@
+package gpu
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/satmath"
+	"hmmer3gpu/internal/simt"
+)
+
+// vitRun carries one P7Viterbi launch's state.
+type vitRun struct {
+	db     *DeviceDB
+	prof   *DeviceVitProfile
+	plan   LaunchPlan
+	eager  bool // lazyf ablation: always run the full D-D update loop
+	ddScan bool // §VI extension: prefix-scan D-D resolution (Kepler)
+	// rowAddr is the logical global base of the spilled per-warp row
+	// buffers when plan.RowsInGlobal is set.
+	rowAddr int64
+	out     []cpu.FilterResult
+	// lazyRows / lazyIters count rows needing >= 1 parallel lazy-F
+	// iteration and the total iterations, summed over all warps
+	// (written at launch end, read by the ablation benchmark).
+	lazyRows, lazyIters []int64 // indexed by global warp id
+}
+
+// Shared-memory layout per block for the Viterbi kernel:
+//
+//	[0, warps*6*(M+1))                    per-warp M/I/D int16 row buffers
+//	[+, warps*reduceScratchI16)           Fermi reduction scratch
+//	[+, 2*24*(M+1) + 14*(M+1))            model tables (MemShared only)
+func (r *vitRun) rowBase(warpInBlock int) int {
+	return warpInBlock * 6 * (r.prof.VP.M + 1)
+}
+
+// Region offsets within a warp's row area (byte offsets; 2 bytes/cell).
+func (r *vitRun) mOff(rowBase, k int) int { return rowBase + 2*k }
+func (r *vitRun) iOff(rowBase, k int) int { return rowBase + 2*(r.prof.VP.M+1) + 2*k }
+func (r *vitRun) dOff(rowBase, k int) int { return rowBase + 4*(r.prof.VP.M+1) + 2*k }
+
+func (r *vitRun) scratchBase(w *simt.Warp) int {
+	if r.plan.RowsInGlobal {
+		return w.WarpInBlock * reduceScratchI16
+	}
+	base := r.plan.WarpsPerBlock * 6 * (r.prof.VP.M + 1)
+	return base + w.WarpInBlock*reduceScratchI16
+}
+
+func (r *vitRun) modelBase(hasShuffle bool) int {
+	base := r.plan.WarpsPerBlock * 6 * (r.prof.VP.M + 1)
+	if !hasShuffle {
+		base += r.plan.WarpsPerBlock * reduceScratchI16
+	}
+	return base
+}
+
+// vitWarpState holds a warp's preallocated register buffers.
+type vitWarpState struct {
+	addrs  []int
+	gaddr  []int64
+	curM   []int16
+	curI   []int16
+	curD   []int16
+	nextM  []int16
+	nextI  []int16
+	nextD  []int16
+	pmT    []int16
+	piT    []int16
+	mv     []int16
+	iv     []int16
+	dv     []int16
+	ddCand []int16
+	xEv    []int16
+	msc    []int16
+	pred   []bool
+	neg    []int16
+	wgt    []int16
+	// rowBuf backs the spilled DP rows (row-in-global variant only);
+	// M, I and D regions are laid out exactly as in shared memory.
+	rowBuf []int16
+	rs     *reduceScratch
+	scan   *ddScanState
+}
+
+func newVitWarpState(lanes int) *vitWarpState {
+	st := &vitWarpState{
+		addrs:  make([]int, lanes),
+		gaddr:  make([]int64, lanes),
+		curM:   make([]int16, lanes),
+		curI:   make([]int16, lanes),
+		curD:   make([]int16, lanes),
+		nextM:  make([]int16, lanes),
+		nextI:  make([]int16, lanes),
+		nextD:  make([]int16, lanes),
+		pmT:    make([]int16, lanes),
+		piT:    make([]int16, lanes),
+		mv:     make([]int16, lanes),
+		iv:     make([]int16, lanes),
+		dv:     make([]int16, lanes),
+		ddCand: make([]int16, lanes),
+		xEv:    make([]int16, lanes),
+		msc:    make([]int16, lanes),
+		pred:   make([]bool, lanes),
+		neg:    make([]int16, lanes),
+		wgt:    make([]int16, lanes),
+		rs:     newReduceScratch(lanes),
+		scan:   newDDScanState(lanes),
+	}
+	for l := range st.neg {
+		st.neg[l] = satmath.NegInf16
+	}
+	return st
+}
+
+// kernel is the warp-synchronous P7Viterbi kernel (Algorithm 2) with
+// parallel Lazy-F (Figure 7).
+func (r *vitRun) kernel(w *simt.Warp) {
+	lanes := w.Lanes()
+	vp := r.prof.VP
+	m := vp.M
+	neg := satmath.NegInf16
+	rowBase := r.rowBase(w.WarpInBlock)
+	scratchBase := r.scratchBase(w)
+	st := newVitWarpState(lanes)
+	if r.plan.RowsInGlobal {
+		rowBase = 0 // helpers address the warp's private spilled area
+		st.rowBuf = make([]int16, 3*(m+1))
+	}
+
+	// Model prologue: meter the cooperative global->shared copy when
+	// the model lives in shared memory.
+	if r.plan.MemConfig == MemShared && w.WarpInBlock == 0 {
+		tableBytes := 2*deviceAlphaSize*(m+1) + 14*(m+1)
+		for off := 0; off < tableBytes; off += 4 * lanes {
+			for l := 0; l < lanes; l++ {
+				if off+4*l < tableBytes {
+					st.gaddr[l] = r.prof.TableAddr + int64(off+4*l)
+				} else {
+					st.gaddr[l] = -1
+				}
+			}
+			w.GlobalLoad(st.gaddr, 4)
+		}
+	}
+
+	nSeqs := len(r.db.Packed)
+	span := w.TotalWarps()
+	var lazyRows, lazyIters int64
+
+	for seqID := w.GlobalWarpID(); seqID < nSeqs; seqID += span {
+		words := r.db.Packed[seqID]
+		seqAddr := r.db.Addr[seqID]
+		seqLen := r.db.Lens[seqID]
+		w.ALU(4)
+
+		// Initialise all three row buffers to -infinity.
+		for region := 0; region < 3; region++ {
+			for k0 := 0; k0 <= m; k0 += lanes {
+				r.storeAt(w, st, st.neg, rowBase+region*2*(m+1), k0, m)
+			}
+		}
+
+		xJ, xC := neg, neg
+		xB := vp.TMove
+
+		for i := 0; i < seqLen; i++ {
+			if i%alphabet.ResiduesPerWord == 0 {
+				a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
+				for l := 0; l < lanes; l++ {
+					st.gaddr[l] = a
+				}
+				w.GlobalLoad(st.gaddr, 4)
+			}
+			res := alphabet.PackedAt(words, i)
+			if res == alphabet.PackSentinel {
+				break
+			}
+			w.ALU(2)
+
+			mscRow := r.prof.MatUnit[res]
+			xBtbm := satmath.AddI16(xB, vp.TBM)
+			for l := 0; l < lanes; l++ {
+				st.xEv[l] = neg
+			}
+			w.ALU(2)
+
+			dChain := neg // D value at the last completed position
+			dAtM := neg   // final D(M), folded into E after the row
+			rowIters := 0 // parallel lazy-F iterations this row
+
+			// Load the first 32 previous-row dependencies.
+			r.loadRow3(w, st, rowBase, 0, m)
+
+			for p0 := 0; p0 < m; p0 += lanes {
+				// Double-buffer the warp boundary: prefetch the next 32
+				// previous-row cells before any in-place update.
+				if p0+lanes < m {
+					r.prefetchRow3(w, st, rowBase, p0+lanes, m)
+				}
+
+				// Previous-row M and I at the target positions (for the
+				// I recurrence) — still unwritten this row.
+				r.loadAt(w, st, st.pmT, r.mOff(rowBase, 0), p0+1, m)
+				r.loadAt(w, st, st.piT, r.iOff(rowBase, 0), p0+1, m)
+
+				// Model parameter fetches (metered per configuration).
+				r.meterModel(w, st, res, p0, m)
+
+				// temp_m / temp_i (Algorithm 2, lines 15-18).
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						continue
+					}
+					s := t - 1
+					mv := satmath.MaxI16(
+						satmath.MaxI16(
+							satmath.AddI16(st.curM[l], vp.TMM[s]),
+							satmath.AddI16(st.curI[l], vp.TIM[s]),
+						),
+						satmath.MaxI16(
+							satmath.AddI16(st.curD[l], vp.TDM[s]),
+							xBtbm,
+						),
+					)
+					mv = satmath.AddI16(mv, mscRow[t])
+					st.mv[l] = mv
+					st.iv[l] = satmath.MaxI16(
+						satmath.AddI16(st.pmT[l], vp.TMI[t]),
+						satmath.AddI16(st.piT[l], vp.TII[t]),
+					)
+					st.xEv[l] = satmath.MaxI16(st.xEv[l], mv)
+				}
+				w.ALU(10)
+
+				// Store M and I (line 20).
+				r.storeAt(w, st, st.mv, r.mOff(rowBase, 0), p0+1, m)
+				r.storeAt(w, st, st.iv, r.iOff(rowBase, 0), p0+1, m)
+
+				// D partial value: M-D path only (line 17). The new M at
+				// t-1 is read back through shared memory — lane 0 picks
+				// up the previous chunk's boundary cell.
+				r.loadAt(w, st, st.pmT, r.mOff(rowBase, 0), p0, m)
+				for l := 0; l < lanes; l++ {
+					t := p0 + 1 + l
+					if t > m {
+						continue
+					}
+					st.dv[l] = satmath.AddI16(st.pmT[l], vp.TMD[t-1])
+				}
+				// Cross-chunk D-D link into lane 0.
+				st.dv[0] = satmath.MaxI16(st.dv[0],
+					satmath.AddI16(dChain, vp.TDD[p0]))
+				w.ALU(3)
+
+				if r.ddScan {
+					// §VI extension: resolve every intra-chunk D-D
+					// chain with a 5-round weighted max-plus prefix
+					// scan over shuffles, then store once.
+					active := lanes
+					if m-p0 < active {
+						active = m - p0
+					}
+					for l := 0; l < lanes; l++ {
+						if t := p0 + 1 + l; t <= m {
+							st.wgt[l] = vp.TDD[t-1]
+						} else {
+							st.wgt[l] = satmath.NegInf16
+						}
+					}
+					ddScanResolve(w, st.scan, st.dv, st.wgt, active)
+					r.storeAt(w, st, st.dv, r.dOff(rowBase, 0), p0+1, m)
+				} else {
+					r.storeAt(w, st, st.dv, r.dOff(rowBase, 0), p0+1, m)
+
+					// Parallel Lazy-F (Figure 7): iterate until the
+					// warp vote confirms every position holds its
+					// highest D. (The eager ablation runs the full
+					// worst-case loop unconditionally — the cost the
+					// lazy design avoids.)
+					for iter := 0; iter < lanes; iter++ {
+						r.loadAt(w, st, st.ddCand, r.dOff(rowBase, 0), p0, m)
+						for l := 0; l < lanes; l++ {
+							t := p0 + 1 + l
+							if t > m {
+								st.pred[l] = true
+								continue
+							}
+							st.ddCand[l] = satmath.AddI16(st.ddCand[l], vp.TDD[t-1])
+							st.pred[l] = st.dv[l] >= st.ddCand[l]
+						}
+						w.ALU(3)
+						if !r.eager && w.VoteAll(st.pred) {
+							break
+						}
+						rowIters++
+						for l := 0; l < lanes; l++ {
+							if p0+1+l <= m {
+								st.dv[l] = satmath.MaxI16(st.dv[l], st.ddCand[l])
+							}
+						}
+						w.ALU(1)
+						r.storeAt(w, st, st.dv, r.dOff(rowBase, 0), p0+1, m)
+					}
+				}
+
+				// Carry the chunk boundary D value and remember D(M).
+				lastT := p0 + lanes
+				if lastT > m {
+					lastT = m
+				}
+				dChain = st.dv[lastT-p0-1]
+				if lastT == m {
+					dAtM = st.dv[m-p0-1]
+				}
+				w.ALU(2)
+
+				st.curM, st.nextM = st.nextM, st.curM
+				st.curI, st.nextI = st.nextI, st.curI
+				st.curD, st.nextD = st.nextD, st.curD
+			}
+
+			if rowIters > 0 {
+				lazyRows++
+				lazyIters += int64(rowIters)
+			}
+
+			// Row maximum (line 22) plus the D_M local exit, then the
+			// specials (line 24).
+			xE := warpMaxI16(w, st.xEv, scratchBase, st.rs)
+			xE = satmath.MaxI16(xE, dAtM)
+			xJ = satmath.MaxI16(xJ, satmath.AddI16(xE, vp.TEJ))
+			xC = satmath.MaxI16(xC, satmath.AddI16(xE, vp.TEC))
+			xB = satmath.AddI16(satmath.MaxI16(0, xJ), vp.TMove)
+			w.ALU(5)
+		}
+
+		if profile.Overflowed(xC) {
+			r.out[seqID] = cpu.FilterResult{Score: math.Inf(1), Overflowed: true}
+		} else {
+			r.out[seqID] = cpu.FilterResult{Score: vp.ScoreToNats(xC)}
+		}
+		st.gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
+		for l := 1; l < lanes; l++ {
+			st.gaddr[l] = -1
+		}
+		w.GlobalStore(st.gaddr, 8)
+	}
+
+	if r.lazyRows != nil {
+		r.lazyRows[w.GlobalWarpID()] += lazyRows
+		r.lazyIters[w.GlobalWarpID()] += lazyIters
+	}
+}
+
+// loadRow3 fills curM/curI/curD with previous-row values at positions
+// p0+l.
+func (r *vitRun) loadRow3(w *simt.Warp, st *vitWarpState, rowBase, p0, m int) {
+	r.loadAt(w, st, st.curM, r.mOff(rowBase, 0), p0, m)
+	r.loadAt(w, st, st.curI, r.iOff(rowBase, 0), p0, m)
+	r.loadAt(w, st, st.curD, r.dOff(rowBase, 0), p0, m)
+}
+
+// prefetchRow3 fills nextM/nextI/nextD with previous-row values at
+// positions p0+l.
+func (r *vitRun) prefetchRow3(w *simt.Warp, st *vitWarpState, rowBase, p0, m int) {
+	r.loadAt(w, st, st.nextM, r.mOff(rowBase, 0), p0, m)
+	r.loadAt(w, st, st.nextI, r.iOff(rowBase, 0), p0, m)
+	r.loadAt(w, st, st.nextD, r.dOff(rowBase, 0), p0, m)
+}
+
+// loadAt gathers int16 cells at positions p0+l from a row region whose
+// position-0 byte offset is base0 (warp-relative when rows are
+// spilled to global memory).
+func (r *vitRun) loadAt(w *simt.Warp, st *vitWarpState, dst []int16, base0, p0, m int) {
+	if r.plan.RowsInGlobal {
+		warpBase := r.rowAddr + int64(w.GlobalWarpID())*int64(6*(m+1))
+		for l := 0; l < w.Lanes(); l++ {
+			if p0+l <= m {
+				off := base0 + 2*(p0+l)
+				st.gaddr[l] = warpBase + int64(off)
+				dst[l] = st.rowBuf[off/2]
+			} else {
+				st.gaddr[l] = -1
+			}
+		}
+		w.GlobalLoadCached(st.gaddr, 2)
+		return
+	}
+	for l := 0; l < w.Lanes(); l++ {
+		if p0+l <= m {
+			st.addrs[l] = base0 + 2*(p0+l)
+		} else {
+			st.addrs[l] = -1
+		}
+	}
+	w.SharedLoadI16Into(dst, st.addrs)
+}
+
+// storeAt scatters int16 cells to positions p0+l.
+func (r *vitRun) storeAt(w *simt.Warp, st *vitWarpState, vals []int16, base0, p0, m int) {
+	if r.plan.RowsInGlobal {
+		warpBase := r.rowAddr + int64(w.GlobalWarpID())*int64(6*(m+1))
+		for l := 0; l < w.Lanes(); l++ {
+			if p0+l <= m {
+				off := base0 + 2*(p0+l)
+				st.gaddr[l] = warpBase + int64(off)
+				st.rowBuf[off/2] = vals[l]
+			} else {
+				st.gaddr[l] = -1
+			}
+		}
+		w.GlobalStoreCached(st.gaddr, 2)
+		return
+	}
+	for l := 0; l < w.Lanes(); l++ {
+		if p0+l <= m {
+			st.addrs[l] = base0 + 2*(p0+l)
+		} else {
+			st.addrs[l] = -1
+		}
+	}
+	w.SharedStoreI16(st.addrs, vals)
+}
+
+// meterModel accounts the emission and transition parameter fetches
+// for one chunk (the values themselves come from the host tables).
+func (r *vitRun) meterModel(w *simt.Warp, st *vitWarpState, res byte, p0, m int) {
+	lanes := w.Lanes()
+	if r.plan.MemConfig == MemShared {
+		mb := r.modelBase(w.HasShuffle())
+		// Emission row + 7 transition arrays: 8 shared gathers of
+		// consecutive 16-bit cells (conflict-free).
+		for arr := 0; arr < 8; arr++ {
+			var b int
+			if arr == 0 {
+				b = mb + int(res)*2*(m+1)
+			} else {
+				b = mb + 2*deviceAlphaSize*(m+1) + (arr-1)*2*(m+1)
+			}
+			for l := 0; l < lanes; l++ {
+				if p0+1+l <= m {
+					st.addrs[l] = b + 2*(p0+l)
+				} else {
+					st.addrs[l] = -1
+				}
+			}
+			w.SharedLoadI16Into(st.msc, st.addrs)
+		}
+		return
+	}
+	for arr := 0; arr < 8; arr++ {
+		var b int64
+		if arr == 0 {
+			b = r.prof.TableAddr + int64(int(res)*2*(m+1))
+		} else {
+			b = r.prof.TransAddr + int64((arr-1)*2*(m+1))
+		}
+		for l := 0; l < lanes; l++ {
+			if p0+1+l <= m {
+				st.gaddr[l] = b + int64(2*(p0+l))
+			} else {
+				st.gaddr[l] = -1
+			}
+		}
+		w.GlobalLoadCached(st.gaddr, 2)
+	}
+}

@@ -1,0 +1,158 @@
+package hmm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hmmer3gpu/internal/alphabet"
+)
+
+// BuildParams controls construction of simple profile models.
+type BuildParams struct {
+	// MatchIdentity is the probability mass placed on the consensus
+	// residue at each match state; the remainder is spread over the
+	// background. Typical protein families sit around 0.4–0.9.
+	MatchIdentity float64
+	// GapOpen is the probability of M->I and of M->D at each node.
+	GapOpen float64
+	// GapExtend is the probability of I->I and of D->D.
+	GapExtend float64
+}
+
+// DefaultBuildParams returns parameters resembling an average Pfam
+// family: moderately conserved columns with rare, short gaps.
+func DefaultBuildParams() BuildParams {
+	return BuildParams{MatchIdentity: 0.6, GapOpen: 0.01, GapExtend: 0.4}
+}
+
+// FromConsensus builds a Plan7 model whose match states are peaked on
+// the given consensus residues (digital codes, canonical only).
+func FromConsensus(name string, consensus []byte, abc *alphabet.Alphabet, p BuildParams) (*Plan7, error) {
+	m := len(consensus)
+	h, err := New(m, abc)
+	if err != nil {
+		return nil, err
+	}
+	h.Name = name
+	if p.MatchIdentity <= 0 || p.MatchIdentity >= 1 {
+		return nil, fmt.Errorf("hmm: match identity %g out of (0,1)", p.MatchIdentity)
+	}
+	if p.GapOpen < 0 || 2*p.GapOpen >= 1 || p.GapExtend <= 0 || p.GapExtend >= 1 {
+		return nil, fmt.Errorf("hmm: gap parameters open=%g extend=%g invalid", p.GapOpen, p.GapExtend)
+	}
+	bg := abc.Backgrounds()
+	for k := 1; k <= m; k++ {
+		c := consensus[k-1]
+		if int(c) >= abc.Size() {
+			return nil, fmt.Errorf("hmm: consensus position %d is not a canonical residue", k-1)
+		}
+		rest := 1 - p.MatchIdentity
+		for r := range h.Mat[k] {
+			h.Mat[k][r] = rest * bg[r]
+		}
+		h.Mat[k][c] += p.MatchIdentity
+	}
+	h.SetUniformInserts()
+	h.setStandardTransitions(p)
+	h.ComputeCompo()
+	return h, nil
+}
+
+// Random builds a Plan7 model of length m with consensus residues drawn
+// from the background distribution — the synthetic stand-in for a Pfam
+// family model of a given size.
+func Random(name string, m int, abc *alphabet.Alphabet, p BuildParams, rng *rand.Rand) (*Plan7, error) {
+	cons := make([]byte, m)
+	bg := abc.Backgrounds()
+	for i := range cons {
+		cons[i] = sampleCanonical(bg, rng)
+	}
+	return FromConsensus(name, cons, abc, p)
+}
+
+func sampleCanonical(bg []float64, rng *rand.Rand) byte {
+	u := rng.Float64()
+	acc := 0.0
+	for r, f := range bg {
+		acc += f
+		if u < acc {
+			return byte(r)
+		}
+	}
+	return byte(len(bg) - 1)
+}
+
+// setStandardTransitions installs the uniform gap-cost transition
+// structure used by the synthetic model builders.
+func (h *Plan7) setStandardTransitions(p BuildParams) {
+	for k := 0; k <= h.M; k++ {
+		t := h.T[k]
+		switch k {
+		case 0:
+			t[TMM] = 1 // B->M1; local profiles ignore B->D1
+			t[TMD] = 0
+			t[TMI] = 0
+			t[TIM], t[TII] = 1, 0
+			t[TDM], t[TDD] = 1, 0
+		case h.M:
+			t[TMM] = 1 // M_M -> E
+			t[TMI], t[TMD] = 0, 0
+			t[TIM], t[TII] = 1, 0
+			t[TDM], t[TDD] = 1, 0
+		default:
+			t[TMI], t[TMD] = p.GapOpen, p.GapOpen
+			t[TMM] = 1 - 2*p.GapOpen
+			t[TII] = p.GapExtend
+			t[TIM] = 1 - p.GapExtend
+			t[TDD] = p.GapExtend
+			t[TDM] = 1 - p.GapExtend
+		}
+	}
+}
+
+// SampleSequence emits a sequence from the core model (a true homolog):
+// a straight pass B->M1..M_M->E following the transition structure,
+// with match/insert emissions sampled from the model distributions.
+// The returned residues are canonical digital codes.
+func (h *Plan7) SampleSequence(rng *rand.Rand) []byte {
+	var out []byte
+	k := 1
+	// Choose initial state from begin transitions (local entry ignored:
+	// sampling is from the core model).
+	inDelete := rng.Float64() < h.T[0][TMD]
+	for k <= h.M {
+		if inDelete {
+			// D_k: emit nothing, move on.
+			if k == h.M {
+				break
+			}
+			inDelete = rng.Float64() < h.T[k][TDD]
+			k++
+			continue
+		}
+		// M_k: emit a match residue.
+		out = append(out, sampleCanonical(h.Mat[k], rng))
+		if k == h.M {
+			break
+		}
+		// Transition out of M_k.
+		u := rng.Float64()
+		switch {
+		case u < h.T[k][TMI]:
+			// Insert loop at node k.
+			for {
+				out = append(out, sampleCanonical(h.Ins[k], rng))
+				if rng.Float64() >= h.T[k][TII] {
+					break
+				}
+			}
+			k++
+		case u < h.T[k][TMI]+h.T[k][TMD]:
+			inDelete = true
+			k++
+		default:
+			k++
+		}
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package hmm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"hmmer3gpu/internal/alphabet"
+)
+
+// HMMER3 ASCII save-file support. The format stores probabilities as
+// negative natural logs, with "*" denoting probability zero. Each model
+// node occupies three lines: match emissions (with node index and
+// annotation columns), insert emissions, and the seven transitions.
+
+const formatTag = "HMMER3/f"
+
+// maxModelLength bounds LENG when parsing untrusted files; the largest
+// known protein domain models are a few thousand states (titin-scale
+// full proteins reach ~35k), so 100k is generous while preventing an
+// adversarial header from forcing a huge allocation.
+const maxModelLength = 100000
+
+// Write serialises the model in HMMER3/f ASCII format.
+func Write(w io.Writer, h *Plan7) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s [hmmer3gpu reproduction]\n", formatTag)
+	fmt.Fprintf(bw, "NAME  %s\n", h.Name)
+	if h.Acc != "" {
+		fmt.Fprintf(bw, "ACC   %s\n", h.Acc)
+	}
+	if h.Desc != "" {
+		fmt.Fprintf(bw, "DESC  %s\n", h.Desc)
+	}
+	fmt.Fprintf(bw, "LENG  %d\n", h.M)
+	fmt.Fprintf(bw, "ALPH  amino\n")
+	if h.Stats.Calibrated {
+		fmt.Fprintf(bw, "STATS LOCAL MSV      %8.4f %8.5f\n", h.Stats.MSVMu, h.Stats.MSVLambda)
+		fmt.Fprintf(bw, "STATS LOCAL VITERBI  %8.4f %8.5f\n", h.Stats.VitMu, h.Stats.VitLambda)
+		fmt.Fprintf(bw, "STATS LOCAL FORWARD  %8.4f %8.5f\n", h.Stats.FwdTau, h.Stats.FwdLambda)
+	}
+	// Column header rows.
+	fmt.Fprintf(bw, "HMM     ")
+	for r := 0; r < h.Abc.Size(); r++ {
+		fmt.Fprintf(bw, " %8c", alphabet.Symbols[r])
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "        %9s %8s %8s %8s %8s %8s %8s\n",
+		"m->m", "m->i", "m->d", "i->m", "i->i", "d->m", "d->d")
+	if h.Compo != nil {
+		fmt.Fprintf(bw, "  COMPO ")
+		writeProbLine(bw, h.Compo)
+	}
+	// Node 0: insert-0 emissions and begin transitions.
+	fmt.Fprintf(bw, "        ")
+	writeProbLine(bw, h.Abc.Backgrounds())
+	fmt.Fprintf(bw, "        ")
+	writeProbLine(bw, h.T[0])
+	for k := 1; k <= h.M; k++ {
+		fmt.Fprintf(bw, "%7d ", k)
+		writeProbLine(bw, h.Mat[k])
+		fmt.Fprintf(bw, "        ")
+		if k < h.M {
+			writeProbLine(bw, h.Ins[k])
+		} else {
+			writeProbLine(bw, h.Abc.Backgrounds())
+		}
+		fmt.Fprintf(bw, "        ")
+		writeProbLine(bw, h.T[k])
+	}
+	fmt.Fprintln(bw, "//")
+	return bw.Flush()
+}
+
+func writeProbLine(w io.Writer, probs []float64) {
+	for i, p := range probs {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		if p <= 0 {
+			fmt.Fprintf(w, "%8s", "*")
+		} else {
+			fmt.Fprintf(w, "%8.5f", -math.Log(p))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Read parses one model in HMMER3 ASCII format. Annotation columns
+// after the emission scores on match lines (MAP/CONS/RF/MM/CS) are
+// tolerated and ignored.
+func Read(r io.Reader, abc *alphabet.Alphabet) (*Plan7, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	p := &parser{sc: sc, abc: abc}
+	return p.parse()
+}
+
+// ReadAll parses every model in a multi-model HMMER3 file (Pfam ships
+// tens of thousands of concatenated models per file).
+func ReadAll(r io.Reader, abc *alphabet.Alphabet) ([]*Plan7, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	p := &parser{sc: sc, abc: abc}
+	var out []*Plan7
+	for {
+		if !p.peek() {
+			break
+		}
+		h, err := p.parse()
+		if err != nil {
+			return nil, fmt.Errorf("hmm: model %d: %w", len(out)+1, err)
+		}
+		out = append(out, h)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hmm: no models found")
+	}
+	return out, nil
+}
+
+type parser struct {
+	sc      *bufio.Scanner
+	abc     *alphabet.Alphabet
+	line    int
+	pending string
+}
+
+func (p *parser) next() (string, error) {
+	if p.pending != "" {
+		t := p.pending
+		p.pending = ""
+		return t, nil
+	}
+	for p.sc.Scan() {
+		p.line++
+		text := strings.TrimSpace(p.sc.Text())
+		if text != "" {
+			return text, nil
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// peek reports whether another non-blank line exists, buffering it for
+// the next call to next.
+func (p *parser) peek() bool {
+	if p.pending != "" {
+		return true
+	}
+	t, err := p.next()
+	if err != nil {
+		return false
+	}
+	p.pending = t
+	return true
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("hmm: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse() (*Plan7, error) {
+	head, err := p.next()
+	if err != nil {
+		return nil, fmt.Errorf("hmm: reading header: %w", err)
+	}
+	if !strings.HasPrefix(head, "HMMER3") {
+		return nil, p.errf("not a HMMER3 save file (got %q)", head)
+	}
+
+	var (
+		name, acc, desc string
+		leng            int
+		stats           CalibrationStats
+	)
+	// Header section until the HMM line.
+	var line string
+	for {
+		line, err = p.next()
+		if err != nil {
+			return nil, p.errf("unexpected end of header: %v", err)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "NAME":
+			if len(fields) < 2 {
+				return nil, p.errf("NAME line missing value")
+			}
+			name = fields[1]
+		case "ACC":
+			if len(fields) > 1 {
+				acc = fields[1]
+			}
+		case "DESC":
+			desc = strings.TrimSpace(strings.TrimPrefix(line, "DESC"))
+		case "LENG":
+			if len(fields) < 2 {
+				return nil, p.errf("LENG line missing value")
+			}
+			leng, err = strconv.Atoi(fields[1])
+			if err != nil || leng < 1 || leng > maxModelLength {
+				return nil, p.errf("bad LENG value %q", fields[1])
+			}
+		case "ALPH":
+			if len(fields) < 2 || !strings.EqualFold(fields[1], "amino") {
+				return nil, p.errf("only the amino alphabet is supported")
+			}
+		case "STATS":
+			if len(fields) != 5 || fields[1] != "LOCAL" {
+				return nil, p.errf("malformed STATS line")
+			}
+			a, err1 := strconv.ParseFloat(fields[3], 64)
+			b, err2 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, p.errf("malformed STATS values")
+			}
+			switch fields[2] {
+			case "MSV":
+				stats.MSVMu, stats.MSVLambda = a, b
+			case "VITERBI":
+				stats.VitMu, stats.VitLambda = a, b
+			case "FORWARD":
+				stats.FwdTau, stats.FwdLambda = a, b
+			}
+			stats.Calibrated = true
+		case "HMM":
+			goto body
+		default:
+			// Ignore unknown header lines (RF, MM, CONS, CS, MAP, DATE,
+			// NSEQ, EFFN, CKSUM, GA, TC, NC, ...).
+		}
+	}
+body:
+	if leng == 0 {
+		return nil, p.errf("missing LENG before HMM body")
+	}
+	h, err := New(leng, p.abc)
+	if err != nil {
+		return nil, err
+	}
+	h.Name, h.Acc, h.Desc, h.Stats = name, acc, desc, stats
+
+	// Skip the transition-name header row.
+	if _, err := p.next(); err != nil {
+		return nil, p.errf("unexpected EOF after HMM line")
+	}
+
+	line, err = p.next()
+	if err != nil {
+		return nil, p.errf("unexpected EOF in model body")
+	}
+	if strings.HasPrefix(line, "COMPO") {
+		compo, err := parseProbFields(strings.Fields(line)[1:], p.abc.Size())
+		if err != nil {
+			return nil, p.errf("COMPO: %v", err)
+		}
+		h.Compo = compo
+		line, err = p.next()
+		if err != nil {
+			return nil, p.errf("unexpected EOF after COMPO")
+		}
+	}
+	// Node 0: insert emissions (ignored; we use backgrounds) then
+	// begin transitions.
+	if _, err := parseProbFields(strings.Fields(line), p.abc.Size()); err != nil {
+		return nil, p.errf("insert-0 emissions: %v", err)
+	}
+	line, err = p.next()
+	if err != nil {
+		return nil, p.errf("unexpected EOF before begin transitions")
+	}
+	t0, err := parseProbFields(strings.Fields(line), NTrans)
+	if err != nil {
+		return nil, p.errf("begin transitions: %v", err)
+	}
+	copy(h.T[0], t0)
+
+	for k := 1; k <= leng; k++ {
+		// Match emission line: node index, K emissions, optional
+		// annotation columns.
+		line, err = p.next()
+		if err != nil {
+			return nil, p.errf("unexpected EOF at node %d", k)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 1+p.abc.Size() {
+			return nil, p.errf("node %d: match line has %d fields, need >= %d", k, len(fields), 1+p.abc.Size())
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx != k {
+			return nil, p.errf("node %d: unexpected node index %q", k, fields[0])
+		}
+		mat, err := parseProbFields(fields[1:1+p.abc.Size()], p.abc.Size())
+		if err != nil {
+			return nil, p.errf("node %d match emissions: %v", k, err)
+		}
+		copy(h.Mat[k], mat)
+
+		line, err = p.next()
+		if err != nil {
+			return nil, p.errf("unexpected EOF at node %d inserts", k)
+		}
+		ins, err := parseProbFields(strings.Fields(line), p.abc.Size())
+		if err != nil {
+			return nil, p.errf("node %d insert emissions: %v", k, err)
+		}
+		copy(h.Ins[k], ins)
+
+		line, err = p.next()
+		if err != nil {
+			return nil, p.errf("unexpected EOF at node %d transitions", k)
+		}
+		tr, err := parseProbFields(strings.Fields(line), NTrans)
+		if err != nil {
+			return nil, p.errf("node %d transitions: %v", k, err)
+		}
+		copy(h.T[k], tr)
+	}
+	line, err = p.next()
+	if err != nil || line != "//" {
+		return nil, p.errf("missing // terminator (got %q)", line)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func parseProbFields(fields []string, n int) ([]float64, error) {
+	if len(fields) < n {
+		return nil, fmt.Errorf("have %d fields, need %d", len(fields), n)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if fields[i] == "*" {
+			out[i] = 0
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %v", i, err)
+		}
+		out[i] = math.Exp(-v)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package msa
+
+import "hmmer3gpu/internal/alphabet"
+
+// Henikoff & Henikoff (1994) position-based sequence weights: rows
+// that belong to an over-represented subfamily share the credit their
+// columns provide, so near-duplicate rows cannot dominate the counts.
+// This is hmmbuild's default relative weighting.
+
+// HenikoffWeights returns one weight per row, normalised so they sum
+// to the row count (a uniform alignment gets all-1 weights).
+func HenikoffWeights(m *MSA, abc *alphabet.Alphabet) []float64 {
+	n := m.NumSeqs()
+	weights := make([]float64, n)
+	if n == 0 {
+		return weights
+	}
+	for c := 0; c < m.Cols; c++ {
+		// Count distinct residues and their multiplicities in column c.
+		var counts [32]int
+		kinds := 0
+		for _, row := range m.Rows {
+			code := row[c]
+			if !abc.IsResidue(code) {
+				continue
+			}
+			if counts[code] == 0 {
+				kinds++
+			}
+			counts[code]++
+		}
+		if kinds == 0 {
+			continue
+		}
+		// Each residue contributes 1/(kinds * multiplicity).
+		for i, row := range m.Rows {
+			code := row[c]
+			if !abc.IsResidue(code) {
+				continue
+			}
+			weights[i] += 1.0 / float64(kinds*counts[code])
+		}
+	}
+	// Normalise to mean 1.
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		return weights
+	}
+	scale := float64(n) / total
+	for i := range weights {
+		weights[i] *= scale
+	}
+	return weights
+}

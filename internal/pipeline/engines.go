@@ -1,0 +1,260 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/refimpl"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/stats"
+)
+
+// CPUExtra carries the CPU engine's bookkeeping.
+type CPUExtra struct {
+	// MSVResults holds the raw per-sequence MSV filter results.
+	MSVResults []cpu.FilterResult
+}
+
+// RunCPU executes the pipeline with the striped multicore CPU engine —
+// the paper's baseline configuration.
+func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
+	eng := cpu.Engine{Workers: pl.Opts.Workers}
+	result := &Result{}
+
+	start := time.Now()
+	msvRes := eng.MSVAll(pl.MSV, db)
+	result.MSV.Wall = time.Since(start)
+	result.MSV.In = db.NumSeqs()
+	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
+
+	msvBits := make(map[int]float64)
+	var msvSurvivors []int
+	for i, res := range msvRes {
+		if pl.msvPass(res) {
+			msvSurvivors = append(msvSurvivors, i)
+			msvBits[i] = bitsOf(res)
+		}
+	}
+	result.MSV.Out = len(msvSurvivors)
+
+	start = time.Now()
+	sub := subDatabase(db, msvSurvivors)
+	vitRes := eng.ViterbiAll(pl.Vit, sub)
+	result.Viterbi.Wall = time.Since(start)
+	result.Viterbi.In = len(msvSurvivors)
+	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
+
+	vitBits := make(map[int]float64)
+	var vitSurvivors []int
+	for j, res := range vitRes {
+		if pl.vitPass(res) {
+			idx := msvSurvivors[j]
+			vitSurvivors = append(vitSurvivors, idx)
+			vitBits[idx] = bitsOf(res)
+		}
+	}
+	result.Viterbi.Out = len(vitSurvivors)
+
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	result.Extra = &CPUExtra{MSVResults: msvRes}
+	return result, nil
+}
+
+// GPUExtra carries the GPU engine's launch reports for the perf model.
+type GPUExtra struct {
+	MSVReport *gpu.SearchReport
+	VitReport *gpu.SearchReport
+	// FwdReport is set when Options.GPUForward ran the Forward stage
+	// on the device.
+	FwdReport *gpu.SearchReport
+}
+
+// RunGPU executes the MSV and P7Viterbi stages on the device (the
+// paper's accelerated configuration) with the Forward stage on the
+// host, as in the paper.
+func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	searcher := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: pl.Opts.Workers}
+	result := &Result{}
+	extra := &GPUExtra{}
+
+	start := time.Now()
+	ddb := gpu.UploadDB(dev, db)
+	dmp := gpu.UploadMSVProfile(dev, pl.MSV)
+	msvRep, err := searcher.MSVSearch(dmp, ddb)
+	if err != nil {
+		return nil, err
+	}
+	result.MSV.Wall = time.Since(start)
+	result.MSV.In = db.NumSeqs()
+	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
+	extra.MSVReport = msvRep
+
+	msvBits := make(map[int]float64)
+	var msvSurvivors []int
+	for i, res := range msvRep.Results {
+		if pl.msvPass(res) {
+			msvSurvivors = append(msvSurvivors, i)
+			msvBits[i] = bitsOf(res)
+		}
+	}
+	result.MSV.Out = len(msvSurvivors)
+
+	start = time.Now()
+	sub := subDatabase(db, msvSurvivors)
+	subDev := gpu.UploadDB(dev, sub)
+	dvp := gpu.UploadVitProfile(dev, pl.Vit)
+	var vitSurvivors []int
+	vitBits := make(map[int]float64)
+	if sub.NumSeqs() > 0 {
+		vitRep, err := searcher.ViterbiSearch(dvp, subDev)
+		if err != nil {
+			return nil, err
+		}
+		extra.VitReport = vitRep
+		for j, res := range vitRep.Results {
+			if pl.vitPass(res) {
+				idx := msvSurvivors[j]
+				vitSurvivors = append(vitSurvivors, idx)
+				vitBits[idx] = bitsOf(res)
+			}
+		}
+	}
+	result.Viterbi.Wall = time.Since(start)
+	result.Viterbi.In = len(msvSurvivors)
+	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
+	result.Viterbi.Out = len(vitSurvivors)
+
+	if pl.Opts.GPUForward && !pl.Opts.SkipForward {
+		if err := pl.gpuForward(dev, searcher, db, vitSurvivors, msvBits, vitBits, result, extra); err != nil {
+			return nil, err
+		}
+	} else {
+		pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	}
+	result.Extra = extra
+	return result, nil
+}
+
+// gpuForward runs the Forward stage on the device (the heterogeneous
+// extension): scores come from the float32 kernel, thresholds and
+// E-values from the same calibrated exponential tail.
+func (pl *Pipeline) gpuForward(dev *simt.Device, searcher *gpu.Searcher, db *seq.Database,
+	survivors []int, msvBits, vitBits map[int]float64, result *Result, extra *GPUExtra) error {
+
+	start := time.Now()
+	result.Forward.In = len(survivors)
+	if len(survivors) == 0 {
+		return nil
+	}
+	sub := subDatabase(db, survivors)
+	ddb := gpu.UploadDB(dev, sub)
+	fp := gpu.UploadFwdProfile(dev, pl.Prof)
+	rep, scores, err := searcher.ForwardSearch(fp, ddb)
+	if err != nil {
+		return err
+	}
+	extra.FwdReport = rep
+	result.Forward.Cells = sub.TotalResidues() * int64(pl.Prof.M)
+	for j, idx := range survivors {
+		dsq := db.Seqs[idx].Residues
+		fwdNats := scores[j].Score
+		po := pl.maybeDecode(dsq)
+		if pl.Opts.UseNull2 && po != nil {
+			fwdNats -= refimpl.Null2Correction(pl.Prof, dsq, po)
+		}
+		fwdBits := stats.BitsFromNats(fwdNats)
+		pv := pl.FwdExp.Surv(fwdBits)
+		if pv > pl.Opts.Thresholds.Forward {
+			continue
+		}
+		hit := Hit{
+			Index:   idx,
+			Name:    db.Seqs[idx].Name,
+			MSVBits: msvBits[idx],
+			VitBits: vitBits[idx],
+			FwdBits: fwdBits,
+			PValue:  pv,
+			EValue:  stats.EValue(pv, db.NumSeqs()),
+		}
+		pl.annotate(&hit, dsq, po)
+		result.Hits = append(result.Hits, hit)
+	}
+	result.Forward.Out = len(result.Hits)
+	result.Forward.Wall = time.Since(start)
+	sort.Slice(result.Hits, func(i, j int) bool {
+		if result.Hits[i].EValue != result.Hits[j].EValue {
+			return result.Hits[i].EValue < result.Hits[j].EValue
+		}
+		return result.Hits[i].Index < result.Hits[j].Index
+	})
+	return nil
+}
+
+// MultiGPUExtra carries the per-device reports.
+type MultiGPUExtra struct {
+	MSV *gpu.MultiReport
+	Vit *gpu.MultiReport
+}
+
+// RunMultiGPU executes the filter stages across all devices of a
+// system (the paper's 4x GTX 580 configuration).
+func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	ms := &gpu.MultiSearcher{Sys: sys, Mem: mem, HostWorkers: pl.Opts.Workers}
+	result := &Result{}
+	extra := &MultiGPUExtra{}
+
+	msvRep, err := ms.MSVSearch(pl.MSV, db)
+	if err != nil {
+		return nil, err
+	}
+	extra.MSV = msvRep
+	result.MSV.In = db.NumSeqs()
+	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
+
+	msvBits := make(map[int]float64)
+	var msvSurvivors []int
+	for i, res := range msvRep.Results {
+		if pl.msvPass(res) {
+			msvSurvivors = append(msvSurvivors, i)
+			msvBits[i] = bitsOf(res)
+		}
+	}
+	result.MSV.Out = len(msvSurvivors)
+
+	sub := subDatabase(db, msvSurvivors)
+	var vitSurvivors []int
+	vitBits := make(map[int]float64)
+	if sub.NumSeqs() > 0 {
+		vitRep, err := ms.ViterbiSearch(pl.Vit, sub)
+		if err != nil {
+			return nil, err
+		}
+		extra.Vit = vitRep
+		for j, res := range vitRep.Results {
+			if pl.vitPass(res) {
+				idx := msvSurvivors[j]
+				vitSurvivors = append(vitSurvivors, idx)
+				vitBits[idx] = bitsOf(res)
+			}
+		}
+	}
+	result.Viterbi.In = len(msvSurvivors)
+	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
+	result.Viterbi.Out = len(vitSurvivors)
+
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	result.Extra = extra
+	return result, nil
+}
+
+// subDatabase builds a view holding the sequences at the given indexes.
+func subDatabase(db *seq.Database, idx []int) *seq.Database {
+	sub := seq.NewDatabase(db.Name + "-survivors")
+	for _, i := range idx {
+		sub.Add(db.Seqs[i])
+	}
+	return sub
+}

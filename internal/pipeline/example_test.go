@@ -1,0 +1,40 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/simt"
+	"hmmer3gpu/internal/workload"
+)
+
+// Example runs the three-stage hmmsearch pipeline on a simulated GPU
+// against a small synthetic database with planted homologs.
+func Example() {
+	abc := alphabet.New()
+	query, err := workload.Model("family", 80, abc, 3)
+	if err != nil {
+		panic(err)
+	}
+	spec := workload.EnvnrLike(0.0001, 4)
+	spec.HomologFrac = 0.05
+	db, err := workload.Generate(spec, query, abc)
+	if err != nil {
+		panic(err)
+	}
+
+	pl, err := pipeline.New(query, int(db.MeanLen()), pipeline.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	res, err := pl.RunGPU(simt.NewDevice(simt.TeslaK40()), gpu.MemAuto, db)
+	if err != nil {
+		panic(err)
+	}
+
+	planted := int(0.05*float64(db.NumSeqs()) + 0.5)
+	fmt.Printf("recovered all planted homologs: %v\n", len(res.Hits) >= planted)
+	// Output: recovered all planted homologs: true
+}

@@ -1,0 +1,324 @@
+// Package pipeline implements the HMMER 3.0 hmmsearch acceleration
+// pipeline of Figure 1: the MSV filter screens every target sequence,
+// survivors pass to the P7Viterbi filter, and only the small remainder
+// reaches the full-precision Forward scoring stage. Stage thresholds
+// are P-values over calibrated score distributions (Gumbel for the
+// optimal-alignment filters, exponential tail for Forward), following
+// the lambda = log 2 conjecture that lets Viterbi-style scores
+// pre-screen for Forward scores.
+//
+// Documented simplifications relative to HMMER 3.0 (applied to every
+// engine, so cross-engine comparisons remain exact): no bias
+// composition filter between MSV and Viterbi, no domain
+// post-processing after Forward, and the length model is configured
+// once for the database's mean sequence length rather than per target
+// (calibration uses the same length, keeping P-values consistent).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/refimpl"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/stats"
+)
+
+// Thresholds are the stage P-value cutoffs; Default matches HMMER3's
+// --F1/--F2/--F3 defaults.
+type Thresholds struct {
+	MSV     float64
+	Viterbi float64
+	Forward float64
+}
+
+// DefaultThresholds returns HMMER3's defaults: 0.02 / 1e-3 / 1e-5.
+// With these, ~2% of random sequences survive MSV and ~0.1% survive
+// Viterbi — the fractions of the paper's Figure 1.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MSV: 0.02, Viterbi: 1e-3, Forward: 1e-5}
+}
+
+// Options configures a pipeline.
+type Options struct {
+	Thresholds Thresholds
+	// Workers bounds host-side parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Calibration controls the random-sequence score calibration.
+	Calibration stats.CalibrateOptions
+	// SkipForward disables the Forward stage (and its calibration);
+	// the benchmark harness uses this because the paper's speedup
+	// figures cover the MSV and Viterbi stages only.
+	SkipForward bool
+	// GPUForward runs the Forward stage on the device too (the §VI
+	// heterogeneous-acceleration extension) instead of the host;
+	// applies to RunGPU only. Scores are float32 on the device, so
+	// P-values can differ in the last digits from the CPU engine.
+	GPUForward bool
+	// ComputeAlignments attaches Viterbi-traceback domain alignments
+	// and posterior envelopes to each hit (O(L*M) memory per hit;
+	// skipped for hits beyond AlignmentCellCap DP cells).
+	ComputeAlignments bool
+	// UseNull2 applies HMMER's biased-composition score correction to
+	// Forward scores before thresholding (posterior decode per
+	// survivor; subject to the same AlignmentCellCap).
+	UseNull2 bool
+	// AlignmentCellCap bounds the alignment matrices; 0 means the
+	// 10M-cell default.
+	AlignmentCellCap int64
+}
+
+// DefaultOptions returns standard settings.
+func DefaultOptions() Options {
+	return Options{
+		Thresholds:  DefaultThresholds(),
+		Calibration: stats.DefaultCalibration(),
+	}
+}
+
+// Hit is one sequence that survived all three stages.
+type Hit struct {
+	// Index is the sequence's database index; Name its identifier.
+	Index int
+	Name  string
+	// MSVBits, VitBits and FwdBits are the stage bit scores.
+	MSVBits float64
+	VitBits float64
+	FwdBits float64
+	// PValue and EValue are derived from the Forward score.
+	PValue float64
+	EValue float64
+	// Domains holds the optimal-alignment rendering per domain and
+	// Envelopes the posterior-decoded domain extents (only when
+	// Options.ComputeAlignments is set).
+	Domains   []refimpl.DomainAlignment
+	Envelopes []refimpl.Envelope
+}
+
+// StageStats records one stage's filtering behaviour plus its modelled
+// baseline cost (used for the Figure 1 time split).
+type StageStats struct {
+	// In and Out are the sequence counts entering and surviving.
+	In, Out int
+	// Cells is the number of DP cells the stage processed.
+	Cells int64
+	// Wall is the measured wall-clock time of this stage in this run.
+	Wall time.Duration
+}
+
+// PassFraction returns Out/In (0 when the stage saw nothing).
+func (s StageStats) PassFraction() float64 {
+	if s.In == 0 {
+		return 0
+	}
+	return float64(s.Out) / float64(s.In)
+}
+
+// Result is the outcome of one database search.
+type Result struct {
+	// Hits are the surviving sequences, best E-value first.
+	Hits []Hit
+	// MSV, Viterbi and Forward are the per-stage statistics.
+	MSV, Viterbi, Forward StageStats
+	// Extra carries engine-specific reports (e.g. GPU launch reports);
+	// see the engine constructors.
+	Extra any
+}
+
+// Pipeline is a configured, calibrated search for one query model.
+type Pipeline struct {
+	Prof *profile.Profile
+	MSV  *profile.MSVProfile
+	Vit  *profile.VitProfile
+
+	// consensus holds the query's consensus residues for alignment
+	// rendering.
+	consensus []byte
+
+	MSVGumbel stats.Gumbel
+	VitGumbel stats.Gumbel
+	FwdExp    stats.Exponential
+
+	Opts Options
+}
+
+// New configures and calibrates a pipeline for query model h against
+// targets of typical length targetLen.
+func New(h *hmm.Plan7, targetLen int, opts Options) (*Pipeline, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if targetLen < 1 {
+		return nil, fmt.Errorf("pipeline: target length %d < 1", targetLen)
+	}
+	p := profile.Config(h)
+	p.SetLength(targetLen)
+	pl := &Pipeline{
+		Prof:      p,
+		MSV:       profile.NewMSVProfile(p),
+		Vit:       profile.NewVitProfile(p),
+		consensus: h.Consensus(),
+		Opts:      opts,
+	}
+	if err := pl.calibrate(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// calibrate fits the three score distributions by random-sequence
+// simulation using the same scorers the pipeline will apply.
+func (pl *Pipeline) calibrate() error {
+	bg := pl.Prof.Abc.Backgrounds()
+	opts := pl.Opts.Calibration
+	var err error
+
+	// The calibration length must match the scoring configuration; we
+	// deliberately calibrate at the pipeline's configured length
+	// rather than HMMER's fixed L=100 (see the package comment).
+	opts.L = pl.Prof.L
+
+	msvEng := cpu.NewMSVEngine(pl.MSV)
+	pl.MSVGumbel, err = stats.CalibrateGumbel(func(dsq []byte) float64 {
+		return stats.BitsFromNats(msvEng.Filter(dsq).Score)
+	}, bg, opts)
+	if err != nil {
+		return fmt.Errorf("pipeline: MSV calibration: %w", err)
+	}
+	opts.Seed++
+	vitEng := cpu.NewVitEngine(pl.Vit)
+	pl.VitGumbel, err = stats.CalibrateGumbel(func(dsq []byte) float64 {
+		return stats.BitsFromNats(vitEng.Filter(dsq).Score)
+	}, bg, opts)
+	if err != nil {
+		return fmt.Errorf("pipeline: Viterbi calibration: %w", err)
+	}
+	if pl.Opts.SkipForward {
+		return nil
+	}
+	opts.Seed++
+	pl.FwdExp, err = stats.CalibrateExponential(func(dsq []byte) float64 {
+		return stats.BitsFromNats(refimpl.Forward(pl.Prof, dsq))
+	}, bg, opts)
+	if err != nil {
+		return fmt.Errorf("pipeline: Forward calibration: %w", err)
+	}
+	return nil
+}
+
+// msvPass reports whether an MSV filter result survives the threshold.
+func (pl *Pipeline) msvPass(res cpu.FilterResult) bool {
+	if res.Overflowed {
+		return true
+	}
+	return pl.MSVGumbel.Surv(stats.BitsFromNats(res.Score)) <= pl.Opts.Thresholds.MSV
+}
+
+// vitPass reports whether a Viterbi filter result survives.
+func (pl *Pipeline) vitPass(res cpu.FilterResult) bool {
+	if res.Overflowed {
+		return true
+	}
+	return pl.VitGumbel.Surv(stats.BitsFromNats(res.Score)) <= pl.Opts.Thresholds.Viterbi
+}
+
+// finishForward runs the Forward stage over the Viterbi survivors and
+// assembles the final result. msvRes and vitRes are indexed like the
+// corresponding id slices.
+func (pl *Pipeline) finishForward(db *seq.Database, survivors []int,
+	msvBits, vitBits map[int]float64, result *Result) {
+
+	start := time.Now()
+	result.Forward.In = len(survivors)
+	if pl.Opts.SkipForward {
+		return
+	}
+	for _, idx := range survivors {
+		dsq := db.Seqs[idx].Residues
+		result.Forward.Cells += int64(len(dsq)) * int64(pl.Prof.M)
+		fwdNats := refimpl.Forward(pl.Prof, dsq)
+		po := pl.maybeDecode(dsq)
+		if pl.Opts.UseNull2 && po != nil {
+			fwdNats -= refimpl.Null2Correction(pl.Prof, dsq, po)
+		}
+		fwdBits := stats.BitsFromNats(fwdNats)
+		pv := pl.FwdExp.Surv(fwdBits)
+		if pv > pl.Opts.Thresholds.Forward {
+			continue
+		}
+		hit := Hit{
+			Index:   idx,
+			Name:    db.Seqs[idx].Name,
+			MSVBits: msvBits[idx],
+			VitBits: vitBits[idx],
+			FwdBits: fwdBits,
+			PValue:  pv,
+			EValue:  stats.EValue(pv, db.NumSeqs()),
+		}
+		pl.annotate(&hit, dsq, po)
+		result.Hits = append(result.Hits, hit)
+	}
+	result.Forward.Out = len(result.Hits)
+	result.Forward.Wall = time.Since(start)
+	sort.Slice(result.Hits, func(i, j int) bool {
+		if result.Hits[i].EValue != result.Hits[j].EValue {
+			return result.Hits[i].EValue < result.Hits[j].EValue
+		}
+		return result.Hits[i].Index < result.Hits[j].Index
+	})
+}
+
+// cellCap returns the alignment/decoding matrix budget.
+func (pl *Pipeline) cellCap() int64 {
+	if pl.Opts.AlignmentCellCap > 0 {
+		return pl.Opts.AlignmentCellCap
+	}
+	return 10_000_000
+}
+
+// maybeDecode runs posterior decoding when any consumer (null2 or
+// alignment annotation) needs it and the matrices fit the cap.
+func (pl *Pipeline) maybeDecode(dsq []byte) *refimpl.Posterior {
+	if !pl.Opts.UseNull2 && !pl.Opts.ComputeAlignments {
+		return nil
+	}
+	if int64(len(dsq))*int64(pl.Prof.M) > pl.cellCap() {
+		return nil
+	}
+	po, err := refimpl.PosteriorDecode(pl.Prof, dsq)
+	if err != nil {
+		return nil
+	}
+	return po
+}
+
+// annotate attaches domain alignments and posterior envelopes to a
+// hit when alignment output is enabled and the matrices fit the cap.
+func (pl *Pipeline) annotate(hit *Hit, dsq []byte, po *refimpl.Posterior) {
+	if !pl.Opts.ComputeAlignments {
+		return
+	}
+	if int64(len(dsq))*int64(pl.Prof.M) > pl.cellCap() {
+		return
+	}
+	if tr, err := refimpl.ViterbiTrace(pl.Prof, dsq); err == nil {
+		hit.Domains = tr.Alignments(pl.Prof, dsq, pl.consensus, pl.Prof.Abc)
+	}
+	if po != nil {
+		hit.Envelopes = po.Envelopes(0.5)
+	}
+}
+
+// bitsOf converts a filter result to a bit score for reporting
+// (+Inf overflow becomes a large sentinel).
+func bitsOf(res cpu.FilterResult) float64 {
+	if res.Overflowed {
+		return math.Inf(1)
+	}
+	return stats.BitsFromNats(res.Score)
+}

@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"io"
+	"sort"
+
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/stats"
+)
+
+// RunCPUStream searches a FASTA stream with the CPU engine in batches
+// of batchSize sequences, so the database never needs to fit in memory
+// (the paper's Env_nr holds 6.5M sequences). Stage statistics are
+// merged across batches; E-values are computed against the final total
+// sequence count and the hit list is re-sorted at the end. Hit indexes
+// are global (position in the stream).
+func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
+	final := &Result{}
+	offset := 0
+	err := seq.StreamFASTA(r, pl.Prof.Abc, batchSize, func(batch *seq.Database) error {
+		res, err := pl.RunCPU(batch)
+		if err != nil {
+			return err
+		}
+		mergeStage(&final.MSV, res.MSV)
+		mergeStage(&final.Viterbi, res.Viterbi)
+		mergeStage(&final.Forward, res.Forward)
+		for _, h := range res.Hits {
+			h.Index += offset
+			final.Hits = append(final.Hits, h)
+		}
+		offset += batch.NumSeqs()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// E-values were computed per batch; rescale to the full stream.
+	for i := range final.Hits {
+		final.Hits[i].EValue = stats.EValue(final.Hits[i].PValue, offset)
+	}
+	sort.Slice(final.Hits, func(i, j int) bool {
+		if final.Hits[i].EValue != final.Hits[j].EValue {
+			return final.Hits[i].EValue < final.Hits[j].EValue
+		}
+		return final.Hits[i].Index < final.Hits[j].Index
+	})
+	return final, nil
+}
+
+func mergeStage(dst *StageStats, src StageStats) {
+	dst.In += src.In
+	dst.Out += src.Out
+	dst.Cells += src.Cells
+	dst.Wall += src.Wall
+}

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/satmath"
+)
+
+// Viterbi filter quantisation. Scores are signed 16-bit words at
+// VitScale units per nat, with satmath.NegInf16 standing in for minus
+// infinity. The representable range (±~218 nats) covers everything
+// short of extremely strong hits; those saturate high and the filter
+// reports +inf, passing the sequence onward — the same behaviour as
+// HMMER3's ViterbiFilter.
+const (
+	// VitScale is the number of word units per nat.
+	VitScale = 150.0
+	// vitNatCorrection mirrors the MSV filter's N/C/J loop correction.
+	vitNatCorrection = 3.0
+)
+
+// VitProfile is the 16-bit quantised profile for the P7Viterbi filter.
+type VitProfile struct {
+	Name string
+	M    int
+
+	// MatUnit[r][k] is the quantised match emission log-odds for
+	// residue code r at node k (NegInf16 for gap-like codes and k=0).
+	// Insert emission scores are zero by construction and not stored.
+	MatUnit [][]int16
+
+	// Quantised transition scores out of node k (same indexing as
+	// Profile: TMM[k] is M_k -> M_{k+1}).
+	TMM, TMI, TMD, TIM, TII, TDM, TDD []int16
+
+	// TBM is the quantised uniform local entry score (negative).
+	TBM int16
+	// TEC and TEJ are the E->C / E->J scores (ln 0.5).
+	TEC, TEJ int16
+	// TMove is the N->B / J->B / C->T move score; set by SetLength.
+	TMove int16
+	// L is the configured target length.
+	L int
+	// TMoveNats keeps the exact move score for the final conversion.
+	TMoveNats float64
+}
+
+// NewVitProfile quantises a configured search profile for the 16-bit
+// Viterbi filter.
+func NewVitProfile(p *Profile) *VitProfile {
+	vp := &VitProfile{Name: p.Name, M: p.M}
+	vp.MatUnit = make([][]int16, p.Abc.SizeAll())
+	for r := range vp.MatUnit {
+		row := make([]int16, p.M+1)
+		row[0] = satmath.NegInf16
+		for k := 1; k <= p.M; k++ {
+			row[k] = vitUnits(p.MSC[r][k])
+		}
+		vp.MatUnit[r] = row
+	}
+	quant := func(src []float64) []int16 {
+		out := make([]int16, len(src))
+		for i, v := range src {
+			out[i] = vitUnits(v)
+		}
+		return out
+	}
+	vp.TMM, vp.TMI, vp.TMD = quant(p.TMM), quant(p.TMI), quant(p.TMD)
+	vp.TIM, vp.TII = quant(p.TIM), quant(p.TII)
+	vp.TDM, vp.TDD = quant(p.TDM), quant(p.TDD)
+	vp.TBM = vitUnits(p.TBM)
+	vp.TEC = vitUnits(p.TEC)
+	vp.TEJ = vitUnits(p.TEJ)
+	if p.L > 0 {
+		vp.SetLength(p.L)
+	}
+	return vp
+}
+
+// SetLength configures the length-dependent move score.
+func (vp *VitProfile) SetLength(L int) {
+	vp.L = L
+	fl := float64(L)
+	vp.TMoveNats = math.Log(3 / (fl + 3))
+	vp.TMove = vitUnits(vp.TMoveNats)
+}
+
+// ScoreToNats converts a final filter xC word back to a natural-log
+// score, including the terminal move cost and the loop correction.
+func (vp *VitProfile) ScoreToNats(xC int16) float64 {
+	return (float64(xC)+float64(vp.TMove))/VitScale - vitNatCorrection
+}
+
+// Overflowed reports whether a final xC value hit the top of the
+// 16-bit range, in which case the true score is unrepresentable and
+// the filter must report +inf.
+func Overflowed(xC int16) bool { return xC >= 32767 }
+
+// MatchUnit returns the quantised match score for residue r at node k,
+// tolerating out-of-range codes (NegInf16).
+func (vp *VitProfile) MatchUnit(r byte, k int) int16 {
+	if int(r) >= len(vp.MatUnit) || k < 1 || k > vp.M {
+		return satmath.NegInf16
+	}
+	return vp.MatUnit[r][k]
+}
+
+// vitUnits quantises a nat score to 16-bit units, clamping to the
+// representable range with NegInf16 reserved for minus infinity.
+func vitUnits(sc float64) int16 {
+	if math.IsInf(sc, -1) {
+		return satmath.NegInf16
+	}
+	u := math.Round(sc * VitScale)
+	if u <= -32768 {
+		return -32767 // keep NegInf16 distinct from very bad finite scores
+	}
+	if u > 32767 {
+		return 32767
+	}
+	return int16(u)
+}

@@ -1,0 +1,56 @@
+package refimpl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGenericViterbi(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := testProfile(b, 100, 1)
+	p.SetLength(200)
+	dsq := randomSeq(rng, 200)
+	b.SetBytes(int64(100 * 200))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Viterbi(p, dsq)
+	}
+}
+
+func BenchmarkGenericForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := testProfile(b, 100, 2)
+	p.SetLength(200)
+	dsq := randomSeq(rng, 200)
+	b.SetBytes(int64(100 * 200))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(p, dsq)
+	}
+}
+
+func BenchmarkViterbiTrace(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := testProfile(b, 100, 3)
+	p.SetLength(200)
+	dsq := randomSeq(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ViterbiTrace(p, dsq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPosteriorDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	p := testProfile(b, 100, 4)
+	p.SetLength(200)
+	dsq := randomSeq(rng, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PosteriorDecode(p, dsq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package refimpl
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/profile"
+)
+
+// Null2 biased-composition correction, after HMMER3's null2 model:
+// low-complexity targets (poly-amino-acid runs, coiled coils) can
+// reach high log-odds scores against the standard background simply
+// because their composition matches the model's better than the
+// background does. The second null hypothesis re-scores the aligned
+// residues against the model's own posterior-weighted average emission
+// distribution; a biased model/target pair loses its compositional
+// advantage while a genuine homolog of a diverse model is barely
+// touched (its null2 is close to the background). The omega prior
+// keeps small, noisy corrections from moving scores at all.
+
+// null2Omega is the prior probability of the null2 hypothesis
+// (HMMER's default is 1/8).
+const null2Omega = 1.0 / 8.0
+
+// Null2Correction returns the score correction in nats (>= 0) to be
+// subtracted from a Forward score, given the target's posterior
+// decoding.
+func Null2Correction(p *profile.Profile, dsq []byte, po *Posterior) float64 {
+	abc := p.Abc
+	bg := abc.Backgrounds()
+	K := abc.Size()
+
+	// null2[r]: the model's expected emission distribution over the
+	// states the alignment actually used. Match state k emits with
+	// probability bg[r]*exp(MSC[r][k]); insert states emit the
+	// background.
+	var totalUse float64
+	null2 := make([]float64, K)
+	for k := 1; k <= p.M; k++ {
+		u := po.MatchUsage[k]
+		if u <= 0 {
+			continue
+		}
+		totalUse += u
+		for r := 0; r < K; r++ {
+			sc := p.MSC[r][k]
+			if math.IsInf(sc, -1) {
+				continue
+			}
+			null2[r] += u * bg[r] * math.Exp(sc)
+		}
+	}
+	if po.InsertUsage > 0 {
+		totalUse += po.InsertUsage
+		for r := 0; r < K; r++ {
+			null2[r] += po.InsertUsage * bg[r]
+		}
+	}
+	if totalUse <= 0 {
+		return 0
+	}
+	for r := 0; r < K; r++ {
+		null2[r] /= totalUse
+	}
+
+	// The aligned residues' log advantage under null2, posterior
+	// weighted; degenerate residues marginalise over their expansion.
+	raw := 0.0
+	for i, w := range po.InModel {
+		if w <= 0 {
+			continue
+		}
+		exp := abc.Expand(dsq[i])
+		if len(exp) == 0 {
+			continue
+		}
+		var n2, n1 float64
+		for _, r := range exp {
+			n2 += bg[r] * null2[r]
+			n1 += bg[r] * bg[r]
+		}
+		raw += w * math.Log(n2/n1)
+	}
+
+	// Fold with the omega prior: ln((1-w) + w*exp(raw)). Noise-level
+	// raw corrections vanish; large ones pass through minus ln(1/w).
+	corr := logSum(math.Log(1-null2Omega), math.Log(null2Omega)+raw)
+	if corr < 0 || math.IsNaN(corr) {
+		return 0
+	}
+	return corr
+}

@@ -1,0 +1,252 @@
+// Package refimpl holds the full-precision (float64) generic dynamic
+// programming implementations of the HMMER3 scoring algorithms: MSV,
+// Viterbi, Forward and Backward. They are deliberately simple — row
+// matrices, no vectorisation — and serve as the ground truth every
+// optimised engine (striped CPU filters, GPU kernels) is validated
+// against.
+package refimpl
+
+import (
+	"math"
+
+	"hmmer3gpu/internal/profile"
+)
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max4(a, b, c, d float64) float64 {
+	return max2(max2(a, b), max2(c, d))
+}
+
+// logSum returns ln(exp(a)+exp(b)) stably.
+func logSum(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// MSV computes the full-precision Multiple Segment Viterbi score (nats)
+// of dsq against the profile. The profile must have SetLength applied
+// for the target's length.
+func MSV(p *profile.Profile, dsq []byte) float64 {
+	m := p.M
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for k := range prev {
+		prev[k] = profile.NegInf
+	}
+	xN := 0.0
+	xB := p.TMove
+	xJ, xC := profile.NegInf, profile.NegInf
+
+	for i := 0; i < len(dsq); i++ {
+		msc := p.MSC[dsq[i]]
+		xE := profile.NegInf
+		cur[0] = profile.NegInf
+		for k := 1; k <= m; k++ {
+			sc := max2(prev[k-1], xB+p.TBM) + msc[k]
+			cur[k] = sc
+			xE = max2(xE, sc)
+		}
+		xJ = max2(xJ+p.TLoop, xE+p.TEJ)
+		xC = max2(xC+p.TLoop, xE+p.TEC)
+		xN += p.TLoop
+		xB = max2(xN, xJ) + p.TMove
+		prev, cur = cur, prev
+	}
+	return xC + p.TMove
+}
+
+// Viterbi computes the full-precision P7Viterbi score (nats) of dsq
+// against the profile (multihit local mode).
+func Viterbi(p *profile.Profile, dsq []byte) float64 {
+	m := p.M
+	type row struct{ mx, ix, dx []float64 }
+	newRow := func() row {
+		r := row{
+			mx: make([]float64, m+1),
+			ix: make([]float64, m+1),
+			dx: make([]float64, m+1),
+		}
+		for k := 0; k <= m; k++ {
+			r.mx[k], r.ix[k], r.dx[k] = profile.NegInf, profile.NegInf, profile.NegInf
+		}
+		return r
+	}
+	prev, cur := newRow(), newRow()
+	xN := 0.0
+	xB := p.TMove
+	xJ, xC := profile.NegInf, profile.NegInf
+
+	for i := 0; i < len(dsq); i++ {
+		msc := p.MSC[dsq[i]]
+		xE := profile.NegInf
+		cur.mx[0], cur.ix[0], cur.dx[0] = profile.NegInf, profile.NegInf, profile.NegInf
+		for k := 1; k <= m; k++ {
+			mv := max4(
+				prev.mx[k-1]+p.TMM[k-1],
+				prev.ix[k-1]+p.TIM[k-1],
+				prev.dx[k-1]+p.TDM[k-1],
+				xB+p.TBM,
+			) + msc[k]
+			cur.mx[k] = mv
+			// Insert state (emission score 0 in local mode).
+			cur.ix[k] = max2(prev.mx[k]+p.TMI[k], prev.ix[k]+p.TII[k])
+			// Delete state: within-row dependency.
+			cur.dx[k] = max2(cur.mx[k-1]+p.TMD[k-1], cur.dx[k-1]+p.TDD[k-1])
+			xE = max2(xE, mv)
+		}
+		xE = max2(xE, cur.dx[m]) // local exit from D_M
+		xJ = max2(xJ+p.TLoop, xE+p.TEJ)
+		xC = max2(xC+p.TLoop, xE+p.TEC)
+		xN += p.TLoop
+		xB = max2(xN, xJ) + p.TMove
+		prev, cur = cur, prev
+	}
+	return xC + p.TMove
+}
+
+// Forward computes the full-precision Forward score (nats): the total
+// log-likelihood ratio summed over all alignments, the scoring system
+// HMMER 3.0 introduced over optimal-alignment Viterbi scores.
+func Forward(p *profile.Profile, dsq []byte) float64 {
+	m := p.M
+	type row struct{ mx, ix, dx []float64 }
+	newRow := func() row {
+		r := row{
+			mx: make([]float64, m+1),
+			ix: make([]float64, m+1),
+			dx: make([]float64, m+1),
+		}
+		for k := 0; k <= m; k++ {
+			r.mx[k], r.ix[k], r.dx[k] = profile.NegInf, profile.NegInf, profile.NegInf
+		}
+		return r
+	}
+	prev, cur := newRow(), newRow()
+	xN := 0.0
+	xB := p.TMove
+	xJ, xC := profile.NegInf, profile.NegInf
+
+	for i := 0; i < len(dsq); i++ {
+		msc := p.MSC[dsq[i]]
+		xE := profile.NegInf
+		cur.mx[0], cur.ix[0], cur.dx[0] = profile.NegInf, profile.NegInf, profile.NegInf
+		for k := 1; k <= m; k++ {
+			mv := logSum(
+				logSum(prev.mx[k-1]+p.TMM[k-1], prev.ix[k-1]+p.TIM[k-1]),
+				logSum(prev.dx[k-1]+p.TDM[k-1], xB+p.TBM),
+			) + msc[k]
+			cur.mx[k] = mv
+			cur.ix[k] = logSum(prev.mx[k]+p.TMI[k], prev.ix[k]+p.TII[k])
+			cur.dx[k] = logSum(cur.mx[k-1]+p.TMD[k-1], cur.dx[k-1]+p.TDD[k-1])
+			xE = logSum(xE, mv)
+		}
+		xE = logSum(xE, cur.dx[m])
+		xJ = logSum(xJ+p.TLoop, xE+p.TEJ)
+		xC = logSum(xC+p.TLoop, xE+p.TEC)
+		xN += p.TLoop
+		xB = logSum(xN, xJ) + p.TMove
+		prev, cur = cur, prev
+	}
+	return xC + p.TMove
+}
+
+// Backward computes the full-precision Backward score (nats). For a
+// correct implementation Backward(dsq) == Forward(dsq) up to floating
+// point error; the pair is the basis of posterior decoding in the
+// Forward-Backward stage of the pipeline.
+func Backward(p *profile.Profile, dsq []byte) float64 {
+	m := p.M
+	L := len(dsq)
+	type row struct{ mx, ix, dx []float64 }
+	newRow := func() row {
+		r := row{
+			mx: make([]float64, m+2),
+			ix: make([]float64, m+2),
+			dx: make([]float64, m+2),
+		}
+		for k := range r.mx {
+			r.mx[k], r.ix[k], r.dx[k] = profile.NegInf, profile.NegInf, profile.NegInf
+		}
+		return r
+	}
+	next, cur := newRow(), newRow()
+
+	// Special states at position i, computed backwards. At i = L:
+	xC := p.TMove // C -> T
+	xJ := profile.NegInf
+	xB := profile.NegInf
+	xE := logSum(p.TEC+xC, p.TEJ+xJ)
+	xN := logSum(p.TMove+xB, profile.NegInf)
+
+	// Row L: no residues remain, so match states can only exit locally
+	// through E, possibly after deleting through to D_M.
+	for k := m; k >= 1; k-- {
+		if k == m {
+			cur.dx[k] = xE // D_M -> E
+		} else {
+			cur.dx[k] = p.TDD[k] + cur.dx[k+1]
+		}
+		cur.mx[k] = logSum(xE, p.TMD[k]+cur.dx[k+1])
+		cur.ix[k] = profile.NegInf
+	}
+
+	for i := L - 1; i >= 0; i-- {
+		// Entering M_k at DP row i+1 emits dsq[i] (0-based), so every
+		// transition from row i into a next-row match state carries the
+		// msc term over dsq[i].
+		msc := p.MSC[dsq[i]]
+		next, cur = cur, next
+
+		// Specials at position i (order matters: B before J/N, E last).
+		xB = profile.NegInf
+		for k := 1; k <= m; k++ {
+			xB = logSum(xB, p.TBM+msc[k]+next.mx[k])
+		}
+		xJ = logSum(p.TMove+xB, p.TLoop+xJ)
+		// C can only reach T once every residue is emitted, so before
+		// time L its only outgoing option is the emitting self-loop.
+		xC = p.TLoop + xC
+		xE = logSum(p.TEC+xC, p.TEJ+xJ)
+		xN = logSum(p.TMove+xB, p.TLoop+xN)
+
+		for k := m; k >= 1; k-- {
+			if k == m {
+				// M_M and D_M can only exit through E.
+				cur.dx[k] = xE
+				cur.mx[k] = xE
+				cur.ix[k] = profile.NegInf
+				continue
+			}
+			cur.dx[k] = logSum(
+				p.TDM[k]+msc[k+1]+next.mx[k+1],
+				p.TDD[k]+cur.dx[k+1],
+			)
+			cur.ix[k] = logSum(
+				p.TIM[k]+msc[k+1]+next.mx[k+1],
+				p.TII[k]+next.ix[k],
+			)
+			cur.mx[k] = logSum(
+				logSum(
+					p.TMM[k]+msc[k+1]+next.mx[k+1],
+					p.TMI[k]+next.ix[k],
+				),
+				logSum(p.TMD[k]+cur.dx[k+1], xE),
+			)
+		}
+	}
+	return xN
+}

@@ -1,0 +1,289 @@
+package refimpl
+
+import (
+	"fmt"
+	"strings"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/profile"
+)
+
+// Viterbi traceback: the optimal state path, used to render hit
+// alignments. Memory is O(L*M) — intended for reporting surviving
+// hits, not for database scanning (that is what the filters are for).
+
+// StateType labels Plan7 states in a trace.
+type StateType int8
+
+// Trace state labels.
+const (
+	StN StateType = iota
+	StB
+	StM
+	StI
+	StD
+	StE
+	StJ
+	StC
+)
+
+func (s StateType) String() string {
+	return [...]string{"N", "B", "M", "I", "D", "E", "J", "C"}[s]
+}
+
+// TraceStep is one state visit: K is the model node (M/I/D states
+// only) and I the 1-based target position whose residue the state
+// emitted (0 for silent states and non-emitting visits).
+type TraceStep struct {
+	State StateType
+	K     int
+	I     int
+}
+
+// Trace is an optimal alignment path with its score.
+type Trace struct {
+	Score float64
+	Steps []TraceStep
+}
+
+// ViterbiTrace computes the Viterbi score with a full dynamic
+// programming matrix and returns the optimal state path. The score
+// equals Viterbi(p, dsq) exactly.
+func ViterbiTrace(p *profile.Profile, dsq []byte) (*Trace, error) {
+	m, L := p.M, len(dsq)
+	if L == 0 {
+		return nil, fmt.Errorf("refimpl: cannot trace an empty sequence")
+	}
+
+	idx := func(i, k int) int { return i*(m+1) + k }
+	mx := make([]float64, (L+1)*(m+1))
+	ix := make([]float64, (L+1)*(m+1))
+	dx := make([]float64, (L+1)*(m+1))
+	for i := range mx {
+		mx[i], ix[i], dx[i] = profile.NegInf, profile.NegInf, profile.NegInf
+	}
+	xN := make([]float64, L+1)
+	xB := make([]float64, L+1)
+	xE := make([]float64, L+1)
+	xJ := make([]float64, L+1)
+	xC := make([]float64, L+1)
+	for i := 0; i <= L; i++ {
+		xN[i], xB[i], xE[i], xJ[i], xC[i] =
+			profile.NegInf, profile.NegInf, profile.NegInf, profile.NegInf, profile.NegInf
+	}
+	xN[0] = 0
+	xB[0] = p.TMove
+
+	for i := 1; i <= L; i++ {
+		msc := p.MSC[dsq[i-1]]
+		for k := 1; k <= m; k++ {
+			mv := max4(
+				mx[idx(i-1, k-1)]+p.TMM[k-1],
+				ix[idx(i-1, k-1)]+p.TIM[k-1],
+				dx[idx(i-1, k-1)]+p.TDM[k-1],
+				xB[i-1]+p.TBM,
+			) + msc[k]
+			mx[idx(i, k)] = mv
+			ix[idx(i, k)] = max2(mx[idx(i-1, k)]+p.TMI[k], ix[idx(i-1, k)]+p.TII[k])
+			dx[idx(i, k)] = max2(mx[idx(i, k-1)]+p.TMD[k-1], dx[idx(i, k-1)]+p.TDD[k-1])
+			if mv > xE[i] {
+				xE[i] = mv
+			}
+		}
+		xE[i] = max2(xE[i], dx[idx(i, m)])
+		xJ[i] = max2(xJ[i-1]+p.TLoop, xE[i]+p.TEJ)
+		xC[i] = max2(xC[i-1]+p.TLoop, xE[i]+p.TEC)
+		xN[i] = xN[i-1] + p.TLoop
+		xB[i] = max2(xN[i], xJ[i]) + p.TMove
+	}
+	score := xC[L] + p.TMove
+
+	// Traceback. Values were computed with the exact expressions below,
+	// so float equality identifies the taken branch.
+	var rev []TraceStep
+	push := func(s StateType, k, i int) { rev = append(rev, TraceStep{s, k, i}) }
+
+	push(StC, 0, 0)
+	stateK := 0
+	i := L
+	cur := StC
+	for !(cur == StN && i == 0) {
+		switch cur {
+		case StC:
+			if xC[i] == xE[i]+p.TEC {
+				cur = StE
+			} else {
+				push(StC, 0, i) // C emitted residue i on its self loop
+				i--
+			}
+		case StJ:
+			if xJ[i] == xE[i]+p.TEJ {
+				cur = StE
+			} else {
+				push(StJ, 0, i)
+				i--
+			}
+		case StE:
+			push(StE, 0, 0)
+			if xE[i] == dx[idx(i, m)] {
+				cur, stateK = StD, m
+				break
+			}
+			for k := m; k >= 1; k-- {
+				if xE[i] == mx[idx(i, k)] {
+					cur, stateK = StM, k
+					break
+				}
+			}
+			if cur == StE {
+				return nil, fmt.Errorf("refimpl: traceback failed at E, i=%d", i)
+			}
+		case StM:
+			push(StM, stateK, i)
+			// Compare candidates in exactly the form the DP computed
+			// them ((candidate) + msc), so float equality is reliable.
+			v := mx[idx(i, stateK)]
+			e := p.MSC[dsq[i-1]][stateK]
+			switch {
+			case v == (xB[i-1]+p.TBM)+e:
+				cur = StB
+			case v == (mx[idx(i-1, stateK-1)]+p.TMM[stateK-1])+e:
+				cur, stateK = StM, stateK-1
+			case v == (ix[idx(i-1, stateK-1)]+p.TIM[stateK-1])+e:
+				cur, stateK = StI, stateK-1
+			case v == (dx[idx(i-1, stateK-1)]+p.TDM[stateK-1])+e:
+				cur, stateK = StD, stateK-1
+			default:
+				return nil, fmt.Errorf("refimpl: traceback failed at M%d, i=%d", stateK, i)
+			}
+			i--
+		case StI:
+			push(StI, stateK, i)
+			v := ix[idx(i, stateK)]
+			if v == mx[idx(i-1, stateK)]+p.TMI[stateK] {
+				cur = StM
+			} else {
+				cur = StI
+			}
+			i--
+		case StD:
+			push(StD, stateK, 0)
+			v := dx[idx(i, stateK)]
+			if v == mx[idx(i, stateK-1)]+p.TMD[stateK-1] {
+				cur, stateK = StM, stateK-1
+			} else {
+				cur, stateK = StD, stateK-1
+			}
+		case StB:
+			push(StB, 0, 0)
+			if xB[i] == xJ[i]+p.TMove {
+				cur = StJ
+			} else {
+				cur = StN
+			}
+		case StN:
+			push(StN, 0, i)
+			i--
+		}
+	}
+	push(StN, 0, 0)
+
+	// Reverse into forward order.
+	steps := make([]TraceStep, len(rev))
+	for j := range rev {
+		steps[j] = rev[len(rev)-1-j]
+	}
+	return &Trace{Score: score, Steps: steps}, nil
+}
+
+// DomainAlignment is one B..E segment of a trace rendered in HMMER's
+// three-line style.
+type DomainAlignment struct {
+	// HMMFrom/HMMTo are the first/last model nodes of the domain;
+	// SeqFrom/SeqTo the 1-based target coordinates.
+	HMMFrom, HMMTo int
+	SeqFrom, SeqTo int
+	// Model, Match and Target are the three alignment display rows.
+	Model  string
+	Match  string
+	Target string
+}
+
+// Alignments renders every domain (B..E pass) of the trace. consensus
+// is the model's consensus residue per node (digital codes).
+func (t *Trace) Alignments(p *profile.Profile, dsq []byte, consensus []byte, abc *alphabet.Alphabet) []DomainAlignment {
+	var out []DomainAlignment
+	var model, match, target strings.Builder
+	var dom *DomainAlignment
+
+	flush := func() {
+		if dom == nil {
+			return
+		}
+		dom.Model = model.String()
+		dom.Match = match.String()
+		dom.Target = target.String()
+		out = append(out, *dom)
+		dom = nil
+		model.Reset()
+		match.Reset()
+		target.Reset()
+	}
+
+	for _, st := range t.Steps {
+		switch st.State {
+		case StB:
+			flush()
+			dom = &DomainAlignment{HMMFrom: -1, SeqFrom: -1}
+		case StE:
+			flush()
+		case StM:
+			if dom == nil {
+				continue
+			}
+			if dom.HMMFrom < 0 {
+				dom.HMMFrom = st.K
+			}
+			if dom.SeqFrom < 0 {
+				dom.SeqFrom = st.I
+			}
+			dom.HMMTo, dom.SeqTo = st.K, st.I
+			c := consensus[st.K-1]
+			r := dsq[st.I-1]
+			model.WriteByte(abc.Symbol(c))
+			target.WriteByte(abc.Symbol(r))
+			switch {
+			case c == r:
+				match.WriteByte(abc.Symbol(c))
+			case p.MSC[r][st.K] > 0:
+				match.WriteByte('+')
+			default:
+				match.WriteByte(' ')
+			}
+		case StI:
+			if dom == nil {
+				continue
+			}
+			if dom.SeqFrom < 0 {
+				dom.SeqFrom = st.I
+			}
+			dom.SeqTo = st.I
+			model.WriteByte('.')
+			match.WriteByte(' ')
+			target.WriteByte(abc.Symbol(dsq[st.I-1]))
+		case StD:
+			if dom == nil {
+				continue
+			}
+			if dom.HMMFrom < 0 {
+				dom.HMMFrom = st.K
+			}
+			dom.HMMTo = st.K
+			model.WriteByte(abc.Symbol(consensus[st.K-1]))
+			match.WriteByte(' ')
+			target.WriteByte('-')
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,336 @@
+package refimpl
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/profile"
+)
+
+func TestViterbiTraceScoreMatchesViterbi(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		m := 5 + rng.Intn(60)
+		L := 10 + rng.Intn(200)
+		p := testProfile(t, m, int64(200+trial))
+		p.SetLength(L)
+		dsq := randomSeq(rng, L)
+		tr, err := ViterbiTrace(p, dsq)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := Viterbi(p, dsq)
+		if tr.Score != want {
+			t.Fatalf("trial %d (M=%d L=%d): trace score %g != Viterbi %g", trial, m, L, tr.Score, want)
+		}
+	}
+}
+
+// TestTracePathConsistency re-scores the traced path step by step; its
+// summed score must equal the Viterbi score, which proves the path is
+// genuine (not just the right number).
+func TestTracePathConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		m := 5 + rng.Intn(40)
+		L := 10 + rng.Intn(120)
+		p := testProfile(t, m, int64(300+trial))
+		p.SetLength(L)
+		dsq := randomSeq(rng, L)
+		tr, err := ViterbiTrace(p, dsq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := scoreTrace(t, p, dsq, tr)
+		if math.Abs(got-tr.Score) > 1e-6*(1+math.Abs(tr.Score)) {
+			t.Fatalf("trial %d: path rescore %g != trace score %g", trial, got, tr.Score)
+		}
+		// Emitting steps must cover each residue exactly once, in order.
+		next := 1
+		for _, st := range tr.Steps {
+			if st.I > 0 {
+				if st.I != next {
+					t.Fatalf("trial %d: emission order broken at %+v (want %d)", trial, st, next)
+				}
+				next++
+			}
+		}
+		if next != L+1 {
+			t.Fatalf("trial %d: %d residues emitted, want %d", trial, next-1, L)
+		}
+	}
+}
+
+// scoreTrace accumulates the model's log probabilities along the path.
+func scoreTrace(t *testing.T, p *profile.Profile, dsq []byte, tr *Trace) float64 {
+	t.Helper()
+	score := 0.0
+	steps := tr.Steps
+	for j := 0; j < len(steps); j++ {
+		st := steps[j]
+		// Emission terms.
+		if st.State == StM {
+			score += p.MSC[dsq[st.I-1]][st.K]
+		}
+		// Transition to the next step.
+		if j+1 >= len(steps) {
+			break
+		}
+		nx := steps[j+1]
+		switch {
+		case st.State == StN && nx.State == StN:
+			score += p.TLoop
+		case st.State == StN && nx.State == StB:
+			score += p.TMove
+		case st.State == StB && nx.State == StM:
+			score += p.TBM
+		case st.State == StM && nx.State == StM:
+			score += p.TMM[st.K]
+		case st.State == StM && nx.State == StI:
+			score += p.TMI[st.K]
+		case st.State == StM && nx.State == StD:
+			score += p.TMD[st.K]
+		case st.State == StI && nx.State == StM:
+			score += p.TIM[st.K]
+		case st.State == StI && nx.State == StI:
+			score += p.TII[st.K]
+		case st.State == StD && nx.State == StM:
+			score += p.TDM[st.K]
+		case st.State == StD && nx.State == StD:
+			score += p.TDD[st.K]
+		case (st.State == StM || st.State == StD) && nx.State == StE:
+			// Local exit, score 0.
+		case st.State == StE && nx.State == StJ:
+			score += p.TEJ
+		case st.State == StE && nx.State == StC:
+			score += p.TEC
+		case st.State == StJ && nx.State == StJ:
+			score += p.TLoop
+		case st.State == StJ && nx.State == StB:
+			score += p.TMove
+		case st.State == StC && nx.State == StC:
+			score += p.TLoop
+		default:
+			t.Fatalf("illegal transition %v -> %v in trace", st.State, nx.State)
+		}
+	}
+	return score + p.TMove // final C -> T
+}
+
+func TestAlignmentsRenderPlantedDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cons := randomSeq(rng, 30)
+	h, err := hmm.FromConsensus("dom", cons, abc,
+		hmm.BuildParams{MatchIdentity: 0.95, GapOpen: 0.005, GapExtend: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Config(h)
+	// Target: random flank + consensus + random flank.
+	target := append(append(append([]byte{}, randomSeq(rng, 20)...), cons...), randomSeq(rng, 25)...)
+	p.SetLength(len(target))
+	tr, err := ViterbiTrace(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligns := tr.Alignments(p, target, h.Consensus(), abc)
+	if len(aligns) != 1 {
+		t.Fatalf("got %d domains, want 1", len(aligns))
+	}
+	a := aligns[0]
+	if a.SeqFrom != 21 || a.SeqTo != 50 {
+		t.Errorf("domain at %d..%d, want 21..50", a.SeqFrom, a.SeqTo)
+	}
+	if a.HMMFrom != 1 || a.HMMTo != 30 {
+		t.Errorf("model span %d..%d, want 1..30", a.HMMFrom, a.HMMTo)
+	}
+	// A perfect consensus hit: the match row equals the model row.
+	if a.Model != a.Target || !strings.EqualFold(a.Match, a.Model) {
+		t.Errorf("alignment rows differ for an exact hit:\n%s\n%s\n%s", a.Model, a.Match, a.Target)
+	}
+	if len(a.Model) != len(a.Match) || len(a.Match) != len(a.Target) {
+		t.Error("alignment rows have unequal lengths")
+	}
+}
+
+func TestAlignmentsMultihit(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cons := randomSeq(rng, 25)
+	h, err := hmm.FromConsensus("two", cons, abc,
+		hmm.BuildParams{MatchIdentity: 0.95, GapOpen: 0.005, GapExtend: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Config(h)
+	target := append(append(append(append([]byte{}, randomSeq(rng, 12)...), cons...),
+		randomSeq(rng, 30)...), cons...)
+	p.SetLength(len(target))
+	tr, err := ViterbiTrace(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligns := tr.Alignments(p, target, h.Consensus(), abc)
+	if len(aligns) != 2 {
+		t.Fatalf("got %d domains, want 2 (multihit through J)", len(aligns))
+	}
+	if aligns[0].SeqTo >= aligns[1].SeqFrom {
+		t.Error("domains out of order")
+	}
+}
+
+func TestViterbiTraceEmptySequence(t *testing.T) {
+	p := testProfile(t, 10, 400)
+	p.SetLength(10)
+	if _, err := ViterbiTrace(p, nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestPosteriorDecodeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 8; trial++ {
+		m := 5 + rng.Intn(40)
+		L := 10 + rng.Intn(150)
+		p := testProfile(t, m, int64(500+trial))
+		p.SetLength(L)
+		dsq := randomSeq(rng, L)
+		po, err := PosteriorDecode(p, dsq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Forward(p, dsq)
+		if math.Abs(po.Score-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: posterior total %g != Forward %g", trial, po.Score, want)
+		}
+		for i, v := range po.InModel {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("trial %d: InModel[%d] = %g", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestPosteriorEnvelopeFindsPlantedDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	cons := randomSeq(rng, 40)
+	h, err := hmm.FromConsensus("env", cons, abc,
+		hmm.BuildParams{MatchIdentity: 0.9, GapOpen: 0.01, GapExtend: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Config(h)
+	target := append(append(append([]byte{}, randomSeq(rng, 30)...), cons...), randomSeq(rng, 30)...)
+	p.SetLength(len(target))
+	po, err := PosteriorDecode(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := po.Envelopes(0.5)
+	if len(envs) != 1 {
+		t.Fatalf("got %d envelopes, want 1 (%v)", len(envs), envs)
+	}
+	// The envelope must cover the planted core with a little slack.
+	if envs[0].From > 35 || envs[0].To < 65 {
+		t.Errorf("envelope %v misses the planted domain 31..70", envs[0])
+	}
+	// Flanks must have low occupancy.
+	if po.InModel[5] > 0.3 || po.InModel[len(target)-5] > 0.3 {
+		t.Errorf("flank occupancy too high: %g, %g", po.InModel[5], po.InModel[len(target)-5])
+	}
+}
+
+func TestEnvelopesEdgeRuns(t *testing.T) {
+	po := &Posterior{InModel: []float64{0.9, 0.9, 0.1, 0.8, 0.8}}
+	envs := po.Envelopes(0.5)
+	if len(envs) != 2 || envs[0] != (Envelope{1, 2}) || envs[1] != (Envelope{4, 5}) {
+		t.Errorf("envelopes = %v", envs)
+	}
+	if got := (&Posterior{InModel: []float64{0.1, 0.2}}).Envelopes(0.5); len(got) != 0 {
+		t.Errorf("no-domain case returned %v", got)
+	}
+}
+
+func TestNull2CorrectionPenalisesBiasedComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	// A model whose consensus is poly-L: a poly-L target scores high
+	// for compositional reasons and must receive a large correction.
+	cons := make([]byte, 40)
+	lCode := byte(9) // 'L' in the canonical order ACDEFGHIKL...
+	for i := range cons {
+		cons[i] = lCode
+	}
+	h, err := hmm.FromConsensus("polyL", cons, abc,
+		hmm.BuildParams{MatchIdentity: 0.9, GapOpen: 0.01, GapExtend: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Config(h)
+	polyL := make([]byte, 60)
+	for i := range polyL {
+		polyL[i] = lCode
+	}
+	p.SetLength(len(polyL))
+	po, err := PosteriorDecode(p, polyL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biasedCorr := Null2Correction(p, polyL, po)
+	if biasedCorr < 5 {
+		t.Errorf("poly-L correction %.2f nats, want substantial (>5)", biasedCorr)
+	}
+
+	// A diverse-composition model with a true homolog: the correction
+	// is small relative to the hit's score (any finite model is a
+	// little biased, so a few nats are expected — real null2 behaves
+	// the same) and far below the poly-L case.
+	hd, err := hmm.Random("diverse", 60, abc, hmm.DefaultBuildParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := profile.Config(hd)
+	homolog := hd.SampleSequence(rng)
+	pd.SetLength(len(homolog))
+	pod, err := PosteriorDecode(pd, homolog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCorr := Null2Correction(pd, homolog, pod)
+	if score := Forward(pd, homolog); cleanCorr > score/4 {
+		t.Errorf("diverse homolog correction %.2f nats too large vs score %.2f", cleanCorr, score)
+	}
+	if 2*cleanCorr >= biasedCorr {
+		t.Errorf("biased correction %.2f should far exceed clean %.2f", biasedCorr, cleanCorr)
+	}
+
+	// A random, non-homologous target aligns weakly: its posterior
+	// weights are small, so the omega prior crushes the correction.
+	random := randomSeq(rng, 80)
+	pd.SetLength(len(random))
+	por, err := PosteriorDecode(pd, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc := Null2Correction(pd, random, por); rc > 0.5 {
+		t.Errorf("random-target correction %.2f nats, want ~0", rc)
+	}
+}
+
+func TestNull2CorrectionNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 8; trial++ {
+		p := testProfile(t, 20+rng.Intn(40), int64(600+trial))
+		L := 30 + rng.Intn(150)
+		dsq := randomSeq(rng, L)
+		p.SetLength(L)
+		po, err := PosteriorDecode(p, dsq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corr := Null2Correction(p, dsq, po); corr < 0 {
+			t.Fatalf("negative correction %g", corr)
+		}
+	}
+}

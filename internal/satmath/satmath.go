@@ -1,0 +1,69 @@
+// Package satmath provides the saturating integer arithmetic used by
+// the quantised MSV (8-bit unsigned) and Viterbi (16-bit signed)
+// filters. These mirror the SSE psubusb/paddusb/paddsw/psubsw
+// semantics that HMMER3's vector filters rely on; every engine in this
+// repository (scalar golden, striped CPU, GPU kernels) goes through
+// these helpers so their scores agree bit-for-bit.
+package satmath
+
+// AddU8 returns a+b saturated to 255.
+func AddU8(a, b uint8) uint8 {
+	s := uint16(a) + uint16(b)
+	if s > 255 {
+		return 255
+	}
+	return uint8(s)
+}
+
+// SubU8 returns a-b saturated to 0.
+func SubU8(a, b uint8) uint8 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// MaxU8 returns the larger of a and b.
+func MaxU8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AddI16 returns a+b saturated to [-32768, 32767].
+func AddI16(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+// SubI16 returns a-b saturated to [-32768, 32767].
+func SubI16(a, b int16) int16 {
+	s := int32(a) - int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+// MaxI16 returns the larger of a and b.
+func MaxI16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NegInf16 is the 16-bit stand-in for minus infinity. Saturating adds
+// keep values at or near this floor, which is the behaviour the
+// Viterbi filter depends on.
+const NegInf16 = int16(-32768)

@@ -1,0 +1,95 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hmmer3gpu/internal/alphabet"
+)
+
+// ReadFASTA parses FASTA-format sequences from r, digitising residues
+// with abc. Header lines start with '>'; the token up to the first
+// whitespace becomes Name and the remainder Desc.
+func ReadFASTA(r io.Reader, abc *alphabet.Alphabet) (*Database, error) {
+	db := NewDatabase("")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var cur *Sequence
+	line := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(abc); err != nil {
+			return err
+		}
+		db.Add(cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t\r")
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(text[1:])
+			name, desc := header, ""
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				name, desc = header[:i], strings.TrimSpace(header[i+1:])
+			}
+			if name == "" {
+				return nil, fmt.Errorf("fasta: line %d: empty sequence name", line)
+			}
+			cur = &Sequence{Name: name, Desc: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
+		}
+		dsq, err := abc.Digitize(text)
+		if err != nil {
+			return nil, fmt.Errorf("fasta: line %d: %w", line, err)
+		}
+		cur.Residues = append(cur.Residues, dsq...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if db.NumSeqs() == 0 {
+		return nil, fmt.Errorf("fasta: no sequences found")
+	}
+	return db, nil
+}
+
+// WriteFASTA writes the database in FASTA format, wrapping residue
+// lines at 60 columns.
+func WriteFASTA(w io.Writer, db *Database, abc *alphabet.Alphabet) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range db.Seqs {
+		if s.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.Name, s.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.Name)
+		}
+		text := abc.Textize(s.Residues)
+		for len(text) > 60 {
+			fmt.Fprintln(bw, text[:60])
+			text = text[60:]
+		}
+		if len(text) > 0 {
+			fmt.Fprintln(bw, text)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,35 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA checks the parser never panics and that anything it
+// accepts survives a write/read round trip.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a desc\nACDEF\n>b\nWY\n")
+	f.Add(">x\nacdef\nGHIKL\n")
+	f.Add("")
+	f.Add(">\n")
+	f.Add(">a\nBJZOUX\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		db, err := ReadFASTA(strings.NewReader(in), abc)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, db, abc); err != nil {
+			t.Fatalf("accepted input failed to serialise: %v", err)
+		}
+		back, err := ReadFASTA(&buf, abc)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumSeqs() != db.NumSeqs() || back.TotalResidues() != db.TotalResidues() {
+			t.Fatalf("round trip changed content: %d/%d vs %d/%d",
+				back.NumSeqs(), back.TotalResidues(), db.NumSeqs(), db.TotalResidues())
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hmmer3gpu/internal/alphabet"
+)
+
+// StreamFASTA parses FASTA input in batches of up to batchSize
+// sequences, invoking fn for each batch — the memory-bounded path for
+// databases at the paper's Env_nr scale (6.5M sequences) that should
+// not be held in RAM at once. fn receives batches in file order; a
+// non-nil error from fn aborts the stream.
+func StreamFASTA(r io.Reader, abc *alphabet.Alphabet, batchSize int, fn func(batch *Database) error) error {
+	if batchSize < 1 {
+		return fmt.Errorf("fasta: batch size %d < 1", batchSize)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	batch := NewDatabase("stream")
+	var cur *Sequence
+	line := 0
+	total := 0
+
+	emit := func() error {
+		if batch.NumSeqs() == 0 {
+			return nil
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+		batch = NewDatabase("stream")
+		return nil
+	}
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(abc); err != nil {
+			return err
+		}
+		batch.Add(cur)
+		total++
+		cur = nil
+		if batch.NumSeqs() >= batchSize {
+			return emit()
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t\r")
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return err
+			}
+			header := strings.TrimSpace(text[1:])
+			name, desc := header, ""
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				name, desc = header[:i], strings.TrimSpace(header[i+1:])
+			}
+			if name == "" {
+				return fmt.Errorf("fasta: line %d: empty sequence name", line)
+			}
+			cur = &Sequence{Name: name, Desc: desc}
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("fasta: line %d: sequence data before first header", line)
+		}
+		dsq, err := abc.Digitize(text)
+		if err != nil {
+			return fmt.Errorf("fasta: line %d: %w", line, err)
+		}
+		cur.Residues = append(cur.Residues, dsq...)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("fasta: no sequences found")
+	}
+	return nil
+}

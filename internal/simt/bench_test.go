@@ -1,0 +1,48 @@
+package simt
+
+import "testing"
+
+// BenchmarkLaunchOverhead measures the host cost of an (almost) empty
+// launch — the fixed per-launch work the perf model's overhead
+// constant stands for.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	dev := NewDevice(TeslaK40())
+	nop := func(w *Warp) { w.ALU(1) }
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(LaunchConfig{Blocks: 30, WarpsPerBlock: 4}, nop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedAccess measures the simulator's per-warp-access cost,
+// the dominant term in kernel simulation throughput.
+func BenchmarkSharedAccess(b *testing.B) {
+	dev := NewDevice(TeslaK40())
+	kernel := func(w *Warp) {
+		addrs := make([]int, 32)
+		vals := make([]uint8, 32)
+		for l := range addrs {
+			addrs[l] = l
+		}
+		for i := 0; i < 1000; i++ {
+			w.SharedStoreU8(addrs, vals)
+			w.SharedLoadU8Into(vals, addrs)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(LaunchConfig{Blocks: 1, WarpsPerBlock: 1, SharedBytesPerBlock: 64}, kernel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOccupancyCalc measures the planner's core primitive.
+func BenchmarkOccupancyCalc(b *testing.B) {
+	spec := TeslaK40()
+	r := KernelResources{RegsPerThread: 64, SharedPerBlock: 12345, ThreadsPerBlock: 128}
+	for i := 0; i < b.N; i++ {
+		spec.CalcOccupancy(r)
+	}
+}

@@ -1,0 +1,230 @@
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Device is one simulated GPU.
+type Device struct {
+	Spec DeviceSpec
+
+	mu         sync.Mutex
+	nextGlobal int64
+}
+
+// NewDevice creates a device with the given spec.
+func NewDevice(spec DeviceSpec) *Device {
+	return &Device{Spec: spec}
+}
+
+// AllocGlobal reserves a logical global-memory address range and
+// returns its 128-byte-aligned base. The simulator meters traffic by
+// address; data itself lives in ordinary Go buffers on the host side.
+func (d *Device) AllocGlobal(size int64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base := d.nextGlobal
+	d.nextGlobal += (size + 127) &^ 127
+	return base
+}
+
+// LaunchConfig describes a kernel launch: the paper's geometry is a
+// grid of Blocks, each holding WarpsPerBlock warps of 32 threads
+// (blockDim.x = 32, blockDim.y = WarpsPerBlock).
+type LaunchConfig struct {
+	Blocks              int
+	WarpsPerBlock       int
+	SharedBytesPerBlock int
+	// RegsPerThread is the kernel's register footprint, used by the
+	// occupancy calculation.
+	RegsPerThread int
+	// Cooperative enables block barriers (Warp.Sync); the paper's
+	// warp-synchronous kernels launch with Cooperative=false and can
+	// never stall.
+	Cooperative bool
+	// DetectRaces turns on cross-warp shared-memory race tracking.
+	DetectRaces bool
+	// HostWorkers caps the number of host goroutines executing blocks;
+	// 0 means GOMAXPROCS.
+	HostWorkers int
+}
+
+// LaunchReport returns the aggregate counters and the occupancy
+// achieved by a launch.
+type LaunchReport struct {
+	Stats     KernelStats
+	Occupancy Occupancy
+}
+
+type blockRun struct {
+	shared  *SharedMem
+	barrier *blockBarrier
+}
+
+// Launch executes kernel over the grid and aggregates statistics
+// deterministically (warp order within block, block order within
+// grid), regardless of host scheduling.
+func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, error) {
+	spec := d.Spec
+	if cfg.Blocks < 1 || cfg.WarpsPerBlock < 1 {
+		return nil, fmt.Errorf("simt: launch geometry %dx%d invalid", cfg.Blocks, cfg.WarpsPerBlock)
+	}
+	if threads := cfg.WarpsPerBlock * spec.WarpSize; threads > spec.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("simt: %d threads per block exceeds device limit %d", threads, spec.MaxThreadsPerBlock)
+	}
+	if cfg.SharedBytesPerBlock > spec.SharedMemPerBlockMax {
+		return nil, fmt.Errorf("simt: %d bytes shared per block exceeds device limit %d",
+			cfg.SharedBytesPerBlock, spec.SharedMemPerBlockMax)
+	}
+	occ := spec.CalcOccupancy(KernelResources{
+		RegsPerThread:   cfg.RegsPerThread,
+		SharedPerBlock:  cfg.SharedBytesPerBlock,
+		ThreadsPerBlock: cfg.WarpsPerBlock * spec.WarpSize,
+	})
+	if occ.BlocksPerSM == 0 {
+		return nil, fmt.Errorf("simt: kernel resources exceed SM capacity (limiter %q)", occ.Limiter)
+	}
+
+	blockStats := make([]KernelStats, cfg.Blocks)
+	workers := cfg.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Blocks {
+		workers = cfg.Blocks
+	}
+
+	runBlock := func(b int) {
+		br := &blockRun{
+			shared: newSharedMem(cfg.SharedBytesPerBlock, spec.SharedMemBanks, cfg.DetectRaces),
+		}
+		warps := make([]*Warp, cfg.WarpsPerBlock)
+		for wi := range warps {
+			warps[wi] = &Warp{
+				BlockIdx:      b,
+				WarpInBlock:   wi,
+				NumBlocks:     cfg.Blocks,
+				WarpsPerBlock: cfg.WarpsPerBlock,
+				dev:           d,
+				block:         br,
+			}
+		}
+		if cfg.Cooperative && cfg.WarpsPerBlock > 1 {
+			br.barrier = newBlockBarrier(cfg.WarpsPerBlock)
+			var wg sync.WaitGroup
+			wg.Add(len(warps))
+			for _, w := range warps {
+				go func(w *Warp) {
+					defer wg.Done()
+					kernel(w)
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			if cfg.Cooperative {
+				// A one-warp cooperative block syncs trivially.
+				br.barrier = newBlockBarrier(1)
+			}
+			for _, w := range warps {
+				kernel(w)
+			}
+		}
+		var bs KernelStats
+		for _, w := range warps {
+			w.stats.WarpsExecuted = 1
+			bs.Add(&w.stats)
+		}
+		bs.SharedRaces += br.shared.races
+		blockStats[b] = bs
+	}
+
+	if workers <= 1 {
+		for b := 0; b < cfg.Blocks; b++ {
+			runBlock(b)
+		}
+	} else {
+		var next int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					b := int(next)
+					next++
+					mu.Unlock()
+					if b >= cfg.Blocks {
+						return
+					}
+					runBlock(b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := &LaunchReport{Occupancy: occ}
+	for b := range blockStats {
+		rep.Stats.Add(&blockStats[b])
+	}
+	return rep, nil
+}
+
+// blockBarrier is the two-phase __syncthreads implementation: phase
+// one gathers per-warp cycle counts and computes the block maximum
+// (for stall modelling), phase two releases the warps after the
+// epoch bookkeeping.
+type blockBarrier struct {
+	p1, p2 *phaseBarrier
+}
+
+func newBlockBarrier(n int) *blockBarrier {
+	return &blockBarrier{p1: newPhaseBarrier(n), p2: newPhaseBarrier(n)}
+}
+
+func (b *blockBarrier) wait(cycles int64) int64 { return b.p1.wait(cycles) }
+func (b *blockBarrier) release()                { b.p2.wait(0) }
+
+type phaseBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	agg    int64
+	result int64
+}
+
+func newPhaseBarrier(n int) *phaseBarrier {
+	b := &phaseBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants have arrived and returns the
+// maximum of the submitted values.
+func (b *phaseBarrier) wait(val int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if val > b.agg {
+		b.agg = val
+	}
+	b.count++
+	if b.count == b.n {
+		b.result = b.agg
+		b.agg = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result
+}

@@ -1,0 +1,103 @@
+package simt
+
+import "fmt"
+
+// KernelStats aggregates the instruction and memory traffic counters
+// of one kernel launch. All counts are warp-level (one SIMT
+// instruction issued for 32 lanes counts once, plus replays).
+type KernelStats struct {
+	// WarpsExecuted is the number of warp work-items that ran.
+	WarpsExecuted int64
+	// ALUOps counts arithmetic/logic warp instructions.
+	ALUOps int64
+	// SharedLoads and SharedStores count shared-memory warp accesses
+	// including bank-conflict replays.
+	SharedLoads  int64
+	SharedStores int64
+	// BankConflictReplays counts the excess cycles spent replaying
+	// conflicting shared-memory accesses (0 for a conflict-free kernel).
+	BankConflictReplays int64
+	// GlobalLoadTransactions and GlobalStoreTransactions count 128-byte
+	// memory transactions after coalescing.
+	GlobalLoadTransactions  int64
+	GlobalStoreTransactions int64
+	// GlobalBytes is the total global memory traffic in bytes.
+	GlobalBytes int64
+	// CachedLoadTransactions/CachedStoreTransactions and CachedBytes
+	// meter accesses whose working set lives in L2 (reused model
+	// parameters, spilled DP rows); most of this traffic never reaches
+	// DRAM.
+	CachedLoadTransactions  int64
+	CachedStoreTransactions int64
+	CachedBytes             int64
+	// ShuffleOps counts warp-shuffle instructions (Kepler path).
+	ShuffleOps int64
+	// VoteOps counts warp-vote instructions (__all / __any).
+	VoteOps int64
+	// Syncs counts __syncthreads barriers executed per warp.
+	Syncs int64
+	// SyncStallCycles models the issue cycles lost at barriers
+	// (warps idle waiting for the slowest warp in the block).
+	SyncStallCycles int64
+	// SharedRaces counts detected cross-warp shared-memory conflicts
+	// occurring between barriers (a correctness hazard, not a cost).
+	SharedRaces int64
+	// ActiveLaneSlots / TotalLaneSlots measure SIMT lane utilisation
+	// over memory operations: ragged model sizes leave lanes idle in a
+	// row's final 32-position chunk (e.g. M=33 uses 1 of 32 lanes
+	// there), a divergence cost the occupancy numbers do not show.
+	ActiveLaneSlots int64
+	TotalLaneSlots  int64
+	// IssueCycles is the summed per-warp issue-cycle estimate.
+	IssueCycles int64
+}
+
+// Add accumulates other into s.
+func (s *KernelStats) Add(other *KernelStats) {
+	s.WarpsExecuted += other.WarpsExecuted
+	s.ALUOps += other.ALUOps
+	s.SharedLoads += other.SharedLoads
+	s.SharedStores += other.SharedStores
+	s.BankConflictReplays += other.BankConflictReplays
+	s.GlobalLoadTransactions += other.GlobalLoadTransactions
+	s.GlobalStoreTransactions += other.GlobalStoreTransactions
+	s.GlobalBytes += other.GlobalBytes
+	s.CachedLoadTransactions += other.CachedLoadTransactions
+	s.CachedStoreTransactions += other.CachedStoreTransactions
+	s.CachedBytes += other.CachedBytes
+	s.ShuffleOps += other.ShuffleOps
+	s.VoteOps += other.VoteOps
+	s.Syncs += other.Syncs
+	s.SyncStallCycles += other.SyncStallCycles
+	s.SharedRaces += other.SharedRaces
+	s.ActiveLaneSlots += other.ActiveLaneSlots
+	s.TotalLaneSlots += other.TotalLaneSlots
+	s.IssueCycles += other.IssueCycles
+}
+
+// LaneUtilization returns the fraction of SIMT lane slots doing real
+// work across memory operations (1.0 = perfectly full warps).
+func (s *KernelStats) LaneUtilization() float64 {
+	if s.TotalLaneSlots == 0 {
+		return 1
+	}
+	return float64(s.ActiveLaneSlots) / float64(s.TotalLaneSlots)
+}
+
+// Instructions returns the total warp instructions issued.
+func (s *KernelStats) Instructions() int64 {
+	return s.ALUOps + s.SharedLoads + s.SharedStores +
+		s.GlobalLoadTransactions + s.GlobalStoreTransactions +
+		s.CachedLoadTransactions + s.CachedStoreTransactions +
+		s.ShuffleOps + s.VoteOps + s.Syncs
+}
+
+// String renders the counters compactly for reports.
+func (s *KernelStats) String() string {
+	return fmt.Sprintf(
+		"warps=%d alu=%d shld=%d shst=%d bankrep=%d gld=%d gst=%d cached=%d/%d shfl=%d vote=%d sync=%d stall=%d races=%d cycles=%d",
+		s.WarpsExecuted, s.ALUOps, s.SharedLoads, s.SharedStores, s.BankConflictReplays,
+		s.GlobalLoadTransactions, s.GlobalStoreTransactions,
+		s.CachedLoadTransactions, s.CachedStoreTransactions,
+		s.ShuffleOps, s.VoteOps, s.Syncs, s.SyncStallCycles, s.SharedRaces, s.IssueCycles)
+}

@@ -1,0 +1,43 @@
+package simt
+
+import "sync"
+
+// System is a multi-GPU host: the paper's 4x GTX 580 configuration is
+// a System of four Fermi devices with the sequence database partitioned
+// across them ("the processing of the sequence database can be easily
+// parallelized across multiple devices without any dependencies").
+type System struct {
+	Devices []*Device
+}
+
+// NewSystem creates n identical devices.
+func NewSystem(spec DeviceSpec, n int) *System {
+	sys := &System{}
+	for i := 0; i < n; i++ {
+		sys.Devices = append(sys.Devices, NewDevice(spec))
+	}
+	return sys
+}
+
+// LaunchAll runs one launch per device concurrently; launch(i, dev)
+// must submit device i's share of the work and return its report.
+// Reports come back indexed by device. The first error wins.
+func (sys *System) LaunchAll(launch func(i int, dev *Device) (*LaunchReport, error)) ([]*LaunchReport, error) {
+	reports := make([]*LaunchReport, len(sys.Devices))
+	errs := make([]error, len(sys.Devices))
+	var wg sync.WaitGroup
+	wg.Add(len(sys.Devices))
+	for i, dev := range sys.Devices {
+		go func(i int, dev *Device) {
+			defer wg.Done()
+			reports[i], errs[i] = launch(i, dev)
+		}(i, dev)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,286 @@
+package simt
+
+import "fmt"
+
+// Warp is the execution context handed to a kernel: one 32-lane SIMT
+// work unit. Kernels perform their lane arithmetic in ordinary Go and
+// report costs through the Warp's operations; shared and global memory
+// go through the Warp so that bank conflicts, coalescing, races and
+// cycles are accounted.
+//
+// A Warp is owned by a single goroutine for the duration of the kernel.
+type Warp struct {
+	// BlockIdx is the block index within the grid.
+	BlockIdx int
+	// WarpInBlock is this warp's index within its block
+	// (threadIdx.y in the paper's launch configuration).
+	WarpInBlock int
+	// NumBlocks and WarpsPerBlock describe the launch geometry.
+	NumBlocks     int
+	WarpsPerBlock int
+
+	dev   *Device
+	block *blockRun
+	stats KernelStats
+
+	cyclesSinceSync int64
+}
+
+// Lanes returns the warp width (32).
+func (w *Warp) Lanes() int { return w.dev.Spec.WarpSize }
+
+// GlobalWarpID returns the paper's "row" index:
+// blockIdx * warpsPerBlock + warpInBlock.
+func (w *Warp) GlobalWarpID() int { return w.BlockIdx*w.WarpsPerBlock + w.WarpInBlock }
+
+// TotalWarps returns the paper's "duty span": the number of warps in
+// the grid.
+func (w *Warp) TotalWarps() int { return w.NumBlocks * w.WarpsPerBlock }
+
+// HasShuffle reports whether the device supports warp-shuffle
+// instructions (Kepler); Fermi kernels must take the shared-memory
+// reduction path instead.
+func (w *Warp) HasShuffle() bool { return w.dev.Spec.HasShuffle }
+
+func (w *Warp) addCycles(n int64) {
+	w.stats.IssueCycles += n
+	w.cyclesSinceSync += n
+}
+
+// noteLanes records SIMT lane activity for a memory operation.
+func (w *Warp) noteLanes(addrs []int) {
+	w.stats.TotalLaneSlots += int64(len(addrs))
+	for _, a := range addrs {
+		if a >= 0 {
+			w.stats.ActiveLaneSlots++
+		}
+	}
+}
+
+// noteLanes64 is noteLanes for global (64-bit) addresses.
+func (w *Warp) noteLanes64(addrs []int64) {
+	w.stats.TotalLaneSlots += int64(len(addrs))
+	for _, a := range addrs {
+		if a >= 0 {
+			w.stats.ActiveLaneSlots++
+		}
+	}
+}
+
+// ALU accounts n arithmetic warp instructions.
+func (w *Warp) ALU(n int) {
+	w.stats.ALUOps += int64(n)
+	w.addCycles(int64(n))
+}
+
+// SharedLoadU8 gathers one byte per lane from block shared memory.
+// addrs must have one entry per lane; negative entries mark inactive
+// lanes. Bank conflicts are counted and cost replay cycles.
+func (w *Warp) SharedLoadU8(addrs []int) []uint8 {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedLoads += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
+	out := make([]uint8, len(addrs))
+	for i, a := range addrs {
+		if a >= 0 {
+			out[i] = sm.data[a]
+		}
+	}
+	return out
+}
+
+// SharedStoreU8 scatters one byte per lane into block shared memory.
+func (w *Warp) SharedStoreU8(addrs []int, vals []uint8) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedStores += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, true)
+	for i, a := range addrs {
+		if a >= 0 {
+			sm.data[a] = vals[i]
+		}
+	}
+}
+
+// SharedLoadI16 gathers one 16-bit word per lane (addresses in bytes,
+// must be 2-aligned).
+func (w *Warp) SharedLoadI16(addrs []int) []int16 {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedLoads += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
+	out := make([]int16, len(addrs))
+	for i, a := range addrs {
+		if a >= 0 {
+			out[i] = int16(uint16(sm.data[a]) | uint16(sm.data[a+1])<<8)
+		}
+	}
+	return out
+}
+
+// SharedStoreI16 scatters one 16-bit word per lane.
+func (w *Warp) SharedStoreI16(addrs []int, vals []int16) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedStores += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, true)
+	for i, a := range addrs {
+		if a >= 0 {
+			sm.data[a] = byte(uint16(vals[i]))
+			sm.data[a+1] = byte(uint16(vals[i]) >> 8)
+		}
+	}
+}
+
+// GlobalLoad accounts a warp global-memory read of width bytes per
+// lane at the given logical byte addresses (negative = inactive lane),
+// counting 128-byte coalesced transactions. The caller reads the
+// actual data from its own Go-side buffers; the simulator only meters
+// the traffic.
+func (w *Warp) GlobalLoad(addrs []int64, width int) {
+	t := coalescedTransactions(addrs, width)
+	w.noteLanes64(addrs)
+	w.stats.GlobalLoadTransactions += int64(t)
+	w.stats.GlobalBytes += int64(t) * 128
+	w.addCycles(int64(t))
+}
+
+// GlobalLoadCached accounts a warp read through the read-only data
+// cache path (LDG/texture): heavily reused data such as model
+// parameters. Transactions are counted separately so the performance
+// model can treat most of them as L2 hits rather than DRAM traffic.
+func (w *Warp) GlobalLoadCached(addrs []int64, width int) {
+	t := coalescedTransactions(addrs, width)
+	w.noteLanes64(addrs)
+	w.stats.CachedLoadTransactions += int64(t)
+	w.stats.CachedBytes += int64(t) * 128
+	w.addCycles(int64(t))
+}
+
+// GlobalStoreCached accounts a warp write whose working set stays in
+// L2 (e.g. spilled DP rows that are re-read within the same kernel).
+func (w *Warp) GlobalStoreCached(addrs []int64, width int) {
+	t := coalescedTransactions(addrs, width)
+	w.noteLanes64(addrs)
+	w.stats.CachedStoreTransactions += int64(t)
+	w.stats.CachedBytes += int64(t) * 128
+	w.addCycles(int64(t))
+}
+
+// GlobalStore accounts a warp global-memory write.
+func (w *Warp) GlobalStore(addrs []int64, width int) {
+	t := coalescedTransactions(addrs, width)
+	w.noteLanes64(addrs)
+	w.stats.GlobalStoreTransactions += int64(t)
+	w.stats.GlobalBytes += int64(t) * 128
+	w.addCycles(int64(t))
+}
+
+// coalescedTransactions counts distinct 128-byte segments touched.
+func coalescedTransactions(addrs []int64, width int) int {
+	var segs [64]int64
+	n := 0
+	for _, a := range addrs {
+		if a < 0 {
+			continue
+		}
+		for b := a >> 7; b <= (a+int64(width)-1)>>7; b++ {
+			dup := false
+			for i := 0; i < n; i++ {
+				if segs[i] == b {
+					dup = true
+					break
+				}
+			}
+			if !dup && n < len(segs) {
+				segs[n] = b
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return n
+}
+
+// ShflXorI32 is the Kepler butterfly-exchange shuffle: lane l receives
+// the value of lane l XOR mask. Panics on a device without shuffle
+// support (an illegal instruction on Fermi).
+func (w *Warp) ShflXorI32(vals []int32, mask int) []int32 {
+	if !w.dev.Spec.HasShuffle {
+		panic(fmt.Sprintf("simt: shfl.xor executed on %s, which has no warp shuffle", w.dev.Spec.Name))
+	}
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+	out := make([]int32, len(vals))
+	for l := range vals {
+		out[l] = vals[l^mask]
+	}
+	return out
+}
+
+// VoteAll is the warp-vote __all instruction: true iff the predicate
+// holds on every lane.
+func (w *Warp) VoteAll(pred []bool) bool {
+	w.stats.VoteOps++
+	w.addCycles(1)
+	for _, p := range pred {
+		if !p {
+			return false
+		}
+	}
+	return true
+}
+
+// VoteAny is the warp-vote __any instruction.
+func (w *Warp) VoteAny(pred []bool) bool {
+	w.stats.VoteOps++
+	w.addCycles(1)
+	for _, p := range pred {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// Sync executes a block-wide __syncthreads barrier. Only legal in a
+// cooperative launch; the warp-synchronous kernels of the paper never
+// call it.
+func (w *Warp) Sync() {
+	if w.block.barrier == nil {
+		panic("simt: __syncthreads in a non-cooperative launch")
+	}
+	w.stats.Syncs++
+	maxCycles := w.block.barrier.wait(w.cyclesSinceSync)
+	w.stats.SyncStallCycles += maxCycles - w.cyclesSinceSync
+	w.cyclesSinceSync = 0
+	if w.WarpInBlock == 0 {
+		// Exactly one warp advances the race-tracking epoch; the
+		// barrier's second phase orders this against all accesses.
+		w.block.shared.advanceEpoch()
+	}
+	w.block.barrier.release()
+}

@@ -1,0 +1,144 @@
+package simt
+
+import "math"
+
+// Allocation-free variants of the shared-memory and shuffle operations
+// for use in kernel inner loops. Semantics and accounting are identical
+// to the allocating versions; dst must have one element per lane.
+
+// SharedLoadU8Into gathers one byte per lane into dst.
+func (w *Warp) SharedLoadU8Into(dst []uint8, addrs []int) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedLoads += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
+	for i, a := range addrs {
+		if a >= 0 {
+			dst[i] = sm.data[a]
+		}
+	}
+}
+
+// SharedLoadI16Into gathers one 16-bit word per lane into dst.
+func (w *Warp) SharedLoadI16Into(dst []int16, addrs []int) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedLoads += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
+	for i, a := range addrs {
+		if a >= 0 {
+			dst[i] = int16(uint16(sm.data[a]) | uint16(sm.data[a+1])<<8)
+		}
+	}
+}
+
+// ShflXorI32Into performs the butterfly exchange into dst (dst and
+// vals must not alias).
+func (w *Warp) ShflXorI32Into(dst, vals []int32, mask int) {
+	if !w.dev.Spec.HasShuffle {
+		panic("simt: shfl.xor executed on a device without warp shuffle")
+	}
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+	for l := range vals {
+		dst[l] = vals[l^mask]
+	}
+}
+
+// ShflUpI32Into is the shfl.up exchange: lane l receives lane
+// l-delta's value; the low delta lanes keep their own (dst and vals
+// must not alias).
+func (w *Warp) ShflUpI32Into(dst, vals []int32, delta int) {
+	if !w.dev.Spec.HasShuffle {
+		panic("simt: shfl.up executed on a device without warp shuffle")
+	}
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+	for l := range vals {
+		if l >= delta {
+			dst[l] = vals[l-delta]
+		} else {
+			dst[l] = vals[l]
+		}
+	}
+}
+
+// SharedLoadF32Into gathers one float32 per lane (byte addresses, 4-aligned).
+func (w *Warp) SharedLoadF32Into(dst []float32, addrs []int) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedLoads += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 4, false)
+	for i, a := range addrs {
+		if a >= 0 {
+			bits := uint32(sm.data[a]) | uint32(sm.data[a+1])<<8 |
+				uint32(sm.data[a+2])<<16 | uint32(sm.data[a+3])<<24
+			dst[i] = math.Float32frombits(bits)
+		}
+	}
+}
+
+// SharedStoreF32 scatters one float32 per lane.
+func (w *Warp) SharedStoreF32(addrs []int, vals []float32) {
+	sm := w.block.shared
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	w.stats.SharedStores += int64(d)
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+	sm.noteAccess(int32(w.WarpInBlock), addrs, 4, true)
+	for i, a := range addrs {
+		if a >= 0 {
+			bits := math.Float32bits(vals[i])
+			sm.data[a] = byte(bits)
+			sm.data[a+1] = byte(bits >> 8)
+			sm.data[a+2] = byte(bits >> 16)
+			sm.data[a+3] = byte(bits >> 24)
+		}
+	}
+}
+
+// ShflXorF32Into is the float butterfly exchange.
+func (w *Warp) ShflXorF32Into(dst, vals []float32, mask int) {
+	if !w.dev.Spec.HasShuffle {
+		panic("simt: shfl.xor executed on a device without warp shuffle")
+	}
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+	for l := range vals {
+		dst[l] = vals[l^mask]
+	}
+}
+
+// ShflUpF32Into is the float shuffle-up exchange.
+func (w *Warp) ShflUpF32Into(dst, vals []float32, delta int) {
+	if !w.dev.Spec.HasShuffle {
+		panic("simt: shfl.up executed on a device without warp shuffle")
+	}
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+	for l := range vals {
+		if l >= delta {
+			dst[l] = vals[l-delta]
+		} else {
+			dst[l] = vals[l]
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGumbelSurv(b *testing.B) {
+	g := Gumbel{Mu: -8, Lambda: Lambda}
+	for i := 0; i < b.N; i++ {
+		g.Surv(float64(i % 40))
+	}
+}
+
+func BenchmarkFitGumbel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := Gumbel{Mu: -8, Lambda: Lambda}
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = g.Sample(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGumbelFixedLambda(samples, Lambda); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math/rand"
+)
+
+// Calibration by simulation, as in hmmsim/p7_Calibrate: score a set of
+// i.i.d. random sequences with a filter, then fit the appropriate
+// distribution with lambda fixed at log 2.
+
+// CalibrateOptions controls the random-sequence simulation.
+type CalibrateOptions struct {
+	// N is the number of random sequences (HMMER uses 200).
+	N int
+	// L is their length (HMMER uses 100).
+	L int
+	// Seed makes calibration reproducible.
+	Seed int64
+	// TailMass anchors the Forward exponential fit (HMMER uses 0.04).
+	TailMass float64
+}
+
+// DefaultCalibration returns HMMER3's calibration parameters.
+func DefaultCalibration() CalibrateOptions {
+	return CalibrateOptions{N: 200, L: 100, Seed: 42, TailMass: 0.04}
+}
+
+// Scorer scores one digital sequence, returning a bit score.
+type Scorer func(dsq []byte) float64
+
+// sampleSeqs draws N background sequences of length L over the
+// canonical residues with the given frequencies.
+func sampleSeqs(opts CalibrateOptions, bg []float64, fn func(dsq []byte)) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dsq := make([]byte, opts.L)
+	for i := 0; i < opts.N; i++ {
+		for j := range dsq {
+			u, acc := rng.Float64(), 0.0
+			dsq[j] = byte(len(bg) - 1)
+			for r, f := range bg {
+				acc += f
+				if u < acc {
+					dsq[j] = byte(r)
+					break
+				}
+			}
+		}
+		fn(dsq)
+	}
+}
+
+// CalibrateGumbel simulates random sequences, scores them, and fits a
+// Gumbel with lambda = log 2 — used for the MSV and Viterbi filters.
+func CalibrateGumbel(score Scorer, bg []float64, opts CalibrateOptions) (Gumbel, error) {
+	samples := make([]float64, 0, opts.N)
+	sampleSeqs(opts, bg, func(dsq []byte) {
+		samples = append(samples, score(dsq))
+	})
+	return FitGumbelFixedLambda(samples, Lambda)
+}
+
+// CalibrateExponential simulates random sequences, scores them, and
+// anchors the exponential tail — used for Forward scores.
+func CalibrateExponential(score Scorer, bg []float64, opts CalibrateOptions) (Exponential, error) {
+	samples := make([]float64, 0, opts.N)
+	sampleSeqs(opts, bg, func(dsq []byte) {
+		samples = append(samples, score(dsq))
+	})
+	return FitExpTailFixedLambda(samples, Lambda, opts.TailMass)
+}

@@ -7,6 +7,7 @@
 //	hmmbench -experiment fig11     combined speedup, 4x GTX 580 (Fig. 11)
 //	hmmbench -experiment pfam      Pfam model-size statistics (§IV)
 //	hmmbench -experiment ablation  §III design-choice ablations
+//	hmmbench -experiment stream    streamed multi-device scaling (dynamic scheduler)
 //	hmmbench -experiment all       everything above
 package main
 
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|all")
+		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|all")
 		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		seed       = flag.Int64("seed", 0, "override the workload seed")
 		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
@@ -101,8 +102,12 @@ func main() {
 		run("sensitivity", func() error { _, err := bench.Sensitivity(cfg, os.Stdout); return err })
 		ran = true
 	}
+	if want("stream") {
+		run("stream", func() error { _, err := bench.StreamScaling(cfg, os.Stdout); return err })
+		ran = true
+	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|all)", *experiment)
+		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|all)", *experiment)
 	}
 }
 

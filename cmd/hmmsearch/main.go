@@ -5,6 +5,13 @@
 //	hmmsearch -engine cpu        query.hmm targets.fasta
 //	hmmsearch -engine gpu        query.hmm targets.fasta   (Tesla K40)
 //	hmmsearch -engine multigpu   query.hmm targets.fasta   (4x GTX 580)
+//
+// Databases too large for memory stream in batches; with -engine
+// multigpu the batches are residue-balanced and fed to whichever
+// device frees up first:
+//
+//	hmmsearch -stream 5000 query.hmm targets.fasta
+//	hmmsearch -engine multigpu -stream 5000 -devices 4 query.hmm targets.fasta
 package main
 
 import (
@@ -23,17 +30,18 @@ import (
 
 func main() {
 	var (
-		engine  = flag.String("engine", "cpu", "cpu|gpu|multigpu")
-		mem     = flag.String("mem", "auto", "GPU memory configuration: auto|shared|global")
-		evalue  = flag.Float64("E", 10.0, "report hits with E-value <= this")
-		aligns  = flag.Bool("alignments", false, "render domain alignments for reported hits")
-		null2   = flag.Bool("null2", false, "apply the biased-composition score correction")
-		gpufwd  = flag.Bool("gpufwd", false, "run the Forward stage on the device too (-engine gpu)")
-		tblout  = flag.String("tblout", "", "write a machine-readable per-target table to this file")
-		stream  = flag.Int("stream", 0, "CPU engine only: stream the database in batches of this many sequences (constant memory); 0 loads it whole")
-		targlen = flag.Int("targlen", 350, "assumed typical target length for -stream (the length model cannot be derived from an unread stream)")
-		workers = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
-		devices = flag.Int("devices", 4, "device count for -engine multigpu")
+		engine   = flag.String("engine", "cpu", "cpu|gpu|multigpu")
+		mem      = flag.String("mem", "auto", "GPU memory configuration: auto|shared|global")
+		evalue   = flag.Float64("E", 10.0, "report hits with E-value <= this")
+		aligns   = flag.Bool("alignments", false, "render domain alignments for reported hits")
+		null2    = flag.Bool("null2", false, "apply the biased-composition score correction")
+		gpufwd   = flag.Bool("gpufwd", false, "run the Forward stage on the device too (-engine gpu)")
+		tblout   = flag.String("tblout", "", "write a machine-readable per-target table to this file")
+		stream   = flag.Int("stream", 0, "stream the database in batches of this many sequences (constant memory); 0 loads it whole (-engine cpu or multigpu)")
+		batchres = flag.Int64("batchres", 0, "multigpu streaming: residue budget per batch (0 = stream * targlen)")
+		targlen  = flag.Int("targlen", 350, "assumed typical target length for -stream (the length model cannot be derived from an unread stream)")
+		workers  = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
+		devices  = flag.Int("devices", 4, "device count for -engine multigpu")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -45,10 +53,19 @@ func main() {
 	abc := alphabet.New()
 
 	if *stream > 0 {
-		if *engine != "cpu" {
-			fatalf("-stream requires -engine cpu")
+		switch *engine {
+		case "cpu":
+			runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue, *tblout)
+		case "multigpu":
+			budget := *batchres
+			if budget <= 0 {
+				budget = int64(*stream) * int64(*targlen)
+			}
+			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
+				budget, *targlen, *workers, *evalue, *tblout)
+		default:
+			fatalf("-stream requires -engine cpu or multigpu")
 		}
-		runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue)
 		return
 	}
 
@@ -62,16 +79,7 @@ func main() {
 	pl, err := pipeline.New(query, int(db.MeanLen()), opts)
 	check(err)
 
-	memCfg := gpu.MemAuto
-	switch *mem {
-	case "auto":
-	case "shared":
-		memCfg = gpu.MemShared
-	case "global":
-		memCfg = gpu.MemGlobal
-	default:
-		fatalf("unknown -mem %q", *mem)
-	}
+	memCfg := memConfig(*mem)
 
 	var res *pipeline.Result
 	switch *engine {
@@ -160,8 +168,23 @@ func printWrapped(dom refimpl.DomainAlignment, qname, tname string) {
 	}
 }
 
+// memConfig parses the -mem flag.
+func memConfig(name string) gpu.MemConfig {
+	switch name {
+	case "auto":
+		return gpu.MemAuto
+	case "shared":
+		return gpu.MemShared
+	case "global":
+		return gpu.MemGlobal
+	default:
+		fatalf("unknown -mem %q", name)
+		panic("unreachable")
+	}
+}
+
 // runStreaming searches a FASTA stream without loading it into memory.
-func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targetLen, workers int, evalue float64) {
+func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targetLen, workers int, evalue float64, tblout string) {
 	hf, err := os.Open(hmmPath)
 	check(err)
 	query, err := hmm.Read(hf, abc)
@@ -193,6 +216,67 @@ func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targ
 	}
 	if shown == 0 {
 		fmt.Println("  (no hits below the E-value threshold)")
+	}
+	if tblout != "" {
+		check(writeTblout(tblout, query.Name, res))
+		fmt.Printf("\nper-target table written to %s\n", tblout)
+	}
+}
+
+// runMultiStreaming searches a FASTA stream across simulated devices:
+// residue-balanced batches, dynamic device assignment, per-device
+// utilization in the summary.
+func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gpu.MemConfig,
+	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string) {
+
+	hf, err := os.Open(hmmPath)
+	check(err)
+	query, err := hmm.Read(hf, abc)
+	check(err)
+	hf.Close()
+
+	opts := pipeline.DefaultOptions()
+	opts.Workers = workers
+	pl, err := pipeline.New(query, targetLen, opts)
+	check(err)
+
+	ff, err := os.Open(fastaPath)
+	check(err)
+	defer ff.Close()
+	sys := simt.NewSystem(simt.GTX580(), devices)
+	res, err := pl.RunMultiGPUStream(sys, mem, ff, pipeline.StreamConfig{BatchResidues: batchResidues})
+	check(err)
+
+	extra := res.Extra.(*pipeline.MultiGPUStreamExtra)
+	sched := extra.Schedule
+	fmt.Printf("Query:    %s (M=%d, streamed in %d residue-balanced batches of ~%d residues)\n",
+		query.Name, query.M, sched.Batches, batchResidues)
+	fmt.Printf("Devices:  %d x %s, wall %v\n", devices, sys.Devices[0].Spec.Name, sched.Wall)
+	for i, u := range sched.Util {
+		share := 0.0
+		if sched.Residues > 0 {
+			share = 100 * float64(u.Residues) / float64(sched.Residues)
+		}
+		fmt.Printf("  device %d: %3d batches, %9d residues (%5.1f%%), busy %v\n",
+			i, u.Batches, u.Residues, share, u.Busy)
+	}
+	fmt.Printf("Pipeline: MSV %d/%d passed; Viterbi %d; Forward hits %d\n\n",
+		res.MSV.Out, res.MSV.In, res.Viterbi.Out, len(res.Hits))
+	fmt.Printf("%-12s %-28s %10s\n", "E-value", "sequence", "fwd bits")
+	shown := 0
+	for _, h := range res.Hits {
+		if h.EValue > evalue {
+			continue
+		}
+		fmt.Printf("%-12.3g %-28s %10.2f\n", h.EValue, h.Name, h.FwdBits)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (no hits below the E-value threshold)")
+	}
+	if tblout != "" {
+		check(writeTblout(tblout, query.Name, res))
+		fmt.Printf("\nper-target table written to %s\n", tblout)
 	}
 }
 

@@ -119,6 +119,52 @@ func TestFig11Quick(t *testing.T) {
 	}
 }
 
+func TestStreamScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	rows, err := StreamScaling(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 1/2/4 devices", len(rows))
+	}
+	byDev := map[int]StreamScalingRow{}
+	for _, r := range rows {
+		byDev[r.Devices] = r
+		if r.DeviceSeconds <= 0 || r.Throughput <= 0 {
+			t.Errorf("%d devices: non-positive time/throughput %+v", r.Devices, r)
+		}
+		if r.Batches < 4*r.Devices {
+			t.Errorf("%d devices: only %d batches; too coarse to balance", r.Devices, r.Batches)
+		}
+		var served int
+		for _, u := range r.Util {
+			served += u.Batches
+		}
+		if served != r.Batches {
+			t.Errorf("%d devices: utilization accounts %d of %d batches", r.Devices, served, r.Batches)
+		}
+	}
+	if s := byDev[1].Speedup; s != 1 {
+		t.Errorf("1-device speedup %.2f, want 1.00", s)
+	}
+	// The acceptance gate: >=3x modelled throughput at 4 devices on the
+	// skew-free workload (near-linear scaling under dynamic batching).
+	if s := byDev[4].Speedup; s < 3 {
+		t.Errorf("4-device speedup %.2fx, want >= 3x", s)
+	}
+	if s := byDev[2].Speedup; s < 1.5 {
+		t.Errorf("2-device speedup %.2fx, want >= 1.5x", s)
+	}
+	if !strings.Contains(buf.String(), "Streamed scaling") {
+		t.Error("report text missing")
+	}
+}
+
 func TestFig1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness simulation is slow")

@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"time"
+
 	"hmmer3gpu/internal/cpu"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/seq"
@@ -27,6 +29,9 @@ type MultiReport struct {
 	// ShardResidues is each shard's residue count (the load-balance
 	// picture).
 	ShardResidues []int64
+	// Util is each device's utilization (busy wall time, residues,
+	// batches served); the static split serves one batch per device.
+	Util []DeviceUtilization
 }
 
 // MSVSearch runs the MSV stage over all devices.
@@ -36,11 +41,13 @@ func (ms *MultiSearcher) MSVSearch(mp *profile.MSVProfile, db *seq.Database) (*M
 		Results:       make([]cpu.FilterResult, 0, db.NumSeqs()),
 		PerDevice:     make([]*SearchReport, len(shards)),
 		ShardResidues: make([]int64, len(shards)),
+		Util:          make([]DeviceUtilization, len(ms.Sys.Devices)),
 	}
 	_, err := ms.Sys.LaunchAll(func(i int, dev *simt.Device) (*simt.LaunchReport, error) {
 		if i >= len(shards) {
 			return &simt.LaunchReport{}, nil
 		}
+		start := time.Now()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadMSVProfile(dev, mp)
 		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
@@ -50,6 +57,7 @@ func (ms *MultiSearcher) MSVSearch(mp *profile.MSVProfile, db *seq.Database) (*M
 		}
 		out.PerDevice[i] = rep
 		out.ShardResidues[i] = ddb.TotalResidues
+		out.Util[i] = DeviceUtilization{Busy: time.Since(start), Residues: ddb.TotalResidues, Batches: 1}
 		return rep.Launch, nil
 	})
 	if err != nil {
@@ -70,11 +78,13 @@ func (ms *MultiSearcher) ViterbiSearch(vp *profile.VitProfile, db *seq.Database)
 		Results:       make([]cpu.FilterResult, 0, db.NumSeqs()),
 		PerDevice:     make([]*SearchReport, len(shards)),
 		ShardResidues: make([]int64, len(shards)),
+		Util:          make([]DeviceUtilization, len(ms.Sys.Devices)),
 	}
 	_, err := ms.Sys.LaunchAll(func(i int, dev *simt.Device) (*simt.LaunchReport, error) {
 		if i >= len(shards) {
 			return &simt.LaunchReport{}, nil
 		}
+		start := time.Now()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadVitProfile(dev, vp)
 		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
@@ -84,6 +94,7 @@ func (ms *MultiSearcher) ViterbiSearch(vp *profile.VitProfile, db *seq.Database)
 		}
 		out.PerDevice[i] = rep
 		out.ShardResidues[i] = ddb.TotalResidues
+		out.Util[i] = DeviceUtilization{Busy: time.Since(start), Residues: ddb.TotalResidues, Batches: 1}
 		return rep.Launch, nil
 	})
 	if err != nil {

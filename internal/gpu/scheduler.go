@@ -1,0 +1,174 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// Batch is one unit of streamed work: a parsed slice of the input
+// database tagged with its global position in the stream.
+type Batch struct {
+	// Seq is the batch ordinal in stream order (0, 1, 2, ...).
+	Seq int
+	// Offset is the global database index of the batch's first
+	// sequence; per-batch hit indexes are rebased by it.
+	Offset int
+	// DB holds the batch's sequences.
+	DB *seq.Database
+}
+
+// DeviceUtilization is one device's share of a scheduled run — the
+// observable load-balance picture the static Partition split cannot
+// provide.
+type DeviceUtilization struct {
+	// Busy is the wall time the device's worker spent processing
+	// batches (upload + kernel execution + host-side post-filtering).
+	Busy time.Duration
+	// Residues is the number of residues the device processed.
+	Residues int64
+	// Batches is the number of batches the device served.
+	Batches int
+}
+
+// ScheduleReport is the outcome of one Scheduler.Run.
+type ScheduleReport struct {
+	// Wall is the end-to-end wall time of the run (parsing overlapped
+	// with processing).
+	Wall time.Duration
+	// Batches and Seqs and Residues total the submitted work.
+	Batches  int
+	Seqs     int
+	Residues int64
+	// Util is the per-device utilization, indexed by device.
+	Util []DeviceUtilization
+}
+
+// Scheduler feeds a stream of batches to the devices of a System
+// through a bounded queue: the producer (host-side parsing) blocks
+// once QueueDepth batches are parsed but unprocessed (backpressure, so
+// input memory stays bounded), and each batch is claimed by whichever
+// device worker drains the queue first — the dynamic load balancing
+// that replaces the static Partition split for streamed input
+// (CUDAMPF++'s point about proactive resource exhaustion: throughput
+// at scale comes from keeping every device saturated, not from one
+// up-front split).
+type Scheduler struct {
+	Sys *simt.System
+	// QueueDepth bounds parsed-but-unprocessed batches; 0 means two
+	// per device (enough to hide parse latency without unbounding
+	// memory).
+	QueueDepth int
+}
+
+// Run overlaps produce with per-device processing. produce must call
+// submit once per batch, in stream order; submit blocks for
+// backpressure and returns an error once the run is aborted. process
+// runs concurrently, one invocation at a time per device, and must be
+// safe for concurrent calls across devices. The first error (from
+// produce or process) aborts the run and is returned.
+func (s *Scheduler) Run(
+	produce func(submit func(db *seq.Database) error) error,
+	process func(devIdx int, dev *simt.Device, b Batch) error,
+) (*ScheduleReport, error) {
+	if s.Sys == nil || len(s.Sys.Devices) == 0 {
+		return nil, fmt.Errorf("gpu: scheduler has no devices")
+	}
+	depth := s.QueueDepth
+	if depth <= 0 {
+		depth = 2 * len(s.Sys.Devices)
+	}
+
+	rep := &ScheduleReport{Util: make([]DeviceUtilization, len(s.Sys.Devices))}
+	queue := make(chan Batch, depth)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	start := time.Now()
+	var workers sync.WaitGroup
+	workers.Add(len(s.Sys.Devices))
+	for i, dev := range s.Sys.Devices {
+		go func(i int, dev *simt.Device) {
+			defer workers.Done()
+			util := &rep.Util[i]
+			for b := range queue {
+				t0 := time.Now()
+				err := process(i, dev, b)
+				util.Busy += time.Since(t0)
+				if err != nil {
+					fail(err)
+					return
+				}
+				util.Residues += b.DB.TotalResidues()
+				util.Batches++
+			}
+		}(i, dev)
+	}
+
+	// The producer runs on this goroutine so parse errors surface with
+	// no extra synchronisation; workers overlap with it via the queue.
+	submit := func(db *seq.Database) error {
+		b := Batch{Seq: rep.Batches, Offset: rep.Seqs, DB: db}
+		select {
+		case queue <- b:
+			rep.Batches++
+			rep.Seqs += db.NumSeqs()
+			rep.Residues += db.TotalResidues()
+			return nil
+		case <-abort:
+			return fmt.Errorf("gpu: scheduler aborted")
+		}
+	}
+	if err := produce(submit); err != nil {
+		fail(err)
+	}
+	close(queue)
+	workers.Wait()
+	rep.Wall = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rep, nil
+}
+
+// DeviceWorker binds one device to a reusable Searcher and one-time
+// profile uploads, so a stream of batches pays the model-upload cost
+// once per device instead of once per batch.
+type DeviceWorker struct {
+	Dev *simt.Device
+	S   *Searcher
+	MSV *DeviceMSVProfile
+	Vit *DeviceVitProfile
+}
+
+// NewDeviceWorker uploads the filter profiles to dev and returns the
+// bound worker.
+func NewDeviceWorker(dev *simt.Device, mem MemConfig, hostWorkers int,
+	mp *profile.MSVProfile, vp *profile.VitProfile) *DeviceWorker {
+	return &DeviceWorker{
+		Dev: dev,
+		S:   &Searcher{Dev: dev, Mem: mem, HostWorkers: hostWorkers},
+		MSV: UploadMSVProfile(dev, mp),
+		Vit: UploadVitProfile(dev, vp),
+	}
+}
+
+// MSVBatch uploads one batch and runs the MSV kernel over it.
+func (w *DeviceWorker) MSVBatch(db *seq.Database) (*SearchReport, error) {
+	return w.S.MSVSearch(w.MSV, UploadDB(w.Dev, db))
+}
+
+// ViterbiBatch uploads one batch and runs the P7Viterbi kernel over it.
+func (w *DeviceWorker) ViterbiBatch(db *seq.Database) (*SearchReport, error) {
+	return w.S.ViterbiSearch(w.Vit, UploadDB(w.Dev, db))
+}

@@ -1,0 +1,230 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// feedBatches submits n small databases with the given per-batch
+// residue counts.
+func feedBatches(rng *rand.Rand, lens []int) func(submit func(*seq.Database) error) error {
+	return func(submit func(*seq.Database) error) error {
+		for _, l := range lens {
+			db := seq.NewDatabase("sched")
+			db.Add(&seq.Sequence{Name: "b", Residues: randomSeq(rng, l)})
+			if err := submit(db); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestSchedulerProcessesEveryBatchOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := simt.NewSystem(simt.GTX580(), 3)
+	lens := make([]int, 40)
+	var wantResidues int64
+	for i := range lens {
+		lens[i] = 10 + rng.Intn(90)
+		wantResidues += int64(lens[i])
+	}
+
+	var mu sync.Mutex
+	seen := map[int]int{}    // batch ordinal -> times processed
+	offsets := map[int]int{} // batch ordinal -> offset
+	s := &Scheduler{Sys: sys}
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(2)), lens),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if dev != sys.Devices[devIdx] {
+				t.Error("devIdx does not match the device")
+			}
+			mu.Lock()
+			seen[b.Seq]++
+			offsets[b.Seq] = b.Offset
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != len(lens) || len(seen) != len(lens) {
+		t.Fatalf("processed %d distinct of %d submitted batches", len(seen), rep.Batches)
+	}
+	for ord, n := range seen {
+		if n != 1 {
+			t.Errorf("batch %d processed %d times", ord, n)
+		}
+	}
+	// One sequence per batch, so offsets must be exactly the ordinals.
+	for ord, off := range offsets {
+		if off != ord {
+			t.Errorf("batch %d has offset %d", ord, off)
+		}
+	}
+	if rep.Seqs != len(lens) || rep.Residues != wantResidues {
+		t.Errorf("report totals %d seqs / %d residues, want %d / %d",
+			rep.Seqs, rep.Residues, len(lens), wantResidues)
+	}
+	var busy time.Duration
+	var gotResidues int64
+	var gotBatches int
+	for _, u := range rep.Util {
+		busy += u.Busy
+		gotResidues += u.Residues
+		gotBatches += u.Batches
+	}
+	if gotBatches != len(lens) || gotResidues != wantResidues {
+		t.Errorf("utilization sums %d batches / %d residues, want %d / %d",
+			gotBatches, gotResidues, len(lens), wantResidues)
+	}
+	if busy <= 0 || rep.Wall <= 0 {
+		t.Error("busy/wall times not recorded")
+	}
+}
+
+func TestSchedulerBalancesAroundSlowDevice(t *testing.T) {
+	// Device 0 is 30x slower per batch; dynamic assignment must route
+	// most of the work to the fast devices instead of stalling on the
+	// static 1/N share.
+	sys := simt.NewSystem(simt.GTX580(), 3)
+	lens := make([]int, 30)
+	for i := range lens {
+		lens[i] = 20
+	}
+	s := &Scheduler{Sys: sys, QueueDepth: 1}
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(3)), lens),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			d := time.Millisecond
+			if devIdx == 0 {
+				d = 30 * time.Millisecond
+			}
+			time.Sleep(d)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := rep.Util[1].Batches + rep.Util[2].Batches
+	if slow := rep.Util[0].Batches; slow >= fast {
+		t.Errorf("slow device served %d of %d batches; scheduler did not rebalance", slow, rep.Batches)
+	}
+	if fast+rep.Util[0].Batches != len(lens) {
+		t.Errorf("batches lost: %d + %d != %d", fast, rep.Util[0].Batches, len(lens))
+	}
+}
+
+func TestSchedulerBackpressureBoundsQueue(t *testing.T) {
+	// With QueueDepth=2 and workers blocked, at most depth+devices
+	// batches can be submitted before the producer blocks.
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	release := make(chan struct{})
+	var submitted atomic.Int64
+	done := make(chan error, 1)
+	s := &Scheduler{Sys: sys, QueueDepth: 2}
+	go func() {
+		_, err := s.Run(func(submit func(*seq.Database) error) error {
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 20; i++ {
+				db := seq.NewDatabase("bp")
+				db.Add(&seq.Sequence{Name: "b", Residues: randomSeq(rng, 10)})
+				if err := submit(db); err != nil {
+					return err
+				}
+				submitted.Add(1)
+			}
+			return nil
+		}, func(devIdx int, dev *simt.Device, b Batch) error {
+			<-release
+			return nil
+		})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if n := submitted.Load(); n > 4 {
+		t.Errorf("%d batches submitted while workers blocked; backpressure bound is 4", n)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if submitted.Load() != 20 {
+		t.Errorf("only %d of 20 batches submitted after release", submitted.Load())
+	}
+}
+
+func TestSchedulerPropagatesErrors(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	sentinel := errors.New("kernel fault")
+	s := &Scheduler{Sys: sys, QueueDepth: 1}
+	_, err := s.Run(feedBatches(rand.New(rand.NewSource(5)), make([]int, 50)),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if b.Seq == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the process error", err)
+	}
+
+	parseErr := errors.New("bad fasta")
+	_, err = s.Run(func(submit func(*seq.Database) error) error {
+		return parseErr
+	}, func(devIdx int, dev *simt.Device, b Batch) error { return nil })
+	if !errors.Is(err, parseErr) {
+		t.Fatalf("got %v, want the produce error", err)
+	}
+
+	empty := &Scheduler{Sys: &simt.System{}}
+	if _, err := empty.Run(nil, nil); err == nil {
+		t.Error("scheduler with no devices accepted")
+	}
+}
+
+func TestDeviceWorkerReusesProfileUploads(t *testing.T) {
+	// The worker must score batches identically to a fresh per-batch
+	// searcher while uploading the model tables only once.
+	rng := rand.New(rand.NewSource(6))
+	mp, vp := buildProfiles(t, 60, 80, 7)
+	dev := simt.NewDevice(simt.TeslaK40())
+	w := NewDeviceWorker(dev, MemAuto, 0, mp, vp)
+
+	for batch := 0; batch < 3; batch++ {
+		db := testDB(t, rng, 12, 120)
+		msvRep, err := w.MSVBatch(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vitRep, err := w.ViterbiBatch(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := simt.NewDevice(simt.TeslaK40())
+		s := &Searcher{Dev: fresh, Mem: MemAuto}
+		wantMSV, err := s.MSVSearch(UploadMSVProfile(fresh, mp), UploadDB(fresh, db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVit, err := s.ViterbiSearch(UploadVitProfile(fresh, vp), UploadDB(fresh, db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantMSV.Results {
+			if msvRep.Results[i] != wantMSV.Results[i] {
+				t.Fatalf("batch %d seq %d: MSV differs from fresh searcher", batch, i)
+			}
+			if vitRep.Results[i] != wantVit.Results[i] {
+				t.Fatalf("batch %d seq %d: Viterbi differs from fresh searcher", batch, i)
+			}
+		}
+	}
+}

@@ -1,10 +1,15 @@
 package pipeline
 
 import (
+	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
+	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
 	"hmmer3gpu/internal/stats"
 )
 
@@ -22,22 +27,167 @@ func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		mergeStage(&final.MSV, res.MSV)
-		mergeStage(&final.Viterbi, res.Viterbi)
-		mergeStage(&final.Forward, res.Forward)
-		for _, h := range res.Hits {
-			h.Index += offset
-			final.Hits = append(final.Hits, h)
-		}
+		mergeBatch(final, res, offset)
 		offset += batch.NumSeqs()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// E-values were computed per batch; rescale to the full stream.
+	finalizeStream(final, offset)
+	return final, nil
+}
+
+// StreamConfig configures a streamed multi-device search.
+type StreamConfig struct {
+	// BatchResidues is the residue budget per batch (see
+	// seq.StreamFASTAResidues); batches are the scheduler's work unit,
+	// so this sets the load-balancing granularity: smaller batches
+	// balance better but pay more per-batch launch overhead.
+	BatchResidues int64
+	// QueueDepth bounds parsed-but-unprocessed batches (backpressure);
+	// 0 means two per device. Peak input memory is roughly
+	// (QueueDepth + devices) * BatchResidues bytes of residues.
+	QueueDepth int
+}
+
+// MultiGPUStreamExtra carries the streamed multi-device run's
+// observability: the scheduler's utilization report and every kernel
+// launch, per device, for the perf model.
+type MultiGPUStreamExtra struct {
+	// Schedule reports wall time and per-device utilization (busy wall
+	// time, residues processed, batches served).
+	Schedule *gpu.ScheduleReport
+	// Launches[i] holds device i's kernel launch reports in processing
+	// order (one MSV launch per batch, plus one Viterbi launch when the
+	// batch had MSV survivors).
+	Launches [][]*simt.LaunchReport
+}
+
+// RunMultiGPUStream searches a FASTA stream across all devices of a
+// system: the stream is chunked into residue-balanced batches, host
+// parsing overlaps device execution through a bounded queue, and each
+// batch runs on whichever device frees up first (dynamic load
+// balancing, replacing the static Partition split of RunMultiGPU for
+// streamed input). Filter stages run on the devices, the Forward stage
+// on the host. Results are merged exactly as RunCPUStream merges them:
+// global hit indexes, E-values rescaled to the final sequence count,
+// deterministic final sort.
+func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.Reader, cfg StreamConfig) (*Result, error) {
+	if cfg.BatchResidues < 1 {
+		return nil, fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
+	}
+	if sys == nil || len(sys.Devices) == 0 {
+		return nil, fmt.Errorf("pipeline: no devices")
+	}
+	workers := make([]*gpu.DeviceWorker, len(sys.Devices))
+	for i, dev := range sys.Devices {
+		workers[i] = gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
+	}
+
+	final := &Result{}
+	extra := &MultiGPUStreamExtra{Launches: make([][]*simt.LaunchReport, len(sys.Devices))}
+	var mu sync.Mutex
+
+	sched := &gpu.Scheduler{Sys: sys, QueueDepth: cfg.QueueDepth}
+	rep, err := sched.Run(
+		func(submit func(db *seq.Database) error) error {
+			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, submit)
+		},
+		func(devIdx int, _ *simt.Device, b gpu.Batch) error {
+			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			mergeBatch(final, res, b.Offset)
+			extra.Launches[devIdx] = append(extra.Launches[devIdx], launches...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	extra.Schedule = rep
+	finalizeStream(final, rep.Seqs)
+	final.Extra = extra
+	return final, nil
+}
+
+// searchBatchOnDevice runs the full per-batch pipeline on one bound
+// device worker: MSV and P7Viterbi on the device (reusing the worker's
+// profile uploads), Forward on the host. Hit indexes are batch-local;
+// the caller rebases them.
+func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database) (*Result, []*simt.LaunchReport, error) {
+	result := &Result{}
+	var launches []*simt.LaunchReport
+
+	start := time.Now()
+	msvRep, err := w.MSVBatch(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	launches = append(launches, msvRep.Launch)
+	result.MSV.Wall = time.Since(start)
+	result.MSV.In = db.NumSeqs()
+	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
+
+	msvBits := make(map[int]float64)
+	var msvSurvivors []int
+	for i, res := range msvRep.Results {
+		if pl.msvPass(res) {
+			msvSurvivors = append(msvSurvivors, i)
+			msvBits[i] = bitsOf(res)
+		}
+	}
+	result.MSV.Out = len(msvSurvivors)
+
+	start = time.Now()
+	sub := subDatabase(db, msvSurvivors)
+	var vitSurvivors []int
+	vitBits := make(map[int]float64)
+	if sub.NumSeqs() > 0 {
+		vitRep, err := w.ViterbiBatch(sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		launches = append(launches, vitRep.Launch)
+		for j, res := range vitRep.Results {
+			if pl.vitPass(res) {
+				idx := msvSurvivors[j]
+				vitSurvivors = append(vitSurvivors, idx)
+				vitBits[idx] = bitsOf(res)
+			}
+		}
+	}
+	result.Viterbi.Wall = time.Since(start)
+	result.Viterbi.In = len(msvSurvivors)
+	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
+	result.Viterbi.Out = len(vitSurvivors)
+
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	return result, launches, nil
+}
+
+// mergeBatch folds one batch's result into the stream-wide result,
+// rebasing hit indexes by the batch's global offset.
+func mergeBatch(final, res *Result, offset int) {
+	mergeStage(&final.MSV, res.MSV)
+	mergeStage(&final.Viterbi, res.Viterbi)
+	mergeStage(&final.Forward, res.Forward)
+	for _, h := range res.Hits {
+		h.Index += offset
+		final.Hits = append(final.Hits, h)
+	}
+}
+
+// finalizeStream rescales E-values to the full stream's sequence count
+// (they were computed per batch) and applies the deterministic final
+// sort, so a streamed run reports exactly what the whole-database run
+// reports regardless of batching or device assignment.
+func finalizeStream(final *Result, totalSeqs int) {
 	for i := range final.Hits {
-		final.Hits[i].EValue = stats.EValue(final.Hits[i].PValue, offset)
+		final.Hits[i].EValue = stats.EValue(final.Hits[i].PValue, totalSeqs)
 	}
 	sort.Slice(final.Hits, func(i, j int) bool {
 		if final.Hits[i].EValue != final.Hits[j].EValue {
@@ -45,7 +195,6 @@ func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
 		}
 		return final.Hits[i].Index < final.Hits[j].Index
 	})
-	return final, nil
 }
 
 func mergeStage(dst *StageStats, src StageStats) {

@@ -2,6 +2,7 @@ package seq
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -294,6 +295,69 @@ func TestStreamFASTAErrors(t *testing.T) {
 	})
 	if sentinel == nil {
 		t.Error("callback error not propagated")
+	}
+}
+
+func TestStreamFASTAResiduesBalancesBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	db := NewDatabase("resstream")
+	for i := 0; i < 80; i++ {
+		n := 1 + rng.Intn(200) // heavy length skew
+		res := make([]byte, n)
+		for j := range res {
+			res[j] = byte(rng.Intn(20))
+		}
+		db.Add(&Sequence{Name: fmt.Sprintf("r%03d", i), Residues: res})
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, db, abc); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, budget := range []int64{1, 150, 1000, db.TotalResidues() * 2} {
+		var got []*Sequence
+		err := StreamFASTAResidues(strings.NewReader(text), abc, budget, func(b *Database) error {
+			got = append(got, b.Seqs...)
+			// A batch may exceed the budget only by its last sequence.
+			if b.NumSeqs() > 1 {
+				last := int64(b.Seqs[b.NumSeqs()-1].Len())
+				if b.TotalResidues()-last >= budget {
+					t.Fatalf("budget=%d: batch holds %d residues before its last sequence",
+						budget, b.TotalResidues()-last)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != db.NumSeqs() {
+			t.Fatalf("budget=%d: streamed %d seqs, want %d", budget, len(got), db.NumSeqs())
+		}
+		for i := range got {
+			if got[i].Name != db.Seqs[i].Name || !bytes.Equal(got[i].Residues, db.Seqs[i].Residues) {
+				t.Fatalf("budget=%d: sequence %d differs", budget, i)
+			}
+		}
+	}
+	// Every batch but the last must meet the budget.
+	budget := int64(300)
+	var sizes []int64
+	err := StreamFASTAResidues(strings.NewReader(text), abc, budget, func(b *Database) error {
+		sizes = append(sizes, b.TotalResidues())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range sizes[:len(sizes)-1] {
+		if n < budget {
+			t.Errorf("batch %d holds %d residues, budget %d", i, n, budget)
+		}
+	}
+	if err := StreamFASTAResidues(strings.NewReader(text), abc, 0, func(*Database) error { return nil }); err == nil {
+		t.Error("residue budget 0 accepted")
 	}
 }
 

@@ -18,10 +18,36 @@ func StreamFASTA(r io.Reader, abc *alphabet.Alphabet, batchSize int, fn func(bat
 	if batchSize < 1 {
 		return fmt.Errorf("fasta: batch size %d < 1", batchSize)
 	}
+	return streamFASTA(r, abc, func(seqs int, residues int64) bool {
+		return seqs >= batchSize
+	}, fn)
+}
+
+// StreamFASTAResidues parses FASTA input in residue-balanced batches:
+// a batch closes once it holds at least residueBudget residues (always
+// after a whole sequence, so a batch can exceed the budget by at most
+// one sequence). Residue-balanced batches equalise DP work per batch —
+// the balance criterion that matters when batches are scheduled across
+// devices — whereas sequence-count batches can differ widely in cost
+// under length skew. fn receives batches in file order.
+func StreamFASTAResidues(r io.Reader, abc *alphabet.Alphabet, residueBudget int64, fn func(batch *Database) error) error {
+	if residueBudget < 1 {
+		return fmt.Errorf("fasta: residue budget %d < 1", residueBudget)
+	}
+	return streamFASTA(r, abc, func(seqs int, residues int64) bool {
+		return residues >= residueBudget
+	}, fn)
+}
+
+// streamFASTA is the shared scanner behind both batching policies:
+// full(seqs, residues) is consulted after each complete sequence and
+// closes the current batch when it returns true.
+func streamFASTA(r io.Reader, abc *alphabet.Alphabet, full func(seqs int, residues int64) bool, fn func(batch *Database) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 
 	batch := NewDatabase("stream")
+	var batchResidues int64
 	var cur *Sequence
 	line := 0
 	total := 0
@@ -34,6 +60,7 @@ func StreamFASTA(r io.Reader, abc *alphabet.Alphabet, batchSize int, fn func(bat
 			return err
 		}
 		batch = NewDatabase("stream")
+		batchResidues = 0
 		return nil
 	}
 	flush := func() error {
@@ -44,9 +71,10 @@ func StreamFASTA(r io.Reader, abc *alphabet.Alphabet, batchSize int, fn func(bat
 			return err
 		}
 		batch.Add(cur)
+		batchResidues += int64(cur.Len())
 		total++
 		cur = nil
-		if batch.NumSeqs() >= batchSize {
+		if full(batch.NumSeqs(), batchResidues) {
 			return emit()
 		}
 		return nil

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"hmmer3gpu/internal/bench"
+	"hmmer3gpu/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
 		workers    = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
 		csvDir     = flag.String("csv", "", "also write fig9/fig10/fig11 CSV files into this directory")
+		trace      = flag.String("trace", "", "write a span timeline of the pipeline-driven experiments to this file")
+		traceFmt   = flag.String("traceformat", "chrome", "trace file format: chrome|jsonl")
 	)
 	flag.Parse()
 
@@ -40,6 +43,13 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *trace != "" {
+		if *traceFmt != "chrome" && *traceFmt != "jsonl" {
+			fatalf("unknown -traceformat %q (want chrome or jsonl)", *traceFmt)
+		}
+		cfg.Trace = obs.New()
+		defer flushTrace(cfg.Trace, *trace, *traceFmt)
+	}
 	if *sizes != "" {
 		cfg.Sizes = nil
 		for _, tok := range strings.Split(*sizes, ",") {
@@ -109,6 +119,26 @@ func main() {
 	if !ran {
 		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|all)", *experiment)
 	}
+}
+
+// flushTrace writes the experiments' accumulated spans on exit.
+func flushTrace(tr *obs.Tracer, path, format string) {
+	fh, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if format == "jsonl" {
+		err = tr.WriteJSONL(fh)
+	} else {
+		err = tr.WriteChromeTrace(fh)
+	}
+	if err == nil {
+		err = fh.Close()
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("trace (%s, %d spans) written to %s\n", format, len(tr.Spans()), path)
 }
 
 func fatalf(format string, args ...any) {

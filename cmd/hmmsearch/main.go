@@ -22,6 +22,7 @@ import (
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/refimpl"
 	"hmmer3gpu/internal/seq"
@@ -42,6 +43,9 @@ func main() {
 		targlen  = flag.Int("targlen", 350, "assumed typical target length for -stream (the length model cannot be derived from an unread stream)")
 		workers  = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
 		devices  = flag.Int("devices", 4, "device count for -engine multigpu")
+		trace    = flag.String("trace", "", "write a span timeline of the run to this file (search, stage, batch, and kernel spans)")
+		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome (load in ui.perfetto.dev or chrome://tracing) | jsonl")
+		metrics  = flag.String("metrics", "", "write run counters to this file in Prometheus text format")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -51,21 +55,23 @@ func main() {
 	}
 
 	abc := alphabet.New()
+	sk := newSinks(*trace, *traceFmt, *metrics)
 
 	if *stream > 0 {
 		switch *engine {
 		case "cpu":
-			runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue, *tblout)
+			runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue, *tblout, sk)
 		case "multigpu":
 			budget := *batchres
 			if budget <= 0 {
 				budget = int64(*stream) * int64(*targlen)
 			}
 			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
-				budget, *targlen, *workers, *evalue, *tblout)
+				budget, *targlen, *workers, *evalue, *tblout, sk)
 		default:
 			fatalf("-stream requires -engine cpu or multigpu")
 		}
+		sk.flush()
 		return
 	}
 
@@ -76,6 +82,7 @@ func main() {
 	opts.ComputeAlignments = *aligns
 	opts.UseNull2 = *null2
 	opts.GPUForward = *gpufwd
+	sk.apply(&opts)
 	pl, err := pipeline.New(query, int(db.MeanLen()), opts)
 	check(err)
 
@@ -97,10 +104,8 @@ func main() {
 	fmt.Printf("Query:    %s (M=%d)\n", query.Name, query.M)
 	fmt.Printf("Database: %s (%d sequences, %d residues)\n",
 		flag.Arg(1), db.NumSeqs(), db.TotalResidues())
-	fmt.Printf("Pipeline: MSV %d/%d passed (%.2f%%) in %v; Viterbi %d/%d (%.2f%%) in %v; Forward %d/%d in %v\n\n",
-		res.MSV.Out, res.MSV.In, res.MSV.PassFraction()*100, res.MSV.Wall,
-		res.Viterbi.Out, res.Viterbi.In, res.Viterbi.PassFraction()*100, res.Viterbi.Wall,
-		res.Forward.Out, res.Forward.In, res.Forward.Wall)
+	fmt.Printf("Pipeline: MSV %s; Viterbi %s; Forward %s\n\n",
+		res.MSV.Summary(), res.Viterbi.Summary(), res.Forward.Summary())
 
 	fmt.Printf("%-12s %-28s %10s %10s %10s %10s\n",
 		"E-value", "sequence", "fwd bits", "vit bits", "msv bits", "P-value")
@@ -135,6 +140,61 @@ func main() {
 	if *tblout != "" {
 		check(writeTblout(*tblout, query.Name, res))
 		fmt.Printf("\nper-target table written to %s\n", *tblout)
+	}
+	sk.flush()
+}
+
+// sinks holds the run's optional observability outputs: a tracer and
+// a metrics registry created only when the matching flag was given,
+// so untraced runs keep the nil fast path end to end.
+type sinks struct {
+	tracer              *obs.Tracer
+	registry            *obs.Registry
+	tracePath, traceFmt string
+	metricsPath         string
+}
+
+func newSinks(tracePath, traceFmt, metricsPath string) *sinks {
+	s := &sinks{tracePath: tracePath, traceFmt: traceFmt, metricsPath: metricsPath}
+	if tracePath != "" {
+		if traceFmt != "chrome" && traceFmt != "jsonl" {
+			fatalf("unknown -traceformat %q (want chrome or jsonl)", traceFmt)
+		}
+		s.tracer = obs.New()
+	}
+	if metricsPath != "" {
+		s.registry = obs.NewRegistry()
+	}
+	return s
+}
+
+// apply attaches the sinks to the pipeline options.
+func (s *sinks) apply(opts *pipeline.Options) {
+	opts.Trace = s.tracer
+	opts.Metrics = s.registry
+}
+
+// flush writes the trace and metrics files after the search finishes.
+func (s *sinks) flush() {
+	if s.tracer != nil {
+		fh, err := os.Create(s.tracePath)
+		check(err)
+		if s.traceFmt == "jsonl" {
+			check(s.tracer.WriteJSONL(fh))
+		} else {
+			check(s.tracer.WriteChromeTrace(fh))
+		}
+		check(fh.Close())
+		fmt.Printf("trace (%s, %d spans) written to %s\n",
+			s.traceFmt, len(s.tracer.Spans()), s.tracePath)
+	}
+	if s.registry != nil {
+		fh, err := os.Create(s.metricsPath)
+		check(err)
+		check(s.registry.WritePrometheus(fh))
+		check(fh.Close())
+		fmt.Printf("metrics (%d series) written to %s\n",
+			len(s.registry.Snapshot()), s.metricsPath)
 	}
 }
 
@@ -184,7 +244,7 @@ func memConfig(name string) gpu.MemConfig {
 }
 
 // runStreaming searches a FASTA stream without loading it into memory.
-func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targetLen, workers int, evalue float64, tblout string) {
+func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targetLen, workers int, evalue float64, tblout string, sk *sinks) {
 	hf, err := os.Open(hmmPath)
 	check(err)
 	query, err := hmm.Read(hf, abc)
@@ -193,6 +253,7 @@ func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targ
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = workers
+	sk.apply(&opts)
 	pl, err := pipeline.New(query, targetLen, opts)
 	check(err)
 
@@ -227,7 +288,7 @@ func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targ
 // residue-balanced batches, dynamic device assignment, per-device
 // utilization in the summary.
 func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gpu.MemConfig,
-	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string) {
+	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string, sk *sinks) {
 
 	hf, err := os.Open(hmmPath)
 	check(err)
@@ -237,6 +298,7 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = workers
+	sk.apply(&opts)
 	pl, err := pipeline.New(query, targetLen, opts)
 	check(err)
 
@@ -251,15 +313,8 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 	sched := extra.Schedule
 	fmt.Printf("Query:    %s (M=%d, streamed in %d residue-balanced batches of ~%d residues)\n",
 		query.Name, query.M, sched.Batches, batchResidues)
-	fmt.Printf("Devices:  %d x %s, wall %v\n", devices, sys.Devices[0].Spec.Name, sched.Wall)
-	for i, u := range sched.Util {
-		share := 0.0
-		if sched.Residues > 0 {
-			share = 100 * float64(u.Residues) / float64(sched.Residues)
-		}
-		fmt.Printf("  device %d: %3d batches, %9d residues (%5.1f%%), busy %v\n",
-			i, u.Batches, u.Residues, share, u.Busy)
-	}
+	fmt.Printf("Devices:  %d x %s\n", devices, sys.Devices[0].Spec.Name)
+	fmt.Println(sched.String())
 	fmt.Printf("Pipeline: MSV %d/%d passed; Viterbi %d; Forward hits %d\n\n",
 		res.MSV.Out, res.MSV.In, res.Viterbi.Out, len(res.Hits))
 	fmt.Printf("%-12s %-28s %10s\n", "E-value", "sequence", "fwd bits")

@@ -1,0 +1,91 @@
+// Command tracecheck validates observability artifacts produced by
+// hmmsearch -trace / -metrics, for use as a CI gate:
+//
+//	tracecheck -format chrome run.chrome.json
+//	tracecheck -metrics run.prom -require hmmer_simt_,hmmer_pipeline_,hmmer_sched_
+//
+// It exits nonzero when a trace file is empty or malformed, or when a
+// metrics file is missing a required series prefix. The checks are the
+// same validators the unit tests use (internal/obs), so CI and tests
+// cannot drift apart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hmmer3gpu/internal/obs"
+)
+
+func main() {
+	var (
+		format      = flag.String("format", "chrome", "trace file format: chrome|jsonl")
+		metricsPath = flag.String("metrics", "", "Prometheus text file to validate")
+		require     = flag.String("require", "", "comma-separated metric name prefixes that must each match at least one series in -metrics")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [flags] [trace-file...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		check(path, err)
+		var spans int
+		switch *format {
+		case "chrome":
+			spans, err = obs.ValidateChromeTrace(data)
+		case "jsonl":
+			spans, err = obs.ValidateJSONL(data)
+		default:
+			fatalf("unknown -format %q (want chrome or jsonl)", *format)
+		}
+		check(path, err)
+		if spans == 0 {
+			fatalf("%s: trace is valid but holds no spans", path)
+		}
+		fmt.Printf("%s: ok (%s, %d spans)\n", path, *format, spans)
+	}
+
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		check(*metricsPath, err)
+		series, err := obs.ParsePrometheus(data)
+		check(*metricsPath, err)
+		if len(series) == 0 {
+			fatalf("%s: no metric series", *metricsPath)
+		}
+		for _, prefix := range strings.Split(*require, ",") {
+			prefix = strings.TrimSpace(prefix)
+			if prefix == "" {
+				continue
+			}
+			found := false
+			for name := range series {
+				if strings.HasPrefix(name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fatalf("%s: no series with required prefix %q", *metricsPath, prefix)
+			}
+		}
+		fmt.Printf("%s: ok (%d series)\n", *metricsPath, len(series))
+	}
+}
+
+func check(path string, err error) {
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

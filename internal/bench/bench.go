@@ -15,6 +15,7 @@ import (
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -34,6 +35,9 @@ type Config struct {
 	VitCellBudget int64
 	// Workers caps host-side parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Trace, when non-nil, receives spans from the experiments that run
+	// full pipelines (hmmbench -trace); nil keeps tracing off.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns budgets sized for a laptop run of the full

@@ -50,6 +50,7 @@ func Fig1(cfg Config, w io.Writer) (Fig1Stats, error) {
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = cfg.Workers
+	opts.Trace = cfg.Trace
 	opts.Calibration = stats.CalibrateOptions{N: 128, L: 100, Seed: cfg.Seed, TailMass: 0.04}
 	pl, err := pipeline.New(h, int(data.MeanLen()), opts)
 	if err != nil {

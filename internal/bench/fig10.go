@@ -64,6 +64,7 @@ func combinedPoint(cfg Config, spec simt.DeviceSpec, sys *simt.System, db DBKind
 	opts := pipeline.DefaultOptions()
 	opts.SkipForward = true
 	opts.Workers = cfg.Workers
+	opts.Trace = cfg.Trace
 	// A lighter calibration is plenty for stable pass fractions.
 	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: cfg.Seed, TailMass: 0.04}
 	pl, err := pipeline.New(h, int(data.MeanLen()), opts)

@@ -68,6 +68,7 @@ func StreamScaling(cfg Config, w io.Writer) ([]StreamScalingRow, error) {
 	opts := pipeline.DefaultOptions()
 	opts.SkipForward = true
 	opts.Workers = cfg.Workers
+	opts.Trace = cfg.Trace
 	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: cfg.Seed, TailMass: 0.04}
 	pl, err := pipeline.New(h, int(data.MeanLen()), opts)
 	if err != nil {

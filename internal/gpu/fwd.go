@@ -191,6 +191,8 @@ func (s *Searcher) ForwardSearch(dp *DeviceFwdProfile, db *DeviceDB) (*SearchRep
 		RegsPerThread:       fwdRegsPerThread,
 		DetectRaces:         s.DetectRaces,
 		HostWorkers:         s.HostWorkers,
+		Name:                "forward",
+		Trace:               s.Trace,
 	}, run.kernel)
 	if err != nil {
 		return nil, nil, err

@@ -1,9 +1,11 @@
 package gpu
 
 import (
+	"fmt"
 	"time"
 
 	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -18,6 +20,9 @@ type MultiSearcher struct {
 	Mem MemConfig
 	// HostWorkers caps host-side parallelism per device launch.
 	HostWorkers int
+	// Trace, when non-nil, parents one shard span per device (and the
+	// kernel span beneath it) on that device's track.
+	Trace *obs.Span
 }
 
 // MultiReport is the merged outcome of a multi-device search.
@@ -48,9 +53,13 @@ func (ms *MultiSearcher) MSVSearch(mp *profile.MSVProfile, db *seq.Database) (*M
 			return &simt.LaunchReport{}, nil
 		}
 		start := time.Now()
+		span := ms.Trace.ChildOn(dev.Track(), fmt.Sprintf("shard %d", i),
+			obs.Int("seqs", int64(shards[i].NumSeqs())),
+			obs.Int("residues", shards[i].TotalResidues()))
+		defer span.End()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadMSVProfile(dev, mp)
-		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span}
 		rep, err := s.MSVSearch(dp, ddb)
 		if err != nil {
 			return nil, err
@@ -85,9 +94,13 @@ func (ms *MultiSearcher) ViterbiSearch(vp *profile.VitProfile, db *seq.Database)
 			return &simt.LaunchReport{}, nil
 		}
 		start := time.Now()
+		span := ms.Trace.ChildOn(dev.Track(), fmt.Sprintf("shard %d", i),
+			obs.Int("seqs", int64(shards[i].NumSeqs())),
+			obs.Int("residues", shards[i].TotalResidues()))
+		defer span.End()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadVitProfile(dev, vp)
-		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers}
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span}
 		rep, err := s.ViterbiSearch(dp, ddb)
 		if err != nil {
 			return nil, err

@@ -2,9 +2,11 @@ package gpu
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -20,6 +22,10 @@ type Batch struct {
 	Offset int
 	// DB holds the batch's sequences.
 	DB *seq.Database
+	// Trace is the batch's span on the serving device's track (nil
+	// when the run is untraced); process callbacks parent their stage
+	// and kernel spans under it.
+	Trace *obs.Span
 }
 
 // DeviceUtilization is one device's share of a scheduled run — the
@@ -29,10 +35,19 @@ type DeviceUtilization struct {
 	// Busy is the wall time the device's worker spent processing
 	// batches (upload + kernel execution + host-side post-filtering).
 	Busy time.Duration
+	// QueueWait is the wall time the device's worker spent blocked on
+	// the work queue waiting for a batch — scheduler starvation, as
+	// distinct from finishing quickly because its batches were short.
+	QueueWait time.Duration
 	// Residues is the number of residues the device processed.
 	Residues int64
 	// Batches is the number of batches the device served.
 	Batches int
+}
+
+// BusyFraction is Busy over the run's wall time (0 when wall is 0).
+func (u DeviceUtilization) BusyFraction(wall time.Duration) float64 {
+	return obs.Ratio(float64(u.Busy), float64(wall))
 }
 
 // ScheduleReport is the outcome of one Scheduler.Run.
@@ -46,6 +61,45 @@ type ScheduleReport struct {
 	Residues int64
 	// Util is the per-device utilization, indexed by device.
 	Util []DeviceUtilization
+}
+
+// String renders the schedule: totals, then one line per device with
+// busy/queue-wait splits. Undefined ratios (a zero-wall or zero-work
+// run) render as "-", never NaN.
+func (r *ScheduleReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d batches, %d seqs, %d residues in %v",
+		r.Batches, r.Seqs, r.Residues, r.Wall)
+	for i, u := range r.Util {
+		fmt.Fprintf(&b, "\n  device %d: %d batches, %d residues (%s), busy %v (%s of wall), queue-wait %v",
+			i, u.Batches, u.Residues,
+			obs.Pct(float64(u.Residues), float64(r.Residues)),
+			u.Busy, obs.Pct(float64(u.Busy), float64(r.Wall)), u.QueueWait)
+	}
+	return b.String()
+}
+
+// Record merges the schedule into reg under the sched subsystem:
+// totals, wall, and per-device busy/queue-wait/busy-fraction series.
+func (r *ScheduleReport) Record(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddInt("hmmer_sched_batches_total", int64(r.Batches))
+	reg.AddInt("hmmer_sched_seqs_total", int64(r.Seqs))
+	reg.AddInt("hmmer_sched_residues_total", r.Residues)
+	reg.Set("hmmer_sched_wall_seconds", r.Wall.Seconds())
+	reg.AddInt("hmmer_sched_devices", int64(len(r.Util)))
+	for i, u := range r.Util {
+		dev := fmt.Sprint(i)
+		reg.Add(obs.WithLabel("hmmer_sched_device_busy_seconds_total", "device", dev), u.Busy.Seconds())
+		reg.Add(obs.WithLabel("hmmer_sched_device_queue_wait_seconds_total", "device", dev), u.QueueWait.Seconds())
+		reg.AddInt(obs.WithLabel("hmmer_sched_device_batches_total", "device", dev), int64(u.Batches))
+		reg.AddInt(obs.WithLabel("hmmer_sched_device_residues_total", "device", dev), u.Residues)
+		reg.Set(obs.WithLabel("hmmer_sched_device_busy_fraction", "device", dev), u.BusyFraction(r.Wall))
+	}
+	reg.Help("hmmer_sched_device_queue_wait_seconds_total",
+		"wall time the device worker spent blocked on the work queue (starvation)")
 }
 
 // Scheduler feeds a stream of batches to the devices of a System
@@ -63,6 +117,10 @@ type Scheduler struct {
 	// per device (enough to hide parse latency without unbounding
 	// memory).
 	QueueDepth int
+	// Trace, when non-nil, parents one span per batch on the serving
+	// device's track (the per-device gantt a Chrome trace renders);
+	// the span is handed to the process callback via Batch.Trace.
+	Trace *obs.Span
 }
 
 // Run overlaps produce with per-device processing. produce must call
@@ -101,10 +159,22 @@ func (s *Scheduler) Run(
 		go func(i int, dev *simt.Device) {
 			defer workers.Done()
 			util := &rep.Util[i]
-			for b := range queue {
+			for {
+				tw := time.Now()
+				b, ok := <-queue
+				util.QueueWait += time.Since(tw)
+				if !ok {
+					return
+				}
+				b.Trace = s.Trace.ChildOn(dev.Track(), fmt.Sprintf("batch %d", b.Seq),
+					obs.Int("batch", int64(b.Seq)),
+					obs.Int("offset", int64(b.Offset)),
+					obs.Int("seqs", int64(b.DB.NumSeqs())),
+					obs.Int("residues", b.DB.TotalResidues()))
 				t0 := time.Now()
 				err := process(i, dev, b)
 				util.Busy += time.Since(t0)
+				b.Trace.End()
 				if err != nil {
 					fail(err)
 					return

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/simt"
 )
 
@@ -26,6 +27,11 @@ type Searcher struct {
 	DetectRaces bool
 	// HostWorkers caps host-side parallelism (0 = GOMAXPROCS).
 	HostWorkers int
+	// Trace, when non-nil, parents a kernel span per launch on the
+	// device's track. Callers running one stage at a time (the
+	// pipeline engines, the per-device stream workers) repoint it at
+	// the current stage span before each search.
+	Trace *obs.Span
 }
 
 // LazyFStats aggregates the parallel Lazy-F work over a launch.
@@ -69,6 +75,8 @@ func (s *Searcher) MSVSearch(dp *DeviceMSVProfile, db *DeviceDB) (*SearchReport,
 		RegsPerThread:       msvRegsPerThread,
 		DetectRaces:         s.DetectRaces,
 		HostWorkers:         s.HostWorkers,
+		Name:                "msv",
+		Trace:               s.Trace,
 	}, run.kernel)
 	if err != nil {
 		return nil, err
@@ -103,6 +111,8 @@ func (s *Searcher) ViterbiSearch(dp *DeviceVitProfile, db *DeviceDB) (*SearchRep
 		RegsPerThread:       vitRegsPerThread,
 		DetectRaces:         s.DetectRaces,
 		HostWorkers:         s.HostWorkers,
+		Name:                "p7viterbi",
+		Trace:               s.Trace,
 	}, run.kernel)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonlSpan is the JSON-lines wire form of one span.
+type jsonlSpan struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent"`
+	Name    string         `json:"name"`
+	Track   string         `json:"track"`
+	StartUS float64        `json:"start_us"`
+	DurUS   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteJSONL emits one JSON object per completed span, in start
+// order, timestamps in microseconds relative to the tracer epoch.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Spans() {
+		rec := jsonlSpan{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			Track:   s.Track,
+			StartUS: float64(s.Start.Sub(t.Epoch())) / 1e3,
+			DurUS:   float64(s.Dur) / 1e3,
+			Attrs:   attrMap(s.Attrs),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace_event entry; ph "X" is a complete span,
+// ph "M" carries track (thread) names.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the span set in Chrome trace_event JSON
+// ({"traceEvents":[...]}): each track becomes a named thread row, so
+// chrome://tracing and Perfetto render the per-device batch gantt of
+// the streaming scheduler directly. Span IDs and parent links ride in
+// each event's args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Tracks become tids in order of first appearance, so the host
+	// row sits above the device rows.
+	tids := make(map[string]int)
+	var events []chromeEvent
+	for _, s := range spans {
+		tid, ok := tids[s.Track]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.Track] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": s.Track},
+			})
+		}
+		args := attrMap(s.Attrs)
+		if args == nil {
+			args = make(map[string]any, 2)
+		}
+		args["id"] = s.ID
+		args["parent"] = s.Parent
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", Pid: 1, Tid: tid,
+			TS:   float64(s.Start.Sub(t.Epoch())) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WritePrometheus renders the registry snapshot in Prometheus text
+// exposition format (# HELP / # TYPE preambles, one sample per line).
+// Samples are grouped by base metric name so labelled series sit
+// under their # TYPE line as the format requires.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	sort.Slice(snap, func(i, j int) bool {
+		bi, bj := snap[i].BaseName(), snap[j].BaseName()
+		if bi != bj {
+			return bi < bj
+		}
+		return snap[i].Name < snap[j].Name
+	})
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	for _, m := range snap {
+		base := m.BaseName()
+		if !typed[base] {
+			typed[base] = true
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", base, m.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, m.Kind)
+		}
+		fmt.Fprintf(bw, "%s %g\n", m.Name, m.Value)
+	}
+	return bw.Flush()
+}

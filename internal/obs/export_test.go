@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds the same small span tree every time, on a
+// deterministic clock.
+func goldenTrace() *Tracer {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	search := tr.Start("host", "search", String("engine", "multigpu-stream"))
+	batch := search.ChildOn("device0", "batch 0", Int("seqs", 16))
+	stage := batch.Child("stage:msv")
+	kernel := stage.Child("kernel:msv", Int("blocks", 4), Float("occupancy", 0.5))
+	kernel.End()
+	stage.End()
+	batch.End()
+	search.End()
+	return tr
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSONL export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	n, err := ValidateJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("golden output fails its own validator: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("validator counted %d spans, want 4", n)
+	}
+}
+
+func TestWriteChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("chrome export fails validation: %v\n%s", err, buf.Bytes())
+	}
+	if n != 4 {
+		t.Errorf("validator counted %d spans, want 4", n)
+	}
+	out := buf.String()
+	// Track rows must be named via thread_name metadata, one per track.
+	if strings.Count(out, `"thread_name"`) != 2 {
+		t.Errorf("want 2 thread_name metadata events (host, device0), got:\n%s", out)
+	}
+	for _, track := range []string{"host", "device0"} {
+		if !strings.Contains(out, `"name":"`+track+`"`) {
+			t.Errorf("missing track name %q in chrome trace", track)
+		}
+	}
+	// Parent links ride in args so the span tree survives the format.
+	if !strings.Contains(out, `"parent":`) {
+		t.Error("chrome trace lost parent links")
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	if _, err := ValidateJSONL([]byte("{not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ValidateJSONL([]byte(`{"name":"x","track":"host"}` + "\n")); err == nil {
+		t.Error("span without dur_us accepted")
+	}
+	n, err := ValidateJSONL(nil)
+	if err != nil || n != 0 {
+		t.Errorf("empty input: n=%d err=%v, want 0,nil (caller enforces non-empty)", n, err)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents": [}`,
+		"missing name":  `{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}`,
+		"missing ph":    `{"traceEvents":[{"name":"x","ts":0}]}`,
+		"X without dur": `{"traceEvents":[{"name":"x","ph":"X","ts":0}]}`,
+		"unbalanced B":  `{"traceEvents":[{"name":"x","ph":"B","ts":0,"tid":1}]}`,
+		"E without B":   `{"traceEvents":[{"name":"x","ph":"E","ts":0,"tid":1}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+	// The bare-array form and matched B/E pairs are legal.
+	ok := `[{"name":"x","ph":"B","ts":0,"tid":1},{"name":"x","ph":"E","ts":1,"tid":1}]`
+	n, err := ValidateChromeTrace([]byte(ok))
+	if err != nil || n != 1 {
+		t.Errorf("matched B/E pair: n=%d err=%v, want 1,nil", n, err)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddInt("hmmer_simt_alu_ops_total", 42)
+	reg.Help("hmmer_simt_alu_ops_total", "arithmetic/logic warp instructions")
+	reg.Set("hmmer_pipeline_stage_pass_fraction", 0.02)
+	reg.Add(WithLabel("hmmer_sched_device_busy_seconds_total", "device", 0), 0.25)
+	reg.Add(WithLabel("hmmer_sched_device_busy_seconds_total", "device", 1), 0.75)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE hmmer_simt_alu_ops_total counter") {
+		t.Errorf("missing counter TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE hmmer_pipeline_stage_pass_fraction gauge") {
+		t.Errorf("missing gauge TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP hmmer_simt_alu_ops_total arithmetic/logic warp instructions") {
+		t.Errorf("missing HELP line:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE hmmer_sched_device_busy_seconds_total") != 1 {
+		t.Errorf("labelled series must share one TYPE line:\n%s", out)
+	}
+
+	parsed, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition fails its own parser: %v\n%s", err, out)
+	}
+	want := map[string]float64{
+		"hmmer_simt_alu_ops_total":                          42,
+		"hmmer_pipeline_stage_pass_fraction":                0.02,
+		`hmmer_sched_device_busy_seconds_total{device="0"}`: 0.25,
+		`hmmer_sched_device_busy_seconds_total{device="1"}`: 0.75,
+	}
+	if len(parsed) != len(want) {
+		t.Fatalf("parsed %d series, want %d: %v", len(parsed), len(want), parsed)
+	}
+	for name, v := range want {
+		if parsed[name] != v {
+			t.Errorf("series %s = %g, want %g", name, parsed[name], v)
+		}
+	}
+}
+
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad directive":  "# FROB x y\n",
+		"no value":       "metric_without_value\n",
+		"bad value":      "m one\n",
+		"duplicate":      "m 1\nm 2\n",
+		"malformed TYPE": "# TYPE m\n",
+		"unknown kind":   "# TYPE m histogram\n",
+	}
+	for label, doc := range cases {
+		if _, err := ParsePrometheus([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// Tracer of nestable spans (search → stage → batch → kernel launch)
+// and a Registry of named counters and gauges, with exporters to
+// JSON-lines, Chrome trace_event format (open in chrome://tracing or
+// Perfetto), and Prometheus text exposition.
+//
+// The layer is threaded through every execution path — pipeline
+// engines, the multi-device streaming scheduler, and simulator kernel
+// launches — so one run yields a single merged picture: per-device
+// batch timelines plus a metrics table spanning lane utilization,
+// bank-conflict replays, stage pass fractions, device busy fractions,
+// and modelled vs. wall time.
+//
+// Untraced runs pay ~nothing: a nil *Tracer is the no-op default, and
+// every Tracer, Span, and Registry method is safe to call on a nil
+// receiver, so call sites never need to guard.
+//
+// Spans live on named tracks ("host", "device0", ...): tracks become
+// per-device rows in the Chrome trace, which is how the streaming
+// scheduler's batch gantt is rendered.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AttrKind discriminates the typed attribute payload.
+type AttrKind uint8
+
+const (
+	KindString AttrKind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// Attr is one typed key/value attribute attached to a span.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Kind: KindString, Str: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Kind: KindInt, Int: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Kind: KindFloat, Float: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, Kind: KindBool}
+	if v {
+		a.Int = 1
+	}
+	return a
+}
+
+// Value returns the attribute's payload as an any.
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindString:
+		return a.Str
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		return a.Float
+	case KindBool:
+		return a.Int != 0
+	}
+	return nil
+}
+
+// SpanRecord is one completed span as stored by the tracer.
+type SpanRecord struct {
+	// ID is unique within the tracer; Parent is 0 for root spans.
+	ID     uint64
+	Parent uint64
+	Name   string
+	// Track names the timeline row ("host", "device0", ...).
+	Track string
+	Start time.Time
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Tracer collects completed spans. It is safe for concurrent use by
+// the scheduler's device workers; a nil Tracer is the no-op default.
+type Tracer struct {
+	now func() time.Time
+
+	mu     sync.Mutex
+	epoch  time.Time
+	spans  []SpanRecord
+	nextID uint64
+}
+
+// New returns a tracer using the wall clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns a tracer reading time from now — tests inject a
+// deterministic clock to produce golden exports.
+func NewWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, epoch: now()}
+}
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Epoch is the tracer's time origin; exporters emit span timestamps
+// relative to it.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Start opens a root span on the given track. Returns nil (a valid
+// no-op span) when the tracer is nil.
+func (t *Tracer) Start(track, name string, attrs ...Attr) *Span {
+	return t.newSpan(0, track, name, attrs)
+}
+
+func (t *Tracer) newSpan(parent uint64, track, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{
+		tr:     t,
+		id:     id,
+		parent: parent,
+		name:   name,
+		track:  track,
+		start:  t.now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+}
+
+// Spans returns a snapshot of the completed spans, ordered by start
+// time (ID breaks ties) so exports are deterministic.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Span is one live span. A Span is used by a single goroutine; the
+// tracer it reports to may be shared. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	track  string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// Child opens a nested span on the same track.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s.id, s.track, name, attrs)
+}
+
+// ChildOn opens a nested span on another track — how a host-side stage
+// span parents kernel spans on a device's timeline row.
+func (s *Span) ChildOn(track, name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s.id, track, name, attrs)
+}
+
+// Annotate appends attributes — counters that are only known when the
+// work completes (kernel stats, survivor counts).
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span and records it with the tracer. End is
+// idempotent; a nil span ends silently.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Track:  s.track,
+		Start:  s.start,
+		Dur:    s.tr.now().Sub(s.start),
+		Attrs:  s.attrs,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, rec)
+	s.tr.mu.Unlock()
+}
+
+// Ratio returns num/den, or 0 when den is 0 — the shared guard for
+// every derived fraction in reports (pass fractions, busy fractions,
+// lane utilization), so no report ever renders NaN.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pct renders a fraction as "12.3%", or "-" when the denominator was
+// zero (undefined ratio), for report strings.
+func Pct(num, den float64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}

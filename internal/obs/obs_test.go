@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, so exports are
+// deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	search := tr.Start("host", "search", String("engine", "gpu"))
+	stage := search.Child("stage:msv")
+	kernel := stage.ChildOn("device0", "kernel:msv", Int("blocks", 4))
+	kernel.Annotate(Float("occupancy", 0.75), Bool("packed", true))
+	kernel.End()
+	stage.End()
+	search.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["stage:msv"].Parent != byName["search"].ID {
+		t.Error("stage span not parented under search")
+	}
+	if byName["kernel:msv"].Parent != byName["stage:msv"].ID {
+		t.Error("kernel span not parented under stage")
+	}
+	if byName["kernel:msv"].Track != "device0" {
+		t.Errorf("kernel track = %q, want device0", byName["kernel:msv"].Track)
+	}
+	if byName["stage:msv"].Track != "host" {
+		t.Errorf("stage inherited track = %q, want host", byName["stage:msv"].Track)
+	}
+	if byName["kernel:msv"].Dur <= 0 {
+		t.Error("kernel span has no duration")
+	}
+	attrs := map[string]any{}
+	for _, a := range byName["kernel:msv"].Attrs {
+		attrs[a.Key] = a.Value()
+	}
+	if attrs["blocks"] != int64(4) || attrs["occupancy"] != 0.75 || attrs["packed"] != true {
+		t.Errorf("kernel attrs wrong: %v", attrs)
+	}
+}
+
+// TestNilTracerIsFree: the untraced path must not allocate or record
+// anything — that is the "<2% overhead when disabled" contract.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("host", "search")
+		child := sp.Child("stage")
+		grand := child.ChildOn("device0", "kernel")
+		grand.Annotate(Int("x", 1))
+		grand.End()
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer allocates %.0f objects per traced region, want 0", allocs)
+	}
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer returned spans: %v", got)
+	}
+
+	var reg *Registry
+	allocs = testing.AllocsPerRun(100, func() {
+		reg.Add("x", 1)
+		reg.AddInt("y", 2)
+		reg.Set("z", 3)
+	})
+	if allocs != 0 {
+		t.Errorf("nil registry allocates %.0f objects per record, want 0", allocs)
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := New()
+	root := tr.Start("host", "search")
+	var wg sync.WaitGroup
+	for d := 0; d < 4; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for b := 0; b < 50; b++ {
+				sp := root.ChildOn("device", "batch")
+				sp.End()
+			}
+		}(d)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 4*50+1 {
+		t.Fatalf("got %d spans, want %d", got, 4*50+1)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range tr.Spans() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New()
+	sp := tr.Start("host", "x")
+	sp.End()
+	sp.End()
+	if got := len(tr.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddInt("hmmer_simt_alu_ops_total", 10)
+	reg.AddInt("hmmer_simt_alu_ops_total", 5)
+	reg.Set("hmmer_pipeline_stage_pass_fraction", 0.02)
+	reg.Set("hmmer_pipeline_stage_pass_fraction", 0.03)
+	reg.Add(WithLabel("hmmer_sched_device_busy_seconds_total", "device", 0), 1.5)
+
+	if v, _ := reg.Get("hmmer_simt_alu_ops_total"); v != 15 {
+		t.Errorf("counter = %g, want 15", v)
+	}
+	if v, _ := reg.Get("hmmer_pipeline_stage_pass_fraction"); v != 0.03 {
+		t.Errorf("gauge = %g, want 0.03 (last set wins)", v)
+	}
+	if v, _ := reg.Get(`hmmer_sched_device_busy_seconds_total{device="0"}`); v != 1.5 {
+		t.Errorf("labelled counter = %g, want 1.5", v)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Errorf("snapshot not sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestWithLabel(t *testing.T) {
+	got := WithLabel("m", "device", 3)
+	if got != `m{device="3"}` {
+		t.Errorf("WithLabel = %q", got)
+	}
+	got = WithLabel(got, "kernel", "msv")
+	if got != `m{device="3",kernel="msv"}` {
+		t.Errorf("stacked WithLabel = %q", got)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(1,0) != 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4) != 0.75")
+	}
+	if Pct(1, 0) != "-" {
+		t.Errorf("Pct(1,0) = %q, want -", Pct(1, 0))
+	}
+	if Pct(1, 4) != "25.0%" {
+		t.Errorf("Pct(1,4) = %q", Pct(1, 4))
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricKind distinguishes monotonic counters from point-in-time
+// gauges in the Prometheus exposition.
+type MetricKind uint8
+
+const (
+	Counter MetricKind = iota
+	Gauge
+)
+
+func (k MetricKind) String() string {
+	if k == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Metric is one named series in a Registry snapshot.
+type Metric struct {
+	// Name is the full series name, possibly carrying a label set
+	// (`hmmer_sched_device_busy_seconds{device="0"}`).
+	Name  string
+	Kind  MetricKind
+	Help  string
+	Value float64
+}
+
+// BaseName strips the label set from the series name (the name the
+// Prometheus # TYPE line uses).
+func (m Metric) BaseName() string {
+	if i := strings.IndexByte(m.Name, '{'); i >= 0 {
+		return m.Name[:i]
+	}
+	return m.Name
+}
+
+// Registry holds the named counters and gauges of one run. Adapters
+// across the subsystems (simt kernel counters, pipeline stage stats,
+// scheduler utilization, perf time model) merge into one Registry, so
+// a single run yields a single metrics table.
+//
+// Naming scheme: hmmer_<subsystem>_<metric>[_total], subsystem one of
+// simt, pipeline, sched, perf. Per-device series carry a
+// {device="N"} label. A nil Registry is the no-op default.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*Metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*Metric)}
+}
+
+// Enabled reports whether metrics are being collected.
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) upsert(name string, kind MetricKind) *Metric {
+	m, ok := r.metrics[name]
+	if !ok {
+		m = &Metric{Name: name, Kind: kind}
+		r.metrics[name] = m
+		r.order = append(r.order, name)
+	}
+	return m
+}
+
+// Add accumulates delta into the named counter, creating it at zero
+// first if needed.
+func (r *Registry) Add(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.upsert(name, Counter).Value += delta
+	r.mu.Unlock()
+}
+
+// AddInt is Add for integer counters.
+func (r *Registry) AddInt(name string, delta int64) { r.Add(name, float64(delta)) }
+
+// Set stores the named gauge's current value.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	m := r.upsert(name, Gauge)
+	m.Kind = Gauge
+	m.Value = v
+	r.mu.Unlock()
+}
+
+// Help attaches a description rendered as the # HELP line.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if m, ok := r.metrics[name]; ok {
+		m.Help = text
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the current value of a series.
+func (r *Registry) Get(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		return 0, false
+	}
+	return m.Value, true
+}
+
+// Snapshot returns every series sorted by name, for deterministic
+// export.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.metrics))
+	for _, name := range r.order {
+		out = append(out, *r.metrics[name])
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WithLabel appends a {key="value"} label set to a series name (or
+// extends an existing set), keeping call sites free of quoting rules.
+func WithLabel(name, key string, value any) string {
+	label := fmt.Sprintf("%s=%q", key, fmt.Sprint(value))
+	if i := strings.LastIndexByte(name, '}'); i >= 0 {
+		return name[:i] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}

@@ -1,0 +1,159 @@
+package obs
+
+// Exporter validators. Tests use them as oracles over exporter output;
+// the CI trace-smoke gate (cmd/tracecheck) reuses them to fail the
+// build when a run produces an empty or malformed trace.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ValidateJSONL checks a JSON-lines trace: every non-empty line must
+// be a JSON object carrying name, track, and dur_us. Returns the span
+// count.
+func ValidateJSONL(data []byte) (int, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return n, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		for _, key := range []string{"name", "track", "dur_us"} {
+			if _, ok := rec[key]; !ok {
+				return n, fmt.Errorf("obs: jsonl line %d: missing %q", line, key)
+			}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("obs: jsonl scan: %w", err)
+	}
+	return n, nil
+}
+
+// ValidateChromeTrace checks a Chrome trace_event JSON document (the
+// {"traceEvents": [...]} object form or a bare event array): it must
+// parse, every event needs a name and a phase, X events need a
+// duration field, and B/E begin/end events must balance per thread.
+// Returns the span count (X events plus matched B/E pairs).
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	events := doc.TraceEvents
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// Retry the bare-array form.
+		if arrErr := json.Unmarshal(data, &events); arrErr != nil {
+			return 0, fmt.Errorf("obs: chrome trace: %w", err)
+		}
+	} else {
+		events = doc.TraceEvents
+	}
+
+	type event struct {
+		Name *string  `json:"name"`
+		Ph   string   `json:"ph"`
+		Tid  int      `json:"tid"`
+		Dur  *float64 `json:"dur"`
+	}
+	spans := 0
+	depth := make(map[int]int)
+	for i, raw := range events {
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return spans, fmt.Errorf("obs: chrome trace event %d: %w", i, err)
+		}
+		if ev.Name == nil {
+			return spans, fmt.Errorf("obs: chrome trace event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "":
+			return spans, fmt.Errorf("obs: chrome trace event %d (%q): missing ph", i, *ev.Name)
+		case "X":
+			if ev.Dur == nil {
+				return spans, fmt.Errorf("obs: chrome trace event %d (%q): X event without dur", i, *ev.Name)
+			}
+			spans++
+		case "B":
+			depth[ev.Tid]++
+		case "E":
+			depth[ev.Tid]--
+			if depth[ev.Tid] < 0 {
+				return spans, fmt.Errorf("obs: chrome trace event %d (%q): E without matching B on tid %d", i, *ev.Name, ev.Tid)
+			}
+			spans++
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			return spans, fmt.Errorf("obs: chrome trace: %d unclosed B event(s) on tid %d", d, tid)
+		}
+	}
+	return spans, nil
+}
+
+// ParsePrometheus parses text exposition line-by-line into a
+// series-name → value map, validating comment directives and sample
+// syntax as it goes.
+func ParsePrometheus(data []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("obs: prom line %d: bad comment directive %q", line, text)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: prom line %d: malformed TYPE line %q", line, text)
+				}
+				kind := fields[3]
+				if kind != "counter" && kind != "gauge" {
+					return nil, fmt.Errorf("obs: prom line %d: unknown type %q", line, kind)
+				}
+			}
+			continue
+		}
+		// A sample: name{labels} value — the value is the last field.
+		i := strings.LastIndexByte(text, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: prom line %d: no value in %q", line, text)
+		}
+		name := strings.TrimSpace(text[:i])
+		var v float64
+		if _, err := fmt.Sscanf(text[i+1:], "%g", &v); err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: bad value in %q", line, text)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("obs: prom line %d: empty series name", line)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("obs: prom line %d: duplicate series %q", line, name)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: prom scan: %w", err)
+	}
+	return out, nil
+}

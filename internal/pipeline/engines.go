@@ -6,6 +6,8 @@ import (
 
 	"hmmer3gpu/internal/cpu"
 	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/perf"
 	"hmmer3gpu/internal/refimpl"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -21,10 +23,24 @@ type CPUExtra struct {
 // RunCPU executes the pipeline with the striped multicore CPU engine —
 // the paper's baseline configuration.
 func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
+	root := pl.startSearch("cpu", db)
+	defer root.End()
+	result, err := pl.runCPU(db, root)
+	if err == nil {
+		result.Record(pl.Opts.Metrics)
+	}
+	return result, err
+}
+
+// runCPU is the CPU engine body; root (nilable) parents the stage
+// spans, so the streamed engine can nest batches between the search
+// span and the stages.
+func (pl *Pipeline) runCPU(db *seq.Database, root *obs.Span) (*Result, error) {
 	eng := cpu.Engine{Workers: pl.Opts.Workers}
 	result := &Result{}
 
 	start := time.Now()
+	_, endMSV := startStage(root, "msv")
 	msvRes := eng.MSVAll(pl.MSV, db)
 	result.MSV.Wall = time.Since(start)
 	result.MSV.In = db.NumSeqs()
@@ -39,8 +55,10 @@ func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
 		}
 	}
 	result.MSV.Out = len(msvSurvivors)
+	endMSV(&result.MSV)
 
 	start = time.Now()
+	_, endVit := startStage(root, "viterbi")
 	sub := subDatabase(db, msvSurvivors)
 	vitRes := eng.ViterbiAll(pl.Vit, sub)
 	result.Viterbi.Wall = time.Since(start)
@@ -57,8 +75,9 @@ func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
 		}
 	}
 	result.Viterbi.Out = len(vitSurvivors)
+	endVit(&result.Viterbi)
 
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
 	result.Extra = &CPUExtra{MSVResults: msvRes}
 	return result, nil
 }
@@ -76,11 +95,15 @@ type GPUExtra struct {
 // paper's accelerated configuration) with the Forward stage on the
 // host, as in the paper.
 func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	root := pl.startSearch("gpu", db)
+	defer root.End()
 	searcher := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: pl.Opts.Workers}
 	result := &Result{}
 	extra := &GPUExtra{}
 
 	start := time.Now()
+	msvSpan, endMSV := startStage(root, "msv")
+	searcher.Trace = msvSpan
 	ddb := gpu.UploadDB(dev, db)
 	dmp := gpu.UploadMSVProfile(dev, pl.MSV)
 	msvRep, err := searcher.MSVSearch(dmp, ddb)
@@ -101,8 +124,11 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 		}
 	}
 	result.MSV.Out = len(msvSurvivors)
+	endMSV(&result.MSV)
 
 	start = time.Now()
+	vitSpan, endVit := startStage(root, "viterbi")
+	searcher.Trace = vitSpan
 	sub := subDatabase(db, msvSurvivors)
 	subDev := gpu.UploadDB(dev, sub)
 	dvp := gpu.UploadVitProfile(dev, pl.Vit)
@@ -126,15 +152,29 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 	result.Viterbi.In = len(msvSurvivors)
 	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
 	result.Viterbi.Out = len(vitSurvivors)
+	endVit(&result.Viterbi)
 
 	if pl.Opts.GPUForward && !pl.Opts.SkipForward {
-		if err := pl.gpuForward(dev, searcher, db, vitSurvivors, msvBits, vitBits, result, extra); err != nil {
+		if err := pl.gpuForward(dev, searcher, db, vitSurvivors, msvBits, vitBits, result, extra, root); err != nil {
 			return nil, err
 		}
 	} else {
-		pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+		searcher.Trace = nil
+		pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
 	}
 	result.Extra = extra
+	if reg := pl.Opts.Metrics; reg.Enabled() {
+		result.Record(reg)
+		if extra.MSVReport != nil {
+			perf.Record(reg, dev.Spec, "msv", extra.MSVReport.Launch)
+		}
+		if extra.VitReport != nil {
+			perf.Record(reg, dev.Spec, "p7viterbi", extra.VitReport.Launch)
+		}
+		if extra.FwdReport != nil {
+			perf.Record(reg, dev.Spec, "forward", extra.FwdReport.Launch)
+		}
+	}
 	return result, nil
 }
 
@@ -142,13 +182,17 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 // extension): scores come from the float32 kernel, thresholds and
 // E-values from the same calibrated exponential tail.
 func (pl *Pipeline) gpuForward(dev *simt.Device, searcher *gpu.Searcher, db *seq.Database,
-	survivors []int, msvBits, vitBits map[int]float64, result *Result, extra *GPUExtra) error {
+	survivors []int, msvBits, vitBits map[int]float64, result *Result, extra *GPUExtra,
+	root *obs.Span) error {
 
 	start := time.Now()
 	result.Forward.In = len(survivors)
 	if len(survivors) == 0 {
 		return nil
 	}
+	fwdSpan, endFwd := startStage(root, "forward")
+	searcher.Trace = fwdSpan
+	defer func() { endFwd(&result.Forward) }()
 	sub := subDatabase(db, survivors)
 	ddb := gpu.UploadDB(dev, sub)
 	fp := gpu.UploadFwdProfile(dev, pl.Prof)
@@ -202,15 +246,21 @@ type MultiGPUExtra struct {
 // RunMultiGPU executes the filter stages across all devices of a
 // system (the paper's 4x GTX 580 configuration).
 func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	root := pl.startSearch("multigpu", db)
+	defer root.End()
 	ms := &gpu.MultiSearcher{Sys: sys, Mem: mem, HostWorkers: pl.Opts.Workers}
 	result := &Result{}
 	extra := &MultiGPUExtra{}
 
+	start := time.Now()
+	msvSpan, endMSV := startStage(root, "msv")
+	ms.Trace = msvSpan
 	msvRep, err := ms.MSVSearch(pl.MSV, db)
 	if err != nil {
 		return nil, err
 	}
 	extra.MSV = msvRep
+	result.MSV.Wall = time.Since(start)
 	result.MSV.In = db.NumSeqs()
 	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
 
@@ -223,7 +273,11 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 		}
 	}
 	result.MSV.Out = len(msvSurvivors)
+	endMSV(&result.MSV)
 
+	start = time.Now()
+	vitSpan, endVit := startStage(root, "viterbi")
+	ms.Trace = vitSpan
 	sub := subDatabase(db, msvSurvivors)
 	var vitSurvivors []int
 	vitBits := make(map[int]float64)
@@ -241,13 +295,38 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 			}
 		}
 	}
+	result.Viterbi.Wall = time.Since(start)
 	result.Viterbi.In = len(msvSurvivors)
 	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
 	result.Viterbi.Out = len(vitSurvivors)
+	endVit(&result.Viterbi)
 
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
 	result.Extra = extra
+	if reg := pl.Opts.Metrics; reg.Enabled() {
+		result.Record(reg)
+		if len(sys.Devices) > 0 {
+			spec := sys.Devices[0].Spec
+			if extra.MSV != nil {
+				perf.Record(reg, spec, "msv", launchesOf(extra.MSV)...)
+			}
+			if extra.Vit != nil {
+				perf.Record(reg, spec, "p7viterbi", launchesOf(extra.Vit)...)
+			}
+		}
+	}
 	return result, nil
+}
+
+// launchesOf flattens a multi-device report's launch reports.
+func launchesOf(mr *gpu.MultiReport) []*simt.LaunchReport {
+	var out []*simt.LaunchReport
+	for _, rep := range mr.PerDevice {
+		if rep != nil {
+			out = append(out, rep.Launch)
+		}
+	}
+	return out
 }
 
 // subDatabase builds a view holding the sequences at the given indexes.

@@ -23,6 +23,7 @@ import (
 
 	"hmmer3gpu/internal/cpu"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/refimpl"
 	"hmmer3gpu/internal/seq"
@@ -71,6 +72,12 @@ type Options struct {
 	// AlignmentCellCap bounds the alignment matrices; 0 means the
 	// 10M-cell default.
 	AlignmentCellCap int64
+	// Trace receives a span per search, stage, batch, and kernel
+	// launch (nil disables tracing at ~zero cost).
+	Trace *obs.Tracer
+	// Metrics receives the run's merged counters — stage stats,
+	// simulator kernel counters, scheduler utilization (nil disables).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns standard settings.
@@ -111,7 +118,9 @@ type StageStats struct {
 	Wall time.Duration
 }
 
-// PassFraction returns Out/In (0 when the stage saw nothing).
+// PassFraction returns Out/In. A stage that saw no input returns 0,
+// never NaN — report strings additionally render the undefined ratio
+// as "-" via Summary.
 func (s StageStats) PassFraction() float64 {
 	if s.In == 0 {
 		return 0
@@ -229,15 +238,18 @@ func (pl *Pipeline) vitPass(res cpu.FilterResult) bool {
 
 // finishForward runs the Forward stage over the Viterbi survivors and
 // assembles the final result. msvRes and vitRes are indexed like the
-// corresponding id slices.
+// corresponding id slices. parent (nilable) is the span the forward
+// stage span nests under.
 func (pl *Pipeline) finishForward(db *seq.Database, survivors []int,
-	msvBits, vitBits map[int]float64, result *Result) {
+	msvBits, vitBits map[int]float64, result *Result, parent *obs.Span) {
 
 	start := time.Now()
 	result.Forward.In = len(survivors)
 	if pl.Opts.SkipForward {
 		return
 	}
+	_, endStage := startStage(parent, "forward")
+	defer func() { endStage(&result.Forward) }()
 	for _, idx := range survivors {
 		dsq := db.Seqs[idx].Residues
 		result.Forward.Cells += int64(len(dsq)) * int64(pl.Prof.M)

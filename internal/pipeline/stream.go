@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/perf"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
 	"hmmer3gpu/internal/stats"
@@ -20,21 +22,32 @@ import (
 // sequence count and the hit list is re-sorted at the end. Hit indexes
 // are global (position in the stream).
 func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
+	root := pl.startSearch("cpu-stream", nil)
+	defer root.End()
 	final := &Result{}
 	offset := 0
+	batchNo := 0
 	err := seq.StreamFASTA(r, pl.Prof.Abc, batchSize, func(batch *seq.Database) error {
-		res, err := pl.RunCPU(batch)
+		batchSpan := root.Child(fmt.Sprintf("batch %d", batchNo),
+			obs.Int("batch", int64(batchNo)),
+			obs.Int("offset", int64(offset)),
+			obs.Int("seqs", int64(batch.NumSeqs())),
+			obs.Int("residues", batch.TotalResidues()))
+		res, err := pl.runCPU(batch, batchSpan)
+		batchSpan.End()
 		if err != nil {
 			return err
 		}
 		mergeBatch(final, res, offset)
 		offset += batch.NumSeqs()
+		batchNo++
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	finalizeStream(final, offset)
+	final.Record(pl.Opts.Metrics)
 	return final, nil
 }
 
@@ -85,17 +98,20 @@ func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.
 		workers[i] = gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
 	}
 
+	root := pl.startSearch("multigpu-stream", nil)
+	defer root.End()
+
 	final := &Result{}
 	extra := &MultiGPUStreamExtra{Launches: make([][]*simt.LaunchReport, len(sys.Devices))}
 	var mu sync.Mutex
 
-	sched := &gpu.Scheduler{Sys: sys, QueueDepth: cfg.QueueDepth}
+	sched := &gpu.Scheduler{Sys: sys, QueueDepth: cfg.QueueDepth, Trace: root}
 	rep, err := sched.Run(
 		func(submit func(db *seq.Database) error) error {
 			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, submit)
 		},
 		func(devIdx int, _ *simt.Device, b gpu.Batch) error {
-			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB)
+			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB, b.Trace)
 			if err != nil {
 				return err
 			}
@@ -111,18 +127,29 @@ func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.
 	extra.Schedule = rep
 	finalizeStream(final, rep.Seqs)
 	final.Extra = extra
+	if reg := pl.Opts.Metrics; reg.Enabled() {
+		final.Record(reg)
+		var all []*simt.LaunchReport
+		for _, launches := range extra.Launches {
+			all = append(all, launches...)
+		}
+		perf.Record(reg, sys.Devices[0].Spec, "stream", all...)
+	}
 	return final, nil
 }
 
 // searchBatchOnDevice runs the full per-batch pipeline on one bound
 // device worker: MSV and P7Viterbi on the device (reusing the worker's
 // profile uploads), Forward on the host. Hit indexes are batch-local;
-// the caller rebases them.
-func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database) (*Result, []*simt.LaunchReport, error) {
+// the caller rebases them. batchSpan (nilable) is the batch's span on
+// the device track; stage and kernel spans nest under it.
+func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, batchSpan *obs.Span) (*Result, []*simt.LaunchReport, error) {
 	result := &Result{}
 	var launches []*simt.LaunchReport
 
 	start := time.Now()
+	msvSpan, endMSV := startStage(batchSpan, "msv")
+	w.S.Trace = msvSpan
 	msvRep, err := w.MSVBatch(db)
 	if err != nil {
 		return nil, nil, err
@@ -141,8 +168,11 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database) (
 		}
 	}
 	result.MSV.Out = len(msvSurvivors)
+	endMSV(&result.MSV)
 
 	start = time.Now()
+	vitSpan, endVit := startStage(batchSpan, "viterbi")
+	w.S.Trace = vitSpan
 	sub := subDatabase(db, msvSurvivors)
 	var vitSurvivors []int
 	vitBits := make(map[int]float64)
@@ -164,8 +194,10 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database) (
 	result.Viterbi.In = len(msvSurvivors)
 	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
 	result.Viterbi.Out = len(vitSurvivors)
+	endVit(&result.Viterbi)
 
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result)
+	w.S.Trace = nil
+	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, batchSpan)
 	return result, launches, nil
 }
 

@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"hmmer3gpu/internal/obs"
 )
 
 // Device is one simulated GPU.
 type Device struct {
 	Spec DeviceSpec
+	// Label names the device's timeline track in traces; NewSystem
+	// assigns "device0".."deviceN-1".
+	Label string
 
 	mu         sync.Mutex
 	nextGlobal int64
@@ -16,7 +21,15 @@ type Device struct {
 
 // NewDevice creates a device with the given spec.
 func NewDevice(spec DeviceSpec) *Device {
-	return &Device{Spec: spec}
+	return &Device{Spec: spec, Label: "device0"}
+}
+
+// Track returns the device's trace track name.
+func (d *Device) Track() string {
+	if d.Label == "" {
+		return "device"
+	}
+	return d.Label
 }
 
 // AllocGlobal reserves a logical global-memory address range and
@@ -49,6 +62,12 @@ type LaunchConfig struct {
 	// HostWorkers caps the number of host goroutines executing blocks;
 	// 0 means GOMAXPROCS.
 	HostWorkers int
+	// Name labels the kernel in traces ("msv", "p7viterbi", "forward").
+	Name string
+	// Trace, when non-nil, parents a kernel span emitted on this
+	// device's track, annotated with the launch geometry, occupancy,
+	// and headline counters.
+	Trace *obs.Span
 }
 
 // LaunchReport returns the aggregate counters and the occupancy
@@ -86,6 +105,19 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	if occ.BlocksPerSM == 0 {
 		return nil, fmt.Errorf("simt: kernel resources exceed SM capacity (limiter %q)", occ.Limiter)
 	}
+
+	kname := cfg.Name
+	if kname == "" {
+		kname = "kernel"
+	} else {
+		kname = "kernel:" + kname
+	}
+	span := cfg.Trace.ChildOn(d.Track(), kname,
+		obs.Int("blocks", int64(cfg.Blocks)),
+		obs.Int("warps_per_block", int64(cfg.WarpsPerBlock)),
+		obs.Int("shared_bytes_per_block", int64(cfg.SharedBytesPerBlock)),
+		obs.Float("occupancy", occ.Fraction),
+		obs.String("occupancy_limiter", occ.Limiter))
 
 	blockStats := make([]KernelStats, cfg.Blocks)
 	workers := cfg.HostWorkers
@@ -171,6 +203,13 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	for b := range blockStats {
 		rep.Stats.Add(&blockStats[b])
 	}
+	span.Annotate(
+		obs.Int("warps_executed", rep.Stats.WarpsExecuted),
+		obs.Int("issue_cycles", rep.Stats.IssueCycles),
+		obs.Int("global_bytes", rep.Stats.GlobalBytes),
+		obs.Int("bank_conflict_replays", rep.Stats.BankConflictReplays),
+		obs.Float("lane_utilization", rep.Stats.LaneUtilization()))
+	span.End()
 	return rep, nil
 }
 

@@ -1,0 +1,66 @@
+package simt
+
+import (
+	"reflect"
+	"strings"
+	"unicode"
+
+	"hmmer3gpu/internal/obs"
+)
+
+// Record merges the launch counters into reg under the simt
+// subsystem, one counter per struct field (hmmer_simt_alu_ops_total,
+// hmmer_simt_bank_conflict_replays_total, ...). The field walk is
+// reflective, so a counter added to KernelStats can never silently
+// drop out of the metrics table, and the derived lane-utilization
+// gauge is recomputed from the accumulated totals.
+func (s *KernelStats) Record(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	v := reflect.ValueOf(*s)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		reg.AddInt("hmmer_simt_"+snakeCase(t.Field(i).Name)+"_total", v.Field(i).Int())
+	}
+	active, _ := reg.Get("hmmer_simt_active_lane_slots_total")
+	total, _ := reg.Get("hmmer_simt_total_lane_slots_total")
+	reg.Set("hmmer_simt_lane_utilization", obs.Ratio(active, total))
+	reg.Help("hmmer_simt_lane_utilization",
+		"fraction of SIMT lane slots doing real work across memory operations")
+	reg.Help("hmmer_simt_bank_conflict_replays_total",
+		"excess shared-memory cycles spent replaying bank-conflicting accesses")
+}
+
+// Record merges one launch's counters into reg and gauges its
+// achieved occupancy under the named kernel.
+func (r *LaunchReport) Record(reg *obs.Registry, kernel string) {
+	if !reg.Enabled() {
+		return
+	}
+	r.Stats.Record(reg)
+	name := obs.WithLabel("hmmer_simt_occupancy", "kernel", kernel)
+	reg.Set(name, r.Occupancy.Fraction)
+	reg.AddInt(obs.WithLabel("hmmer_simt_launches_total", "kernel", kernel), 1)
+}
+
+// snakeCase converts a Go field name (ALUOps, WarpsExecuted) to the
+// metric-name fragment (alu_ops, warps_executed).
+func snakeCase(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			// Open a word at a lower→upper edge, or at the last upper
+			// of an acronym run followed by a lower (ALUOps → alu_ops).
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

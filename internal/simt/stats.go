@@ -92,12 +92,15 @@ func (s *KernelStats) Instructions() int64 {
 		s.ShuffleOps + s.VoteOps + s.Syncs
 }
 
-// String renders the counters compactly for reports.
+// String renders the counters compactly for reports. Every field of
+// the struct appears (a reflection test enforces this, so a new
+// counter cannot silently drop out of the rendering).
 func (s *KernelStats) String() string {
 	return fmt.Sprintf(
-		"warps=%d alu=%d shld=%d shst=%d bankrep=%d gld=%d gst=%d cached=%d/%d shfl=%d vote=%d sync=%d stall=%d races=%d cycles=%d",
+		"warps=%d alu=%d shld=%d shst=%d bankrep=%d gld=%d gst=%d gbytes=%d cached=%d/%d cbytes=%d shfl=%d vote=%d sync=%d stall=%d races=%d lanes=%d/%d cycles=%d",
 		s.WarpsExecuted, s.ALUOps, s.SharedLoads, s.SharedStores, s.BankConflictReplays,
-		s.GlobalLoadTransactions, s.GlobalStoreTransactions,
-		s.CachedLoadTransactions, s.CachedStoreTransactions,
-		s.ShuffleOps, s.VoteOps, s.Syncs, s.SyncStallCycles, s.SharedRaces, s.IssueCycles)
+		s.GlobalLoadTransactions, s.GlobalStoreTransactions, s.GlobalBytes,
+		s.CachedLoadTransactions, s.CachedStoreTransactions, s.CachedBytes,
+		s.ShuffleOps, s.VoteOps, s.Syncs, s.SyncStallCycles, s.SharedRaces,
+		s.ActiveLaneSlots, s.TotalLaneSlots, s.IssueCycles)
 }

@@ -1,0 +1,154 @@
+package simt
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmmer3gpu/internal/obs"
+)
+
+// TestKernelStatsAddCoversEveryField sets each field of the addend to
+// a distinct value and checks Add propagated all of them — the drift
+// that would otherwise silently drop a new counter from aggregation.
+func TestKernelStatsAddCoversEveryField(t *testing.T) {
+	var base, other KernelStats
+	ov := reflect.ValueOf(&other).Elem()
+	for i := 0; i < ov.NumField(); i++ {
+		if ov.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("KernelStats.%s is %s; the aggregation contract assumes int64 counters",
+				ov.Type().Field(i).Name, ov.Field(i).Kind())
+		}
+		ov.Field(i).SetInt(int64(1000 + i))
+	}
+
+	base.Add(&other)
+	base.Add(&other)
+	bv := reflect.ValueOf(base)
+	for i := 0; i < bv.NumField(); i++ {
+		want := 2 * int64(1000+i)
+		if got := bv.Field(i).Int(); got != want {
+			t.Errorf("Add dropped KernelStats.%s: got %d after two adds, want %d",
+				bv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestKernelStatsStringCoversEveryField flips each field individually
+// and requires the rendering to change, so String cannot omit a
+// counter.
+func TestKernelStatsStringCoversEveryField(t *testing.T) {
+	zero := (&KernelStats{}).String()
+	typ := reflect.TypeOf(KernelStats{})
+	for i := 0; i < typ.NumField(); i++ {
+		var s KernelStats
+		reflect.ValueOf(&s).Elem().Field(i).SetInt(987654321)
+		if s.String() == zero {
+			t.Errorf("String does not render KernelStats.%s", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestKernelStatsRecordCoversEveryField checks the reflective metrics
+// adapter emits one simt counter per struct field, named in
+// snake_case.
+func TestKernelStatsRecordCoversEveryField(t *testing.T) {
+	s := KernelStats{}
+	sv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetInt(int64(10 + i))
+	}
+	reg := obs.NewRegistry()
+	s.Record(reg)
+
+	wantNames := map[string]string{
+		"ALUOps":              "hmmer_simt_alu_ops_total",
+		"WarpsExecuted":       "hmmer_simt_warps_executed_total",
+		"BankConflictReplays": "hmmer_simt_bank_conflict_replays_total",
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		field := sv.Type().Field(i).Name
+		name := "hmmer_simt_" + snakeCase(field) + "_total"
+		if want, ok := wantNames[field]; ok && name != want {
+			t.Errorf("snakeCase(%s) produced %q, want %q", field, name, want)
+		}
+		got, ok := reg.Get(name)
+		if !ok {
+			t.Errorf("Record dropped KernelStats.%s (no series %s)", field, name)
+			continue
+		}
+		if got != float64(10+i) {
+			t.Errorf("series %s = %g, want %d", name, got, 10+i)
+		}
+	}
+	if util, ok := reg.Get("hmmer_simt_lane_utilization"); !ok {
+		t.Error("Record did not gauge lane utilization")
+	} else if want := float64(10+fieldIndex(t, "ActiveLaneSlots")) / float64(10+fieldIndex(t, "TotalLaneSlots")); util != want {
+		t.Errorf("lane utilization gauge = %g, want %g", util, want)
+	}
+}
+
+func fieldIndex(t *testing.T, name string) int {
+	f, ok := reflect.TypeOf(KernelStats{}).FieldByName(name)
+	if !ok {
+		t.Fatalf("KernelStats has no field %s", name)
+	}
+	return f.Index[0]
+}
+
+// TestLaunchEmitsKernelSpan checks a traced launch produces a span on
+// the device track, parented under the caller's span and annotated
+// with the launch geometry.
+func TestLaunchEmitsKernelSpan(t *testing.T) {
+	tr := obs.New()
+	root := tr.Start("host", "search")
+
+	dev := NewDevice(GTX580())
+	dev.Label = "device7"
+	_, err := dev.Launch(LaunchConfig{
+		Blocks: 2, WarpsPerBlock: 2, Name: "msv", Trace: root,
+	}, func(w *Warp) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (search + kernel)", len(spans))
+	}
+	var kernel *obs.SpanRecord
+	for i := range spans {
+		if spans[i].Name == "kernel:msv" {
+			kernel = &spans[i]
+		}
+	}
+	if kernel == nil {
+		t.Fatalf("no kernel:msv span in %v", spanNames(spans))
+	}
+	if kernel.Track != "device7" {
+		t.Errorf("kernel span on track %q, want device7", kernel.Track)
+	}
+	if kernel.Parent == 0 {
+		t.Error("kernel span is a root; want it parented under the search span")
+	}
+	attrs := make(map[string]any)
+	for _, a := range kernel.Attrs {
+		attrs[a.Key] = a.Value()
+	}
+	if attrs["blocks"] != int64(2) {
+		t.Errorf("kernel span blocks attr = %v, want 2", attrs["blocks"])
+	}
+	if _, ok := attrs["issue_cycles"]; !ok {
+		t.Error("kernel span missing issue_cycles annotation")
+	}
+}
+
+func spanNames(spans []obs.SpanRecord) string {
+	var names []string
+	for _, s := range spans {
+		names = append(names, fmt.Sprintf("%s@%s", s.Name, s.Track))
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,6 +1,9 @@
 package simt
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // System is a multi-GPU host: the paper's 4x GTX 580 configuration is
 // a System of four Fermi devices with the sequence database partitioned
@@ -14,7 +17,9 @@ type System struct {
 func NewSystem(spec DeviceSpec, n int) *System {
 	sys := &System{}
 	for i := 0; i < n; i++ {
-		sys.Devices = append(sys.Devices, NewDevice(spec))
+		dev := NewDevice(spec)
+		dev.Label = fmt.Sprintf("device%d", i)
+		sys.Devices = append(sys.Devices, dev)
 	}
 	return sys
 }

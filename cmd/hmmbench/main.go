@@ -8,6 +8,7 @@
 //	hmmbench -experiment pfam      Pfam model-size statistics (§IV)
 //	hmmbench -experiment ablation  §III design-choice ablations
 //	hmmbench -experiment stream    streamed multi-device scaling (dynamic scheduler)
+//	hmmbench -experiment chaos     fault-injection sweep (retry/quarantine/fallback)
 //	hmmbench -experiment all       everything above
 package main
 
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|all")
+		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|all")
 		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		seed       = flag.Int64("seed", 0, "override the workload seed")
 		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
@@ -116,8 +117,12 @@ func main() {
 		run("stream", func() error { _, err := bench.StreamScaling(cfg, os.Stdout); return err })
 		ran = true
 	}
+	if want("chaos") {
+		run("chaos", func() error { _, err := bench.Chaos(cfg, os.Stdout); return err })
+		ran = true
+	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|all)", *experiment)
+		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|all)", *experiment)
 	}
 }
 

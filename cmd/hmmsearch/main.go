@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/gpu"
@@ -46,6 +47,13 @@ func main() {
 		trace    = flag.String("trace", "", "write a span timeline of the run to this file (search, stage, batch, and kernel spans)")
 		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome (load in ui.perfetto.dev or chrome://tracing) | jsonl")
 		metrics  = flag.String("metrics", "", "write run counters to this file in Prometheus text format")
+
+		faultSpec    = flag.String("faults", "", "inject device faults (multigpu streaming): \"<dev>:<fault>[,...][;...]\" with faults p=<prob>, at=<ordinal>, hang=<ordinal>, dead[=<ordinal>] — e.g. \"0:p=0.2;2:dead\"")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection (-faults p=)")
+		maxRetries   = flag.Int("max-retries", 0, "per-batch retry budget after transient device faults (0 = default, negative disables)")
+		quarAfter    = flag.Int("quarantine-after", 0, "consecutive device failures before quarantine (0 = default, negative disables)")
+		batchTimeout = flag.Duration("batch-timeout", 0, "per-batch watchdog deadline (0 disables); a timed-out batch is reassigned and its device quarantined")
+		noFallback   = flag.Bool("no-fallback", false, "fail instead of completing on the host CPU when every device is quarantined")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -66,8 +74,16 @@ func main() {
 			if budget <= 0 {
 				budget = int64(*stream) * int64(*targlen)
 			}
+			fo := faultOpts{
+				spec:            *faultSpec,
+				seed:            *faultSeed,
+				maxRetries:      *maxRetries,
+				quarantineAfter: *quarAfter,
+				batchTimeout:    *batchTimeout,
+				noFallback:      *noFallback,
+			}
 			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
-				budget, *targlen, *workers, *evalue, *tblout, sk)
+				budget, *targlen, *workers, *evalue, *tblout, sk, fo)
 		default:
 			fatalf("-stream requires -engine cpu or multigpu")
 		}
@@ -284,11 +300,23 @@ func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targ
 	}
 }
 
+// faultOpts carries the chaos-engineering flags into the multigpu
+// streaming path.
+type faultOpts struct {
+	spec            string
+	seed            int64
+	maxRetries      int
+	quarantineAfter int
+	batchTimeout    time.Duration
+	noFallback      bool
+}
+
 // runMultiStreaming searches a FASTA stream across simulated devices:
 // residue-balanced batches, dynamic device assignment, per-device
-// utilization in the summary.
+// utilization in the summary. fo optionally injects device faults and
+// tunes the scheduler's recovery knobs.
 func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gpu.MemConfig,
-	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string, sk *sinks) {
+	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string, sk *sinks, fo faultOpts) {
 
 	hf, err := os.Open(hmmPath)
 	check(err)
@@ -306,7 +334,18 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 	check(err)
 	defer ff.Close()
 	sys := simt.NewSystem(simt.GTX580(), devices)
-	res, err := pl.RunMultiGPUStream(sys, mem, ff, pipeline.StreamConfig{BatchResidues: batchResidues})
+	if fo.spec != "" {
+		faults, err := simt.ParseFaults(fo.spec, fo.seed)
+		check(err)
+		check(sys.ApplyFaults(faults))
+	}
+	res, err := pl.RunMultiGPUStream(sys, mem, ff, pipeline.StreamConfig{
+		BatchResidues:   batchResidues,
+		MaxRetries:      fo.maxRetries,
+		QuarantineAfter: fo.quarantineAfter,
+		BatchTimeout:    fo.batchTimeout,
+		DisableFallback: fo.noFallback,
+	})
 	check(err)
 
 	extra := res.Extra.(*pipeline.MultiGPUStreamExtra)

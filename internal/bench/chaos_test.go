@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	rows, err := Chaos(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(chaosScenarios) {
+		t.Fatalf("got %d rows, want %d scenarios", len(rows), len(chaosScenarios))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("scenario %q: results diverged from the clean run", r.Scenario)
+		}
+	}
+	clean := rows[0]
+	if clean.Retries != 0 || clean.Quarantined != 0 || clean.Fallbacks != 0 {
+		t.Errorf("clean scenario reported fault activity: %+v", clean)
+	}
+	if clean.Hits == 0 {
+		t.Error("clean scenario found no hits; workload too weak to validate identity")
+	}
+	flaky := rows[1]
+	if flaky.Retries == 0 {
+		t.Errorf("flaky scenario reported no retries: %+v", flaky)
+	}
+	dead := rows[2]
+	if dead.Quarantined != 1 {
+		t.Errorf("dead-device scenario quarantined %d devices, want 1", dead.Quarantined)
+	}
+	allDead := rows[len(rows)-1]
+	if allDead.Quarantined != 4 || allDead.Fallbacks != allDead.Batches {
+		t.Errorf("all-dead scenario: %+v, want 4 quarantines and full CPU fallback", allDead)
+	}
+	if !strings.Contains(buf.String(), "Chaos") {
+		t.Error("report text missing")
+	}
+}

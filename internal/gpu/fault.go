@@ -1,0 +1,129 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"hmmer3gpu/internal/simt"
+)
+
+// Fault handling for the streaming scheduler. The simt layer injects
+// and surfaces typed device faults (see internal/simt/fault.go); this
+// file decides what the scheduler does about each of them: retry with
+// backoff, requeue to a different device, quarantine the device, or
+// fall back to the host CPU.
+
+// ErrBatchTimeout marks a batch whose processing exceeded the
+// scheduler's per-batch watchdog (Scheduler.BatchTimeout). The worker
+// abandons the batch; the late result, if it ever arrives, is
+// discarded via the batch's commit token.
+var ErrBatchTimeout = errors.New("gpu: batch processing exceeded deadline")
+
+// ErrAllQuarantined is returned when every device has been quarantined
+// and the scheduler has no host fallback to drain the remaining work.
+var ErrAllQuarantined = errors.New("gpu: all devices quarantined")
+
+// Clock abstracts time for the scheduler so retry/backoff tests can
+// run without real sleeps. The zero Scheduler uses the wall clock.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// faultClass is the scheduler's triage of a processing error.
+type faultClass int
+
+const (
+	// faultRunFatal aborts the run: kernel panics (deterministic bugs
+	// that retrying anywhere reproduces) and unrecognised errors.
+	faultRunFatal faultClass = iota
+	// faultTransient is worth retrying with backoff, preferably on a
+	// different device.
+	faultTransient
+	// faultDeviceFatal quarantines the device immediately (lost device,
+	// or a watchdog-abandoned batch whose device may still be wedged)
+	// and requeues the batch elsewhere without consuming retry budget.
+	faultDeviceFatal
+)
+
+// classifyFault maps a batch-processing error to the scheduler's
+// response.
+func classifyFault(err error) faultClass {
+	var kp *simt.KernelPanicError
+	if errors.As(err, &kp) {
+		return faultRunFatal
+	}
+	if errors.Is(err, ErrBatchTimeout) || simt.IsPersistentFault(err) {
+		return faultDeviceFatal
+	}
+	if simt.IsTransientFault(err) {
+		return faultTransient
+	}
+	return faultRunFatal
+}
+
+// DeviceFaultStats is one device's share of a run's fault activity.
+type DeviceFaultStats struct {
+	// Failures counts failed processing attempts on the device.
+	Failures int
+	// Retries counts the transient failures that were retried.
+	Retries int
+	// Timeouts counts watchdog expirations charged to the device.
+	Timeouts int
+	// Quarantined reports the device was taken out of service.
+	Quarantined bool
+}
+
+// FaultReport aggregates a run's fault handling, embedded in
+// ScheduleReport.
+type FaultReport struct {
+	// Retries is the number of retry attempts scheduled after
+	// transient faults.
+	Retries int
+	// Requeues is the number of times a failed batch was picked up by
+	// a different device than the one that failed it.
+	Requeues int
+	// Timeouts is the number of watchdog-abandoned batches.
+	Timeouts int
+	// Quarantines is the number of devices quarantined during the run.
+	Quarantines int
+	// Fallbacks is the number of batches completed by the host CPU
+	// after every device was quarantined.
+	Fallbacks int
+	// Devices is the per-device fault breakdown, indexed by device.
+	Devices []DeviceFaultStats
+}
+
+// Any reports whether the run saw any fault activity.
+func (f *FaultReport) Any() bool {
+	return f.Retries+f.Requeues+f.Timeouts+f.Quarantines+f.Fallbacks > 0
+}
+
+// String renders the fault summary (empty when the run was clean).
+func (f *FaultReport) String() string {
+	if !f.Any() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: %d retries, %d requeues, %d timeouts, %d devices quarantined, %d cpu-fallback batches",
+		f.Retries, f.Requeues, f.Timeouts, f.Quarantines, f.Fallbacks)
+	for i, d := range f.Devices {
+		if d.Failures == 0 && !d.Quarantined {
+			continue
+		}
+		status := ""
+		if d.Quarantined {
+			status = ", quarantined"
+		}
+		fmt.Fprintf(&b, "\n    device %d: %d failures (%d retried, %d timeouts)%s",
+			i, d.Failures, d.Retries, d.Timeouts, status)
+	}
+	return b.String()
+}

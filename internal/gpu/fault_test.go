@@ -1,0 +1,460 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// fakeClock makes backoff instantaneous while recording every delay
+// the scheduler asked for, so retry tests run with no real sleeps.
+type fakeClock struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.delays = append(c.delays, d)
+	c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- time.Unix(0, 0)
+	return ch
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.delays...)
+}
+
+// transientErr builds the fault a device launch surfaces for a failed
+// launch.
+func transientErr(dev string) error {
+	return &simt.FaultError{Device: dev, Ordinal: 0, Err: simt.ErrLaunchFailed}
+}
+
+func TestSchedulerRetriesTransientFaultWithBackoff(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	clock := &fakeClock{}
+	s := &Scheduler{Sys: sys, Clock: clock, MaxRetries: 5, QuarantineAfter: -1,
+		BackoffBase: 10 * time.Millisecond, BackoffCap: 35 * time.Millisecond}
+
+	var attempts int32
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if atomic.AddInt32(&attempts, 1) <= 3 {
+				return transientErr(dev.Track())
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4 (3 failures + success)", attempts)
+	}
+	if rep.Faults.Retries != 3 || rep.Faults.Devices[0].Retries != 3 {
+		t.Errorf("retries = %d (device %d), want 3", rep.Faults.Retries, rep.Faults.Devices[0].Retries)
+	}
+	if rep.Faults.Devices[0].Failures != 3 {
+		t.Errorf("device failures = %d, want 3", rep.Faults.Devices[0].Failures)
+	}
+	// Exponential backoff: 10ms, 20ms, then capped at 35ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond}
+	got := clock.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("backoff delays = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if rep.Util[0].Batches != 1 {
+		t.Errorf("device completed %d batches, want 1", rep.Util[0].Batches)
+	}
+}
+
+func TestSchedulerRetryBudgetExhaustionFailsRun(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, MaxRetries: 2, QuarantineAfter: -1}
+	_, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			return transientErr(dev.Track())
+		})
+	if !errors.Is(err, simt.ErrLaunchFailed) {
+		t.Fatalf("err = %v, want wrapped ErrLaunchFailed", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err = %v, want attempt count in message", err)
+	}
+}
+
+func TestSchedulerRetriesDisabled(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, MaxRetries: -1, QuarantineAfter: -1}
+	var attempts int32
+	_, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			atomic.AddInt32(&attempts, 1)
+			return transientErr(dev.Track())
+		})
+	if !errors.Is(err, simt.ErrLaunchFailed) {
+		t.Fatalf("err = %v, want wrapped ErrLaunchFailed", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (retries disabled)", attempts)
+	}
+}
+
+func TestSchedulerRequeuesToDifferentDevice(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	clock := &fakeClock{}
+	s := &Scheduler{Sys: sys, Clock: clock, QuarantineAfter: -1}
+	var mu sync.Mutex
+	served := map[int][]int{} // batch -> device sequence
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			mu.Lock()
+			served[b.Seq] = append(served[b.Seq], devIdx)
+			first := len(served[b.Seq]) == 1
+			mu.Unlock()
+			if first {
+				return transientErr(dev.Track())
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := served[0]
+	if len(devs) != 2 || devs[0] == devs[1] {
+		t.Fatalf("batch served by devices %v, want a retry on the other device", devs)
+	}
+	if rep.Faults.Requeues != 1 {
+		t.Errorf("requeues = %d, want 1", rep.Faults.Requeues)
+	}
+}
+
+func TestSchedulerQuarantinesAfterConsecutiveFailures(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, QuarantineAfter: 3, MaxRetries: 100}
+	// Device 0 always fails; device 1 succeeds but holds its first
+	// batch until device 0 has tripped the breaker, so the failures are
+	// guaranteed to land on device 0 regardless of host scheduling.
+	var processed int32
+	tripped := make(chan struct{})
+	var fails int32
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if devIdx == 0 {
+				if atomic.AddInt32(&fails, 1) == 3 {
+					close(tripped)
+				}
+				return transientErr(dev.Track())
+			}
+			<-tripped
+			atomic.AddInt32(&processed, 1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Faults.Devices[0].Quarantined || rep.Faults.Quarantines != 1 {
+		t.Errorf("device 0 not quarantined: %+v", rep.Faults)
+	}
+	if rep.Faults.Devices[1].Quarantined {
+		t.Error("healthy device 1 was quarantined")
+	}
+	if int(processed) != rep.Batches {
+		t.Errorf("device 1 completed %d of %d batches", processed, rep.Batches)
+	}
+	if rep.Faults.Devices[0].Failures < 3 {
+		t.Errorf("device 0 failures = %d, want >= 3 before quarantine", rep.Faults.Devices[0].Failures)
+	}
+	if rep.Util[0].Batches != 0 {
+		t.Errorf("quarantined device credited %d completed batches", rep.Util[0].Batches)
+	}
+}
+
+func TestSchedulerQuarantinesLostDeviceImmediately(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}}
+	// Device 1 holds its first batch until device 0 has faulted, so the
+	// lost device is guaranteed to see (exactly) one batch.
+	var failures int32
+	lost := make(chan struct{})
+	var lostOnce sync.Once
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if devIdx == 0 {
+				atomic.AddInt32(&failures, 1)
+				lostOnce.Do(func() { close(lost) })
+				return &simt.FaultError{Device: dev.Track(), Persistent: true, Err: simt.ErrDeviceLost}
+			}
+			<-lost
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Errorf("lost device was asked to process %d batches, want 1 (immediate quarantine)", failures)
+	}
+	if !rep.Faults.Devices[0].Quarantined {
+		t.Error("lost device not quarantined")
+	}
+	// The device-lost requeue consumes no retry budget.
+	if rep.Faults.Retries != 0 {
+		t.Errorf("retries = %d, want 0 for a persistent fault", rep.Faults.Retries)
+	}
+}
+
+func TestSchedulerAllQuarantinedFallsBackToHost(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}}
+	var fallbacks int32
+	s.Fallback = func(b Batch) error {
+		if !b.Commit() {
+			t.Error("fallback lost the commit race with no competing attempt")
+		}
+		atomic.AddInt32(&fallbacks, 1)
+		return nil
+	}
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			return &simt.FaultError{Device: dev.Track(), Persistent: true, Err: simt.ErrDeviceLost}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.Quarantines != 2 {
+		t.Errorf("quarantines = %d, want 2", rep.Faults.Quarantines)
+	}
+	if int(fallbacks) != rep.Batches || rep.Faults.Fallbacks != rep.Batches {
+		t.Errorf("fallback completed %d (reported %d) of %d batches",
+			fallbacks, rep.Faults.Fallbacks, rep.Batches)
+	}
+}
+
+func TestSchedulerAllQuarantinedNoFallbackAborts(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}}
+	_, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			return &simt.FaultError{Device: dev.Track(), Persistent: true, Err: simt.ErrDeviceLost}
+		})
+	if !errors.Is(err, ErrAllQuarantined) {
+		t.Fatalf("err = %v, want ErrAllQuarantined", err)
+	}
+}
+
+func TestSchedulerWatchdogTimeout(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, BatchTimeout: 20 * time.Millisecond}
+	release := make(chan struct{})
+	defer close(release)
+	// Device 1 waits for device 0 to claim (and wedge on) a batch, so
+	// the watchdog provably fires on device 0.
+	wedged := make(chan struct{})
+	var wedgeOnce sync.Once
+	var mu sync.Mutex
+	committed := map[int]int{}
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if devIdx == 0 {
+				wedgeOnce.Do(func() { close(wedged) })
+				<-release // wedge device 0's first attempt past the deadline
+			} else {
+				<-wedged
+			}
+			if b.Commit() {
+				mu.Lock()
+				committed[b.Seq]++
+				mu.Unlock()
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.Timeouts != 1 || rep.Faults.Devices[0].Timeouts != 1 {
+		t.Errorf("timeouts = %d (device %d), want 1", rep.Faults.Timeouts, rep.Faults.Devices[0].Timeouts)
+	}
+	if !rep.Faults.Devices[0].Quarantined {
+		t.Error("timed-out device not quarantined")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(committed) != rep.Batches {
+		t.Errorf("%d of %d batches committed", len(committed), rep.Batches)
+	}
+	for ord, n := range committed {
+		if n != 1 {
+			t.Errorf("batch %d committed %d times, want exactly once", ord, n)
+		}
+	}
+}
+
+func TestSchedulerContextCancellation(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, QueueDepth: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := s.RunContext(ctx,
+		func(submit func(db *seq.Database) error) error {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 100; i++ {
+				db := seq.NewDatabase("ctx")
+				db.Add(&seq.Sequence{Name: "b", Residues: randomSeq(rng, 50)})
+				if err := submit(db); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			once.Do(func() { close(started); cancel() })
+			return nil
+		})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A worker that wakes to an aborted run must not claim and process
+// batches that are still pending.
+func TestSchedulerAbortStopsQueuedWork(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	s := &Scheduler{Sys: sys, QueueDepth: 8}
+	bang := errors.New("bang")
+	var processed int32
+	_, err := s.Run(
+		func(submit func(db *seq.Database) error) error {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 8; i++ {
+				db := seq.NewDatabase("abort")
+				db.Add(&seq.Sequence{Name: "b", Residues: randomSeq(rng, 50)})
+				if err := submit(db); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			atomic.AddInt32(&processed, 1)
+			return bang
+		})
+	if !errors.Is(err, bang) {
+		t.Fatalf("err = %v, want bang", err)
+	}
+	if processed != 1 {
+		t.Errorf("processed %d batches after the first fatal error, want 1", processed)
+	}
+}
+
+// QueueWait must reflect starvation while work was still flowing, not
+// the final wait that ends in shutdown.
+func TestSchedulerQueueWaitExcludesShutdown(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 4)
+	s := &Scheduler{Sys: sys}
+	rep, err := s.Run(
+		func(submit func(db *seq.Database) error) error {
+			db := seq.NewDatabase("qw")
+			db.Add(&seq.Sequence{Name: "b", Residues: randomSeq(rand.New(rand.NewSource(1)), 50)})
+			return submit(db)
+		},
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			time.Sleep(30 * time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three of four workers never claim a batch; their 30ms park while
+	// the lone batch is processed must not be booked as starvation.
+	for i, u := range rep.Util {
+		if u.Batches == 0 && u.QueueWait > 10*time.Millisecond {
+			t.Errorf("idle device %d booked %v queue-wait during shutdown", i, u.QueueWait)
+		}
+	}
+}
+
+func TestScheduleReportFaultRendering(t *testing.T) {
+	rep := &ScheduleReport{
+		Batches: 4, Seqs: 4, Residues: 200, Wall: time.Second,
+		Util: make([]DeviceUtilization, 2),
+		Faults: FaultReport{
+			Retries: 3, Requeues: 2, Quarantines: 1, Fallbacks: 1, Timeouts: 1,
+			Devices: []DeviceFaultStats{
+				{Failures: 4, Retries: 3, Timeouts: 1, Quarantined: true},
+				{},
+			},
+		},
+	}
+	out := rep.String()
+	for _, want := range []string{"3 retries", "2 requeues", "1 devices quarantined", "1 cpu-fallback", "quarantined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report %q missing %q", out, want)
+		}
+	}
+
+	clean := &ScheduleReport{Batches: 1, Util: make([]DeviceUtilization, 1)}
+	if strings.Contains(clean.String(), "faults:") {
+		t.Error("clean report renders a faults line")
+	}
+
+	reg := obs.NewRegistry()
+	rep.Record(reg)
+	for name, want := range map[string]float64{
+		"hmmer_sched_retries_total":          3,
+		"hmmer_sched_requeues_total":         2,
+		"hmmer_sched_batch_timeouts_total":   1,
+		"hmmer_sched_fallback_batches_total": 1,
+	} {
+		if got, ok := reg.Get(name); !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+	qname := obs.WithLabel("hmmer_sched_device_quarantined", "device", "0")
+	if got, ok := reg.Get(qname); !ok || got != 1 {
+		t.Errorf("%s = %v (present %v), want 1", qname, got, ok)
+	}
+	if got, ok := reg.Get(obs.WithLabel("hmmer_sched_device_quarantined", "device", "1")); !ok || got != 0 {
+		t.Errorf("healthy device quarantine gauge = %v (present %v), want 0", got, ok)
+	}
+}
+
+func TestClassifyFault(t *testing.T) {
+	cases := []struct {
+		err  error
+		want faultClass
+	}{
+		{&simt.FaultError{Device: "d", Err: simt.ErrLaunchFailed}, faultTransient},
+		{&simt.FaultError{Device: "d", Err: simt.ErrDeviceHung}, faultTransient},
+		{&simt.FaultError{Device: "d", Persistent: true, Err: simt.ErrDeviceLost}, faultDeviceFatal},
+		{fmt.Errorf("wrap: %w", ErrBatchTimeout), faultDeviceFatal},
+		{&simt.KernelPanicError{Device: "d", Block: -1}, faultRunFatal},
+		{errors.New("mystery"), faultRunFatal},
+	}
+	for _, c := range cases {
+		if got := classifyFault(c.err); got != c.want {
+			t.Errorf("classifyFault(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

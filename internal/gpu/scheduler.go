@@ -1,9 +1,12 @@
 package gpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmmer3gpu/internal/obs"
@@ -26,6 +29,23 @@ type Batch struct {
 	// when the run is untraced); process callbacks parent their stage
 	// and kernel spans under it.
 	Trace *obs.Span
+
+	// commit is the batch's one-shot merge token, shared across every
+	// attempt at the batch (retries, requeues, host fallback).
+	commit *atomic.Bool
+}
+
+// Commit claims the batch's one-shot merge token: exactly one caller
+// across all attempts at the batch gets true. A watchdog-abandoned
+// attempt whose process call completes late loses the race to the
+// attempt that replaced it, so its results must be discarded instead
+// of merged twice. A zero Batch (constructed outside the scheduler)
+// always commits.
+func (b Batch) Commit() bool {
+	if b.commit == nil {
+		return true
+	}
+	return b.commit.CompareAndSwap(false, true)
 }
 
 // DeviceUtilization is one device's share of a scheduled run — the
@@ -33,15 +53,18 @@ type Batch struct {
 // provide.
 type DeviceUtilization struct {
 	// Busy is the wall time the device's worker spent processing
-	// batches (upload + kernel execution + host-side post-filtering).
+	// batches (upload + kernel execution + host-side post-filtering),
+	// including attempts that failed.
 	Busy time.Duration
 	// QueueWait is the wall time the device's worker spent blocked on
-	// the work queue waiting for a batch — scheduler starvation, as
-	// distinct from finishing quickly because its batches were short.
+	// the work queue waiting for a batch it then claimed — scheduler
+	// starvation, as distinct from finishing quickly because its
+	// batches were short. Waits that end in shutdown, abort or
+	// quarantine are not starvation and are not counted.
 	QueueWait time.Duration
 	// Residues is the number of residues the device processed.
 	Residues int64
-	// Batches is the number of batches the device served.
+	// Batches is the number of batches the device completed.
 	Batches int
 }
 
@@ -61,11 +84,14 @@ type ScheduleReport struct {
 	Residues int64
 	// Util is the per-device utilization, indexed by device.
 	Util []DeviceUtilization
+	// Faults summarises the run's fault handling (zero when clean).
+	Faults FaultReport
 }
 
 // String renders the schedule: totals, then one line per device with
-// busy/queue-wait splits. Undefined ratios (a zero-wall or zero-work
-// run) render as "-", never NaN.
+// busy/queue-wait splits, then the fault summary if the run saw any
+// faults. Undefined ratios (a zero-wall or zero-work run) render as
+// "-", never NaN.
 func (r *ScheduleReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "schedule: %d batches, %d seqs, %d residues in %v",
@@ -76,11 +102,16 @@ func (r *ScheduleReport) String() string {
 			obs.Pct(float64(u.Residues), float64(r.Residues)),
 			u.Busy, obs.Pct(float64(u.Busy), float64(r.Wall)), u.QueueWait)
 	}
+	if r.Faults.Any() {
+		fmt.Fprintf(&b, "\n  %s", r.Faults.String())
+	}
 	return b.String()
 }
 
 // Record merges the schedule into reg under the sched subsystem:
-// totals, wall, and per-device busy/queue-wait/busy-fraction series.
+// totals, wall, per-device busy/queue-wait/busy-fraction series, and
+// the fault counters (always emitted, so a clean run exports explicit
+// zeros that dashboards can alert on).
 func (r *ScheduleReport) Record(reg *obs.Registry) {
 	if !reg.Enabled() {
 		return
@@ -90,6 +121,10 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 	reg.AddInt("hmmer_sched_residues_total", r.Residues)
 	reg.Set("hmmer_sched_wall_seconds", r.Wall.Seconds())
 	reg.AddInt("hmmer_sched_devices", int64(len(r.Util)))
+	reg.AddInt("hmmer_sched_retries_total", int64(r.Faults.Retries))
+	reg.AddInt("hmmer_sched_requeues_total", int64(r.Faults.Requeues))
+	reg.AddInt("hmmer_sched_batch_timeouts_total", int64(r.Faults.Timeouts))
+	reg.AddInt("hmmer_sched_fallback_batches_total", int64(r.Faults.Fallbacks))
 	for i, u := range r.Util {
 		dev := fmt.Sprint(i)
 		reg.Add(obs.WithLabel("hmmer_sched_device_busy_seconds_total", "device", dev), u.Busy.Seconds())
@@ -98,115 +133,516 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 		reg.AddInt(obs.WithLabel("hmmer_sched_device_residues_total", "device", dev), u.Residues)
 		reg.Set(obs.WithLabel("hmmer_sched_device_busy_fraction", "device", dev), u.BusyFraction(r.Wall))
 	}
+	for i, d := range r.Faults.Devices {
+		dev := fmt.Sprint(i)
+		q := 0.0
+		if d.Quarantined {
+			q = 1
+		}
+		reg.Set(obs.WithLabel("hmmer_sched_device_quarantined", "device", dev), q)
+		reg.AddInt(obs.WithLabel("hmmer_sched_device_failures_total", "device", dev), int64(d.Failures))
+	}
 	reg.Help("hmmer_sched_device_queue_wait_seconds_total",
 		"wall time the device worker spent blocked on the work queue (starvation)")
+	reg.Help("hmmer_sched_device_quarantined",
+		"1 when the device was quarantined by the circuit breaker during the run")
 }
 
+// Default fault-tolerance knobs (used when the corresponding
+// Scheduler field is 0; negative values disable the mechanism).
+const (
+	DefaultMaxRetries      = 3
+	DefaultQuarantineAfter = 3
+	DefaultBackoffBase     = 5 * time.Millisecond
+	DefaultBackoffCap      = 500 * time.Millisecond
+)
+
 // Scheduler feeds a stream of batches to the devices of a System
-// through a bounded queue: the producer (host-side parsing) blocks
-// once QueueDepth batches are parsed but unprocessed (backpressure, so
-// input memory stays bounded), and each batch is claimed by whichever
-// device worker drains the queue first — the dynamic load balancing
-// that replaces the static Partition split for streamed input
-// (CUDAMPF++'s point about proactive resource exhaustion: throughput
-// at scale comes from keeping every device saturated, not from one
-// up-front split).
+// through a bounded pending list: the producer (host-side parsing)
+// blocks once QueueDepth batches are parsed but unprocessed
+// (backpressure, so input memory stays bounded), and each batch is
+// claimed by whichever device worker gets to it first — the dynamic
+// load balancing that replaces the static Partition split for streamed
+// input (CUDAMPF++'s point about proactive resource exhaustion:
+// throughput at scale comes from keeping every device saturated, not
+// from one up-front split).
+//
+// The scheduler is fault-tolerant: a batch that fails transiently is
+// retried with capped exponential backoff, preferring a different
+// device; a device that fails persistently (lost) or accumulates
+// QuarantineAfter consecutive failures is quarantined and its share of
+// the stream drains to the healthy devices; when every device is
+// quarantined the Fallback callback (if set) completes the remaining
+// batches on the host CPU. Kernel panics are deterministic bugs, never
+// retried: they abort the run as errors.
 type Scheduler struct {
 	Sys *simt.System
 	// QueueDepth bounds parsed-but-unprocessed batches; 0 means two
 	// per device (enough to hide parse latency without unbounding
-	// memory).
+	// memory). Requeued batches are exempt from the bound.
 	QueueDepth int
-	// Trace, when non-nil, parents one span per batch on the serving
-	// device's track (the per-device gantt a Chrome trace renders);
-	// the span is handed to the process callback via Batch.Trace.
+	// Trace, when non-nil, parents one span per batch attempt on the
+	// serving device's track (the per-device gantt a Chrome trace
+	// renders); the span is handed to the process callback via
+	// Batch.Trace.
 	Trace *obs.Span
+
+	// MaxRetries is the per-batch budget of retries after transient
+	// faults: 0 means DefaultMaxRetries, negative disables retrying
+	// (the first transient fault aborts the run).
+	MaxRetries int
+	// QuarantineAfter is the circuit breaker: a device with this many
+	// consecutive failures is quarantined. 0 means
+	// DefaultQuarantineAfter, negative disables the breaker
+	// (persistent device-lost faults still quarantine).
+	QuarantineAfter int
+	// BackoffBase and BackoffCap shape the exponential backoff between
+	// retries (base, 2*base, 4*base, ... capped); zero values use
+	// DefaultBackoffBase/Cap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BatchTimeout is the per-batch watchdog: an attempt that has not
+	// returned within it is abandoned (its late result discarded via
+	// the commit token), the device quarantined, and the batch
+	// requeued. 0 disables the watchdog.
+	BatchTimeout time.Duration
+	// Fallback, when non-nil, processes a batch on the host CPU; it is
+	// engaged only once every device is quarantined. It must merge its
+	// own results (guarded by Batch.Commit) and be safe to call from a
+	// dedicated goroutine.
+	Fallback func(b Batch) error
+	// Clock substitutes a fake time source in tests; nil means the
+	// wall clock.
+	Clock Clock
 }
 
-// Run overlaps produce with per-device processing. produce must call
-// submit once per batch, in stream order; submit blocks for
-// backpressure and returns an error once the run is aborted. process
-// runs concurrently, one invocation at a time per device, and must be
-// safe for concurrent calls across devices. The first error (from
-// produce or process) aborts the run and is returned.
+func (s *Scheduler) clock() Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return realClock{}
+}
+
+func (s *Scheduler) maxRetries() int {
+	if s.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if s.MaxRetries < 0 {
+		return 0
+	}
+	return s.MaxRetries
+}
+
+func (s *Scheduler) quarantineAfter() int {
+	if s.QuarantineAfter == 0 {
+		return DefaultQuarantineAfter
+	}
+	if s.QuarantineAfter < 0 {
+		return 0
+	}
+	return s.QuarantineAfter
+}
+
+// backoff returns the delay before retry number `try` (1-based),
+// doubling from BackoffBase up to BackoffCap.
+func (s *Scheduler) backoff(try int) time.Duration {
+	base := s.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := s.BackoffCap
+	if max <= 0 {
+		max = DefaultBackoffCap
+	}
+	shift := try - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << shift
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// schedAttempt is one batch's place in the pending list, carrying its
+// retry count and the device that must not reclaim it.
+type schedAttempt struct {
+	b     Batch
+	tries int // failed attempts so far
+	excl  int // device index that last failed it (-1: none)
+}
+
+// schedRun is the mutable state of one Run: a cond-guarded pending
+// list replaces a channel so that requeues, quarantine and targeted
+// claiming ("any device but the one that just failed it") are
+// expressible.
+type schedRun struct {
+	s   *Scheduler
+	rep *ScheduleReport
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*schedAttempt
+	// active counts batches claimed but not yet resolved (success,
+	// requeue, or abort); workers may only exit the claim loop when
+	// the producer is done, pending is empty AND active is zero,
+	// because an active batch may still be requeued.
+	active  int
+	closed  bool
+	aborted bool
+	err     error
+	abortCh chan struct{}
+
+	quar            []bool
+	consec          []int
+	healthy         int
+	fallbackStarted bool
+
+	wg sync.WaitGroup
+}
+
+func (st *schedRun) failLocked(err error) {
+	if !st.aborted {
+		st.aborted = true
+		st.err = err
+		close(st.abortCh)
+	}
+	st.cond.Broadcast()
+}
+
+func (st *schedRun) fail(err error) {
+	st.mu.Lock()
+	st.failLocked(err)
+	st.mu.Unlock()
+}
+
+// takeLocked claims the first pending attempt eligible for device i
+// (any=true ignores exclusions — the host fallback path). A batch is
+// ineligible for the device that just failed it unless that device is
+// the only one left in service.
+func (st *schedRun) takeLocked(i int, any bool) *schedAttempt {
+	for k, att := range st.pending {
+		if !any && att.excl >= 0 && att.excl == i && st.healthy > 1 {
+			continue
+		}
+		st.pending = append(st.pending[:k], st.pending[k+1:]...)
+		st.active++
+		st.cond.Broadcast() // pending shrank: wake the producer
+		return att
+	}
+	return nil
+}
+
+// requeueLocked puts a claimed attempt back on the pending list,
+// excluding the device that failed it.
+func (st *schedRun) requeueLocked(att *schedAttempt, failedOn int) {
+	att.excl = failedOn
+	st.pending = append(st.pending, att)
+	st.active--
+	st.cond.Broadcast()
+}
+
+// quarantineLocked takes device i out of service; when it was the last
+// healthy device, the host fallback (if any) is started, otherwise the
+// run aborts.
+func (st *schedRun) quarantineLocked(i int) {
+	if st.quar[i] {
+		return
+	}
+	st.quar[i] = true
+	st.healthy--
+	st.rep.Faults.Quarantines++
+	st.rep.Faults.Devices[i].Quarantined = true
+	if st.healthy == 0 {
+		if st.s.Fallback != nil {
+			if !st.fallbackStarted {
+				st.fallbackStarted = true
+				st.wg.Add(1)
+				go st.runFallback()
+			}
+		} else {
+			st.failLocked(fmt.Errorf("gpu: no devices left in service: %w", ErrAllQuarantined))
+		}
+	}
+	st.cond.Broadcast()
+}
+
+// runBatch executes one processing attempt, racing it against the
+// per-batch watchdog when one is configured. An abandoned attempt
+// keeps running on its goroutine; its result is discarded here and its
+// merge suppressed by the batch's commit token.
+func (st *schedRun) runBatch(i int, dev *simt.Device, b Batch,
+	process func(devIdx int, dev *simt.Device, b Batch) error) error {
+	if st.s.BatchTimeout <= 0 {
+		return process(i, dev, b)
+	}
+	done := make(chan error, 1)
+	go func() { done <- process(i, dev, b) }()
+	select {
+	case err := <-done:
+		return err
+	case <-st.s.clock().After(st.s.BatchTimeout):
+		return fmt.Errorf("gpu: batch %d on device %d: %w after %v", b.Seq, i, ErrBatchTimeout, st.s.BatchTimeout)
+	}
+}
+
+// runWorker is device i's claim-process loop. It exits on abort, on
+// quarantine of its device, or when the stream is fully drained.
+func (st *schedRun) runWorker(i int, dev *simt.Device,
+	process func(devIdx int, dev *simt.Device, b Batch) error) {
+	defer st.wg.Done()
+	s := st.s
+	util := &st.rep.Util[i]
+	dstats := &st.rep.Faults.Devices[i]
+	for {
+		st.mu.Lock()
+		tw := s.clock().Now()
+		var att *schedAttempt
+		for {
+			if st.aborted || st.quar[i] {
+				st.mu.Unlock()
+				return
+			}
+			if att = st.takeLocked(i, false); att != nil {
+				break
+			}
+			if st.closed && len(st.pending) == 0 && st.active == 0 {
+				st.mu.Unlock()
+				return
+			}
+			st.cond.Wait()
+		}
+		// Only a wait that ends in claiming work counts as starvation;
+		// the shutdown/abort/quarantine exits above accrue nothing.
+		util.QueueWait += s.clock().Now().Sub(tw)
+		if att.excl >= 0 && att.excl != i {
+			st.rep.Faults.Requeues++
+		}
+		st.mu.Unlock()
+
+		b := att.b
+		b.Trace = s.Trace.ChildOn(dev.Track(), fmt.Sprintf("batch %d", b.Seq),
+			obs.Int("batch", int64(b.Seq)),
+			obs.Int("offset", int64(b.Offset)),
+			obs.Int("seqs", int64(b.DB.NumSeqs())),
+			obs.Int("residues", b.DB.TotalResidues()),
+			obs.Int("attempt", int64(att.tries)))
+		t0 := time.Now()
+		err := st.runBatch(i, dev, b, process)
+		util.Busy += time.Since(t0)
+		if err != nil {
+			b.Trace.Annotate(obs.String("error", err.Error()))
+		}
+		b.Trace.End()
+
+		st.mu.Lock()
+		if err == nil {
+			util.Residues += b.DB.TotalResidues()
+			util.Batches++
+			st.consec[i] = 0
+			st.active--
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			continue
+		}
+		dstats.Failures++
+		switch classifyFault(err) {
+		case faultDeviceFatal:
+			// The device is gone (lost) or suspect (a watchdog-abandoned
+			// attempt may still be running on it): quarantine it and hand
+			// the batch to another device without consuming retry budget.
+			if errors.Is(err, ErrBatchTimeout) {
+				st.rep.Faults.Timeouts++
+				dstats.Timeouts++
+			}
+			st.quarantineLocked(i)
+			st.requeueLocked(att, i)
+			st.mu.Unlock()
+			return
+		case faultTransient:
+			att.tries++
+			st.consec[i]++
+			if k := s.quarantineAfter(); k > 0 && st.consec[i] >= k {
+				st.quarantineLocked(i)
+				st.requeueLocked(att, i)
+				st.mu.Unlock()
+				return
+			}
+			if att.tries > s.maxRetries() {
+				st.active--
+				st.failLocked(fmt.Errorf("gpu: batch %d failed after %d attempts: %w", b.Seq, att.tries, err))
+				st.mu.Unlock()
+				return
+			}
+			st.rep.Faults.Retries++
+			dstats.Retries++
+			delay := s.backoff(att.tries)
+			st.mu.Unlock()
+			// The attempt stays counted in active during the backoff so
+			// sibling workers do not mistake the stream for drained.
+			select {
+			case <-s.clock().After(delay):
+			case <-st.abortCh:
+				return
+			}
+			st.mu.Lock()
+			st.requeueLocked(att, i)
+			st.mu.Unlock()
+		default:
+			st.active--
+			st.failLocked(err)
+			st.mu.Unlock()
+			return
+		}
+	}
+}
+
+// runFallback drains the remaining stream through the host CPU once
+// every device is quarantined. Exclusions do not apply: the host is
+// the only executor left.
+func (st *schedRun) runFallback() {
+	defer st.wg.Done()
+	s := st.s
+	for {
+		st.mu.Lock()
+		var att *schedAttempt
+		for {
+			if st.aborted {
+				st.mu.Unlock()
+				return
+			}
+			if att = st.takeLocked(-1, true); att != nil {
+				break
+			}
+			if st.closed && len(st.pending) == 0 && st.active == 0 {
+				st.mu.Unlock()
+				return
+			}
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+
+		b := att.b
+		b.Trace = s.Trace.ChildOn("host", fmt.Sprintf("batch %d (cpu fallback)", b.Seq),
+			obs.Int("batch", int64(b.Seq)),
+			obs.Int("offset", int64(b.Offset)),
+			obs.Bool("cpu_fallback", true))
+		err := s.Fallback(b)
+		b.Trace.End()
+
+		st.mu.Lock()
+		st.active--
+		if err != nil {
+			st.failLocked(err)
+			st.mu.Unlock()
+			return
+		}
+		st.rep.Faults.Fallbacks++
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// Run overlaps produce with per-device processing; see RunContext.
 func (s *Scheduler) Run(
+	produce func(submit func(db *seq.Database) error) error,
+	process func(devIdx int, dev *simt.Device, b Batch) error,
+) (*ScheduleReport, error) {
+	return s.RunContext(context.Background(), produce, process)
+}
+
+// RunContext overlaps produce with per-device processing. produce must
+// call submit once per batch, in stream order; submit blocks for
+// backpressure and returns an error once the run is aborted. process
+// runs concurrently, one invocation at a time per healthy device, and
+// must be safe for concurrent calls across devices; results must be
+// merged only after Batch.Commit reports true. Transient device faults
+// are retried per the scheduler's fault-tolerance knobs; the first
+// unrecoverable error (from produce, process, or ctx) aborts the run
+// and is returned.
+func (s *Scheduler) RunContext(ctx context.Context,
 	produce func(submit func(db *seq.Database) error) error,
 	process func(devIdx int, dev *simt.Device, b Batch) error,
 ) (*ScheduleReport, error) {
 	if s.Sys == nil || len(s.Sys.Devices) == 0 {
 		return nil, fmt.Errorf("gpu: scheduler has no devices")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	depth := s.QueueDepth
 	if depth <= 0 {
 		depth = 2 * len(s.Sys.Devices)
 	}
 
-	rep := &ScheduleReport{Util: make([]DeviceUtilization, len(s.Sys.Devices))}
-	queue := make(chan Batch, depth)
-	abort := make(chan struct{})
-	var abortOnce sync.Once
-	var errOnce sync.Once
-	var firstErr error
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		abortOnce.Do(func() { close(abort) })
+	n := len(s.Sys.Devices)
+	rep := &ScheduleReport{
+		Util:   make([]DeviceUtilization, n),
+		Faults: FaultReport{Devices: make([]DeviceFaultStats, n)},
 	}
+	st := &schedRun{
+		s:       s,
+		rep:     rep,
+		abortCh: make(chan struct{}),
+		quar:    make([]bool, n),
+		consec:  make([]int, n),
+		healthy: n,
+	}
+	st.cond = sync.NewCond(&st.mu)
+
+	// Cancellation propagates as an abort; the watcher dies with the run.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.fail(ctx.Err())
+		case <-watchDone:
+		}
+	}()
 
 	start := time.Now()
-	var workers sync.WaitGroup
-	workers.Add(len(s.Sys.Devices))
+	st.wg.Add(n)
 	for i, dev := range s.Sys.Devices {
-		go func(i int, dev *simt.Device) {
-			defer workers.Done()
-			util := &rep.Util[i]
-			for {
-				tw := time.Now()
-				b, ok := <-queue
-				util.QueueWait += time.Since(tw)
-				if !ok {
-					return
-				}
-				b.Trace = s.Trace.ChildOn(dev.Track(), fmt.Sprintf("batch %d", b.Seq),
-					obs.Int("batch", int64(b.Seq)),
-					obs.Int("offset", int64(b.Offset)),
-					obs.Int("seqs", int64(b.DB.NumSeqs())),
-					obs.Int("residues", b.DB.TotalResidues()))
-				t0 := time.Now()
-				err := process(i, dev, b)
-				util.Busy += time.Since(t0)
-				b.Trace.End()
-				if err != nil {
-					fail(err)
-					return
-				}
-				util.Residues += b.DB.TotalResidues()
-				util.Batches++
-			}
-		}(i, dev)
+		go st.runWorker(i, dev, process)
 	}
 
 	// The producer runs on this goroutine so parse errors surface with
-	// no extra synchronisation; workers overlap with it via the queue.
+	// no extra synchronisation; workers overlap with it via the pending
+	// list.
 	submit := func(db *seq.Database) error {
-		b := Batch{Seq: rep.Batches, Offset: rep.Seqs, DB: db}
-		select {
-		case queue <- b:
-			rep.Batches++
-			rep.Seqs += db.NumSeqs()
-			rep.Residues += db.TotalResidues()
-			return nil
-		case <-abort:
-			return fmt.Errorf("gpu: scheduler aborted")
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for len(st.pending) >= depth && !st.aborted {
+			st.cond.Wait()
 		}
+		if st.aborted {
+			return fmt.Errorf("gpu: scheduler aborted: %w", st.err)
+		}
+		b := Batch{Seq: rep.Batches, Offset: rep.Seqs, DB: db, commit: new(atomic.Bool)}
+		st.pending = append(st.pending, &schedAttempt{b: b, excl: -1})
+		rep.Batches++
+		rep.Seqs += db.NumSeqs()
+		rep.Residues += db.TotalResidues()
+		st.cond.Broadcast()
+		return nil
 	}
-	if err := produce(submit); err != nil {
-		fail(err)
+	perr := produce(submit)
+	st.mu.Lock()
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if perr != nil {
+		st.fail(perr)
 	}
-	close(queue)
-	workers.Wait()
+	st.wg.Wait()
 	rep.Wall = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
+	st.mu.Lock()
+	ferr := st.err
+	st.mu.Unlock()
+	if ferr != nil {
+		return nil, ferr
 	}
 	return rep, nil
 }

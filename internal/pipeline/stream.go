@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -62,6 +63,20 @@ type StreamConfig struct {
 	// 0 means two per device. Peak input memory is roughly
 	// (QueueDepth + devices) * BatchResidues bytes of residues.
 	QueueDepth int
+
+	// MaxRetries is the per-batch retry budget after transient device
+	// faults (0: scheduler default, negative: disabled); see
+	// gpu.Scheduler.
+	MaxRetries int
+	// QuarantineAfter is the consecutive-failure circuit breaker per
+	// device (0: scheduler default, negative: disabled).
+	QuarantineAfter int
+	// BatchTimeout is the per-batch watchdog deadline (0: disabled).
+	BatchTimeout time.Duration
+	// DisableFallback turns off the host-CPU fallback engaged when
+	// every device is quarantined; the run then fails with
+	// gpu.ErrAllQuarantined instead of completing on the host.
+	DisableFallback bool
 }
 
 // MultiGPUStreamExtra carries the streamed multi-device run's
@@ -86,7 +101,22 @@ type MultiGPUStreamExtra struct {
 // on the host. Results are merged exactly as RunCPUStream merges them:
 // global hit indexes, E-values rescaled to the final sequence count,
 // deterministic final sort.
+//
+// The run is fault-tolerant per cfg: transient device faults are
+// retried (preferring a different device), repeatedly failing devices
+// are quarantined, and once every device is quarantined the remaining
+// batches complete on the host CPU (unless cfg.DisableFallback).
+// Because both engines are deterministic and merges are gated by each
+// batch's commit token, a faulted run's Result is bit-identical to the
+// fault-free run's.
 func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.Reader, cfg StreamConfig) (*Result, error) {
+	return pl.RunMultiGPUStreamContext(context.Background(), sys, mem, r, cfg)
+}
+
+// RunMultiGPUStreamContext is RunMultiGPUStream with cancellation:
+// cancelling ctx aborts the scheduler (producer and workers) and
+// returns ctx's error.
+func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.System, mem gpu.MemConfig, r io.Reader, cfg StreamConfig) (*Result, error) {
 	if cfg.BatchResidues < 1 {
 		return nil, fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
 	}
@@ -105,8 +135,32 @@ func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.
 	extra := &MultiGPUStreamExtra{Launches: make([][]*simt.LaunchReport, len(sys.Devices))}
 	var mu sync.Mutex
 
-	sched := &gpu.Scheduler{Sys: sys, QueueDepth: cfg.QueueDepth, Trace: root}
-	rep, err := sched.Run(
+	sched := &gpu.Scheduler{
+		Sys:             sys,
+		QueueDepth:      cfg.QueueDepth,
+		Trace:           root,
+		MaxRetries:      cfg.MaxRetries,
+		QuarantineAfter: cfg.QuarantineAfter,
+		BatchTimeout:    cfg.BatchTimeout,
+	}
+	if !cfg.DisableFallback {
+		// Host fallback: the CPU engine computes the same hits as the
+		// device path, so a batch drained here merges bit-identically.
+		sched.Fallback = func(b gpu.Batch) error {
+			res, err := pl.runCPU(b.DB, b.Trace)
+			if err != nil {
+				return err
+			}
+			if !b.Commit() {
+				return nil
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			mergeBatch(final, res, b.Offset)
+			return nil
+		}
+	}
+	rep, err := sched.RunContext(ctx,
 		func(submit func(db *seq.Database) error) error {
 			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, submit)
 		},
@@ -114,6 +168,12 @@ func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.
 			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB, b.Trace)
 			if err != nil {
 				return err
+			}
+			// A watchdog-abandoned attempt can complete late, after the
+			// batch was reassigned: the commit token makes the merge
+			// exactly-once.
+			if !b.Commit() {
+				return nil
 			}
 			mu.Lock()
 			defer mu.Unlock()

@@ -3,7 +3,10 @@ package simt
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hmmer3gpu/internal/obs"
 )
@@ -14,6 +17,15 @@ type Device struct {
 	// Label names the device's timeline track in traces; NewSystem
 	// assigns "device0".."deviceN-1".
 	Label string
+	// Faults, when non-nil, arbitrates every launch: the injector can
+	// make Launch return typed fault errors on chosen launch ordinals
+	// or probabilistically (see FaultInjector). Nil injects nothing.
+	Faults *FaultInjector
+	// LaunchTimeout is the per-launch deadline: a grid that has not
+	// completed within it makes Launch return ErrDeviceHung (the
+	// abandoned grid finishes on leaked goroutines whose results are
+	// discarded). 0 disables the watchdog.
+	LaunchTimeout time.Duration
 
 	mu         sync.Mutex
 	nextGlobal int64
@@ -119,6 +131,12 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		obs.Float("occupancy", occ.Fraction),
 		obs.String("occupancy_limiter", occ.Limiter))
 
+	if err := d.Faults.onLaunch(d.Track()); err != nil {
+		span.Annotate(obs.Bool("fault_injected", true), obs.String("error", err.Error()))
+		span.End()
+		return nil, err
+	}
+
 	blockStats := make([]KernelStats, cfg.Blocks)
 	workers := cfg.HostWorkers
 	if workers <= 0 {
@@ -126,6 +144,36 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	}
 	if workers > cfg.Blocks {
 		workers = cfg.Blocks
+	}
+
+	// A panic in a kernel is recovered into a *KernelPanicError rather
+	// than killing the process: the first panicking warp wins, its
+	// block's barrier is poisoned so sibling warps parked in
+	// __syncthreads unblock (they re-panic with barrierBroken, which is
+	// swallowed), and remaining blocks are skipped.
+	var panicked atomic.Bool
+	var panicMu sync.Mutex
+	var panicErr *KernelPanicError
+
+	capture := func(block int, r any) {
+		kp := &KernelPanicError{
+			Device: d.Track(),
+			Spec:   spec.Name,
+			Kernel: cfg.Name,
+			Block:  block,
+			Warp:   -1,
+			Value:  r,
+			Stack:  string(debug.Stack()),
+		}
+		if kf, ok := r.(*kernelFault); ok {
+			kp.Block, kp.Warp, kp.Op, kp.Value = kf.block, kf.warp, kf.op, kf.msg
+		}
+		panicMu.Lock()
+		if panicErr == nil {
+			panicErr = kp
+		}
+		panicMu.Unlock()
+		panicked.Store(true)
 	}
 
 	runBlock := func(b int) {
@@ -143,6 +191,20 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 				block:         br,
 			}
 		}
+		runWarp := func(w *Warp) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(barrierBroken); ok {
+						return
+					}
+					capture(b, r)
+					if br.barrier != nil {
+						br.barrier.poison()
+					}
+				}
+			}()
+			kernel(w)
+		}
 		if cfg.Cooperative && cfg.WarpsPerBlock > 1 {
 			br.barrier = newBlockBarrier(cfg.WarpsPerBlock)
 			var wg sync.WaitGroup
@@ -150,7 +212,7 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 			for _, w := range warps {
 				go func(w *Warp) {
 					defer wg.Done()
-					kernel(w)
+					runWarp(w)
 				}(w)
 			}
 			wg.Wait()
@@ -160,7 +222,10 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 				br.barrier = newBlockBarrier(1)
 			}
 			for _, w := range warps {
-				kernel(w)
+				runWarp(w)
+				if panicked.Load() {
+					break
+				}
 			}
 		}
 		var bs KernelStats
@@ -172,11 +237,13 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		blockStats[b] = bs
 	}
 
-	if workers <= 1 {
-		for b := 0; b < cfg.Blocks; b++ {
-			runBlock(b)
+	runGrid := func() {
+		if workers <= 1 {
+			for b := 0; b < cfg.Blocks && !panicked.Load(); b++ {
+				runBlock(b)
+			}
+			return
 		}
-	} else {
 		var next int64
 		var mu sync.Mutex
 		var wg sync.WaitGroup
@@ -189,7 +256,7 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 					b := int(next)
 					next++
 					mu.Unlock()
-					if b >= cfg.Blocks {
+					if b >= cfg.Blocks || panicked.Load() {
 						return
 					}
 					runBlock(b)
@@ -197,6 +264,32 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 			}()
 		}
 		wg.Wait()
+	}
+
+	if d.LaunchTimeout > 0 {
+		done := make(chan struct{})
+		go func() {
+			runGrid()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(d.LaunchTimeout):
+			// The grid keeps running on leaked goroutines; its stats are
+			// never read (the report below is not built on this path).
+			err := &FaultError{Device: d.Track(), Ordinal: -1, Err: ErrDeviceHung}
+			span.Annotate(obs.String("error", err.Error()))
+			span.End()
+			return nil, err
+		}
+	} else {
+		runGrid()
+	}
+
+	if panicErr != nil {
+		span.Annotate(obs.String("error", panicErr.Error()))
+		span.End()
+		return nil, panicErr
 	}
 
 	rep := &LaunchReport{Occupancy: occ}
@@ -228,6 +321,14 @@ func newBlockBarrier(n int) *blockBarrier {
 func (b *blockBarrier) wait(cycles int64) int64 { return b.p1.wait(cycles) }
 func (b *blockBarrier) release()                { b.p2.wait(0) }
 
+// poison breaks both phases so warps parked in (or arriving at) the
+// barrier panic with barrierBroken instead of waiting forever for a
+// sibling that has already panicked.
+func (b *blockBarrier) poison() {
+	b.p1.breakBarrier()
+	b.p2.breakBarrier()
+}
+
 type phaseBarrier struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -236,6 +337,7 @@ type phaseBarrier struct {
 	gen    int
 	agg    int64
 	result int64
+	broken bool
 }
 
 func newPhaseBarrier(n int) *phaseBarrier {
@@ -245,10 +347,14 @@ func newPhaseBarrier(n int) *phaseBarrier {
 }
 
 // wait blocks until all n participants have arrived and returns the
-// maximum of the submitted values.
+// maximum of the submitted values. A broken barrier panics with
+// barrierBroken (recovered and swallowed by the launch).
 func (b *phaseBarrier) wait(val int64) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.broken {
+		panic(barrierBroken{})
+	}
 	gen := b.gen
 	if val > b.agg {
 		b.agg = val
@@ -263,7 +369,18 @@ func (b *phaseBarrier) wait(val int64) int64 {
 		return b.result
 	}
 	for gen == b.gen {
+		if b.broken {
+			panic(barrierBroken{})
+		}
 		b.cond.Wait()
 	}
 	return b.result
+}
+
+// breakBarrier marks the barrier broken and wakes every waiter.
+func (b *phaseBarrier) breakBarrier() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }

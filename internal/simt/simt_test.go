@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -257,14 +258,16 @@ func TestShuffleButterflyMax(t *testing.T) {
 
 func TestShufflePanicsOnFermi(t *testing.T) {
 	dev := NewDevice(GTX580())
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for shfl on Fermi")
-		}
-	}()
-	_, _ = dev.Launch(LaunchConfig{Blocks: 1, WarpsPerBlock: 1}, func(w *Warp) {
+	_, err := dev.Launch(LaunchConfig{Blocks: 1, WarpsPerBlock: 1}, func(w *Warp) {
 		w.ShflXorI32(make([]int32, 32), 16)
 	})
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) {
+		t.Fatalf("shfl on Fermi: err = %v, want *KernelPanicError", err)
+	}
+	if kp.Op != "shfl.xor" {
+		t.Errorf("fault op = %q, want shfl.xor", kp.Op)
+	}
 }
 
 func TestVote(t *testing.T) {
@@ -292,12 +295,14 @@ func TestVote(t *testing.T) {
 
 func TestSyncPanicsOutsideCooperative(t *testing.T) {
 	dev := NewDevice(TeslaK40())
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for Sync in non-cooperative launch")
-		}
-	}()
-	_, _ = dev.Launch(LaunchConfig{Blocks: 1, WarpsPerBlock: 2}, func(w *Warp) { w.Sync() })
+	_, err := dev.Launch(LaunchConfig{Blocks: 1, WarpsPerBlock: 2}, func(w *Warp) { w.Sync() })
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) {
+		t.Fatalf("Sync in non-cooperative launch: err = %v, want *KernelPanicError", err)
+	}
+	if kp.Op != "__syncthreads" {
+		t.Errorf("fault op = %q, want __syncthreads", kp.Op)
+	}
 }
 
 func TestCooperativeBarrierOrdersWrites(t *testing.T) {

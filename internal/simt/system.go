@@ -24,6 +24,19 @@ func NewSystem(spec DeviceSpec, n int) *System {
 	return sys
 }
 
+// ApplyFaults attaches one injector per device index (the map
+// ParseFaults returns); an index beyond the system's devices is an
+// error.
+func (sys *System) ApplyFaults(faults map[int]*FaultInjector) error {
+	for i, inj := range faults {
+		if i < 0 || i >= len(sys.Devices) {
+			return fmt.Errorf("simt: fault spec names device %d, system has %d devices", i, len(sys.Devices))
+		}
+		sys.Devices[i].Faults = inj
+	}
+	return nil
+}
+
 // LaunchAll runs one launch per device concurrently; launch(i, dev)
 // must submit device i's share of the work and return its report.
 // Reports come back indexed by device. The first error wins.

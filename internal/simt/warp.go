@@ -1,7 +1,5 @@
 package simt
 
-import "fmt"
-
 // Warp is the execution context handed to a kernel: one 32-lane SIMT
 // work unit. Kernels perform their lane arithmetic in ordinary Go and
 // report costs through the Warp's operations; shared and global memory
@@ -226,11 +224,12 @@ func coalescedTransactions(addrs []int64, width int) int {
 }
 
 // ShflXorI32 is the Kepler butterfly-exchange shuffle: lane l receives
-// the value of lane l XOR mask. Panics on a device without shuffle
-// support (an illegal instruction on Fermi).
+// the value of lane l XOR mask. On a device without shuffle support
+// (an illegal instruction on Fermi) it raises a structured kernel
+// fault that Device.Launch reports as a *KernelPanicError.
 func (w *Warp) ShflXorI32(vals []int32, mask int) []int32 {
 	if !w.dev.Spec.HasShuffle {
-		panic(fmt.Sprintf("simt: shfl.xor executed on %s, which has no warp shuffle", w.dev.Spec.Name))
+		w.fail("shfl.xor", "no warp shuffle on this device")
 	}
 	w.stats.ShuffleOps++
 	w.addCycles(1)
@@ -271,7 +270,7 @@ func (w *Warp) VoteAny(pred []bool) bool {
 // call it.
 func (w *Warp) Sync() {
 	if w.block.barrier == nil {
-		panic("simt: __syncthreads in a non-cooperative launch")
+		w.fail("__syncthreads", "barrier in a non-cooperative launch")
 	}
 	w.stats.Syncs++
 	maxCycles := w.block.barrier.wait(w.cyclesSinceSync)

@@ -46,7 +46,7 @@ func (w *Warp) SharedLoadI16Into(dst []int16, addrs []int) {
 // vals must not alias).
 func (w *Warp) ShflXorI32Into(dst, vals []int32, mask int) {
 	if !w.dev.Spec.HasShuffle {
-		panic("simt: shfl.xor executed on a device without warp shuffle")
+		w.fail("shfl.xor", "no warp shuffle on this device")
 	}
 	w.stats.ShuffleOps++
 	w.addCycles(1)
@@ -60,7 +60,7 @@ func (w *Warp) ShflXorI32Into(dst, vals []int32, mask int) {
 // must not alias).
 func (w *Warp) ShflUpI32Into(dst, vals []int32, delta int) {
 	if !w.dev.Spec.HasShuffle {
-		panic("simt: shfl.up executed on a device without warp shuffle")
+		w.fail("shfl.up", "no warp shuffle on this device")
 	}
 	w.stats.ShuffleOps++
 	w.addCycles(1)
@@ -118,7 +118,7 @@ func (w *Warp) SharedStoreF32(addrs []int, vals []float32) {
 // ShflXorF32Into is the float butterfly exchange.
 func (w *Warp) ShflXorF32Into(dst, vals []float32, mask int) {
 	if !w.dev.Spec.HasShuffle {
-		panic("simt: shfl.xor executed on a device without warp shuffle")
+		w.fail("shfl.xor", "no warp shuffle on this device")
 	}
 	w.stats.ShuffleOps++
 	w.addCycles(1)
@@ -130,7 +130,7 @@ func (w *Warp) ShflXorF32Into(dst, vals []float32, mask int) {
 // ShflUpF32Into is the float shuffle-up exchange.
 func (w *Warp) ShflUpF32Into(dst, vals []float32, delta int) {
 	if !w.dev.Spec.HasShuffle {
-		panic("simt: shfl.up executed on a device without warp shuffle")
+		w.fail("shfl.up", "no warp shuffle on this device")
 	}
 	w.stats.ShuffleOps++
 	w.addCycles(1)

@@ -12,17 +12,31 @@ func TestChaosQuick(t *testing.T) {
 	}
 	cfg := QuickConfig()
 	var buf bytes.Buffer
-	rows, err := Chaos(cfg, &buf)
-	if err != nil {
-		t.Fatal(err)
+	var rows []ChaosRow
+	// A dead or flaky device only shows fault activity once its worker
+	// claims enough batches; under heavy host load the healthy devices
+	// can occasionally drain the whole stream first (the timing
+	// sensitivity the stream fault tests also retry around), so allow a
+	// few fresh sweeps before judging the fault counters. Result
+	// identity is asserted unconditionally on every sweep.
+	for attempt := 0; attempt < 5; attempt++ {
+		buf.Reset()
+		var err error
+		rows, err = Chaos(cfg, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Identical {
+				t.Errorf("scenario %q: results diverged from the clean run", r.Scenario)
+			}
+		}
+		if rows[1].Retries > 0 && rows[2].Quarantined == 1 {
+			break
+		}
 	}
 	if len(rows) != len(chaosScenarios) {
 		t.Fatalf("got %d rows, want %d scenarios", len(rows), len(chaosScenarios))
-	}
-	for _, r := range rows {
-		if !r.Identical {
-			t.Errorf("scenario %q: results diverged from the clean run", r.Scenario)
-		}
 	}
 	clean := rows[0]
 	if clean.Retries != 0 || clean.Quarantined != 0 || clean.Fallbacks != 0 {

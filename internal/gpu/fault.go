@@ -17,9 +17,16 @@ import (
 
 // ErrBatchTimeout marks a batch whose processing exceeded the
 // scheduler's per-batch watchdog (Scheduler.BatchTimeout). The worker
-// abandons the batch; the late result, if it ever arrives, is
-// discarded via the batch's commit token.
+// abandons the batch and the watchdog claims the batch's commit
+// token, so the abandoned attempt's late result, if it ever arrives,
+// is discarded.
 var ErrBatchTimeout = errors.New("gpu: batch processing exceeded deadline")
+
+// errLateCommit reports that a watchdog-expired attempt committed its
+// result before the watchdog could claim the batch's merge token: the
+// merge already landed (runBatch waits for it), so the batch is
+// complete and must not be requeued.
+var errLateCommit = errors.New("gpu: abandoned attempt committed its result late")
 
 // ErrAllQuarantined is returned when every device has been quarantined
 // and the scheduler has no host fallback to drain the remaining work.

@@ -227,12 +227,13 @@ func TestSchedulerAllQuarantinedFallsBackToHost(t *testing.T) {
 	sys := simt.NewSystem(simt.GTX580(), 2)
 	s := &Scheduler{Sys: sys, Clock: &fakeClock{}}
 	var fallbacks int32
-	s.Fallback = func(b Batch) error {
+	s.Fallback = func(b Batch) (bool, error) {
 		if !b.Commit() {
 			t.Error("fallback lost the commit race with no competing attempt")
+			return false, nil
 		}
 		atomic.AddInt32(&fallbacks, 1)
-		return nil
+		return true, nil
 	}
 	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50}),
 		func(devIdx int, dev *simt.Device, b Batch) error {
@@ -306,6 +307,145 @@ func TestSchedulerWatchdogTimeout(t *testing.T) {
 		if n != 1 {
 			t.Errorf("batch %d committed %d times, want exactly once", ord, n)
 		}
+	}
+}
+
+// manualClock hands out watchdog channels that fire only when the
+// test says so; fire blocks until the scheduler consumes the expiry,
+// so a test can sequence "the watchdog has expired" deterministically.
+type manualClock struct {
+	mu  sync.Mutex
+	chs []chan time.Time
+}
+
+func (c *manualClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (c *manualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time)
+	c.mu.Lock()
+	c.chs = append(c.chs, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// fire expires the oldest armed watchdog, waiting first for one to be
+// armed and then for the scheduler to consume the expiry.
+func (c *manualClock) fire() {
+	for {
+		c.mu.Lock()
+		if len(c.chs) > 0 {
+			ch := c.chs[0]
+			c.chs = c.chs[1:]
+			c.mu.Unlock()
+			ch <- time.Time{}
+			return
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// An attempt that commits its result just before the watchdog expires
+// must win: the scheduler waits for the in-flight merge and counts the
+// batch complete instead of requeueing it (which would double-run the
+// batch and let the run finish under a still-pending merge), and
+// quarantining the last device on the stream's final batch must not
+// abort the fully-merged run.
+func TestSchedulerWatchdogLateCommitCompletesBatch(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	clock := &manualClock{}
+	s := &Scheduler{Sys: sys, Clock: clock, BatchTimeout: time.Second}
+	committed := make(chan struct{})
+	release := make(chan struct{})
+	var calls, merges int32
+	go func() {
+		<-committed
+		clock.fire() // expire the watchdog after the attempt committed
+		close(release)
+	}()
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			atomic.AddInt32(&calls, 1)
+			// Give the producer time to close the stream, so the
+			// quarantine below sees no outstanding work.
+			time.Sleep(20 * time.Millisecond)
+			if b.Commit() {
+				atomic.AddInt32(&merges, 1)
+			}
+			close(committed)
+			<-release // keep the attempt running past the deadline
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || merges != 1 {
+		t.Errorf("process ran %d times with %d merges, want exactly one of each", calls, merges)
+	}
+	if rep.Faults.Timeouts != 1 || rep.Faults.Devices[0].Timeouts != 1 {
+		t.Errorf("timeouts = %d (device %d), want 1", rep.Faults.Timeouts, rep.Faults.Devices[0].Timeouts)
+	}
+	if !rep.Faults.Devices[0].Quarantined {
+		t.Error("device that blew its deadline was not quarantined")
+	}
+	if rep.Util[0].Batches != 1 {
+		t.Errorf("device credited %d batches, want 1 (the late-committed batch)", rep.Util[0].Batches)
+	}
+}
+
+// A quarantine trip is a device-health event: the batch that tripped
+// the breaker must be requeued without consuming its retry budget
+// (matching the device-lost path), so a batch bounced off flaky
+// devices is not aborted for their failures.
+func TestSchedulerQuarantineTripPreservesRetryBudget(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, QuarantineAfter: 2, MaxRetries: 1}
+	// Device 0 fails every attempt, tripping its breaker on the second;
+	// device 1 (gated until the trip, so the trip provably lands on
+	// device 0) then fails the tripped batch once more before letting
+	// it through. With the trip budget-free the batch has spent 1 of
+	// its 1 retries and completes; charging the trip would abort the
+	// run.
+	var mu sync.Mutex
+	dev0Fails := 0
+	tripSeq := -1
+	dev1FailedTrip := false
+	tripped := make(chan struct{})
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if devIdx == 0 {
+				mu.Lock()
+				dev0Fails++
+				if dev0Fails == 2 {
+					tripSeq = b.Seq
+					close(tripped)
+				}
+				mu.Unlock()
+				return transientErr(dev.Track())
+			}
+			<-tripped
+			mu.Lock()
+			fail := b.Seq == tripSeq && !dev1FailedTrip
+			if fail {
+				dev1FailedTrip = true
+			}
+			mu.Unlock()
+			if fail {
+				return transientErr(dev.Track())
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("run aborted: %v (the trip batch was charged a retry it did not spend)", err)
+	}
+	if rep.Faults.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (the trip itself is budget-free)", rep.Faults.Retries)
+	}
+	if !rep.Faults.Devices[0].Quarantined || rep.Faults.Devices[1].Quarantined {
+		t.Errorf("quarantine = %+v, want device 0 only", rep.Faults.Devices)
+	}
+	if rep.Util[1].Batches != rep.Batches {
+		t.Errorf("device 1 completed %d of %d batches", rep.Util[1].Batches, rep.Batches)
 	}
 }
 

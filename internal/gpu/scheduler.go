@@ -30,16 +30,20 @@ type Batch struct {
 	// and kernel spans under it.
 	Trace *obs.Span
 
-	// commit is the batch's one-shot merge token, shared across every
-	// attempt at the batch (retries, requeues, host fallback).
+	// commit is the batch's one-shot merge token, shared by retries and
+	// requeues of the batch — except after a watchdog expiry, which
+	// burns the token (so the abandoned attempt can never merge) and
+	// hands the requeued attempt a fresh one.
 	commit *atomic.Bool
 }
 
 // Commit claims the batch's one-shot merge token: exactly one caller
-// across all attempts at the batch gets true. A watchdog-abandoned
-// attempt whose process call completes late loses the race to the
-// attempt that replaced it, so its results must be discarded instead
-// of merged twice. A zero Batch (constructed outside the scheduler)
+// across all attempts at the batch gets true. When the watchdog
+// abandons an attempt it claims the token itself, so an abandoned
+// attempt that completes late loses the race and must discard its
+// results; if the abandoned attempt committed first, the scheduler
+// waits for its merge to land and counts the batch complete instead
+// of re-running it. A zero Batch (constructed outside the scheduler)
 // always commits.
 func (b Batch) Commit() bool {
 	if b.commit == nil {
@@ -202,15 +206,19 @@ type Scheduler struct {
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
 	// BatchTimeout is the per-batch watchdog: an attempt that has not
-	// returned within it is abandoned (its late result discarded via
-	// the commit token), the device quarantined, and the batch
-	// requeued. 0 disables the watchdog.
+	// returned within it is abandoned, the device quarantined, and the
+	// batch requeued with a fresh commit token (the watchdog claims the
+	// old token, so the abandoned attempt can never merge; if the
+	// abandoned attempt committed just before the watchdog, its merge
+	// is awaited and the batch counts as complete instead). 0 disables
+	// the watchdog.
 	BatchTimeout time.Duration
 	// Fallback, when non-nil, processes a batch on the host CPU; it is
 	// engaged only once every device is quarantined. It must merge its
-	// own results (guarded by Batch.Commit) and be safe to call from a
-	// dedicated goroutine.
-	Fallback func(b Batch) error
+	// own results (guarded by Batch.Commit), report whether that
+	// Commit succeeded, and be safe to call from a dedicated
+	// goroutine.
+	Fallback func(b Batch) (committed bool, err error)
 	// Clock substitutes a fake time source in tests; nil means the
 	// wall clock.
 	Clock Clock
@@ -361,7 +369,11 @@ func (st *schedRun) quarantineLocked(i int) {
 				st.wg.Add(1)
 				go st.runFallback()
 			}
-		} else {
+		} else if !st.closed || len(st.pending) > 0 || st.active > 0 {
+			// Losing every device only fails the run while work is
+			// still outstanding; quarantining the last device on the
+			// stream's final batch (a late-committed watchdog expiry)
+			// leaves nothing to execute.
 			st.failLocked(fmt.Errorf("gpu: no devices left in service: %w", ErrAllQuarantined))
 		}
 	}
@@ -369,9 +381,13 @@ func (st *schedRun) quarantineLocked(i int) {
 }
 
 // runBatch executes one processing attempt, racing it against the
-// per-batch watchdog when one is configured. An abandoned attempt
-// keeps running on its goroutine; its result is discarded here and its
-// merge suppressed by the batch's commit token.
+// per-batch watchdog when one is configured. On expiry the watchdog
+// claims the batch's commit token, so the abandoned attempt — which
+// keeps running on its goroutine — can never merge and its late
+// result is discarded wherever it lands. If the attempt committed
+// first, its merge is already in flight: runBatch waits for it to
+// land (the run must not finish under it) and reports the batch
+// complete via errLateCommit.
 func (st *schedRun) runBatch(i int, dev *simt.Device, b Batch,
 	process func(devIdx int, dev *simt.Device, b Batch) error) error {
 	if st.s.BatchTimeout <= 0 {
@@ -383,7 +399,11 @@ func (st *schedRun) runBatch(i int, dev *simt.Device, b Batch,
 	case err := <-done:
 		return err
 	case <-st.s.clock().After(st.s.BatchTimeout):
-		return fmt.Errorf("gpu: batch %d on device %d: %w after %v", b.Seq, i, ErrBatchTimeout, st.s.BatchTimeout)
+		if b.Commit() {
+			return fmt.Errorf("gpu: batch %d on device %d: %w after %v", b.Seq, i, ErrBatchTimeout, st.s.BatchTimeout)
+		}
+		<-done
+		return errLateCommit
 	}
 }
 
@@ -446,6 +466,20 @@ func (st *schedRun) runWorker(i int, dev *simt.Device,
 			st.mu.Unlock()
 			continue
 		}
+		if errors.Is(err, errLateCommit) {
+			// The watchdog expired, but the abandoned attempt had
+			// already committed and merged: the batch is complete on
+			// this device. The deadline was still blown, so the
+			// timeout is recorded and the device quarantined.
+			util.Residues += b.DB.TotalResidues()
+			util.Batches++
+			st.rep.Faults.Timeouts++
+			dstats.Timeouts++
+			st.active--
+			st.quarantineLocked(i)
+			st.mu.Unlock()
+			return
+		}
 		dstats.Failures++
 		switch classifyFault(err) {
 		case faultDeviceFatal:
@@ -455,20 +489,27 @@ func (st *schedRun) runWorker(i int, dev *simt.Device,
 			if errors.Is(err, ErrBatchTimeout) {
 				st.rep.Faults.Timeouts++
 				dstats.Timeouts++
+				// The watchdog burned the batch's merge token when it
+				// abandoned the attempt; the requeued batch needs a
+				// live one.
+				att.b.commit = new(atomic.Bool)
 			}
 			st.quarantineLocked(i)
 			st.requeueLocked(att, i)
 			st.mu.Unlock()
 			return
 		case faultTransient:
-			att.tries++
 			st.consec[i]++
 			if k := s.quarantineAfter(); k > 0 && st.consec[i] >= k {
+				// A device-health trip, not the batch's fault: like the
+				// device-fatal path, requeue without consuming the
+				// batch's retry budget.
 				st.quarantineLocked(i)
 				st.requeueLocked(att, i)
 				st.mu.Unlock()
 				return
 			}
+			att.tries++
 			if att.tries > s.maxRetries() {
 				st.active--
 				st.failLocked(fmt.Errorf("gpu: batch %d failed after %d attempts: %w", b.Seq, att.tries, err))
@@ -528,7 +569,7 @@ func (st *schedRun) runFallback() {
 			obs.Int("batch", int64(b.Seq)),
 			obs.Int("offset", int64(b.Offset)),
 			obs.Bool("cpu_fallback", true))
-		err := s.Fallback(b)
+		committed, err := s.Fallback(b)
 		b.Trace.End()
 
 		st.mu.Lock()
@@ -538,7 +579,12 @@ func (st *schedRun) runFallback() {
 			st.mu.Unlock()
 			return
 		}
-		st.rep.Faults.Fallbacks++
+		// Only batches the fallback actually committed count toward
+		// Fallbacks; a batch that was already merged elsewhere was not
+		// completed by the host.
+		if committed {
+			st.rep.Faults.Fallbacks++
+		}
 		st.cond.Broadcast()
 		st.mu.Unlock()
 	}

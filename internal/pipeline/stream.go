@@ -146,18 +146,18 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 	if !cfg.DisableFallback {
 		// Host fallback: the CPU engine computes the same hits as the
 		// device path, so a batch drained here merges bit-identically.
-		sched.Fallback = func(b gpu.Batch) error {
+		sched.Fallback = func(b gpu.Batch) (bool, error) {
 			res, err := pl.runCPU(b.DB, b.Trace)
 			if err != nil {
-				return err
+				return false, err
 			}
 			if !b.Commit() {
-				return nil
+				return false, nil
 			}
 			mu.Lock()
 			defer mu.Unlock()
 			mergeBatch(final, res, b.Offset)
-			return nil
+			return true, nil
 		}
 	}
 	rep, err := sched.RunContext(ctx,

@@ -9,6 +9,7 @@
 //	hmmbench -experiment ablation  §III design-choice ablations
 //	hmmbench -experiment stream    streamed multi-device scaling (dynamic scheduler)
 //	hmmbench -experiment chaos     fault-injection sweep (retry/quarantine/fallback)
+//	hmmbench -experiment sdc       silent-corruption sweep (bit flips vs integrity guards)
 //	hmmbench -experiment all       everything above
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|all")
+		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|all")
 		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		seed       = flag.Int64("seed", 0, "override the workload seed")
 		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
@@ -121,8 +122,12 @@ func main() {
 		run("chaos", func() error { _, err := bench.Chaos(cfg, os.Stdout); return err })
 		ran = true
 	}
+	if want("sdc") {
+		run("sdc", func() error { _, err := bench.SDC(cfg, os.Stdout); return err })
+		ran = true
+	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|all)", *experiment)
+		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|all)", *experiment)
 	}
 }
 

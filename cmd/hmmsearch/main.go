@@ -48,12 +48,13 @@ func main() {
 		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome (load in ui.perfetto.dev or chrome://tracing) | jsonl")
 		metrics  = flag.String("metrics", "", "write run counters to this file in Prometheus text format")
 
-		faultSpec    = flag.String("faults", "", "inject device faults (multigpu streaming): \"<dev>:<fault>[,...][;...]\" with faults p=<prob>, at=<ordinal>, hang=<ordinal>, dead[=<ordinal>] — e.g. \"0:p=0.2;2:dead\"")
+		faultSpec    = flag.String("faults", "", "inject device faults (multigpu streaming): \"<dev>:<fault>[,...][;...]\" with faults p=<prob>, at=<ordinal>, hang=<ordinal>, dead[=<ordinal>], flip@p=<prob>, flip@shared=<prob>, flip@launch=<ordinal> — e.g. \"0:p=0.2;2:dead\" or \"0:flip@p=1e-4\"")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection (-faults p=)")
 		maxRetries   = flag.Int("max-retries", 0, "per-batch retry budget after transient device faults (0 = default, negative disables)")
 		quarAfter    = flag.Int("quarantine-after", 0, "consecutive device failures before quarantine (0 = default, negative disables)")
 		batchTimeout = flag.Duration("batch-timeout", 0, "per-batch watchdog deadline (0 disables); a timed-out batch is reassigned and its device quarantined")
 		noFallback   = flag.Bool("no-fallback", false, "fail instead of completing on the host CPU when every device is quarantined")
+		verify       = flag.String("verify", "off", "result-integrity policy against silent data corruption (multigpu streaming): off | guards (discard and requeue corrupt batches) | dmr (re-execute corrupt batches on the host CPU)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -81,6 +82,7 @@ func main() {
 				quarantineAfter: *quarAfter,
 				batchTimeout:    *batchTimeout,
 				noFallback:      *noFallback,
+				verify:          verifyMode(*verify),
 			}
 			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
 				budget, *targlen, *workers, *evalue, *tblout, sk, fo)
@@ -309,6 +311,21 @@ type faultOpts struct {
 	quarantineAfter int
 	batchTimeout    time.Duration
 	noFallback      bool
+	verify          pipeline.VerifyMode
+}
+
+// verifyMode parses the -verify flag.
+func verifyMode(s string) pipeline.VerifyMode {
+	switch s {
+	case "off":
+		return pipeline.VerifyOff
+	case "guards":
+		return pipeline.VerifyGuards
+	case "dmr":
+		return pipeline.VerifyDMR
+	}
+	fatalf("unknown -verify mode %q (want off, guards, or dmr)", s)
+	return pipeline.VerifyOff
 }
 
 // runMultiStreaming searches a FASTA stream across simulated devices:
@@ -335,7 +352,7 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 	defer ff.Close()
 	sys := simt.NewSystem(simt.GTX580(), devices)
 	if fo.spec != "" {
-		faults, err := simt.ParseFaults(fo.spec, fo.seed)
+		faults, err := simt.ParseFaults(fo.spec, fo.seed, devices)
 		check(err)
 		check(sys.ApplyFaults(faults))
 	}
@@ -345,6 +362,7 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 		QuarantineAfter: fo.quarantineAfter,
 		BatchTimeout:    fo.batchTimeout,
 		DisableFallback: fo.noFallback,
+		Verify:          fo.verify,
 	})
 	check(err)
 

@@ -95,7 +95,7 @@ func Chaos(cfg Config, w io.Writer) ([]ChaosRow, error) {
 	for _, sc := range chaosScenarios {
 		sys := simt.NewSystem(gtx580(), 4)
 		if sc.Spec != "" {
-			faults, err := simt.ParseFaults(sc.Spec, cfg.Seed+303)
+			faults, err := simt.ParseFaults(sc.Spec, cfg.Seed+303, 4)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSDCQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	rows, err := SDC(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sdcScenarios) {
+		t.Fatalf("got %d rows, want %d scenarios", len(rows), len(sdcScenarios))
+	}
+	byName := map[string]SDCRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+
+	for _, name := range []string{"clean / off", "clean / guards"} {
+		r := byName[name]
+		if r.Flips != 0 || r.Detected != 0 || r.Reruns != 0 || !r.Identical {
+			t.Errorf("%s: %+v, want no flips, no detections, identical results", name, r)
+		}
+		if r.Hits == 0 {
+			t.Errorf("%s found no hits; workload too weak to validate identity", name)
+		}
+	}
+
+	// The headline: the same seeded flips that corrupt the unverified
+	// run are detected and repaired under DMR.
+	off := byName["readback p=5e-2 / off"]
+	if off.Flips == 0 {
+		t.Error("unverified scenario injected no flips; sweep proves nothing")
+	}
+	if off.Identical {
+		t.Errorf("unverified flips left the hit list identical: %+v", off)
+	}
+	if off.Detected != 0 || off.Reruns != 0 {
+		t.Errorf("verify=off counted SDC activity: %+v", off)
+	}
+	dmr := byName["readback p=5e-2 / dmr"]
+	if dmr.Detected == 0 || dmr.Reruns == 0 {
+		t.Errorf("DMR scenario detected/reran nothing: %+v", dmr)
+	}
+	if !dmr.Identical {
+		t.Errorf("DMR failed to restore the clean hit list: %+v", dmr)
+	}
+
+	burst := byName["burst@launch0 / guards"]
+	if burst.Detected != 1 || burst.Reruns != 1 || !burst.Identical {
+		t.Errorf("guards burst scenario: %+v, want exactly one detected+reran burst and identical results", burst)
+	}
+
+	ecc := byName["readback p=5e-2 / ecc k40"]
+	if ecc.Flips != 0 || ecc.Corrected == 0 {
+		t.Errorf("ECC scenario: %+v, want every flip corrected and none applied", ecc)
+	}
+	if !ecc.Identical || ecc.Detected != 0 {
+		t.Errorf("ECC scenario saw corruption: %+v", ecc)
+	}
+
+	if !strings.Contains(buf.String(), "SDC") {
+		t.Error("report text missing")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"hmmer3gpu/internal/integrity"
 	"hmmer3gpu/internal/simt"
 )
 
@@ -58,6 +59,13 @@ const (
 	// or a watchdog-abandoned batch whose device may still be wedged)
 	// and requeues the batch elsewhere without consuming retry budget.
 	faultDeviceFatal
+	// faultIntegrity marks a batch whose results failed an integrity
+	// check: the launch succeeded but the numbers are suspect (silent
+	// data corruption). The result is discarded before merge and the
+	// batch re-executed — via the DMR callback on the host when
+	// configured, otherwise on a different device — and the producing
+	// device takes a health strike toward the quarantine breaker.
+	faultIntegrity
 )
 
 // classifyFault maps a batch-processing error to the scheduler's
@@ -66,6 +74,10 @@ func classifyFault(err error) faultClass {
 	var kp *simt.KernelPanicError
 	if errors.As(err, &kp) {
 		return faultRunFatal
+	}
+	var ie *integrity.Error
+	if errors.As(err, &ie) {
+		return faultIntegrity
 	}
 	if errors.Is(err, ErrBatchTimeout) || simt.IsPersistentFault(err) {
 		return faultDeviceFatal
@@ -84,6 +96,9 @@ type DeviceFaultStats struct {
 	Retries int
 	// Timeouts counts watchdog expirations charged to the device.
 	Timeouts int
+	// SDCs counts silent-data-corruption detections charged to the
+	// device (batches whose results failed an integrity check).
+	SDCs int
 	// Quarantined reports the device was taken out of service.
 	Quarantined bool
 }
@@ -104,16 +119,26 @@ type FaultReport struct {
 	// Fallbacks is the number of batches completed by the host CPU
 	// after every device was quarantined.
 	Fallbacks int
+	// SDCDetected is the number of batches whose results failed an
+	// integrity check (silent data corruption caught before merge).
+	SDCDetected int
+	// SDCReruns is the number of re-executions performed to replace
+	// discarded corrupt results (host DMR runs that committed, or
+	// requeues to another device in guards-only mode).
+	SDCReruns int
 	// Devices is the per-device fault breakdown, indexed by device.
 	Devices []DeviceFaultStats
 }
 
 // Any reports whether the run saw any fault activity.
 func (f *FaultReport) Any() bool {
-	return f.Retries+f.Requeues+f.Timeouts+f.Quarantines+f.Fallbacks > 0
+	return f.Retries+f.Requeues+f.Timeouts+f.Quarantines+f.Fallbacks+
+		f.SDCDetected+f.SDCReruns > 0
 }
 
 // String renders the fault summary (empty when the run was clean).
+// SDC lines appear only when corruption was detected, so a run with
+// purely fail-stop faults renders exactly as before.
 func (f *FaultReport) String() string {
 	if !f.Any() {
 		return ""
@@ -121,6 +146,10 @@ func (f *FaultReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "faults: %d retries, %d requeues, %d timeouts, %d devices quarantined, %d cpu-fallback batches",
 		f.Retries, f.Requeues, f.Timeouts, f.Quarantines, f.Fallbacks)
+	if f.SDCDetected > 0 || f.SDCReruns > 0 {
+		fmt.Fprintf(&b, "\n    silent data corruption: %d detected, %d re-executed",
+			f.SDCDetected, f.SDCReruns)
+	}
 	for i, d := range f.Devices {
 		if d.Failures == 0 && !d.Quarantined {
 			continue
@@ -129,8 +158,12 @@ func (f *FaultReport) String() string {
 		if d.Quarantined {
 			status = ", quarantined"
 		}
-		fmt.Fprintf(&b, "\n    device %d: %d failures (%d retried, %d timeouts)%s",
-			i, d.Failures, d.Retries, d.Timeouts, status)
+		sdc := ""
+		if d.SDCs > 0 {
+			sdc = fmt.Sprintf(", %d sdc", d.SDCs)
+		}
+		fmt.Fprintf(&b, "\n    device %d: %d failures (%d retried, %d timeouts%s)%s",
+			i, d.Failures, d.Retries, d.Timeouts, sdc, status)
 	}
 	return b.String()
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"hmmer3gpu/internal/integrity"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -554,9 +555,36 @@ func TestScheduleReportFaultRendering(t *testing.T) {
 		}
 	}
 
+	// SDC lines are opt-in: a fail-stop-only report must not mention
+	// silent corruption, and a clean report renders nothing at all.
+	if strings.Contains(out, "silent data corruption") || strings.Contains(out, "sdc") {
+		t.Errorf("fail-stop-only report mentions SDC: %q", out)
+	}
+
 	clean := &ScheduleReport{Batches: 1, Util: make([]DeviceUtilization, 1)}
 	if strings.Contains(clean.String(), "faults:") {
 		t.Error("clean report renders a faults line")
+	}
+
+	sdc := &ScheduleReport{
+		Batches: 4, Seqs: 4, Residues: 200, Wall: time.Second,
+		Util: make([]DeviceUtilization, 2),
+		Faults: FaultReport{
+			SDCDetected: 2, SDCReruns: 2,
+			Devices: []DeviceFaultStats{
+				{Failures: 2, SDCs: 2},
+				{},
+			},
+		},
+	}
+	sout := sdc.String()
+	for _, want := range []string{
+		"silent data corruption: 2 detected, 2 re-executed",
+		"device 0: 2 failures (0 retried, 0 timeouts, 2 sdc)",
+	} {
+		if !strings.Contains(sout, want) {
+			t.Errorf("SDC report %q missing %q", sout, want)
+		}
 	}
 
 	reg := obs.NewRegistry()
@@ -578,6 +606,19 @@ func TestScheduleReportFaultRendering(t *testing.T) {
 	if got, ok := reg.Get(obs.WithLabel("hmmer_sched_device_quarantined", "device", "1")); !ok || got != 0 {
 		t.Errorf("healthy device quarantine gauge = %v (present %v), want 0", got, ok)
 	}
+
+	sreg := obs.NewRegistry()
+	sdc.Record(sreg)
+	for name, want := range map[string]float64{
+		"hmmer_sched_sdc_detected_total":                             2,
+		"hmmer_sched_sdc_reruns_total":                               2,
+		obs.WithLabel("hmmer_sched_device_sdc_total", "device", "0"): 2,
+		obs.WithLabel("hmmer_sched_device_sdc_total", "device", "1"): 0,
+	} {
+		if got, ok := sreg.Get(name); !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
 }
 
 func TestClassifyFault(t *testing.T) {
@@ -590,11 +631,155 @@ func TestClassifyFault(t *testing.T) {
 		{&simt.FaultError{Device: "d", Persistent: true, Err: simt.ErrDeviceLost}, faultDeviceFatal},
 		{fmt.Errorf("wrap: %w", ErrBatchTimeout), faultDeviceFatal},
 		{&simt.KernelPanicError{Device: "d", Block: -1}, faultRunFatal},
+		{&integrity.Error{Stage: "msv", Seq: 3, Detail: "off grid"}, faultIntegrity},
+		{fmt.Errorf("batch 2: %w", &integrity.Error{Stage: "hit", Seq: -1, Detail: "ordering"}), faultIntegrity},
 		{errors.New("mystery"), faultRunFatal},
 	}
 	for _, c := range cases {
 		if got := classifyFault(c.err); got != c.want {
 			t.Errorf("classifyFault(%v) = %d, want %d", c.err, got, c.want)
 		}
+	}
+}
+
+// integrityErr builds the error a process callback surfaces when a
+// batch's results fail an integrity check.
+func integrityErr(b Batch) error {
+	return fmt.Errorf("batch %d: %w", b.Seq, &integrity.Error{Stage: "msv", Seq: 0, Detail: "score off grid"})
+}
+
+// An integrity failure with a DMR callback configured must hand the
+// batch to the callback, which commits the replacement result; the
+// corrupt attempt never reaches the merge.
+func TestSchedulerIntegrityFailureRunsDMR(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	var dmrRuns, committed int32
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, QuarantineAfter: -1,
+		DMR: func(b Batch) (bool, error) {
+			atomic.AddInt32(&dmrRuns, 1)
+			if b.Commit() {
+				atomic.AddInt32(&committed, 1)
+				return true, nil
+			}
+			return false, nil
+		}}
+	var attempts int32
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 60}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if atomic.AddInt32(&attempts, 1) == 1 {
+				return integrityErr(b)
+			}
+			if !b.Commit() {
+				t.Error("healthy attempt lost its commit token")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmrRuns != 1 || committed != 1 {
+		t.Errorf("DMR runs = %d (committed %d), want 1 and 1", dmrRuns, committed)
+	}
+	if rep.Faults.SDCDetected != 1 || rep.Faults.SDCReruns != 1 {
+		t.Errorf("SDC detected/reruns = %d/%d, want 1/1", rep.Faults.SDCDetected, rep.Faults.SDCReruns)
+	}
+	if rep.Faults.Devices[0].SDCs != 1 {
+		t.Errorf("device SDCs = %d, want 1", rep.Faults.Devices[0].SDCs)
+	}
+	// The DMR-resolved batch must not be retried on the device.
+	if attempts != 2 {
+		t.Errorf("device attempts = %d, want 2 (one corrupt, one healthy batch)", attempts)
+	}
+}
+
+// Without DMR the scheduler discards the corrupt result and re-executes
+// the batch on retry budget, preferring a different device.
+func TestSchedulerIntegrityFailureRequeuesWithoutDMR(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, MaxRetries: 5, QuarantineAfter: -1}
+	var mu sync.Mutex
+	devs := []int{}
+	first := true
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			mu.Lock()
+			devs = append(devs, devIdx)
+			corrupt := first
+			first = false
+			mu.Unlock()
+			if corrupt {
+				return integrityErr(b)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.SDCDetected != 1 || rep.Faults.SDCReruns != 1 {
+		t.Errorf("SDC detected/reruns = %d/%d, want 1/1", rep.Faults.SDCDetected, rep.Faults.SDCReruns)
+	}
+	if len(devs) != 2 || devs[0] == devs[1] {
+		t.Errorf("device sequence = %v, want re-execution on the other device", devs)
+	}
+}
+
+// A device that keeps corrupting results trips the quarantine breaker
+// like any other repeat offender; the stream drains on the healthy
+// device.
+func TestSchedulerIntegrityRepeatOffenderQuarantined(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, MaxRetries: 20, QuarantineAfter: 2}
+	// The healthy device waits for the offender's second strike before
+	// completing anything, so it cannot drain the stream while device 0
+	// is still one failure short of the breaker.
+	var strikes int32
+	tripped := make(chan struct{})
+	var once sync.Once
+	rep, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50, 50, 50, 50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			if devIdx == 0 {
+				if atomic.AddInt32(&strikes, 1) >= 2 {
+					once.Do(func() { close(tripped) })
+				}
+				return integrityErr(b)
+			}
+			<-tripped
+			if !b.Commit() {
+				t.Error("healthy attempt lost its commit token")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Faults.Devices[0].Quarantined {
+		t.Error("silently corrupting device 0 not quarantined")
+	}
+	if rep.Faults.Devices[0].SDCs < 2 {
+		t.Errorf("device 0 SDCs = %d, want >= 2 (breaker threshold)", rep.Faults.Devices[0].SDCs)
+	}
+	if rep.Util[0].Batches != 0 {
+		t.Errorf("corrupting device credited %d completed batches", rep.Util[0].Batches)
+	}
+	if rep.Util[1].Batches != 4 {
+		t.Errorf("healthy device completed %d of 4 batches", rep.Util[1].Batches)
+	}
+}
+
+// Integrity retry budget is finite: a batch whose every re-execution
+// also fails integrity must fail the run with the integrity error.
+func TestSchedulerIntegrityBudgetExhaustionFailsRun(t *testing.T) {
+	sys := simt.NewSystem(simt.GTX580(), 1)
+	s := &Scheduler{Sys: sys, Clock: &fakeClock{}, MaxRetries: 2, QuarantineAfter: -1}
+	_, err := s.Run(feedBatches(rand.New(rand.NewSource(1)), []int{50}),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			return integrityErr(b)
+		})
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want wrapped *integrity.Error", err)
+	}
+	if !strings.Contains(err.Error(), "failed integrity checks after 3 attempts") {
+		t.Errorf("err = %v, want attempt count in message", err)
 	}
 }

@@ -129,6 +129,8 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 	reg.AddInt("hmmer_sched_requeues_total", int64(r.Faults.Requeues))
 	reg.AddInt("hmmer_sched_batch_timeouts_total", int64(r.Faults.Timeouts))
 	reg.AddInt("hmmer_sched_fallback_batches_total", int64(r.Faults.Fallbacks))
+	reg.AddInt("hmmer_sched_sdc_detected_total", int64(r.Faults.SDCDetected))
+	reg.AddInt("hmmer_sched_sdc_reruns_total", int64(r.Faults.SDCReruns))
 	for i, u := range r.Util {
 		dev := fmt.Sprint(i)
 		reg.Add(obs.WithLabel("hmmer_sched_device_busy_seconds_total", "device", dev), u.Busy.Seconds())
@@ -145,11 +147,16 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 		}
 		reg.Set(obs.WithLabel("hmmer_sched_device_quarantined", "device", dev), q)
 		reg.AddInt(obs.WithLabel("hmmer_sched_device_failures_total", "device", dev), int64(d.Failures))
+		reg.AddInt(obs.WithLabel("hmmer_sched_device_sdc_total", "device", dev), int64(d.SDCs))
 	}
 	reg.Help("hmmer_sched_device_queue_wait_seconds_total",
 		"wall time the device worker spent blocked on the work queue (starvation)")
 	reg.Help("hmmer_sched_device_quarantined",
 		"1 when the device was quarantined by the circuit breaker during the run")
+	reg.Help("hmmer_sched_sdc_detected_total",
+		"batches whose device results failed an integrity check (silent data corruption)")
+	reg.Help("hmmer_sched_sdc_reruns_total",
+		"re-executions that replaced discarded corrupt batch results")
 }
 
 // Default fault-tolerance knobs (used when the corresponding
@@ -219,6 +226,14 @@ type Scheduler struct {
 	// Commit succeeded, and be safe to call from a dedicated
 	// goroutine.
 	Fallback func(b Batch) (committed bool, err error)
+	// DMR, when non-nil, re-executes a batch whose device results
+	// failed an integrity check on the host CPU — dual-modular
+	// redundancy on suspicion only, so the clean path pays nothing.
+	// Like Fallback it must merge its own results (guarded by
+	// Batch.Commit) and report whether that Commit succeeded. When
+	// nil, an integrity failure consumes retry budget and requeues the
+	// batch to a different device instead.
+	DMR func(b Batch) (committed bool, err error)
 	// Clock substitutes a fake time source in tests; nil means the
 	// wall clock.
 	Clock Clock
@@ -498,6 +513,74 @@ func (st *schedRun) runWorker(i int, dev *simt.Device,
 			st.requeueLocked(att, i)
 			st.mu.Unlock()
 			return
+		case faultIntegrity:
+			// The launch succeeded but the results are corrupt: the
+			// failed attempt returned before committing, so the batch's
+			// merge token is untouched and the corrupt result can never
+			// land. Count the detection, charge the device a health
+			// strike (a card that silently corrupts is on its way out),
+			// then replace the result: host DMR when configured,
+			// otherwise requeue to a different device on retry budget.
+			st.rep.Faults.SDCDetected++
+			dstats.SDCs++
+			st.consec[i]++
+			quarantined := false
+			if k := s.quarantineAfter(); k > 0 && st.consec[i] >= k {
+				st.quarantineLocked(i)
+				quarantined = true
+			}
+			if s.DMR != nil {
+				st.mu.Unlock()
+				span := s.Trace.ChildOn("host", fmt.Sprintf("batch %d (dmr re-execution)", b.Seq),
+					obs.Int("batch", int64(b.Seq)),
+					obs.Int("offset", int64(b.Offset)),
+					obs.Bool("sdc_rerun", true))
+				committed, derr := s.DMR(b)
+				span.End()
+				st.mu.Lock()
+				st.active--
+				if derr != nil {
+					st.failLocked(derr)
+					st.mu.Unlock()
+					return
+				}
+				// Mirrors Fallbacks: only a rerun that won the merge
+				// token actually replaced the result.
+				if committed {
+					st.rep.Faults.SDCReruns++
+				}
+				st.cond.Broadcast()
+				st.mu.Unlock()
+				if quarantined {
+					return
+				}
+				continue
+			}
+			if quarantined {
+				// A breaker trip is a device-health event, not the
+				// batch's fault: requeue without consuming its budget.
+				st.requeueLocked(att, i)
+				st.mu.Unlock()
+				return
+			}
+			att.tries++
+			if att.tries > s.maxRetries() {
+				st.active--
+				st.failLocked(fmt.Errorf("gpu: batch %d failed integrity checks after %d attempts: %w", b.Seq, att.tries, err))
+				st.mu.Unlock()
+				return
+			}
+			st.rep.Faults.SDCReruns++
+			delay := s.backoff(att.tries)
+			st.mu.Unlock()
+			select {
+			case <-s.clock().After(delay):
+			case <-st.abortCh:
+				return
+			}
+			st.mu.Lock()
+			st.requeueLocked(att, i)
+			st.mu.Unlock()
 		case faultTransient:
 			st.consec[i]++
 			if k := s.quarantineAfter(); k > 0 && st.consec[i] >= k {

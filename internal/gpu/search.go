@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"math"
+
 	"hmmer3gpu/internal/cpu"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/simt"
@@ -55,6 +57,19 @@ type SearchReport struct {
 	LazyF LazyFStats
 }
 
+// applyReadbackFaults lands the device's pending silent readback
+// flips in the per-sequence result buffer (one 64-bit score word per
+// sequence). On a healthy or ECC device this is a no-op.
+func applyReadbackFaults(dev *simt.Device, out []cpu.FilterResult) {
+	for _, f := range dev.ReadbackFaults(len(out)) {
+		if f.Word < 0 || f.Word >= len(out) {
+			continue
+		}
+		r := &out[f.Word]
+		r.Score = math.Float64frombits(math.Float64bits(r.Score) ^ 1<<f.Bit)
+	}
+}
+
 // MSVSearch scores every sequence of db with the MSV kernel.
 func (s *Searcher) MSVSearch(dp *DeviceMSVProfile, db *DeviceDB) (*SearchReport, error) {
 	plan, err := planLaunch(s.Dev.Spec, kindMSV, dp.MP.M, s.Mem)
@@ -81,6 +96,7 @@ func (s *Searcher) MSVSearch(dp *DeviceMSVProfile, db *DeviceDB) (*SearchReport,
 	if err != nil {
 		return nil, err
 	}
+	applyReadbackFaults(s.Dev, run.out)
 	return &SearchReport{Results: run.out, Plan: plan, Launch: rep}, nil
 }
 
@@ -117,6 +133,7 @@ func (s *Searcher) ViterbiSearch(dp *DeviceVitProfile, db *DeviceDB) (*SearchRep
 	if err != nil {
 		return nil, err
 	}
+	applyReadbackFaults(s.Dev, run.out)
 	out := &SearchReport{Results: run.out, Plan: plan, Launch: rep}
 	for i := range run.lazyRows {
 		out.LazyF.RowsIterated += run.lazyRows[i]

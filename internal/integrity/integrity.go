@@ -1,0 +1,199 @@
+// Package integrity detects silent data corruption in filter results.
+//
+// The fail-stop faults handled by the scheduler announce themselves;
+// a bit flip in non-ECC device memory does not — the launch succeeds
+// and a score is simply wrong. This package supplies the cheap,
+// per-sequence guards the pipeline runs on every device batch and the
+// checksum used to revalidate a suspect batch:
+//
+//   - Grid membership: an uncorrupted MSV score is ScoreToNats(x) for
+//     some byte x, and a Viterbi score is ScoreToNats(xC) for some
+//     int16 xC — both affine maps with coarse spacing (1/MSVScale and
+//     1/VitScale nats). A random float64 bit flip almost surely leaves
+//     the grid, so requiring bit-exact membership catches essentially
+//     every readback flip deterministically.
+//   - Overflow exactness: a saturated filter result must carry exactly
+//     +Inf; any other non-finite value (or a non-finite value without
+//     the overflow flag) is corruption.
+//   - Pipeline ordering: MSV is an upper-bound approximation of
+//     Viterbi, which lower-bounds Forward, so for every reported hit
+//     MSV <= Viterbi <= Forward must hold within OrderingTolNats.
+//     This is the only guard with a tolerance, and the only one that
+//     can see gross corruption of on-grid values (e.g. a flipped high
+//     bit of the quantised byte itself).
+//
+// What the guards cannot see: a shared-memory flip corrupts the DP
+// recurrence mid-kernel, so the kernel emits a wrong but well-formed
+// on-grid score. Catching those requires re-execution (the
+// scheduler's DMR policy); the sdc benchmark measures how often the
+// ordering guard gets lucky anyway.
+//
+// The package sits below internal/gpu and internal/pipeline on
+// purpose: it imports only the CPU result and profile types, so both
+// the scheduler (fault classification) and the pipeline (guard
+// invocation) can use it without cycles.
+package integrity
+
+import (
+	"fmt"
+	"math"
+
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/profile"
+)
+
+// OrderingTolNats is the tolerance on the MSV <= Viterbi <= Forward
+// pipeline invariant, in nats. The slack is empirical: MSV's free
+// M->M transitions let it exceed Viterbi by up to ~0.5 nats on seed
+// workloads, and 16-bit quantisation lets Viterbi exceed Forward by
+// up to ~0.25 nats; 1.0 covers both with margin while still flagging
+// the multi-nat jumps a flipped score-grid bit produces.
+const OrderingTolNats = 1.0
+
+// Error is a failed integrity check on a device batch. It wraps no
+// deeper cause: the result itself is the evidence.
+type Error struct {
+	// Stage is the pipeline stage whose output failed ("msv",
+	// "viterbi", "hit").
+	Stage string
+	// Seq is the batch-local sequence index (-1 when the check is not
+	// tied to one sequence).
+	Seq int
+	// Detail says what was wrong with the value.
+	Detail string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("integrity: %s check failed on sequence %d: %s", e.Stage, e.Seq, e.Detail)
+}
+
+// Checker validates filter results against the quantisation grids of
+// the profile that produced them.
+type Checker struct {
+	MSV *profile.MSVProfile
+	Vit *profile.VitProfile
+}
+
+// checkOnGrid validates one de-quantised score against its affine
+// grid: score = base + q/scale for some integer q in [lo, hi], where
+// base is ScoreToNats(0). toNats recomputes the profile's exact
+// conversion so membership is judged bit-for-bit, immune to any
+// rounding slack in the inversion.
+func checkOnGrid(score, base, scale float64, lo, hi int, toNats func(int) float64) bool {
+	q := int(math.Round((score - base) * scale))
+	// The inversion is exact to ~1 ulp; probing the neighbours makes
+	// the guard robust to the rounding of the forward conversion
+	// rather than dependent on it.
+	for _, cand := range [3]int{q - 1, q, q + 1} {
+		if cand >= lo && cand <= hi && toNats(cand) == score {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckMSV validates a batch of MSV filter results: overflowed
+// results carry exactly +Inf, everything else is finite and on the
+// 8-bit score grid.
+func (c *Checker) CheckMSV(results []cpu.FilterResult) error {
+	base := c.MSV.ScoreToNats(0)
+	for i, r := range results {
+		if r.Overflowed {
+			if !(math.IsInf(r.Score, 1)) {
+				return &Error{Stage: "msv", Seq: i,
+					Detail: fmt.Sprintf("overflowed result carries %v, want +Inf", r.Score)}
+			}
+			continue
+		}
+		if math.IsNaN(r.Score) || math.IsInf(r.Score, 0) {
+			return &Error{Stage: "msv", Seq: i,
+				Detail: fmt.Sprintf("non-finite score %v without overflow flag", r.Score)}
+		}
+		if !checkOnGrid(r.Score, base, profile.MSVScale, 0, 255,
+			func(q int) float64 { return c.MSV.ScoreToNats(uint8(q)) }) {
+			return &Error{Stage: "msv", Seq: i,
+				Detail: fmt.Sprintf("score %v is not on the 8-bit filter grid", r.Score)}
+		}
+	}
+	return nil
+}
+
+// CheckViterbi validates a batch of Viterbi filter results against
+// the 16-bit score grid.
+func (c *Checker) CheckViterbi(results []cpu.FilterResult) error {
+	base := c.Vit.ScoreToNats(0)
+	for i, r := range results {
+		if r.Overflowed {
+			if !(math.IsInf(r.Score, 1)) {
+				return &Error{Stage: "viterbi", Seq: i,
+					Detail: fmt.Sprintf("overflowed result carries %v, want +Inf", r.Score)}
+			}
+			continue
+		}
+		if math.IsNaN(r.Score) || math.IsInf(r.Score, 0) {
+			return &Error{Stage: "viterbi", Seq: i,
+				Detail: fmt.Sprintf("non-finite score %v without overflow flag", r.Score)}
+		}
+		// 32767 is the saturation value: a non-overflowed result can
+		// only come from xC <= 32766.
+		if !checkOnGrid(r.Score, base, profile.VitScale, -32768, 32766,
+			func(q int) float64 { return c.Vit.ScoreToNats(int16(q)) }) {
+			return &Error{Stage: "viterbi", Seq: i,
+				Detail: fmt.Sprintf("score %v is not on the 16-bit filter grid", r.Score)}
+		}
+	}
+	return nil
+}
+
+// CheckHit validates one reported hit's score triple (in bits, as the
+// pipeline reports them): Forward must be finite, and the pipeline
+// ordering MSV <= Viterbi <= Forward must hold within OrderingTolNats
+// (converted to bits; the null-model correction is the same affine
+// shift on all three scores, so nat-space differences survive the
+// conversion). +Inf filter scores mark overflow and are skipped —
+// overflow means "passed unconditionally", not a known score. seq is
+// the hit's sequence index, used only for the error.
+func (c *Checker) CheckHit(seq int, msvBits, vitBits, fwdBits float64) error {
+	if math.IsNaN(fwdBits) || math.IsInf(fwdBits, 0) {
+		return &Error{Stage: "hit", Seq: seq,
+			Detail: fmt.Sprintf("non-finite Forward score %v", fwdBits)}
+	}
+	tol := OrderingTolNats / math.Ln2
+	msvKnown := !math.IsInf(msvBits, 1) && !math.IsNaN(msvBits)
+	vitKnown := !math.IsInf(vitBits, 1) && !math.IsNaN(vitBits)
+	if msvKnown && vitKnown && msvBits > vitBits+tol {
+		return &Error{Stage: "hit", Seq: seq,
+			Detail: fmt.Sprintf("MSV %.2f bits exceeds Viterbi %.2f beyond tolerance", msvBits, vitBits)}
+	}
+	if vitKnown && vitBits > fwdBits+tol {
+		return &Error{Stage: "hit", Seq: seq,
+			Detail: fmt.Sprintf("Viterbi %.2f bits exceeds Forward %.2f beyond tolerance", vitBits, fwdBits)}
+	}
+	if msvKnown && !vitKnown && msvBits > fwdBits+tol {
+		return &Error{Stage: "hit", Seq: seq,
+			Detail: fmt.Sprintf("MSV %.2f bits exceeds Forward %.2f beyond tolerance", msvBits, fwdBits)}
+	}
+	return nil
+}
+
+// Checksum returns an order-independent checksum of a batch's
+// per-sequence filter scores: each (index, score, overflow) triple is
+// mixed into a 64-bit hash and the hashes are summed, so partial
+// vectors computed in any order — or on different devices — combine
+// to the same value. Two runs of the same batch agree iff every
+// sequence's result agrees.
+func Checksum(results []cpu.FilterResult) uint64 {
+	var sum uint64
+	for i, r := range results {
+		h := (uint64(i) + 1) * 0x9E3779B97F4A7C15
+		h ^= math.Float64bits(r.Score)
+		if r.Overflowed {
+			h ^= 0xA5A5A5A5A5A5A5A5
+		}
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		sum += h
+	}
+	return sum
+}

@@ -1,0 +1,197 @@
+package integrity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/cpu"
+	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/profile"
+)
+
+var abc = alphabet.New()
+
+func testChecker(t testing.TB, m, l int, seed int64) *Checker {
+	t.Helper()
+	h, err := hmm.Random("integrity", m, abc, hmm.DefaultBuildParams(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.Config(h)
+	p.SetLength(l)
+	return &Checker{MSV: profile.NewMSVProfile(p), Vit: profile.NewVitProfile(p)}
+}
+
+func randomSeq(rng *rand.Rand, n int) []byte {
+	bg := abc.Backgrounds()
+	out := make([]byte, n)
+	for i := range out {
+		u, acc := rng.Float64(), 0.0
+		out[i] = byte(len(bg) - 1)
+		for r, f := range bg {
+			acc += f
+			if u < acc {
+				out[i] = byte(r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Every real filter output must pass its grid guard, and almost any
+// single bit flip of a finite score must fail it. "Almost": a flip
+// whose delta times the quantisation scale is an integer lands
+// bit-exactly on another grid point, indistinguishable from a
+// legitimate score by any memoryless guard. For Viterbi (scale 150) a
+// high-mantissa or exponent flip has a power-of-two delta with
+// 150*2^k integral, so a tail of its flips collide; for MSV the scale
+// 3/ln2 is irrational and collisions require a float-rounding
+// coincidence. The test bounds both families at their expected rates;
+// anything beyond means the guard logic is broken.
+func TestGridGuardsCleanAndFlipped(t *testing.T) {
+	c := testChecker(t, 60, 200, 1)
+	rng := rand.New(rand.NewSource(2))
+	msvEng := cpu.NewMSVEngine(c.MSV)
+	vitEng := cpu.NewVitEngine(c.Vit)
+
+	var msv, vit []cpu.FilterResult
+	for i := 0; i < 64; i++ {
+		dsq := randomSeq(rng, 50+rng.Intn(300))
+		msv = append(msv, msvEng.Filter(dsq))
+		vit = append(vit, vitEng.Filter(dsq))
+	}
+	if err := c.CheckMSV(msv); err != nil {
+		t.Fatalf("clean MSV batch rejected: %v", err)
+	}
+	if err := c.CheckViterbi(vit); err != nil {
+		t.Fatalf("clean Viterbi batch rejected: %v", err)
+	}
+
+	flip := func(s float64, bit uint) float64 {
+		return math.Float64frombits(math.Float64bits(s) ^ 1<<bit)
+	}
+	trials, missMSV, missVit := 0, 0, 0
+	for trial := 0; trial < 256; trial++ {
+		i := rng.Intn(len(msv))
+		bit := uint(rng.Intn(64))
+
+		bad := append([]cpu.FilterResult(nil), msv...)
+		if !bad[i].Overflowed {
+			trials++
+			bad[i].Score = flip(bad[i].Score, bit)
+			err := c.CheckMSV(bad)
+			if err == nil {
+				missMSV++
+				t.Logf("MSV seq %d bit %d: flip collided with the grid (score %v)", i, bit, bad[i].Score)
+			} else {
+				var ie *Error
+				if !errors.As(err, &ie) || ie.Stage != "msv" || ie.Seq != i {
+					t.Fatalf("MSV flip error = %v, want *Error{msv, %d}", err, i)
+				}
+			}
+		}
+
+		bad = append([]cpu.FilterResult(nil), vit...)
+		if !bad[i].Overflowed {
+			trials++
+			bad[i].Score = flip(bad[i].Score, bit)
+			if err := c.CheckViterbi(bad); err == nil {
+				missVit++
+				t.Logf("Viterbi seq %d bit %d: flip collided with the grid (score %v)", i, bit, bad[i].Score)
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("every result overflowed; workload exercises nothing")
+	}
+	if missMSV*50 > trials { // > ~2%: MSV's irrational scale leaves no room for this
+		t.Fatalf("MSV grid guard missed %d of ~%d flips", missMSV, trials/2)
+	}
+	if missVit*4 > trials { // > ~25%: far beyond the commensurate-delta tail
+		t.Fatalf("Viterbi grid guard missed %d of ~%d flips", missVit, trials/2)
+	}
+}
+
+func TestOverflowExactness(t *testing.T) {
+	c := testChecker(t, 30, 100, 3)
+	ok := []cpu.FilterResult{{Score: math.Inf(1), Overflowed: true}}
+	if err := c.CheckMSV(ok); err != nil {
+		t.Errorf("overflowed +Inf rejected: %v", err)
+	}
+	if err := c.CheckViterbi(ok); err != nil {
+		t.Errorf("overflowed +Inf rejected: %v", err)
+	}
+	for _, bad := range [][]cpu.FilterResult{
+		{{Score: math.NaN(), Overflowed: true}},   // corrupted overflow marker
+		{{Score: math.Inf(-1), Overflowed: true}}, // sign bit flipped
+		{{Score: 12.5, Overflowed: true}},         // finite but flagged
+		{{Score: math.Inf(1)}},                    // +Inf without the flag
+		{{Score: math.NaN()}},
+	} {
+		if err := c.CheckMSV(bad); err == nil {
+			t.Errorf("CheckMSV(%+v) passed, want error", bad[0])
+		}
+		if err := c.CheckViterbi(bad); err == nil {
+			t.Errorf("CheckViterbi(%+v) passed, want error", bad[0])
+		}
+	}
+}
+
+func TestCheckHitOrdering(t *testing.T) {
+	c := testChecker(t, 30, 100, 4)
+	tol := OrderingTolNats / math.Ln2
+	cases := []struct {
+		msv, vit, fwd float64
+		ok            bool
+	}{
+		{10, 12, 14, true},
+		{12, 11.9, 14, true},                 // MSV slightly above Viterbi: within envelope
+		{10, 14.1, 14, true},                 // Viterbi slightly above Forward: within envelope
+		{12 + 2*tol, 12, 14, false},          // gross MSV corruption
+		{10, 14 + 2*tol, 14, false},          // gross Viterbi corruption
+		{math.Inf(1), 12, 14, true},          // MSV overflow: skipped
+		{10, math.Inf(1), 14, true},          // Viterbi overflow: skipped
+		{14 + 2*tol, math.Inf(1), 14, false}, // MSV vs Forward when Viterbi unknown
+		{10, 12, math.NaN(), false},
+		{10, 12, math.Inf(1), false}, // Forward is float64: never legitimately +Inf
+	}
+	for _, tc := range cases {
+		err := c.CheckHit(0, tc.msv, tc.vit, tc.fwd)
+		if (err == nil) != tc.ok {
+			t.Errorf("CheckHit(%v, %v, %v) = %v, want ok=%v", tc.msv, tc.vit, tc.fwd, err, tc.ok)
+		}
+	}
+}
+
+func TestChecksumOrderIndependentContentSensitive(t *testing.T) {
+	a := []cpu.FilterResult{{Score: 1.5}, {Score: -2.25}, {Score: math.Inf(1), Overflowed: true}}
+	sum := Checksum(a)
+
+	// Summing per-element hashes makes the accumulation order
+	// irrelevant: hashing a partial view of each index must combine to
+	// the full checksum.
+	part := Checksum(a[:1])
+	rest := Checksum([]cpu.FilterResult{{}, a[1], a[2]}) - Checksum([]cpu.FilterResult{{}})
+	if part+rest != sum {
+		t.Error("checksum is not an index-keyed sum")
+	}
+
+	b := append([]cpu.FilterResult(nil), a...)
+	b[1].Score = -2.2500000001
+	if Checksum(b) == sum {
+		t.Error("checksum ignores a score change")
+	}
+	c := append([]cpu.FilterResult(nil), a...)
+	c[2].Overflowed = false
+	if Checksum(c) == sum {
+		t.Error("checksum ignores the overflow flag")
+	}
+	d := []cpu.FilterResult{a[1], a[0], a[2]}
+	if Checksum(d) == sum {
+		t.Error("checksum ignores which index holds which score")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/integrity"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/perf"
 	"hmmer3gpu/internal/seq"
@@ -52,6 +53,30 @@ func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
 	return final, nil
 }
 
+// VerifyMode selects the result-integrity policy of a streamed
+// multi-device run: what the pipeline does about silent data
+// corruption (bit flips on non-ECC devices that leave the launch
+// successful but a score wrong).
+type VerifyMode int
+
+const (
+	// VerifyOff runs no integrity checks: device results merge as-is.
+	// This is the zero value, matching the pre-verification behaviour.
+	VerifyOff VerifyMode = iota
+	// VerifyGuards runs the cheap per-batch guards (grid membership,
+	// overflow exactness, pipeline score ordering; see package
+	// integrity) on every device batch. A failed batch is discarded
+	// before merge and re-executed on another device, consuming the
+	// batch's retry budget.
+	VerifyGuards
+	// VerifyDMR runs the same guards but re-executes a failed batch on
+	// the host CPU immediately (dual modular redundancy on suspicion
+	// only), off the device retry budget. The host engine is
+	// bit-identical to the device path, so the rerun's merge restores
+	// the fault-free result.
+	VerifyDMR
+)
+
 // StreamConfig configures a streamed multi-device search.
 type StreamConfig struct {
 	// BatchResidues is the residue budget per batch (see
@@ -77,6 +102,9 @@ type StreamConfig struct {
 	// every device is quarantined; the run then fails with
 	// gpu.ErrAllQuarantined instead of completing on the host.
 	DisableFallback bool
+	// Verify selects the silent-data-corruption policy (off by
+	// default).
+	Verify VerifyMode
 }
 
 // MultiGPUStreamExtra carries the streamed multi-device run's
@@ -143,29 +171,38 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 		QuarantineAfter: cfg.QuarantineAfter,
 		BatchTimeout:    cfg.BatchTimeout,
 	}
-	if !cfg.DisableFallback {
-		// Host fallback: the CPU engine computes the same hits as the
-		// device path, so a batch drained here merges bit-identically.
-		sched.Fallback = func(b gpu.Batch) (bool, error) {
-			res, err := pl.runCPU(b.DB, b.Trace)
-			if err != nil {
-				return false, err
-			}
-			if !b.Commit() {
-				return false, nil
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			mergeBatch(final, res, b.Offset)
-			return true, nil
+	// Host re-execution: the CPU engine computes the same hits as the
+	// device path, so a batch drained here merges bit-identically.
+	// Shared by the all-quarantined fallback and the DMR rerun.
+	hostRerun := func(b gpu.Batch) (bool, error) {
+		res, err := pl.runCPU(b.DB, b.Trace)
+		if err != nil {
+			return false, err
 		}
+		if !b.Commit() {
+			return false, nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		mergeBatch(final, res, b.Offset)
+		return true, nil
+	}
+	if !cfg.DisableFallback {
+		sched.Fallback = hostRerun
+	}
+	var chk *integrity.Checker
+	if cfg.Verify != VerifyOff {
+		chk = &integrity.Checker{MSV: pl.MSV, Vit: pl.Vit}
+	}
+	if cfg.Verify == VerifyDMR {
+		sched.DMR = hostRerun
 	}
 	rep, err := sched.RunContext(ctx,
 		func(submit func(db *seq.Database) error) error {
 			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, submit)
 		},
 		func(devIdx int, _ *simt.Device, b gpu.Batch) error {
-			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB, b.Trace)
+			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB, chk, b.Trace)
 			if err != nil {
 				return err
 			}
@@ -201,9 +238,13 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 // searchBatchOnDevice runs the full per-batch pipeline on one bound
 // device worker: MSV and P7Viterbi on the device (reusing the worker's
 // profile uploads), Forward on the host. Hit indexes are batch-local;
-// the caller rebases them. batchSpan (nilable) is the batch's span on
-// the device track; stage and kernel spans nest under it.
-func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, batchSpan *obs.Span) (*Result, []*simt.LaunchReport, error) {
+// the caller rebases them. chk (nilable) runs the integrity guards on
+// each stage's output before it is used; a guard failure surfaces as a
+// wrapped *integrity.Error before any result is built, so the
+// scheduler discards the attempt with the batch's merge token
+// untouched. batchSpan (nilable) is the batch's span on the device
+// track; stage and kernel spans nest under it.
+func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, chk *integrity.Checker, batchSpan *obs.Span) (*Result, []*simt.LaunchReport, error) {
 	result := &Result{}
 	var launches []*simt.LaunchReport
 
@@ -213,6 +254,11 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, b
 	msvRep, err := w.MSVBatch(db)
 	if err != nil {
 		return nil, nil, err
+	}
+	if chk != nil {
+		if err := chk.CheckMSV(msvRep.Results); err != nil {
+			return nil, nil, fmt.Errorf("pipeline: msv batch: %w", err)
+		}
 	}
 	launches = append(launches, msvRep.Launch)
 	result.MSV.Wall = time.Since(start)
@@ -241,6 +287,11 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, b
 		if err != nil {
 			return nil, nil, err
 		}
+		if chk != nil {
+			if err := chk.CheckViterbi(vitRep.Results); err != nil {
+				return nil, nil, fmt.Errorf("pipeline: viterbi batch: %w", err)
+			}
+		}
 		launches = append(launches, vitRep.Launch)
 		for j, res := range vitRep.Results {
 			if pl.vitPass(res) {
@@ -258,6 +309,16 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, b
 
 	w.S.Trace = nil
 	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, batchSpan)
+	if chk != nil {
+		// The only guard spanning stages: a shared-memory flip that
+		// produced a wrong but on-grid filter score can still betray
+		// itself by breaking MSV <= Viterbi <= Forward on a hit.
+		for _, h := range result.Hits {
+			if err := chk.CheckHit(h.Index, h.MSVBits, h.VitBits, h.FwdBits); err != nil {
+				return nil, nil, fmt.Errorf("pipeline: hit scores: %w", err)
+			}
+		}
+	}
 	return result, launches, nil
 }
 

@@ -61,7 +61,7 @@ func TestStreamFaultedRunMatchesClean(t *testing.T) {
 	var rep *gpu.ScheduleReport
 	for attempt := 0; attempt < 5; attempt++ {
 		sys := simt.NewSystem(simt.GTX580(), 4)
-		faults, err := simt.ParseFaults("0:p=0.3;1:at=1,hang=3;2:dead", 99)
+		faults, err := simt.ParseFaults("0:p=0.3;1:at=1,hang=3;2:dead", 99, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func TestStreamAllDevicesDeadFallsBackToCPU(t *testing.T) {
 	pl, fasta, whole, batchResidues := faultStreamFixture(t)
 
 	sys := simt.NewSystem(simt.GTX580(), 2)
-	faults, err := simt.ParseFaults("0:dead;1:dead", 0)
+	faults, err := simt.ParseFaults("0:dead;1:dead", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestStreamAllDevicesDeadFallsBackToCPU(t *testing.T) {
 func TestStreamFallbackDisabledFailsWhenAllDead(t *testing.T) {
 	pl, fasta, _, batchResidues := faultStreamFixture(t)
 	sys := simt.NewSystem(simt.GTX580(), 2)
-	faults, err := simt.ParseFaults("0:dead;1:dead", 0)
+	faults, err := simt.ParseFaults("0:dead;1:dead", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestStreamSeededFaultDeterminism(t *testing.T) {
 	pl, fasta, whole, batchResidues := faultStreamFixture(t)
 	run := func() (*Result, *gpu.ScheduleReport) {
 		sys := simt.NewSystem(simt.GTX580(), 3)
-		faults, err := simt.ParseFaults("0:at=0,at=2;1:at=1;2:dead", 7)
+		faults, err := simt.ParseFaults("0:at=0,at=2;1:at=1;2:dead", 7, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

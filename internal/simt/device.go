@@ -55,6 +55,19 @@ func (d *Device) AllocGlobal(size int64) int64 {
 	return base
 }
 
+// ReadbackFaults returns the silent bit flips to apply to a result
+// buffer of n 64-bit words as it is read back from this device after
+// a launch; callers XOR each flip into the corresponding word. On an
+// ECC device the flips are corrected (and counted) instead, so the
+// returned slice is nil. A device without a memory-fault injector
+// always returns nil.
+func (d *Device) ReadbackFaults(n int) []ReadbackFlip {
+	if d.Faults == nil {
+		return nil
+	}
+	return d.Faults.Mem.readbackFaults(n, d.Spec.ECC)
+}
+
 // LaunchConfig describes a kernel launch: the paper's geometry is a
 // grid of Blocks, each holding WarpsPerBlock warps of 32 threads
 // (blockDim.x = 32, blockDim.y = WarpsPerBlock).
@@ -137,6 +150,11 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		return nil, err
 	}
 
+	// Silent corruption: draw this launch's shared-memory flips once,
+	// up front, so the applied faults are deterministic regardless of
+	// how the host schedules the blocks below.
+	memPlan := d.Faults.memPlan(spec.ECC, cfg.SharedBytesPerBlock, cfg.Blocks)
+
 	blockStats := make([]KernelStats, cfg.Blocks)
 	workers := cfg.HostWorkers
 	if workers <= 0 {
@@ -179,6 +197,9 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	runBlock := func(b int) {
 		br := &blockRun{
 			shared: newSharedMem(cfg.SharedBytesPerBlock, spec.SharedMemBanks, cfg.DetectRaces),
+		}
+		if memPlan != nil {
+			br.shared.faults = memPlan.shared[b]
 		}
 		warps := make([]*Warp, cfg.WarpsPerBlock)
 		for wi := range warps {

@@ -129,6 +129,12 @@ type FaultInjector struct {
 	lostFrom int64
 	launches int64
 	injected int64
+
+	// Mem, when non-nil, additionally injects silent memory
+	// corruption (bit flips in shared memory and result readbacks)
+	// into launches that pass fail-stop arbitration. See
+	// MemFaultInjector.
+	Mem *MemFaultInjector
 }
 
 // NewFaultInjector returns an injector whose probabilistic faults draw
@@ -186,6 +192,28 @@ func (f *FaultInjector) Injected() int64 {
 	return f.injected
 }
 
+// memInjector returns the silent-corruption injector, creating it
+// with the given seed on first use.
+func (f *FaultInjector) memInjector(seed int64) *MemFaultInjector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.Mem == nil {
+		f.Mem = NewMemFaultInjector(seed)
+	}
+	return f.Mem
+}
+
+// memPlan forwards to the silent-corruption injector (nil-safe); it
+// is called only for launches that passed fail-stop arbitration, so
+// flip@launch ordinals count executed launches and stay deterministic
+// across fail-stop retries.
+func (f *FaultInjector) memPlan(ecc bool, sharedBytesPerBlock, blocks int) *memFlipPlan {
+	if f == nil {
+		return nil
+	}
+	return f.Mem.memPlan(ecc, sharedBytesPerBlock, blocks)
+}
+
 // onLaunch consumes one launch ordinal and returns the fault to
 // inject, or nil to let the launch proceed. device is the launching
 // device's track label.
@@ -228,11 +256,19 @@ func (f *FaultInjector) onLaunch(device string) error {
 //	at=<ordinal>   transient failure of that launch ordinal
 //	hang=<ordinal> deadline-exceeded fault at that ordinal
 //	dead[=<ordinal>] device permanently lost from that ordinal (default 0)
+//	flip@p=<prob>       silent readback bit flips, per 64-bit result word
+//	flip@shared=<prob>  silent shared-memory bit flips, per 32-bit word
+//	flip@launch=<ordinal> forced corruption burst on that executed launch
 //
-// Example: "0:p=0.2;1:at=1,at=3;2:dead". Each device's injector draws
-// probabilistic faults from seed+<dev>, so a spec plus a seed fully
-// determines the fault schedule.
-func ParseFaults(spec string, seed int64) (map[int]*FaultInjector, error) {
+// devices, when positive, bounds the valid device indices: a clause
+// naming an ordinal outside [0, devices) is rejected rather than left
+// silently inert. Pass 0 when the device count is not yet known.
+//
+// Example: "0:p=0.2;1:at=1,at=3;2:flip@p=1e-6". Each device's
+// injector draws probabilistic faults from seed+<dev> (silent flips
+// from an independent stream of the same seed), so a spec plus a seed
+// fully determines the fault schedule.
+func ParseFaults(spec string, seed int64, devices int) (map[int]*FaultInjector, error) {
 	out := make(map[int]*FaultInjector)
 	for _, clause := range strings.Split(spec, ";") {
 		clause = strings.TrimSpace(clause)
@@ -247,11 +283,19 @@ func ParseFaults(spec string, seed int64) (map[int]*FaultInjector, error) {
 		if err != nil || dev < 0 {
 			return nil, fmt.Errorf("simt: bad device index %q in fault clause %q", devStr, clause)
 		}
+		if devices > 0 && dev >= devices {
+			return nil, fmt.Errorf("simt: fault clause %q names device %d, but only devices 0..%d are configured",
+				clause, dev, devices-1)
+		}
 		inj := out[dev]
 		if inj == nil {
 			inj = NewFaultInjector(seed + int64(dev))
 			out[dev] = inj
 		}
+		// Silent flips draw from a stream distinct from the fail-stop
+		// one so adding a flip clause never perturbs an existing
+		// fail-stop schedule (and vice versa).
+		mem := func() *MemFaultInjector { return inj.memInjector(seed + int64(dev) + 0x5DC) }
 		for _, tok := range strings.Split(faults, ",") {
 			tok = strings.TrimSpace(tok)
 			key, val, hasVal := strings.Cut(tok, "=")
@@ -282,8 +326,24 @@ func ParseFaults(spec string, seed int64) (map[int]*FaultInjector, error) {
 					}
 				}
 				inj.LoseFrom(ord)
+			case "flip@p", "flip@shared":
+				p, err := strconv.ParseFloat(val, 64)
+				if !hasVal || err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("simt: bad flip probability %q in clause %q", tok, clause)
+				}
+				if key == "flip@p" {
+					mem().FlipProb(p)
+				} else {
+					mem().FlipShared(p)
+				}
+			case "flip@launch":
+				ord, err := strconv.ParseInt(val, 10, 64)
+				if !hasVal || err != nil || ord < 0 {
+					return nil, fmt.Errorf("simt: bad launch ordinal %q in clause %q", tok, clause)
+				}
+				mem().FlipAt(ord)
 			default:
-				return nil, fmt.Errorf("simt: unknown fault %q in clause %q (want p=, at=, hang=, dead)", tok, clause)
+				return nil, fmt.Errorf("simt: unknown fault %q in clause %q (want p=, at=, hang=, dead, flip@p=, flip@shared=, flip@launch=)", tok, clause)
 			}
 		}
 	}

@@ -17,6 +17,14 @@ type SharedMem struct {
 	data  []byte
 	banks int
 
+	// faults, when non-nil, is this block's silent-corruption overlay
+	// (byte offset -> XOR mask, drawn once per launch by
+	// MemFaultInjector). The mask is applied on the read path so a
+	// corrupted byte reads wrong for the whole launch regardless of
+	// warp interleaving — stores land in data unmodified, like a cell
+	// whose readout circuitry is flipping the bit.
+	faults map[int]byte
+
 	// Race tracking at byte granularity (word granularity would flag
 	// byte-disjoint neighbours in the same word, which the hardware
 	// permits). epoch advances at every block barrier; an access races
@@ -49,6 +57,16 @@ func newSharedMem(size, banks int, trackRaces bool) *SharedMem {
 
 // Size returns the shared allocation size in bytes.
 func (sm *SharedMem) Size() int { return len(sm.data) }
+
+// at reads one byte through the silent-corruption overlay. All load
+// paths go through it; the store paths write sm.data directly.
+func (sm *SharedMem) at(a int) byte {
+	b := sm.data[a]
+	if sm.faults != nil {
+		b ^= sm.faults[a]
+	}
+	return b
+}
 
 // conflictDegree computes the bank-conflict replay factor of one warp
 // access: the maximum, over banks, of the number of distinct 4-byte

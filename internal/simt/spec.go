@@ -72,6 +72,11 @@ type DeviceSpec struct {
 	DispatchPerScheduler int
 	// HasShuffle reports warp-shuffle instruction support (Kepler).
 	HasShuffle bool
+	// ECC reports hardware error-correcting memory: an ECC device
+	// corrects injected silent bit flips (counting them) instead of
+	// surfacing corrupted data. The Tesla parts have it; the consumer
+	// GTX cards do not.
+	ECC bool
 	// MemBandwidth is the global memory bandwidth in bytes/second.
 	MemBandwidth float64
 	// GlobalLatency is the global memory latency in cycles.
@@ -100,6 +105,7 @@ func TeslaK40() DeviceSpec {
 		SchedulersPerSM:      4,
 		DispatchPerScheduler: 2,
 		HasShuffle:           true,
+		ECC:                  true,
 		MemBandwidth:         288e9,
 		GlobalLatency:        400,
 		SharedLatency:        30,

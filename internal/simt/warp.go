@@ -87,7 +87,7 @@ func (w *Warp) SharedLoadU8(addrs []int) []uint8 {
 	out := make([]uint8, len(addrs))
 	for i, a := range addrs {
 		if a >= 0 {
-			out[i] = sm.data[a]
+			out[i] = sm.at(a)
 		}
 	}
 	return out
@@ -126,7 +126,7 @@ func (w *Warp) SharedLoadI16(addrs []int) []int16 {
 	out := make([]int16, len(addrs))
 	for i, a := range addrs {
 		if a >= 0 {
-			out[i] = int16(uint16(sm.data[a]) | uint16(sm.data[a+1])<<8)
+			out[i] = int16(uint16(sm.at(a)) | uint16(sm.at(a+1))<<8)
 		}
 	}
 	return out

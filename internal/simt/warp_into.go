@@ -19,7 +19,7 @@ func (w *Warp) SharedLoadU8Into(dst []uint8, addrs []int) {
 	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
 	for i, a := range addrs {
 		if a >= 0 {
-			dst[i] = sm.data[a]
+			dst[i] = sm.at(a)
 		}
 	}
 }
@@ -37,7 +37,7 @@ func (w *Warp) SharedLoadI16Into(dst []int16, addrs []int) {
 	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
 	for i, a := range addrs {
 		if a >= 0 {
-			dst[i] = int16(uint16(sm.data[a]) | uint16(sm.data[a+1])<<8)
+			dst[i] = int16(uint16(sm.at(a)) | uint16(sm.at(a+1))<<8)
 		}
 	}
 }
@@ -86,8 +86,8 @@ func (w *Warp) SharedLoadF32Into(dst []float32, addrs []int) {
 	sm.noteAccess(int32(w.WarpInBlock), addrs, 4, false)
 	for i, a := range addrs {
 		if a >= 0 {
-			bits := uint32(sm.data[a]) | uint32(sm.data[a+1])<<8 |
-				uint32(sm.data[a+2])<<16 | uint32(sm.data[a+3])<<24
+			bits := uint32(sm.at(a)) | uint32(sm.at(a+1))<<8 |
+				uint32(sm.at(a+2))<<16 | uint32(sm.at(a+3))<<24
 			dst[i] = math.Float32frombits(bits)
 		}
 	}

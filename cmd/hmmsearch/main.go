@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/checkpoint"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
 	"hmmer3gpu/internal/obs"
@@ -55,6 +59,11 @@ func main() {
 		batchTimeout = flag.Duration("batch-timeout", 0, "per-batch watchdog deadline (0 disables); a timed-out batch is reassigned and its device quarantined")
 		noFallback   = flag.Bool("no-fallback", false, "fail instead of completing on the host CPU when every device is quarantined")
 		verify       = flag.String("verify", "off", "result-integrity policy against silent data corruption (multigpu streaming): off | guards (discard and requeue corrupt batches) | dmr (re-execute corrupt batches on the host CPU)")
+
+		journalPath = flag.String("journal", "", "journal committed batches to this crash-safe file (multigpu streaming); an interrupted run resumes with -resume")
+		resume      = flag.Bool("resume", false, "resume from the -journal file when it exists: journaled batches merge from disk and are not re-executed")
+		journalSync = flag.Int("journal-sync", 1, "fsync the journal every N appended batches (1 = every batch; larger trades re-executing up to N-1 batches after a crash for append throughput)")
+		crashSpec   = flag.String("crash", "", "inject a crash after N journal appends, for recovery testing: \"<n>[:before-append|after-append|after-sync]\" (exit status 3)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -69,6 +78,9 @@ func main() {
 	if *stream > 0 {
 		switch *engine {
 		case "cpu":
+			if *journalPath != "" || *resume {
+				fatalf("-journal/-resume require -engine multigpu")
+			}
 			runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue, *tblout, sk)
 		case "multigpu":
 			budget := *batchres
@@ -84,13 +96,28 @@ func main() {
 				noFallback:      *noFallback,
 				verify:          verifyMode(*verify),
 			}
+			co := ckptOpts{path: *journalPath, resume: *resume, syncEvery: *journalSync}
+			if *crashSpec != "" {
+				if *journalPath == "" {
+					fatalf("-crash requires -journal")
+				}
+				plan, err := checkpoint.ParseCrash(*crashSpec)
+				check(err)
+				co.crash = plan
+			}
+			if *resume && *journalPath == "" {
+				fatalf("-resume requires -journal")
+			}
 			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
-				budget, *targlen, *workers, *evalue, *tblout, sk, fo)
+				budget, *targlen, *workers, *evalue, *tblout, sk, fo, co)
 		default:
 			fatalf("-stream requires -engine cpu or multigpu")
 		}
 		sk.flush()
 		return
+	}
+	if *journalPath != "" || *resume {
+		fatalf("-journal/-resume require -engine multigpu -stream")
 	}
 
 	query, db := loadInputs(abc, flag.Arg(0), flag.Arg(1))
@@ -314,6 +341,15 @@ type faultOpts struct {
 	verify          pipeline.VerifyMode
 }
 
+// ckptOpts carries the crash-safety flags into the multigpu streaming
+// path.
+type ckptOpts struct {
+	path      string
+	resume    bool
+	syncEvery int
+	crash     *checkpoint.CrashPlan
+}
+
 // verifyMode parses the -verify flag.
 func verifyMode(s string) pipeline.VerifyMode {
 	switch s {
@@ -331,9 +367,39 @@ func verifyMode(s string) pipeline.VerifyMode {
 // runMultiStreaming searches a FASTA stream across simulated devices:
 // residue-balanced batches, dynamic device assignment, per-device
 // utilization in the summary. fo optionally injects device faults and
-// tunes the scheduler's recovery knobs.
+// tunes the scheduler's recovery knobs; co optionally journals
+// committed batches and resumes from a previous run's journal.
+//
+// With journaling active, SIGINT drains gracefully: in-flight batches
+// finish and land in the journal, then the run exits cleanly with a
+// resume hint. A second SIGINT aborts immediately.
 func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gpu.MemConfig,
-	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string, sk *sinks, fo faultOpts) {
+	devices int, batchResidues int64, targetLen, workers int, evalue float64, tblout string, sk *sinks, fo faultOpts, co ckptOpts) {
+
+	// The handler installs before the (slow) calibration in
+	// pipeline.New, so an early SIGINT is drained, not fatal.
+	// First SIGINT: graceful drain — in-flight batches finish (and are
+	// journaled), then the run returns with a partial result. Second
+	// SIGINT: hard abort via context cancellation (kernels poll the
+	// cancel channel between blocks).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hmmsearch: interrupt: draining in-flight batches (interrupt again to abort)")
+		close(drain)
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hmmsearch: second interrupt: aborting")
+		cancel()
+	}()
 
 	hf, err := os.Open(hmmPath)
 	check(err)
@@ -356,15 +422,36 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 		check(err)
 		check(sys.ApplyFaults(faults))
 	}
-	res, err := pl.RunMultiGPUStream(sys, mem, ff, pipeline.StreamConfig{
+
+	cfg := pipeline.StreamConfig{
 		BatchResidues:   batchResidues,
 		MaxRetries:      fo.maxRetries,
 		QuarantineAfter: fo.quarantineAfter,
 		BatchTimeout:    fo.batchTimeout,
 		DisableFallback: fo.noFallback,
 		Verify:          fo.verify,
-	})
-	check(err)
+	}
+	if co.path != "" {
+		cfg.Checkpoint = &pipeline.CheckpointConfig{
+			Path:      co.path,
+			Resume:    co.resume,
+			SyncEvery: co.syncEvery,
+			Crash:     co.crash,
+		}
+	}
+
+	cfg.Drain = drain
+
+	res, err := pl.RunMultiGPUStreamContext(ctx, sys, mem, ff, cfg)
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrInjectedCrash) {
+			// Distinct exit status so recovery tests can assert the
+			// simulated crash happened (and was not a real failure).
+			fmt.Fprintf(os.Stderr, "hmmsearch: %v\n", err)
+			os.Exit(3)
+		}
+		check(err)
+	}
 
 	extra := res.Extra.(*pipeline.MultiGPUStreamExtra)
 	sched := extra.Schedule
@@ -372,6 +459,17 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 		query.Name, query.M, sched.Batches, batchResidues)
 	fmt.Printf("Devices:  %d x %s\n", devices, sys.Devices[0].Spec.Name)
 	fmt.Println(sched.String())
+	if st := extra.Checkpoint; st != nil {
+		fmt.Printf("Journal:  %s (%d batches journaled, %d replayed, %d torn-tail dropped, %d fsyncs)\n",
+			co.path, st.Journaled, st.Replayed, st.DroppedTail, st.Syncs)
+	}
+	if extra.Drained {
+		fmt.Printf("Run drained before the end of the stream: partial results only.\n")
+		if co.path != "" {
+			fmt.Printf("Resume with: hmmsearch -engine multigpu -stream -batchres %d -journal %s -resume ...\n",
+				batchResidues, co.path)
+		}
+	}
 	fmt.Printf("Pipeline: MSV %d/%d passed; Viterbi %d; Forward hits %d\n\n",
 		res.MSV.Out, res.MSV.In, res.Viterbi.Out, len(res.Hits))
 	fmt.Printf("%-12s %-28s %10s\n", "E-value", "sequence", "fwd bits")

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResumeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	var buf bytes.Buffer
+	rows, err := Resume(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(resumeOverhead)+len(resumeCrashFracs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(resumeOverhead)+len(resumeCrashFracs))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("scenario %q: results diverged from the unjournaled baseline", r.Scenario)
+		}
+	}
+	baseline := rows[0]
+	if baseline.Journaled != 0 || baseline.Syncs != 0 {
+		t.Errorf("unjournaled baseline reported journal activity: %+v", baseline)
+	}
+	if baseline.Hits == 0 {
+		t.Error("baseline found no hits; workload too weak to validate identity")
+	}
+	perBatch := rows[1]
+	if perBatch.Journaled != perBatch.Batches {
+		t.Errorf("fsync-per-batch journaled %d of %d batches", perBatch.Journaled, perBatch.Batches)
+	}
+	if perBatch.Syncs < perBatch.Journaled {
+		t.Errorf("fsync-per-batch issued %d syncs for %d appends", perBatch.Syncs, perBatch.Journaled)
+	}
+	amortised := rows[3]
+	if amortised.Syncs >= perBatch.Syncs {
+		t.Errorf("SyncEvery=16 issued %d syncs, per-batch %d; amortisation had no effect",
+			amortised.Syncs, perBatch.Syncs)
+	}
+	for _, r := range rows[len(resumeOverhead):] {
+		if r.Replayed == 0 {
+			t.Errorf("scenario %q: resume replayed no batches", r.Scenario)
+		}
+		if r.Recovery == 0 {
+			t.Errorf("scenario %q: no recovery time recorded", r.Scenario)
+		}
+	}
+	if !strings.Contains(buf.String(), "Resume") {
+		t.Error("report text missing")
+	}
+}

@@ -1,0 +1,441 @@
+// Package checkpoint implements a crash-safe write-ahead journal of
+// per-batch results for the streamed search pipeline. The host process
+// of a multi-hour multi-device run is all-or-nothing without it: the
+// devices are fault-tolerant (retry, quarantine, DMR), but a host
+// crash discards every committed batch. The journal closes that gap
+// with the classic WAL contract — a batch's result record is appended,
+// checksummed and fsync'd *before* the batch's merge is acknowledged,
+// so any batch the scheduler counted complete is durably recorded.
+//
+// On restart the journal is replayed: completed batches merge from
+// disk and are skipped by the producer, so the resumed run's output is
+// byte-identical to an uninterrupted run. Replay tolerates exactly one
+// kind of damage — a truncated tail record, the signature of dying
+// mid-append — by dropping it; anything else (a flipped bit inside a
+// framed record, a foreign config fingerprint) refuses to resume with
+// a typed error, because silently merging a corrupt or mismatched
+// record would be worse than rerunning the whole search.
+//
+// File layout:
+//
+//	magic (12 bytes) | fingerprint (32 bytes) | record*
+//	record: u32 frame length | u32 CRC-32 (IEEE) of body | body
+//	body:   u64 seq | u64 offset | u64 numSeqs | u64 residues | payload
+//
+// All integers are little-endian. The payload is the engine's opaque
+// encoding of the batch result; the journal never interprets it.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"hmmer3gpu/internal/obs"
+)
+
+// magic identifies a journal file; the trailing byte is the format
+// version.
+const magic = "HMM3GPUCKPT\x01"
+
+// headerSize is the byte length of the magic + fingerprint prologue.
+const headerSize = len(magic) + 32
+
+// recordHeaderSize frames every record body: u32 length + u32 CRC.
+const recordHeaderSize = 8
+
+// bodyFixedSize is the fixed portion of a record body (seq, offset,
+// numSeqs, residues) preceding the payload.
+const bodyFixedSize = 32
+
+// MaxRecordSize bounds a single record's frame so a corrupt length
+// field cannot force a multi-gigabyte allocation during replay.
+const MaxRecordSize = 1 << 30
+
+// Fingerprint identifies the run configuration a journal belongs to:
+// the model, calibration, and chunking parameters that determine batch
+// identity and batch results. Resuming under a different fingerprint
+// is refused — the journaled records would merge into a different
+// stream.
+type Fingerprint [32]byte
+
+func (f Fingerprint) String() string { return fmt.Sprintf("%x", f[:8]) }
+
+// Record is one journaled batch result.
+type Record struct {
+	// Seq is the batch's ordinal in stream order; the producer's
+	// deterministic chunking makes it stable across runs.
+	Seq uint64
+	// Offset is the global database index of the batch's first
+	// sequence; replayed hit indexes are rebased by it.
+	Offset uint64
+	// NumSeqs and Residues describe the batch's extent, cross-checked
+	// against the re-chunked stream on resume.
+	NumSeqs  uint64
+	Residues uint64
+	// Payload is the engine's opaque encoding of the batch result.
+	Payload []byte
+}
+
+// CorruptError reports a framed record whose checksum or structure is
+// wrong — damage replay must not paper over.
+type CorruptError struct {
+	// Index is the record's ordinal in the journal (0-based).
+	Index int
+	// Off is the file offset of the record's frame header.
+	Off int64
+	// Reason describes the damage.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: record %d at offset %d corrupt: %s", e.Index, e.Off, e.Reason)
+}
+
+// FingerprintError reports a journal written under a different run
+// configuration (model, -batchres, calibration, ...).
+type FingerprintError struct {
+	Want, Got Fingerprint
+}
+
+func (e *FingerprintError) Error() string {
+	return fmt.Sprintf("checkpoint: journal fingerprint %s does not match this run's configuration %s (different model, -batchres, or thresholds): refusing to resume",
+		e.Got, e.Want)
+}
+
+// Stats counts the journal's activity for one run, exported through
+// internal/obs.
+type Stats struct {
+	// Journaled is the number of records appended (and made durable)
+	// by this run.
+	Journaled int
+	// Replayed is the number of records recovered from the journal on
+	// resume.
+	Replayed int
+	// DroppedTail is the number of truncated tail records dropped
+	// during replay (0 or 1: only the final record can be torn).
+	DroppedTail int
+	// Syncs is the number of fsync calls issued.
+	Syncs int
+}
+
+// Record merges the checkpoint counters into reg. All three headline
+// counters are always emitted, so a clean run exports explicit zeros.
+func (s Stats) Record(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddInt("hmmer_ckpt_batches_journaled_total", int64(s.Journaled))
+	reg.AddInt("hmmer_ckpt_batches_replayed_total", int64(s.Replayed))
+	reg.AddInt("hmmer_ckpt_batches_dropped_tail_total", int64(s.DroppedTail))
+	reg.AddInt("hmmer_ckpt_syncs_total", int64(s.Syncs))
+	reg.Help("hmmer_ckpt_batches_journaled_total",
+		"batch results appended and fsync'd to the crash-recovery journal")
+	reg.Help("hmmer_ckpt_batches_replayed_total",
+		"batch results recovered from the journal on resume")
+	reg.Help("hmmer_ckpt_batches_dropped_tail_total",
+		"truncated tail records dropped during journal replay")
+	reg.Help("hmmer_ckpt_syncs_total",
+		"fsync calls issued by the journal")
+}
+
+// Options configures a journal.
+type Options struct {
+	// SyncEvery is the fsync cadence: 1 (or 0) syncs after every
+	// append — the full WAL guarantee, one fsync per batch — while N>1
+	// amortises the fsync over N appends, trading the last <N batches
+	// for throughput (they re-execute on resume; correctness is
+	// unaffected because un-synced batches are simply not skipped).
+	SyncEvery int
+	// Crash, when non-nil, injects a crash at a chosen append and
+	// window (see CrashPlan) for testing every recovery path.
+	Crash *CrashPlan
+}
+
+func (o Options) syncEvery() int {
+	if o.SyncEvery < 1 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// Journal is an append-only, checksummed, fsync'd record log. Appends
+// are serialised internally; the scheduler's device workers commit
+// concurrently.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	opts    Options
+	written int64 // bytes written (may be ahead of synced)
+	synced  int64 // bytes known durable
+	pending int   // appends since the last fsync
+	appends int   // total appends attempted (crash-plan ordinal)
+	crashed bool
+	stats   Stats
+}
+
+// Create starts a fresh journal at path (truncating any previous one)
+// stamped with the run's fingerprint. The header is fsync'd before
+// Create returns, so an empty journal is already well-formed.
+func Create(path string, fp Fingerprint, opts Options) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, fp[:]...)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: writing header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: syncing header: %w", err)
+	}
+	j := &Journal{f: f, opts: opts, written: int64(headerSize), synced: int64(headerSize)}
+	j.stats.Syncs++
+	return j, nil
+}
+
+// Resume replays the journal at path and reopens it for appending.
+// Every intact record is returned in journal (commit) order; a
+// truncated tail record is dropped (counted in Stats.DroppedTail) and
+// the file truncated back to its last intact record, so subsequent
+// appends start from a clean frame boundary. A checksum failure,
+// structural damage, or a fingerprint mismatch aborts with a typed
+// error — those journals must not be resumed from.
+func Resume(path string, fp Fingerprint, opts Options) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{f: f, opts: opts}
+	recs, good, err := j.replay(fp)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop the torn tail (if any) so appends resume on a frame
+	// boundary, and make the truncation durable before reporting the
+	// journal open.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j.stats.Syncs++
+	j.written, j.synced = good, good
+	j.stats.Replayed = len(recs)
+	return j, recs, nil
+}
+
+// replay reads the header and every record, returning the intact
+// records and the file offset just past the last intact one.
+func (j *Journal) replay(fp Fingerprint) ([]Record, int64, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(j.f, hdr); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: journal header unreadable (file shorter than %d bytes): %w", headerSize, err)
+	}
+	if string(hdr[:len(magic)]) != string(magic) {
+		return nil, 0, fmt.Errorf("checkpoint: not a journal file (bad magic)")
+	}
+	var got Fingerprint
+	copy(got[:], hdr[len(magic):])
+	if got != fp {
+		return nil, 0, &FingerprintError{Want: fp, Got: got}
+	}
+
+	var recs []Record
+	good := int64(headerSize)
+	frame := make([]byte, recordHeaderSize)
+	for i := 0; ; i++ {
+		_, err := io.ReadFull(j.f, frame)
+		if err == io.EOF {
+			return recs, good, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn frame header: the process died mid-append.
+			j.stats.DroppedTail++
+			return recs, good, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("checkpoint: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length < bodyFixedSize || length > MaxRecordSize {
+			return nil, 0, &CorruptError{Index: i, Off: good, Reason: fmt.Sprintf("implausible frame length %d", length)}
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(j.f, body); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				// Torn body: same mid-append death, later window.
+				j.stats.DroppedTail++
+				return recs, good, nil
+			}
+			return nil, 0, fmt.Errorf("checkpoint: %w", err)
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			// A complete frame with a wrong sum is bit rot, not a torn
+			// write; a torn write cannot produce a full-length body.
+			return nil, 0, &CorruptError{Index: i, Off: good, Reason: "checksum mismatch"}
+		}
+		recs = append(recs, Record{
+			Seq:      binary.LittleEndian.Uint64(body[0:8]),
+			Offset:   binary.LittleEndian.Uint64(body[8:16]),
+			NumSeqs:  binary.LittleEndian.Uint64(body[16:24]),
+			Residues: binary.LittleEndian.Uint64(body[24:32]),
+			Payload:  body[bodyFixedSize:],
+		})
+		good += int64(recordHeaderSize) + int64(length)
+	}
+}
+
+// Append journals one batch result. The record is made durable (per
+// the SyncEvery cadence) before Append returns, which is what lets the
+// caller acknowledge the batch's merge afterwards. Appends after an
+// injected crash keep failing with ErrInjectedCrash, modelling a dead
+// process.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.crashed {
+		return ErrInjectedCrash
+	}
+	ordinal := j.appends
+	j.appends++
+
+	if j.opts.Crash.fires(ordinal, WindowBeforeAppend) {
+		return j.crashLocked(0)
+	}
+
+	body := make([]byte, bodyFixedSize+len(rec.Payload))
+	binary.LittleEndian.PutUint64(body[0:8], rec.Seq)
+	binary.LittleEndian.PutUint64(body[8:16], rec.Offset)
+	binary.LittleEndian.PutUint64(body[16:24], rec.NumSeqs)
+	binary.LittleEndian.PutUint64(body[24:32], rec.Residues)
+	copy(body[bodyFixedSize:], rec.Payload)
+	frame := make([]byte, recordHeaderSize, recordHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	frame = append(frame, body...)
+
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append: %w", err)
+	}
+	j.written += int64(len(frame))
+
+	if j.opts.Crash.fires(ordinal, WindowAfterAppend) {
+		// Died after write(2), before fsync: the record sits in the page
+		// cache. Power loss can persist any prefix; keep a torn half so
+		// replay exercises the truncated-tail path.
+		return j.crashLocked(int64(len(frame)) / 2)
+	}
+
+	j.pending++
+	if j.pending >= j.opts.syncEvery() {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: fsync: %w", err)
+		}
+		j.stats.Syncs++
+		j.pending = 0
+		j.synced = j.written
+	}
+
+	if j.opts.Crash.fires(ordinal, WindowAfterSync) {
+		// Died after the record was durable but before the merge was
+		// acknowledged: resume must replay it, and the producer must
+		// skip it — the duplicate-merge window.
+		return j.crashLocked(0)
+	}
+
+	j.stats.Journaled++
+	return nil
+}
+
+// crashLocked simulates the host dying with unsynced page cache lost:
+// the file is cut back to the synced length plus tornExtra bytes of
+// the unsynced tail, and every later Append fails.
+func (j *Journal) crashLocked(tornExtra int64) error {
+	j.crashed = true
+	keep := j.synced + tornExtra
+	if keep > j.written {
+		keep = j.written
+	}
+	if err := j.f.Truncate(keep); err != nil {
+		return fmt.Errorf("checkpoint: simulating crash: %w", err)
+	}
+	j.f.Sync()
+	return ErrInjectedCrash
+}
+
+// Sync forces any batched appends to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.crashed || j.pending == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	j.stats.Syncs++
+	j.pending = 0
+	j.synced = j.written
+	return nil
+}
+
+// Close syncs any batched appends and closes the file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	serr := j.syncLocked()
+	cerr := j.f.Close()
+	j.f = nil
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("checkpoint: %w", cerr)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Size returns the journal's current byte length (written, not
+// necessarily synced).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.written
+}
+
+// Exists reports whether a journal file is present at path.
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -27,29 +28,53 @@ func (e Engine) workers() int {
 // worker owns a private MSVEngine; results land at the sequence's
 // database index.
 func (e Engine) MSVAll(mp *profile.MSVProfile, db *seq.Database) []FilterResult {
+	out, _ := e.MSVAllContext(context.Background(), mp, db)
+	return out
+}
+
+// MSVAllContext is MSVAll with cancellation: ctx is checked before
+// every sequence, so a deadline or cancel stops the pass mid-database
+// (important when the engine is the host fallback for a multi-hour
+// streamed run). On cancellation the partial results are discarded and
+// ctx's error returned.
+func (e Engine) MSVAllContext(ctx context.Context, mp *profile.MSVProfile, db *seq.Database) ([]FilterResult, error) {
 	out := make([]FilterResult, db.NumSeqs())
-	e.parallel(db.NumSeqs(), func() any {
+	if err := e.parallel(ctx, db.NumSeqs(), func() any {
 		return NewMSVEngine(mp)
 	}, func(state any, i int) {
 		out[i] = state.(*MSVEngine).Filter(db.Seqs[i].Residues)
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ViterbiAll computes Viterbi filter scores for every sequence in db.
 func (e Engine) ViterbiAll(vp *profile.VitProfile, db *seq.Database) []FilterResult {
-	out := make([]FilterResult, db.NumSeqs())
-	e.parallel(db.NumSeqs(), func() any {
-		return NewVitEngine(vp)
-	}, func(state any, i int) {
-		out[i] = state.(*VitEngine).Filter(db.Seqs[i].Residues)
-	})
+	out, _ := e.ViterbiAllContext(context.Background(), vp, db)
 	return out
 }
 
+// ViterbiAllContext is ViterbiAll with per-sequence cancellation; see
+// MSVAllContext.
+func (e Engine) ViterbiAllContext(ctx context.Context, vp *profile.VitProfile, db *seq.Database) ([]FilterResult, error) {
+	out := make([]FilterResult, db.NumSeqs())
+	if err := e.parallel(ctx, db.NumSeqs(), func() any {
+		return NewVitEngine(vp)
+	}, func(state any, i int) {
+		out[i] = state.(*VitEngine).Filter(db.Seqs[i].Residues)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // parallel fans n indexed tasks out over the worker pool. newState
-// constructs per-worker private state (a filter engine).
-func (e Engine) parallel(n int, newState func() any, do func(state any, i int)) {
+// constructs per-worker private state (a filter engine). ctx is
+// checked before every task; the first non-nil ctx.Err() stops all
+// workers and is returned (a context.Background() caller pays one
+// atomic load per task).
+func (e Engine) parallel(ctx context.Context, n int, newState func() any, do func(state any, i int)) error {
 	w := e.workers()
 	if w > n {
 		w = n
@@ -57,9 +82,12 @@ func (e Engine) parallel(n int, newState func() any, do func(state any, i int)) 
 	if w <= 1 {
 		state := newState()
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			do(state, i)
 		}
-		return
+		return nil
 	}
 	var next int64
 	var mu sync.Mutex
@@ -89,10 +117,14 @@ func (e Engine) parallel(n int, newState func() any, do func(state any, i int)) 
 					return
 				}
 				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
 					do(state, i)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -33,6 +33,12 @@ var errLateCommit = errors.New("gpu: abandoned attempt committed its result late
 // and the scheduler has no host fallback to drain the remaining work.
 var ErrAllQuarantined = errors.New("gpu: all devices quarantined")
 
+// ErrDraining is returned by the scheduler's submit once a graceful
+// drain has been requested (Scheduler.Drain closed): the producer
+// should stop submitting and return — RunBatches treats a producer
+// that returns ErrDraining as a clean stop.
+var ErrDraining = errors.New("gpu: scheduler draining")
+
 // Clock abstracts time for the scheduler so retry/backoff tests can
 // run without real sleeps. The zero Scheduler uses the wall clock.
 type Clock interface {

@@ -193,6 +193,7 @@ func (s *Searcher) ForwardSearch(dp *DeviceFwdProfile, db *DeviceDB) (*SearchRep
 		HostWorkers:         s.HostWorkers,
 		Name:                "forward",
 		Trace:               s.Trace,
+		Cancel:              s.Cancel,
 	}, run.kernel)
 	if err != nil {
 		return nil, nil, err

@@ -23,6 +23,9 @@ type MultiSearcher struct {
 	// Trace, when non-nil, parents one shard span per device (and the
 	// kernel span beneath it) on that device's track.
 	Trace *obs.Span
+	// Cancel, when non-nil, aborts every shard's in-flight launch once
+	// closed; see Searcher.Cancel.
+	Cancel <-chan struct{}
 }
 
 // MultiReport is the merged outcome of a multi-device search.
@@ -59,7 +62,7 @@ func (ms *MultiSearcher) MSVSearch(mp *profile.MSVProfile, db *seq.Database) (*M
 		defer span.End()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadMSVProfile(dev, mp)
-		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span}
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span, Cancel: ms.Cancel}
 		rep, err := s.MSVSearch(dp, ddb)
 		if err != nil {
 			return nil, err
@@ -100,7 +103,7 @@ func (ms *MultiSearcher) ViterbiSearch(vp *profile.VitProfile, db *seq.Database)
 		defer span.End()
 		ddb := UploadDB(dev, shards[i])
 		dp := UploadVitProfile(dev, vp)
-		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span}
+		s := &Searcher{Dev: dev, Mem: ms.Mem, HostWorkers: ms.HostWorkers, Trace: span, Cancel: ms.Cancel}
 		rep, err := s.ViterbiSearch(dp, ddb)
 		if err != nil {
 			return nil, err

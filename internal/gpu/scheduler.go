@@ -86,6 +86,11 @@ type ScheduleReport struct {
 	Batches  int
 	Seqs     int
 	Residues int64
+	// Drained reports that the run stopped early at the producer's
+	// request: the Drain channel closed and at least one batch was
+	// refused by submit. Every batch counted above was still fully
+	// processed and committed.
+	Drained bool
 	// Util is the per-device utilization, indexed by device.
 	Util []DeviceUtilization
 	// Faults summarises the run's fault handling (zero when clean).
@@ -234,6 +239,13 @@ type Scheduler struct {
 	// nil, an integrity failure consumes retry budget and requeues the
 	// batch to a different device instead.
 	DMR func(b Batch) (committed bool, err error)
+	// Drain, when non-nil, requests a graceful stop once closed:
+	// batches already submitted finish normally (processed, committed,
+	// journaled), but submit refuses further batches with ErrDraining.
+	// This is the SIGINT path — in-flight work lands durably, then the
+	// run returns with ScheduleReport.Drained set, distinguishable from
+	// both completion and the hard abort of a cancelled context.
+	Drain <-chan struct{}
 	// Clock substitutes a fake time source in tests; nil means the
 	// wall clock.
 	Clock Clock
@@ -311,11 +323,12 @@ type schedRun struct {
 	// requeue, or abort); workers may only exit the claim loop when
 	// the producer is done, pending is empty AND active is zero,
 	// because an active batch may still be requeued.
-	active  int
-	closed  bool
-	aborted bool
-	err     error
-	abortCh chan struct{}
+	active   int
+	closed   bool
+	aborted  bool
+	draining bool
+	err      error
+	abortCh  chan struct{}
 
 	quar            []bool
 	consec          []int
@@ -690,8 +703,41 @@ func (s *Scheduler) Run(
 // are retried per the scheduler's fault-tolerance knobs; the first
 // unrecoverable error (from produce, process, or ctx) aborts the run
 // and is returned.
+//
+// Batch identity is assigned here: consecutive ordinals and offsets in
+// submission order. A producer that needs to skip batches (resuming
+// from a checkpoint journal) must assign identity itself via
+// RunBatches.
 func (s *Scheduler) RunContext(ctx context.Context,
 	produce func(submit func(db *seq.Database) error) error,
+	process func(devIdx int, dev *simt.Device, b Batch) error,
+) (*ScheduleReport, error) {
+	seqNo, offset := 0, 0
+	return s.RunBatches(ctx, func(submit func(b Batch) error) error {
+		return produce(func(db *seq.Database) error {
+			if err := submit(Batch{Seq: seqNo, Offset: offset, DB: db}); err != nil {
+				return err
+			}
+			seqNo++
+			offset += db.NumSeqs()
+			return nil
+		})
+	}, process)
+}
+
+// RunBatches is RunContext with caller-assigned batch identity: the
+// producer submits fully-formed Batch values (Seq, Offset, DB) and the
+// scheduler only attaches the merge token. This is the entry point for
+// resumed runs, whose producer skips journaled batches — ordinals then
+// have holes, and offsets must match the original chunking rather than
+// restart at zero.
+//
+// A closed Drain channel stops the run gracefully: submit refuses the
+// batch with ErrDraining (unwrapped, so the producer can detect it),
+// already-submitted batches complete, and produce's ErrDraining return
+// is treated as a clean stop with ScheduleReport.Drained set.
+func (s *Scheduler) RunBatches(ctx context.Context,
+	produce func(submit func(b Batch) error) error,
 	process func(devIdx int, dev *simt.Device, b Batch) error,
 ) (*ScheduleReport, error) {
 	if s.Sys == nil || len(s.Sys.Devices) == 0 {
@@ -720,7 +766,8 @@ func (s *Scheduler) RunContext(ctx context.Context,
 	}
 	st.cond = sync.NewCond(&st.mu)
 
-	// Cancellation propagates as an abort; the watcher dies with the run.
+	// Cancellation propagates as an abort; a drain request only flips
+	// the flag so submit starts refusing. Both watchers die with the run.
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
@@ -730,6 +777,18 @@ func (s *Scheduler) RunContext(ctx context.Context,
 		case <-watchDone:
 		}
 	}()
+	if s.Drain != nil {
+		go func() {
+			select {
+			case <-s.Drain:
+				st.mu.Lock()
+				st.draining = true
+				st.cond.Broadcast()
+				st.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	start := time.Now()
 	st.wg.Add(n)
@@ -740,24 +799,47 @@ func (s *Scheduler) RunContext(ctx context.Context,
 	// The producer runs on this goroutine so parse errors surface with
 	// no extra synchronisation; workers overlap with it via the pending
 	// list.
-	submit := func(db *seq.Database) error {
+	submit := func(b Batch) error {
+		if b.DB == nil {
+			return fmt.Errorf("gpu: submitted batch %d has no database", b.Seq)
+		}
 		st.mu.Lock()
 		defer st.mu.Unlock()
-		for len(st.pending) >= depth && !st.aborted {
+		// The watcher goroutine delivers drains asynchronously; also poll
+		// the channel here so a drain requested before the watcher was
+		// scheduled (or between broadcasts) refuses this submit rather
+		// than the next one.
+		if !st.draining && s.Drain != nil {
+			select {
+			case <-s.Drain:
+				st.draining = true
+				st.cond.Broadcast()
+			default:
+			}
+		}
+		for len(st.pending) >= depth && !st.aborted && !st.draining {
 			st.cond.Wait()
 		}
 		if st.aborted {
 			return fmt.Errorf("gpu: scheduler aborted: %w", st.err)
 		}
-		b := Batch{Seq: rep.Batches, Offset: rep.Seqs, DB: db, commit: new(atomic.Bool)}
+		if st.draining {
+			rep.Drained = true
+			return ErrDraining
+		}
+		b.Trace = nil
+		b.commit = new(atomic.Bool)
 		st.pending = append(st.pending, &schedAttempt{b: b, excl: -1})
 		rep.Batches++
-		rep.Seqs += db.NumSeqs()
-		rep.Residues += db.TotalResidues()
+		rep.Seqs += b.DB.NumSeqs()
+		rep.Residues += b.DB.TotalResidues()
 		st.cond.Broadcast()
 		return nil
 	}
 	perr := produce(submit)
+	if errors.Is(perr, ErrDraining) {
+		perr = nil
+	}
 	st.mu.Lock()
 	st.closed = true
 	st.cond.Broadcast()

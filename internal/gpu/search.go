@@ -34,6 +34,12 @@ type Searcher struct {
 	// pipeline engines, the per-device stream workers) repoint it at
 	// the current stage span before each search.
 	Trace *obs.Span
+	// Cancel, when non-nil, aborts in-flight launches once closed
+	// (simt.LaunchConfig.Cancel): searches then fail with
+	// simt.ErrLaunchCanceled. Context-aware callers set this to
+	// ctx.Done() so a deadline interrupts a running kernel between
+	// blocks.
+	Cancel <-chan struct{}
 }
 
 // LazyFStats aggregates the parallel Lazy-F work over a launch.
@@ -92,6 +98,7 @@ func (s *Searcher) MSVSearch(dp *DeviceMSVProfile, db *DeviceDB) (*SearchReport,
 		HostWorkers:         s.HostWorkers,
 		Name:                "msv",
 		Trace:               s.Trace,
+		Cancel:              s.Cancel,
 	}, run.kernel)
 	if err != nil {
 		return nil, err
@@ -129,6 +136,7 @@ func (s *Searcher) ViterbiSearch(dp *DeviceVitProfile, db *DeviceDB) (*SearchRep
 		HostWorkers:         s.HostWorkers,
 		Name:                "p7viterbi",
 		Trace:               s.Trace,
+		Cancel:              s.Cancel,
 	}, run.kernel)
 	if err != nil {
 		return nil, err

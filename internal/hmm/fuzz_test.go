@@ -5,9 +5,9 @@ import (
 	"testing"
 )
 
-// FuzzRead checks the HMMER3 parser never panics and that accepted
+// FuzzParseHMM checks the HMMER3 parser never panics and that accepted
 // models validate and re-serialise.
-func FuzzRead(f *testing.F) {
+func FuzzParseHMM(f *testing.F) {
 	// Seed with a real serialised model plus hostile variants.
 	h := mustModel(f)
 	var buf bytes.Buffer

@@ -1,0 +1,65 @@
+package hmm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMaxModelLength checks the configurable LENG cap: a header over
+// the limit is rejected before any allocation with a structured error
+// naming the model.
+func TestMaxModelLength(t *testing.T) {
+	defer func(old int) { MaxModelLength = old }(MaxModelLength)
+	MaxModelLength = 50
+	in := "HMMER3/f\nNAME toolong\nLENG 51\nALPH amino\n"
+	_, err := Read(strings.NewReader(in), abc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Model != "toolong" {
+		t.Errorf("error names model %q, want %q (err: %v)", pe.Model, "toolong", err)
+	}
+}
+
+// TestParseErrorNamesModel checks that a body error in the second model
+// of a concatenated file identifies that model by name and line.
+func TestParseErrorNamesModel(t *testing.T) {
+	h := mustModelT(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	bad := "HMMER3/f\nNAME second\nLENG 2\nALPH amino\nHMM h\nhdr\ngarbage\n"
+	_, err := ReadAll(strings.NewReader(good+bad), abc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Model != "second" {
+		t.Errorf("error names model %q, want %q (err: %v)", pe.Model, "second", err)
+	}
+	if pe.Line == 0 {
+		t.Errorf("error carries no line number: %v", err)
+	}
+}
+
+func mustModelT(t *testing.T) *Plan7 {
+	t.Helper()
+	h, err := New(3, abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Name = "seed"
+	for k := 1; k <= 3; k++ {
+		for r := range h.Mat[k] {
+			h.Mat[k][r] = 1.0 / 20
+		}
+	}
+	h.SetUniformInserts()
+	h.setStandardTransitions(DefaultBuildParams())
+	return h
+}

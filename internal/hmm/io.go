@@ -18,11 +18,30 @@ import (
 
 const formatTag = "HMMER3/f"
 
-// maxModelLength bounds LENG when parsing untrusted files; the largest
+// MaxModelLength bounds LENG when parsing untrusted files; the largest
 // known protein domain models are a few thousand states (titin-scale
 // full proteins reach ~35k), so 100k is generous while preventing an
-// adversarial header from forcing a huge allocation.
-const maxModelLength = 100000
+// adversarial header from forcing a huge allocation. Services parsing
+// hostile uploads can lower it; 0 disables the check.
+var MaxModelLength = 100000
+
+// ParseError is a structured HMM parse failure: Line is the 1-based
+// input line where parsing stopped, Model names the model being parsed
+// ("" when the failure precedes its NAME line), and Msg describes the
+// failure. Callers rejecting one model of a Pfam-scale concatenation
+// can errors.As for it instead of string-matching.
+type ParseError struct {
+	Line  int
+	Model string
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	if e.Model != "" {
+		return fmt.Sprintf("hmm: line %d: model %q: %s", e.Line, e.Model, e.Msg)
+	}
+	return fmt.Sprintf("hmm: line %d: %s", e.Line, e.Msg)
+}
 
 // Write serialises the model in HMMER3/f ASCII format.
 func Write(w io.Writer, h *Plan7) error {
@@ -130,6 +149,9 @@ type parser struct {
 	abc     *alphabet.Alphabet
 	line    int
 	pending string
+	// name is the NAME of the model currently being parsed, so errors
+	// can identify the offending model in a multi-model file.
+	name string
 }
 
 func (p *parser) next() (string, error) {
@@ -166,10 +188,11 @@ func (p *parser) peek() bool {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("hmm: line %d: %s", p.line, fmt.Sprintf(format, args...))
+	return &ParseError{Line: p.line, Model: p.name, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) parse() (*Plan7, error) {
+	p.name = ""
 	head, err := p.next()
 	if err != nil {
 		return nil, fmt.Errorf("hmm: reading header: %w", err)
@@ -197,6 +220,7 @@ func (p *parser) parse() (*Plan7, error) {
 				return nil, p.errf("NAME line missing value")
 			}
 			name = fields[1]
+			p.name = name
 		case "ACC":
 			if len(fields) > 1 {
 				acc = fields[1]
@@ -208,8 +232,8 @@ func (p *parser) parse() (*Plan7, error) {
 				return nil, p.errf("LENG line missing value")
 			}
 			leng, err = strconv.Atoi(fields[1])
-			if err != nil || leng < 1 || leng > maxModelLength {
-				return nil, p.errf("bad LENG value %q", fields[1])
+			if err != nil || leng < 1 || (MaxModelLength > 0 && leng > MaxModelLength) {
+				return nil, p.errf("bad LENG value %q (max %d)", fields[1], MaxModelLength)
 			}
 		case "ALPH":
 			if len(fields) < 2 || !strings.EqualFold(fields[1], "amino") {

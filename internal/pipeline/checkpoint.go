@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"hmmer3gpu/internal/checkpoint"
+	"hmmer3gpu/internal/gpu"
+)
+
+// CheckpointConfig enables crash-safe journaling of a streamed
+// multi-device run (see internal/checkpoint and DESIGN §2e). Every
+// committed batch's result is appended to an fsync'd on-disk journal
+// before its merge is acknowledged, so a host crash loses at most the
+// un-synced tail; a resumed run replays the journal, skips the
+// completed batches, and produces byte-identical output.
+type CheckpointConfig struct {
+	// Path is the journal file.
+	Path string
+	// Resume replays an existing journal at Path before running; when
+	// no journal exists the run starts fresh (and journals). Resuming
+	// requires the same model, calibration, and BatchResidues as the
+	// original run — the journal's config fingerprint is checked.
+	Resume bool
+	// SyncEvery is the fsync cadence (checkpoint.Options.SyncEvery):
+	// 0/1 syncs every batch; N>1 amortises, risking the last <N batches
+	// on a crash (they re-execute on resume).
+	SyncEvery int
+	// Crash injects a crash at a chosen journal append, for testing
+	// recovery (see checkpoint.CrashAfter).
+	Crash *checkpoint.CrashPlan
+}
+
+// fingerprint digests everything that determines batch identity and
+// batch results: the model (via its name, size, and calibrated score
+// distributions — the calibration constants are a float-exact function
+// of the full model), the stage thresholds, the scoring options, and
+// the chunking budget. Two runs with equal fingerprints chunk the
+// stream identically and compute identical per-batch results, which is
+// what makes replaying a journal record equivalent to re-running its
+// batch.
+func (pl *Pipeline) fingerprint(cfg StreamConfig) checkpoint.Fingerprint {
+	h := sha256.New()
+	w := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	f := func(vs ...float64) {
+		for _, v := range vs {
+			w(math.Float64bits(v))
+		}
+	}
+	b := func(v bool) {
+		if v {
+			w(1)
+		} else {
+			w(0)
+		}
+	}
+	h.Write([]byte("hmmer3gpu-ckpt-v1\x00"))
+	h.Write([]byte(pl.Prof.Name))
+	h.Write([]byte{0})
+	w(uint64(pl.Prof.M), uint64(pl.Prof.L))
+	f(pl.Opts.Thresholds.MSV, pl.Opts.Thresholds.Viterbi, pl.Opts.Thresholds.Forward)
+	b(pl.Opts.SkipForward)
+	b(pl.Opts.UseNull2)
+	f(pl.MSVGumbel.Mu, pl.MSVGumbel.Lambda)
+	f(pl.VitGumbel.Mu, pl.VitGumbel.Lambda)
+	f(pl.FwdExp.Tau, pl.FwdExp.Lambda)
+	w(uint64(cfg.BatchResidues))
+	var fp checkpoint.Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// encodeBatchRecord serialises one committed batch's result as a
+// journal record. Hit indexes stay batch-local (the record's Offset
+// rebases them on replay) and floats round-trip bit-exactly via their
+// IEEE-754 encoding, so a replayed merge is indistinguishable from the
+// original one. Stage wall times are preserved as measured — the work
+// really was done, in the crashed run.
+func encodeBatchRecord(b gpu.Batch, res *Result) checkpoint.Record {
+	var p []byte
+	u64 := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			p = append(p, buf[:]...)
+		}
+	}
+	stage := func(s StageStats) {
+		u64(uint64(s.In), uint64(s.Out), uint64(s.Cells), uint64(s.Wall))
+	}
+	stage(res.MSV)
+	stage(res.Viterbi)
+	stage(res.Forward)
+	u64(uint64(len(res.Hits)))
+	for _, h := range res.Hits {
+		u64(uint64(h.Index), uint64(len(h.Name)))
+		p = append(p, h.Name...)
+		u64(math.Float64bits(h.MSVBits), math.Float64bits(h.VitBits),
+			math.Float64bits(h.FwdBits), math.Float64bits(h.PValue),
+			math.Float64bits(h.EValue))
+	}
+	return checkpoint.Record{
+		Seq:      uint64(b.Seq),
+		Offset:   uint64(b.Offset),
+		NumSeqs:  uint64(b.DB.NumSeqs()),
+		Residues: uint64(b.DB.TotalResidues()),
+		Payload:  p,
+	}
+}
+
+// decodeBatchPayload reverses encodeBatchRecord. The journal's CRC
+// already rejects bit rot; the structural checks here catch encoding
+// drift (a journal from a different code version).
+func decodeBatchPayload(p []byte) (*Result, error) {
+	pos := 0
+	u64 := func() (uint64, error) {
+		if pos+8 > len(p) {
+			return 0, fmt.Errorf("payload truncated at byte %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(p[pos:])
+		pos += 8
+		return v, nil
+	}
+	stage := func(s *StageStats) error {
+		vals := make([]uint64, 4)
+		for i := range vals {
+			v, err := u64()
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		s.In, s.Out = int(vals[0]), int(vals[1])
+		s.Cells = int64(vals[2])
+		s.Wall = time.Duration(vals[3])
+		return nil
+	}
+	res := &Result{}
+	if err := stage(&res.MSV); err != nil {
+		return nil, err
+	}
+	if err := stage(&res.Viterbi); err != nil {
+		return nil, err
+	}
+	if err := stage(&res.Forward); err != nil {
+		return nil, err
+	}
+	n, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p)) { // each hit takes well over 1 byte
+		return nil, fmt.Errorf("implausible hit count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var h Hit
+		idx, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		h.Index = int(idx)
+		nameLen, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if pos+int(nameLen) > len(p) || nameLen > uint64(len(p)) {
+			return nil, fmt.Errorf("hit %d: name truncated at byte %d", i, pos)
+		}
+		h.Name = string(p[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		for _, dst := range []*float64{&h.MSVBits, &h.VitBits, &h.FwdBits, &h.PValue, &h.EValue} {
+			bits, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			*dst = math.Float64frombits(bits)
+		}
+		res.Hits = append(res.Hits, h)
+	}
+	if pos != len(p) {
+		return nil, fmt.Errorf("%d trailing bytes after %d hits", len(p)-pos, n)
+	}
+	return res, nil
+}

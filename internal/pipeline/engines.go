@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -14,6 +16,16 @@ import (
 	"hmmer3gpu/internal/stats"
 )
 
+// ctxErr maps a kernel launch aborted by ctx back to ctx's error, so
+// context-aware engines report context.Canceled / DeadlineExceeded
+// rather than the simulator's internal sentinel.
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil && errors.Is(err, simt.ErrLaunchCanceled) {
+		return ctx.Err()
+	}
+	return err
+}
+
 // CPUExtra carries the CPU engine's bookkeeping.
 type CPUExtra struct {
 	// MSVResults holds the raw per-sequence MSV filter results.
@@ -23,9 +35,17 @@ type CPUExtra struct {
 // RunCPU executes the pipeline with the striped multicore CPU engine —
 // the paper's baseline configuration.
 func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
+	return pl.RunCPUContext(context.Background(), db)
+}
+
+// RunCPUContext is RunCPU with cancellation: ctx is checked before
+// every sequence in the filter stages and before every Forward
+// rescore, so a deadline stops the engine mid-database rather than at
+// the next stage boundary.
+func (pl *Pipeline) RunCPUContext(ctx context.Context, db *seq.Database) (*Result, error) {
 	root := pl.startSearch("cpu", db)
 	defer root.End()
-	result, err := pl.runCPU(db, root)
+	result, err := pl.runCPUContext(ctx, db, root)
 	if err == nil {
 		result.Record(pl.Opts.Metrics)
 	}
@@ -36,12 +56,21 @@ func (pl *Pipeline) RunCPU(db *seq.Database) (*Result, error) {
 // spans, so the streamed engine can nest batches between the search
 // span and the stages.
 func (pl *Pipeline) runCPU(db *seq.Database, root *obs.Span) (*Result, error) {
+	return pl.runCPUContext(context.Background(), db, root)
+}
+
+// runCPUContext is runCPU with per-sequence cancellation checks in
+// every stage.
+func (pl *Pipeline) runCPUContext(ctx context.Context, db *seq.Database, root *obs.Span) (*Result, error) {
 	eng := cpu.Engine{Workers: pl.Opts.Workers}
 	result := &Result{}
 
 	start := time.Now()
 	_, endMSV := startStage(root, "msv")
-	msvRes := eng.MSVAll(pl.MSV, db)
+	msvRes, err := eng.MSVAllContext(ctx, pl.MSV, db)
+	if err != nil {
+		return nil, err
+	}
 	result.MSV.Wall = time.Since(start)
 	result.MSV.In = db.NumSeqs()
 	result.MSV.Cells = db.TotalResidues() * int64(pl.Prof.M)
@@ -60,7 +89,10 @@ func (pl *Pipeline) runCPU(db *seq.Database, root *obs.Span) (*Result, error) {
 	start = time.Now()
 	_, endVit := startStage(root, "viterbi")
 	sub := subDatabase(db, msvSurvivors)
-	vitRes := eng.ViterbiAll(pl.Vit, sub)
+	vitRes, err := eng.ViterbiAllContext(ctx, pl.Vit, sub)
+	if err != nil {
+		return nil, err
+	}
 	result.Viterbi.Wall = time.Since(start)
 	result.Viterbi.In = len(msvSurvivors)
 	result.Viterbi.Cells = sub.TotalResidues() * int64(pl.Prof.M)
@@ -77,7 +109,9 @@ func (pl *Pipeline) runCPU(db *seq.Database, root *obs.Span) (*Result, error) {
 	result.Viterbi.Out = len(vitSurvivors)
 	endVit(&result.Viterbi)
 
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
+	if err := pl.finishForward(ctx, db, vitSurvivors, msvBits, vitBits, result, root); err != nil {
+		return nil, err
+	}
 	result.Extra = &CPUExtra{MSVResults: msvRes}
 	return result, nil
 }
@@ -95,9 +129,16 @@ type GPUExtra struct {
 // paper's accelerated configuration) with the Forward stage on the
 // host, as in the paper.
 func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	return pl.RunGPUContext(context.Background(), dev, mem, db)
+}
+
+// RunGPUContext is RunGPU with cancellation: kernel launches poll
+// ctx.Done() between blocks (mid-kernel cancellation), and the host
+// Forward stage checks ctx before every survivor.
+func (pl *Pipeline) RunGPUContext(ctx context.Context, dev *simt.Device, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
 	root := pl.startSearch("gpu", db)
 	defer root.End()
-	searcher := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: pl.Opts.Workers}
+	searcher := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: pl.Opts.Workers, Cancel: ctx.Done()}
 	result := &Result{}
 	extra := &GPUExtra{}
 
@@ -108,7 +149,7 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 	dmp := gpu.UploadMSVProfile(dev, pl.MSV)
 	msvRep, err := searcher.MSVSearch(dmp, ddb)
 	if err != nil {
-		return nil, err
+		return nil, ctxErr(ctx, err)
 	}
 	result.MSV.Wall = time.Since(start)
 	result.MSV.In = db.NumSeqs()
@@ -137,7 +178,7 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 	if sub.NumSeqs() > 0 {
 		vitRep, err := searcher.ViterbiSearch(dvp, subDev)
 		if err != nil {
-			return nil, err
+			return nil, ctxErr(ctx, err)
 		}
 		extra.VitReport = vitRep
 		for j, res := range vitRep.Results {
@@ -155,12 +196,14 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 	endVit(&result.Viterbi)
 
 	if pl.Opts.GPUForward && !pl.Opts.SkipForward {
-		if err := pl.gpuForward(dev, searcher, db, vitSurvivors, msvBits, vitBits, result, extra, root); err != nil {
+		if err := pl.gpuForward(ctx, dev, searcher, db, vitSurvivors, msvBits, vitBits, result, extra, root); err != nil {
 			return nil, err
 		}
 	} else {
 		searcher.Trace = nil
-		pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
+		if err := pl.finishForward(ctx, db, vitSurvivors, msvBits, vitBits, result, root); err != nil {
+			return nil, err
+		}
 	}
 	result.Extra = extra
 	if reg := pl.Opts.Metrics; reg.Enabled() {
@@ -181,7 +224,7 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 // gpuForward runs the Forward stage on the device (the heterogeneous
 // extension): scores come from the float32 kernel, thresholds and
 // E-values from the same calibrated exponential tail.
-func (pl *Pipeline) gpuForward(dev *simt.Device, searcher *gpu.Searcher, db *seq.Database,
+func (pl *Pipeline) gpuForward(ctx context.Context, dev *simt.Device, searcher *gpu.Searcher, db *seq.Database,
 	survivors []int, msvBits, vitBits map[int]float64, result *Result, extra *GPUExtra,
 	root *obs.Span) error {
 
@@ -198,11 +241,14 @@ func (pl *Pipeline) gpuForward(dev *simt.Device, searcher *gpu.Searcher, db *seq
 	fp := gpu.UploadFwdProfile(dev, pl.Prof)
 	rep, scores, err := searcher.ForwardSearch(fp, ddb)
 	if err != nil {
-		return err
+		return ctxErr(ctx, err)
 	}
 	extra.FwdReport = rep
 	result.Forward.Cells = sub.TotalResidues() * int64(pl.Prof.M)
 	for j, idx := range survivors {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		dsq := db.Seqs[idx].Residues
 		fwdNats := scores[j].Score
 		po := pl.maybeDecode(dsq)
@@ -246,9 +292,15 @@ type MultiGPUExtra struct {
 // RunMultiGPU executes the filter stages across all devices of a
 // system (the paper's 4x GTX 580 configuration).
 func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
+	return pl.RunMultiGPUContext(context.Background(), sys, mem, db)
+}
+
+// RunMultiGPUContext is RunMultiGPU with cancellation; every shard's
+// launch polls ctx.Done() between blocks.
+func (pl *Pipeline) RunMultiGPUContext(ctx context.Context, sys *simt.System, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
 	root := pl.startSearch("multigpu", db)
 	defer root.End()
-	ms := &gpu.MultiSearcher{Sys: sys, Mem: mem, HostWorkers: pl.Opts.Workers}
+	ms := &gpu.MultiSearcher{Sys: sys, Mem: mem, HostWorkers: pl.Opts.Workers, Cancel: ctx.Done()}
 	result := &Result{}
 	extra := &MultiGPUExtra{}
 
@@ -257,7 +309,7 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 	ms.Trace = msvSpan
 	msvRep, err := ms.MSVSearch(pl.MSV, db)
 	if err != nil {
-		return nil, err
+		return nil, ctxErr(ctx, err)
 	}
 	extra.MSV = msvRep
 	result.MSV.Wall = time.Since(start)
@@ -284,7 +336,7 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 	if sub.NumSeqs() > 0 {
 		vitRep, err := ms.ViterbiSearch(pl.Vit, sub)
 		if err != nil {
-			return nil, err
+			return nil, ctxErr(ctx, err)
 		}
 		extra.Vit = vitRep
 		for j, res := range vitRep.Results {
@@ -301,7 +353,9 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 	result.Viterbi.Out = len(vitSurvivors)
 	endVit(&result.Viterbi)
 
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, root)
+	if err := pl.finishForward(ctx, db, vitSurvivors, msvBits, vitBits, result, root); err != nil {
+		return nil, err
+	}
 	result.Extra = extra
 	if reg := pl.Opts.Metrics; reg.Enabled() {
 		result.Record(reg)

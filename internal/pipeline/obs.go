@@ -95,6 +95,9 @@ func (res *Result) Record(reg *obs.Registry) {
 		if x.Schedule != nil {
 			x.Schedule.Record(reg)
 		}
+		if x.Checkpoint != nil {
+			x.Checkpoint.Record(reg)
+		}
 		for _, launches := range x.Launches {
 			for _, rep := range launches {
 				if rep != nil {

@@ -16,6 +16,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -239,18 +240,23 @@ func (pl *Pipeline) vitPass(res cpu.FilterResult) bool {
 // finishForward runs the Forward stage over the Viterbi survivors and
 // assembles the final result. msvRes and vitRes are indexed like the
 // corresponding id slices. parent (nilable) is the span the forward
-// stage span nests under.
-func (pl *Pipeline) finishForward(db *seq.Database, survivors []int,
-	msvBits, vitBits map[int]float64, result *Result, parent *obs.Span) {
+// stage span nests under. ctx is checked before every survivor — the
+// Forward stage is the pipeline's most expensive per-sequence work, so
+// this is where a deadline lands mid-stage.
+func (pl *Pipeline) finishForward(ctx context.Context, db *seq.Database, survivors []int,
+	msvBits, vitBits map[int]float64, result *Result, parent *obs.Span) error {
 
 	start := time.Now()
 	result.Forward.In = len(survivors)
 	if pl.Opts.SkipForward {
-		return
+		return nil
 	}
 	_, endStage := startStage(parent, "forward")
 	defer func() { endStage(&result.Forward) }()
 	for _, idx := range survivors {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		dsq := db.Seqs[idx].Residues
 		result.Forward.Cells += int64(len(dsq)) * int64(pl.Prof.M)
 		fwdNats := refimpl.Forward(pl.Prof, dsq)
@@ -283,6 +289,7 @@ func (pl *Pipeline) finishForward(db *seq.Database, survivors []int,
 		}
 		return result.Hits[i].Index < result.Hits[j].Index
 	})
+	return nil
 }
 
 // cellCap returns the alignment/decoding matrix budget.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hmmer3gpu/internal/checkpoint"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/integrity"
 	"hmmer3gpu/internal/obs"
@@ -24,18 +25,27 @@ import (
 // sequence count and the hit list is re-sorted at the end. Hit indexes
 // are global (position in the stream).
 func (pl *Pipeline) RunCPUStream(r io.Reader, batchSize int) (*Result, error) {
+	return pl.RunCPUStreamContext(context.Background(), r, batchSize)
+}
+
+// RunCPUStreamContext is RunCPUStream with cancellation: ctx is
+// checked before every batch and before every sequence within a batch.
+func (pl *Pipeline) RunCPUStreamContext(ctx context.Context, r io.Reader, batchSize int) (*Result, error) {
 	root := pl.startSearch("cpu-stream", nil)
 	defer root.End()
 	final := &Result{}
 	offset := 0
 	batchNo := 0
 	err := seq.StreamFASTA(r, pl.Prof.Abc, batchSize, func(batch *seq.Database) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		batchSpan := root.Child(fmt.Sprintf("batch %d", batchNo),
 			obs.Int("batch", int64(batchNo)),
 			obs.Int("offset", int64(offset)),
 			obs.Int("seqs", int64(batch.NumSeqs())),
 			obs.Int("residues", batch.TotalResidues()))
-		res, err := pl.runCPU(batch, batchSpan)
+		res, err := pl.runCPUContext(ctx, batch, batchSpan)
 		batchSpan.End()
 		if err != nil {
 			return err
@@ -105,6 +115,17 @@ type StreamConfig struct {
 	// Verify selects the silent-data-corruption policy (off by
 	// default).
 	Verify VerifyMode
+
+	// Checkpoint, when non-nil, journals every committed batch to a
+	// crash-safe on-disk log and can resume an interrupted run from it
+	// (see CheckpointConfig and DESIGN §2e).
+	Checkpoint *CheckpointConfig
+	// Drain, when non-nil, requests a graceful stop once closed:
+	// in-flight batches finish (and are journaled), no further batches
+	// are submitted, and the run returns with
+	// MultiGPUStreamExtra.Drained set instead of an error — the SIGINT
+	// path, leaving a journal a later -resume can continue from.
+	Drain <-chan struct{}
 }
 
 // MultiGPUStreamExtra carries the streamed multi-device run's
@@ -118,6 +139,17 @@ type MultiGPUStreamExtra struct {
 	// order (one MSV launch per batch, plus one Viterbi launch when the
 	// batch had MSV survivors).
 	Launches [][]*simt.LaunchReport
+	// Drained reports that the run stopped early at the caller's
+	// request (StreamConfig.Drain closed): every merged batch is
+	// durable, but the stream was not fully processed, so the Result is
+	// partial and a journaled run can be resumed.
+	Drained bool
+	// Replayed is the number of batches merged from the checkpoint
+	// journal instead of being executed (0 for a fresh run).
+	Replayed int
+	// Checkpoint carries the journal's counters when journaling was
+	// enabled.
+	Checkpoint *checkpoint.Stats
 }
 
 // RunMultiGPUStream searches a FASTA stream across all devices of a
@@ -143,7 +175,9 @@ func (pl *Pipeline) RunMultiGPUStream(sys *simt.System, mem gpu.MemConfig, r io.
 
 // RunMultiGPUStreamContext is RunMultiGPUStream with cancellation:
 // cancelling ctx aborts the scheduler (producer and workers) and
-// returns ctx's error.
+// returns ctx's error. With cfg.Checkpoint set the run journals every
+// committed batch and can resume an interrupted run; with cfg.Drain
+// set it stops gracefully when that channel closes.
 func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.System, mem gpu.MemConfig, r io.Reader, cfg StreamConfig) (*Result, error) {
 	if cfg.BatchResidues < 1 {
 		return nil, fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
@@ -151,6 +185,41 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 	if sys == nil || len(sys.Devices) == 0 {
 		return nil, fmt.Errorf("pipeline: no devices")
 	}
+
+	// The journal opens (and replays) before any device work starts:
+	// a fingerprint or corruption error must abort the run before it
+	// spends hours recomputing.
+	var journal *checkpoint.Journal
+	skip := make(map[uint64]checkpoint.Record)
+	if ck := cfg.Checkpoint; ck != nil {
+		if pl.Opts.ComputeAlignments {
+			return nil, fmt.Errorf("pipeline: checkpoint journaling does not support alignment output: domain alignments are not encoded in journal records")
+		}
+		fp := pl.fingerprint(cfg)
+		opts := checkpoint.Options{SyncEvery: ck.SyncEvery, Crash: ck.Crash}
+		var err error
+		if ck.Resume && checkpoint.Exists(ck.Path) {
+			var recs []checkpoint.Record
+			journal, recs, err = checkpoint.Resume(ck.Path, fp, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range recs {
+				if _, dup := skip[rec.Seq]; dup {
+					journal.Close()
+					return nil, fmt.Errorf("pipeline: journal holds two records for batch %d: refusing to resume", rec.Seq)
+				}
+				skip[rec.Seq] = rec
+			}
+		} else {
+			journal, err = checkpoint.Create(ck.Path, fp, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		defer journal.Close()
+	}
+
 	workers := make([]*gpu.DeviceWorker, len(sys.Devices))
 	for i, dev := range sys.Devices {
 		workers[i] = gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
@@ -170,22 +239,44 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 		MaxRetries:      cfg.MaxRetries,
 		QuarantineAfter: cfg.QuarantineAfter,
 		BatchTimeout:    cfg.BatchTimeout,
+		Drain:           cfg.Drain,
 	}
-	// Host re-execution: the CPU engine computes the same hits as the
-	// device path, so a batch drained here merges bit-identically.
-	// Shared by the all-quarantined fallback and the DMR rerun.
-	hostRerun := func(b gpu.Batch) (bool, error) {
-		res, err := pl.runCPU(b.DB, b.Trace)
-		if err != nil {
-			return false, err
-		}
+	// commitMerge is the single commit path for every executor (device
+	// worker, host fallback, DMR rerun): claim the batch's one-shot
+	// merge token, make the result durable, then merge. The journal
+	// append happens strictly before the merge is acknowledged (the
+	// write-ahead ordering), so a batch the scheduler counts complete
+	// is always recoverable; a crash between append and merge-ack is
+	// resolved on resume by replay-then-skip. devIdx < 0 marks a host
+	// execution with no launch reports.
+	commitMerge := func(b gpu.Batch, res *Result, devIdx int, launches []*simt.LaunchReport) (bool, error) {
 		if !b.Commit() {
 			return false, nil
+		}
+		if journal != nil {
+			if err := journal.Append(encodeBatchRecord(b, res)); err != nil {
+				return false, err
+			}
 		}
 		mu.Lock()
 		defer mu.Unlock()
 		mergeBatch(final, res, b.Offset)
+		if devIdx >= 0 {
+			extra.Launches[devIdx] = append(extra.Launches[devIdx], launches...)
+		}
 		return true, nil
+	}
+	// Host re-execution: the CPU engine computes the same hits as the
+	// device path, so a batch drained here merges bit-identically.
+	// Shared by the all-quarantined fallback and the DMR rerun. The
+	// per-sequence ctx check means a cancelled run stops promptly even
+	// when the host is grinding through a fallback batch.
+	hostRerun := func(b gpu.Batch) (bool, error) {
+		res, err := pl.runCPUContext(ctx, b.DB, b.Trace)
+		if err != nil {
+			return false, err
+		}
+		return commitMerge(b, res, -1, nil)
 	}
 	if !cfg.DisableFallback {
 		sched.Fallback = hostRerun
@@ -197,32 +288,73 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 	if cfg.Verify == VerifyDMR {
 		sched.DMR = hostRerun
 	}
-	rep, err := sched.RunContext(ctx,
-		func(submit func(db *seq.Database) error) error {
-			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, submit)
+	var replayedBatches, replayedSeqs int
+	rep, err := sched.RunBatches(ctx,
+		func(submit func(b gpu.Batch) error) error {
+			// The producer re-chunks the stream exactly as the original
+			// run did (same parser, same residue budget — enforced by the
+			// fingerprint), so batch ordinals and offsets line up with
+			// the journal's. Journaled batches merge from disk and are
+			// never submitted; everything else executes normally.
+			seqNo, offset := uint64(0), 0
+			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, func(db *seq.Database) error {
+				if rec, ok := skip[seqNo]; ok {
+					if rec.Offset != uint64(offset) || rec.NumSeqs != uint64(db.NumSeqs()) || rec.Residues != uint64(db.TotalResidues()) {
+						return fmt.Errorf("pipeline: journal record for batch %d does not match the input stream (journal: offset %d, %d seqs, %d residues; stream: offset %d, %d seqs, %d residues): was the database file changed?",
+							seqNo, rec.Offset, rec.NumSeqs, rec.Residues, offset, db.NumSeqs(), db.TotalResidues())
+					}
+					res, err := decodeBatchPayload(rec.Payload)
+					if err != nil {
+						return fmt.Errorf("pipeline: journal record for batch %d: %v", seqNo, err)
+					}
+					mu.Lock()
+					mergeBatch(final, res, offset)
+					mu.Unlock()
+					delete(skip, seqNo)
+					replayedBatches++
+					replayedSeqs += db.NumSeqs()
+					seqNo++
+					offset += db.NumSeqs()
+					return nil
+				}
+				if err := submit(gpu.Batch{Seq: int(seqNo), Offset: offset, DB: db}); err != nil {
+					return err
+				}
+				seqNo++
+				offset += db.NumSeqs()
+				return nil
+			})
 		},
 		func(devIdx int, _ *simt.Device, b gpu.Batch) error {
-			res, launches, err := pl.searchBatchOnDevice(workers[devIdx], b.DB, chk, b.Trace)
+			res, launches, err := pl.searchBatchOnDevice(ctx, workers[devIdx], b.DB, chk, b.Trace)
 			if err != nil {
 				return err
 			}
 			// A watchdog-abandoned attempt can complete late, after the
-			// batch was reassigned: the commit token makes the merge
-			// exactly-once.
-			if !b.Commit() {
-				return nil
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			mergeBatch(final, res, b.Offset)
-			extra.Launches[devIdx] = append(extra.Launches[devIdx], launches...)
-			return nil
+			// batch was reassigned: the commit token inside commitMerge
+			// makes the merge (and its journal record) exactly-once.
+			_, err = commitMerge(b, res, devIdx, launches)
+			return err
 		})
 	if err != nil {
 		return nil, err
 	}
+	if len(skip) > 0 && !rep.Drained {
+		return nil, fmt.Errorf("pipeline: journal holds %d batches beyond the end of the input stream: was the database file changed?", len(skip))
+	}
 	extra.Schedule = rep
-	finalizeStream(final, rep.Seqs)
+	extra.Drained = rep.Drained
+	extra.Replayed = replayedBatches
+	if journal != nil {
+		// Surface close/sync errors: an unsynced tail the caller was
+		// told is durable would break the resume contract.
+		if err := journal.Close(); err != nil {
+			return nil, err
+		}
+		st := journal.Stats()
+		extra.Checkpoint = &st
+	}
+	finalizeStream(final, rep.Seqs+replayedSeqs)
 	final.Extra = extra
 	if reg := pl.Opts.Metrics; reg.Enabled() {
 		final.Record(reg)
@@ -243,17 +375,20 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 // wrapped *integrity.Error before any result is built, so the
 // scheduler discards the attempt with the batch's merge token
 // untouched. batchSpan (nilable) is the batch's span on the device
-// track; stage and kernel spans nest under it.
-func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, chk *integrity.Checker, batchSpan *obs.Span) (*Result, []*simt.LaunchReport, error) {
+// track; stage and kernel spans nest under it. Kernel launches poll
+// ctx.Done() between blocks, so cancellation interrupts a batch
+// mid-kernel rather than at the next stage boundary.
+func (pl *Pipeline) searchBatchOnDevice(ctx context.Context, w *gpu.DeviceWorker, db *seq.Database, chk *integrity.Checker, batchSpan *obs.Span) (*Result, []*simt.LaunchReport, error) {
 	result := &Result{}
 	var launches []*simt.LaunchReport
 
 	start := time.Now()
 	msvSpan, endMSV := startStage(batchSpan, "msv")
 	w.S.Trace = msvSpan
+	w.S.Cancel = ctx.Done()
 	msvRep, err := w.MSVBatch(db)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxErr(ctx, err)
 	}
 	if chk != nil {
 		if err := chk.CheckMSV(msvRep.Results); err != nil {
@@ -285,7 +420,7 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, c
 	if sub.NumSeqs() > 0 {
 		vitRep, err := w.ViterbiBatch(sub)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, ctxErr(ctx, err)
 		}
 		if chk != nil {
 			if err := chk.CheckViterbi(vitRep.Results); err != nil {
@@ -308,7 +443,9 @@ func (pl *Pipeline) searchBatchOnDevice(w *gpu.DeviceWorker, db *seq.Database, c
 	endVit(&result.Viterbi)
 
 	w.S.Trace = nil
-	pl.finishForward(db, vitSurvivors, msvBits, vitBits, result, batchSpan)
+	if err := pl.finishForward(ctx, db, vitSurvivors, msvBits, vitBits, result, batchSpan); err != nil {
+		return nil, nil, err
+	}
 	if chk != nil {
 		// The only guard spanning stages: a shared-memory flip that
 		// produced a wrong but on-grid filter score can still betray

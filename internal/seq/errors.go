@@ -1,0 +1,35 @@
+package seq
+
+import "fmt"
+
+// MaxRecordLen bounds the residues of a single FASTA record when
+// parsing untrusted input. The longest known protein (titin) is ~35k
+// residues, so the default of 64M is far beyond anything biological
+// while still preventing a malformed headerless concatenation from
+// swallowing the whole input into one record. Set to 0 to disable the
+// check; services parsing hostile uploads should lower it.
+var MaxRecordLen = 64 << 20
+
+// ParseError is a structured FASTA parse failure: Line is the 1-based
+// input line where parsing stopped, Record names the sequence being
+// parsed ("" when the failure precedes the first header), and Msg
+// describes the failure. Callers that want to surface the offending
+// record (a web service rejecting one sequence of a large upload, say)
+// can errors.As for it instead of string-matching.
+type ParseError struct {
+	Line   int
+	Record string
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	if e.Record != "" {
+		return fmt.Sprintf("fasta: line %d: record %q: %s", e.Line, e.Record, e.Msg)
+	}
+	return fmt.Sprintf("fasta: line %d: %s", e.Line, e.Msg)
+}
+
+// parseErrf builds a *ParseError in one line at the call sites.
+func parseErrf(line int, record, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Record: record, Msg: fmt.Sprintf(format, args...)}
+}

@@ -24,7 +24,7 @@ func ReadFASTA(r io.Reader, abc *alphabet.Alphabet) (*Database, error) {
 			return nil
 		}
 		if err := cur.Validate(abc); err != nil {
-			return err
+			return parseErrf(line, cur.Name, "%v", err)
 		}
 		db.Add(cur)
 		cur = nil
@@ -46,17 +46,20 @@ func ReadFASTA(r io.Reader, abc *alphabet.Alphabet) (*Database, error) {
 				name, desc = header[:i], strings.TrimSpace(header[i+1:])
 			}
 			if name == "" {
-				return nil, fmt.Errorf("fasta: line %d: empty sequence name", line)
+				return nil, parseErrf(line, "", "empty sequence name")
 			}
 			cur = &Sequence{Name: name, Desc: desc}
 			continue
 		}
 		if cur == nil {
-			return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
+			return nil, parseErrf(line, "", "sequence data before first header")
 		}
 		dsq, err := abc.Digitize(text)
 		if err != nil {
-			return nil, fmt.Errorf("fasta: line %d: %w", line, err)
+			return nil, parseErrf(line, cur.Name, "%v", err)
+		}
+		if MaxRecordLen > 0 && len(cur.Residues)+len(dsq) > MaxRecordLen {
+			return nil, parseErrf(line, cur.Name, "sequence exceeds MaxRecordLen (%d residues)", MaxRecordLen)
 		}
 		cur.Residues = append(cur.Residues, dsq...)
 	}

@@ -1,0 +1,60 @@
+package seq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMaxRecordLen checks the untrusted-input record cap: a sequence
+// over the limit is rejected with a structured error naming the record,
+// in both the whole-file and streaming parsers.
+func TestMaxRecordLen(t *testing.T) {
+	defer func(old int) { MaxRecordLen = old }(MaxRecordLen)
+	MaxRecordLen = 10
+	in := ">ok\nACDEF\n>huge description\nACDEFGHIKL\nMNPQR\n"
+
+	_, err := ReadFASTA(strings.NewReader(in), abc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ReadFASTA: want *ParseError, got %v", err)
+	}
+	if pe.Record != "huge" {
+		t.Errorf("ReadFASTA: error names record %q, want %q (err: %v)", pe.Record, "huge", err)
+	}
+
+	err = StreamFASTA(strings.NewReader(in), abc, 1, func(*Database) error { return nil })
+	pe = nil
+	if !errors.As(err, &pe) {
+		t.Fatalf("StreamFASTA: want *ParseError, got %v", err)
+	}
+	if pe.Record != "huge" {
+		t.Errorf("StreamFASTA: error names record %q, want %q (err: %v)", pe.Record, "huge", err)
+	}
+
+	// At exactly the limit the record is accepted.
+	db, err := ReadFASTA(strings.NewReader(">exact\nACDEFGHIKL\n"), abc)
+	if err != nil {
+		t.Fatalf("record at the limit rejected: %v", err)
+	}
+	if db.Seqs[0].Len() != 10 {
+		t.Errorf("got %d residues, want 10", db.Seqs[0].Len())
+	}
+}
+
+// TestParseErrorNamesRecordAndLine checks the structured error carries
+// the offending line and record for a mid-file residue error.
+func TestParseErrorNamesRecordAndLine(t *testing.T) {
+	in := ">good\nACDEF\n>bad\nAC1EF\n"
+	_, err := ReadFASTA(strings.NewReader(in), abc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Record != "bad" || pe.Line != 4 {
+		t.Errorf("got record %q line %d, want %q line 4 (err: %v)", pe.Record, pe.Line, "bad", err)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("message should name record and line: %v", err)
+	}
+}

@@ -68,7 +68,7 @@ func streamFASTA(r io.Reader, abc *alphabet.Alphabet, full func(seqs int, residu
 			return nil
 		}
 		if err := cur.Validate(abc); err != nil {
-			return err
+			return parseErrf(line, cur.Name, "%v", err)
 		}
 		batch.Add(cur)
 		batchResidues += int64(cur.Len())
@@ -96,17 +96,20 @@ func streamFASTA(r io.Reader, abc *alphabet.Alphabet, full func(seqs int, residu
 				name, desc = header[:i], strings.TrimSpace(header[i+1:])
 			}
 			if name == "" {
-				return fmt.Errorf("fasta: line %d: empty sequence name", line)
+				return parseErrf(line, "", "empty sequence name")
 			}
 			cur = &Sequence{Name: name, Desc: desc}
 			continue
 		}
 		if cur == nil {
-			return fmt.Errorf("fasta: line %d: sequence data before first header", line)
+			return parseErrf(line, "", "sequence data before first header")
 		}
 		dsq, err := abc.Digitize(text)
 		if err != nil {
-			return fmt.Errorf("fasta: line %d: %w", line, err)
+			return parseErrf(line, cur.Name, "%v", err)
+		}
+		if MaxRecordLen > 0 && len(cur.Residues)+len(dsq) > MaxRecordLen {
+			return parseErrf(line, cur.Name, "sequence exceeds MaxRecordLen (%d residues)", MaxRecordLen)
 		}
 		cur.Residues = append(cur.Residues, dsq...)
 	}

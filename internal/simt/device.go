@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -10,6 +11,13 @@ import (
 
 	"hmmer3gpu/internal/obs"
 )
+
+// ErrLaunchCanceled is returned by Launch when LaunchConfig.Cancel
+// closes before the grid finishes: blocks stop being scheduled (an
+// in-flight block completes first — the simulator's analogue of a real
+// device draining its resident blocks) and the partial results are
+// discarded by the caller.
+var ErrLaunchCanceled = errors.New("simt: launch canceled")
 
 // Device is one simulated GPU.
 type Device struct {
@@ -89,6 +97,12 @@ type LaunchConfig struct {
 	HostWorkers int
 	// Name labels the kernel in traces ("msv", "p7viterbi", "forward").
 	Name string
+	// Cancel, when non-nil, aborts the launch once closed: the grid
+	// stops scheduling new blocks and Launch returns ErrLaunchCanceled
+	// — the mid-kernel cancellation check that lets a context deadline
+	// interrupt a long launch between blocks instead of waiting for
+	// the whole grid.
+	Cancel <-chan struct{}
 	// Trace, when non-nil, parents a kernel span emitted on this
 	// device's track, annotated with the launch geometry, occupancy,
 	// and headline counters.
@@ -258,9 +272,27 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		blockStats[b] = bs
 	}
 
+	// Cancellation is polled between blocks, so an in-flight block runs
+	// to completion but the rest of the grid is abandoned. canceled is
+	// sticky: once observed, the launch fails even if the grid happened
+	// to drain concurrently.
+	var canceled atomic.Bool
+	cancelRequested := func() bool {
+		if cfg.Cancel == nil {
+			return false
+		}
+		select {
+		case <-cfg.Cancel:
+			canceled.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
+
 	runGrid := func() {
 		if workers <= 1 {
-			for b := 0; b < cfg.Blocks && !panicked.Load(); b++ {
+			for b := 0; b < cfg.Blocks && !panicked.Load() && !cancelRequested(); b++ {
 				runBlock(b)
 			}
 			return
@@ -277,7 +309,7 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 					b := int(next)
 					next++
 					mu.Unlock()
-					if b >= cfg.Blocks || panicked.Load() {
+					if b >= cfg.Blocks || panicked.Load() || cancelRequested() {
 						return
 					}
 					runBlock(b)
@@ -311,6 +343,11 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		span.Annotate(obs.String("error", panicErr.Error()))
 		span.End()
 		return nil, panicErr
+	}
+	if canceled.Load() {
+		span.Annotate(obs.String("error", ErrLaunchCanceled.Error()))
+		span.End()
+		return nil, fmt.Errorf("simt: %s kernel on %s: %w", cfg.Name, d.Track(), ErrLaunchCanceled)
 	}
 
 	rep := &LaunchReport{Occupancy: occ}

@@ -1,0 +1,104 @@
+// Command benchdiff compares two benchmark-trajectory records
+// (BENCH_<rev>.json files written by hmmbench -experiment trajectory)
+// and fails when wall-clock regresses beyond a threshold:
+//
+//	benchdiff -threshold 0.20 bench/BENCH_baseline.json BENCH_dev.json
+//
+// The exit status is 1 when any suite in the new record is slower than
+// the baseline by more than the threshold fraction. Suites present in
+// only one record are reported but never fail the comparison (the
+// baseline predates them or they were retired). A host or sim-mode
+// mismatch between the two records prints a warning, since wall-clock
+// comparisons across different machines or modes are unreliable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmmer3gpu/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20,
+		"fail when a suite's wall-clock regresses by more than this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] <baseline.json> <new.json>")
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fatalf("-threshold must be >= 0, got %g", *threshold)
+	}
+
+	base, err := bench.ReadTrajectory(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := bench.ReadTrajectory(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if base.SimMode != cur.SimMode {
+		fmt.Printf("WARNING: sim mode differs (%s vs %s); wall-clock comparison is unreliable\n",
+			base.SimMode, cur.SimMode)
+	}
+	if base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH || base.NumCPU != cur.NumCPU {
+		fmt.Printf("WARNING: host differs (%s/%s %d cpus vs %s/%s %d cpus); wall-clock comparison is unreliable\n",
+			base.GOOS, base.GOARCH, base.NumCPU, cur.GOOS, cur.GOARCH, cur.NumCPU)
+	}
+	if base.GoVersion != cur.GoVersion {
+		fmt.Printf("WARNING: toolchain differs (%s vs %s)\n", base.GoVersion, cur.GoVersion)
+	}
+
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
+		base.Rev, base.SimMode, cur.Rev, cur.SimMode, *threshold*100)
+	fmt.Printf("%-16s %12s %12s %9s %s\n", "suite", "baseline", "new", "ratio", "status")
+
+	baseBy := make(map[string]bench.TrajectorySuite, len(base.Suites))
+	for _, s := range base.Suites {
+		baseBy[s.Suite] = s
+	}
+
+	regressed := false
+	seen := make(map[string]bool, len(cur.Suites))
+	for _, s := range cur.Suites {
+		seen[s.Suite] = true
+		b, ok := baseBy[s.Suite]
+		if !ok {
+			fmt.Printf("%-16s %12s %11.3fs %9s new suite (not compared)\n", s.Suite, "-", s.WallSeconds, "-")
+			continue
+		}
+		if b.WallSeconds <= 0 {
+			fmt.Printf("%-16s %12s %11.3fs %9s baseline wall is zero (not compared)\n", s.Suite, "0s", s.WallSeconds, "-")
+			continue
+		}
+		ratio := s.WallSeconds / b.WallSeconds
+		status := "ok"
+		if ratio > 1+*threshold {
+			status = fmt.Sprintf("REGRESSION (> %.0f%%)", *threshold*100)
+			regressed = true
+		} else if ratio < 1 {
+			status = "improved"
+		}
+		fmt.Printf("%-16s %11.3fs %11.3fs %8.2fx %s\n", s.Suite, b.WallSeconds, s.WallSeconds, ratio, status)
+	}
+	for _, b := range base.Suites {
+		if !seen[b.Suite] {
+			fmt.Printf("%-16s %11.3fs %12s %9s retired suite (not compared)\n", b.Suite, b.WallSeconds, "-", "-")
+		}
+	}
+
+	if regressed {
+		fmt.Println("benchdiff: FAIL — wall-clock regression beyond threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

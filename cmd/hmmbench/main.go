@@ -11,7 +11,15 @@
 //	hmmbench -experiment chaos     fault-injection sweep (retry/quarantine/fallback)
 //	hmmbench -experiment sdc       silent-corruption sweep (bit flips vs integrity guards)
 //	hmmbench -experiment resume    crash-recovery sweep (journal fsync overhead, recovery time)
-//	hmmbench -experiment all       everything above
+//	hmmbench -experiment trajectory  wall-clock benchmark record (BENCH_<rev>.json)
+//	hmmbench -experiment all       everything above (except trajectory)
+//
+// The -sim flag selects the simulator's execution mode: "cycles" (the
+// default) runs the full cycle-accurate cost model; "fast" runs the
+// same kernels functionally with accounting skipped. Results are
+// byte-identical; the figure experiments' modelled columns are only
+// meaningful under -sim cycles, while -experiment trajectory is meant
+// for -sim fast.
 package main
 
 import (
@@ -23,11 +31,12 @@ import (
 
 	"hmmer3gpu/internal/bench"
 	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/simt"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|resume|all")
+		experiment = flag.String("experiment", "all", "fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|resume|trajectory|all")
 		quick      = flag.Bool("quick", false, "use reduced workloads (seconds instead of minutes)")
 		seed       = flag.Int64("seed", 0, "override the workload seed")
 		sizes      = flag.String("sizes", "", "comma-separated model sizes (default: the paper's sweep)")
@@ -35,6 +44,9 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write fig9/fig10/fig11 CSV files into this directory")
 		trace      = flag.String("trace", "", "write a span timeline of the pipeline-driven experiments to this file")
 		traceFmt   = flag.String("traceformat", "chrome", "trace file format: chrome|jsonl")
+		simMode    = flag.String("sim", "cycles", "simulator mode: cycles (cycle-accurate) or fast (functional)")
+		rev        = flag.String("rev", "dev", "revision label for -experiment trajectory (BENCH_<rev>.json)")
+		outDir     = flag.String("out", ".", "output directory for -experiment trajectory")
 	)
 	flag.Parse()
 
@@ -46,6 +58,11 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	mode, err := simt.ParseMode(*simMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Mode = mode
 	if *trace != "" {
 		if *traceFmt != "chrome" && *traceFmt != "jsonl" {
 			fatalf("unknown -traceformat %q (want chrome or jsonl)", *traceFmt)
@@ -78,6 +95,24 @@ func main() {
 			fatalf("csv export: %v", err)
 		}
 		fmt.Println()
+		return
+	}
+
+	// The trajectory is a wall-clock record, not a figure: it runs on
+	// its own, never under -experiment all.
+	if *experiment == "trajectory" {
+		run("trajectory", func() error {
+			rep, err := bench.Trajectory(cfg, *rev, os.Stdout)
+			if err != nil {
+				return err
+			}
+			path, err := rep.WriteFile(*outDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("benchmark record written to %s\n", path)
+			return nil
+		})
 		return
 	}
 
@@ -132,7 +167,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|resume|all)", *experiment)
+		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|resume|trajectory|all)", *experiment)
 	}
 }
 

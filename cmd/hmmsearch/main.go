@@ -34,6 +34,10 @@ import (
 	"hmmer3gpu/internal/simt"
 )
 
+// simMode is the parsed -sim flag; every device this command creates
+// runs in this mode.
+var simMode simt.Mode
+
 func main() {
 	var (
 		engine   = flag.String("engine", "cpu", "cpu|gpu|multigpu")
@@ -51,6 +55,7 @@ func main() {
 		trace    = flag.String("trace", "", "write a span timeline of the run to this file (search, stage, batch, and kernel spans)")
 		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome (load in ui.perfetto.dev or chrome://tracing) | jsonl")
 		metrics  = flag.String("metrics", "", "write run counters to this file in Prometheus text format")
+		sim      = flag.String("sim", "cycles", "simulator mode: cycles (cycle-accurate counters) or fast (functional, no accounting); results are identical")
 
 		faultSpec    = flag.String("faults", "", "inject device faults (multigpu streaming): \"<dev>:<fault>[,...][;...]\" with faults p=<prob>, at=<ordinal>, hang=<ordinal>, dead[=<ordinal>], flip@p=<prob>, flip@shared=<prob>, flip@launch=<ordinal> — e.g. \"0:p=0.2;2:dead\" or \"0:flip@p=1e-4\"")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault injection (-faults p=)")
@@ -74,6 +79,9 @@ func main() {
 
 	abc := alphabet.New()
 	sk := newSinks(*trace, *traceFmt, *metrics)
+	var err error
+	simMode, err = simt.ParseMode(*sim)
+	check(err)
 
 	if *stream > 0 {
 		switch *engine {
@@ -138,9 +146,11 @@ func main() {
 	case "cpu":
 		res, err = pl.RunCPU(db)
 	case "gpu":
-		res, err = pl.RunGPU(simt.NewDevice(simt.TeslaK40()), memCfg, db)
+		dev := simt.NewDevice(simt.TeslaK40())
+		dev.Mode = simMode
+		res, err = pl.RunGPU(dev, memCfg, db)
 	case "multigpu":
-		res, err = pl.RunMultiGPU(simt.NewSystem(simt.GTX580(), *devices), memCfg, db)
+		res, err = pl.RunMultiGPU(simt.NewSystem(simt.GTX580(), *devices).SetMode(simMode), memCfg, db)
 	default:
 		fatalf("unknown -engine %q", *engine)
 	}
@@ -416,7 +426,7 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 	ff, err := os.Open(fastaPath)
 	check(err)
 	defer ff.Close()
-	sys := simt.NewSystem(simt.GTX580(), devices)
+	sys := simt.NewSystem(simt.GTX580(), devices).SetMode(simMode)
 	if fo.spec != "" {
 		faults, err := simt.ParseFaults(fo.spec, fo.seed, devices)
 		check(err)

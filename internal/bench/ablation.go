@@ -73,7 +73,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 
 	// --- A1: synchronisation ---------------------------------------
 	{
-		dev := simt.NewDevice(spec)
+		dev := cfg.newDevice(spec)
 		ddb := gpu.UploadDB(dev, db)
 		s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, HostWorkers: cfg.Workers}
 		free, err := s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
@@ -82,7 +82,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 		}
 		rep.SyncFreeTime = perf.GPUTime(spec, free.Launch)
 
-		dev2 := simt.NewDevice(spec)
+		dev2 := cfg.newDevice(spec)
 		ddb2 := gpu.UploadDB(dev2, db)
 		s2 := &gpu.Searcher{Dev: dev2, HostWorkers: cfg.Workers}
 		synced, err := s2.MSVSearchSynced(gpu.UploadMSVProfile(dev2, mp), ddb2, false)
@@ -104,7 +104,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 		noShfl.HasShuffle = false
 
 		for i, sp := range []simt.DeviceSpec{spec, noShfl} {
-			dev := simt.NewDevice(sp)
+			dev := cfg.newDevice(sp)
 			ddb := gpu.UploadDB(dev, db)
 			s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, HostWorkers: cfg.Workers}
 			r, err := s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
@@ -129,7 +129,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 	// --- A3: residue packing ----------------------------------------
 	{
 		for i, disable := range []bool{false, true} {
-			dev := simt.NewDevice(spec)
+			dev := cfg.newDevice(spec)
 			ddb := gpu.UploadDB(dev, db)
 			// Global config: model reads go through the cached-load
 			// counters, so GlobalLoadTransactions isolates the
@@ -155,7 +155,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 	// --- A4: parallel lazy-F ----------------------------------------
 	{
 		runVit := func(prof *gpu.DeviceVitProfile, eager, scan bool) (float64, float64, error) {
-			dev := simt.NewDevice(spec)
+			dev := cfg.newDevice(spec)
 			ddb := gpu.UploadDB(dev, db)
 			s := &gpu.Searcher{Dev: dev, Mem: gpu.MemShared, EagerLazyF: eager, DDScan: scan, HostWorkers: cfg.Workers}
 			r, err := s.ViterbiSearch(prof, ddb)
@@ -165,7 +165,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 			chunks := float64(ddb.TotalResidues) * float64((m+31)/32)
 			return perf.GPUTime(spec, r.Launch), float64(r.LazyF.Iterations) / chunks, nil
 		}
-		dev0 := simt.NewDevice(spec)
+		dev0 := cfg.newDevice(spec)
 		prof := gpu.UploadVitProfile(dev0, vp)
 		var err error
 		rep.LazyTime, rep.LazyItersTypical, err = runVit(prof, false, false)
@@ -189,7 +189,7 @@ func Ablations(cfg Config, w io.Writer) (AblationReport, error) {
 			return rep, err
 		}
 		_, gvp := configuredProfiles(gappy, db)
-		gprof := gpu.UploadVitProfile(simt.NewDevice(spec), gvp)
+		gprof := gpu.UploadVitProfile(cfg.newDevice(spec), gvp)
 		rep.LazyTimeGappy, rep.LazyItersGappy, err = runVit(gprof, false, false)
 		if err != nil {
 			return rep, err
@@ -239,7 +239,7 @@ func combinedOnDB(cfg Config, spec simt.DeviceSpec, h *hmm.Plan7, data *seq.Data
 	if err != nil {
 		return 0, err
 	}
-	dev := simt.NewDevice(spec)
+	dev := cfg.newDevice(spec)
 	res, err := pl.RunGPU(dev, gpu.MemAuto, data)
 	if err != nil {
 		return 0, err

@@ -38,6 +38,12 @@ type Config struct {
 	// Trace, when non-nil, receives spans from the experiments that run
 	// full pipelines (hmmbench -trace); nil keeps tracing off.
 	Trace *obs.Tracer
+	// Mode selects the simulator's execution mode for every device the
+	// harness creates (hmmbench -sim). The zero value is cycle-accurate;
+	// ModeFast skips all cost accounting, so the figure experiments'
+	// modelled columns read zero and only wall-clock comparisons (the
+	// trajectory experiment) are meaningful.
+	Mode simt.Mode
 }
 
 // DefaultConfig returns budgets sized for a laptop run of the full
@@ -146,3 +152,26 @@ func fprintf(w io.Writer, format string, args ...any) {
 // k40 and gtx580 are the paper's device specs.
 func k40() simt.DeviceSpec    { return simt.TeslaK40() }
 func gtx580() simt.DeviceSpec { return simt.GTX580() }
+
+// newDevice creates one device of the given spec in the configured
+// simulation mode.
+func (c Config) newDevice(spec simt.DeviceSpec) *simt.Device {
+	d := simt.NewDevice(spec)
+	d.Mode = c.Mode
+	return d
+}
+
+// newSystem creates n identical devices in the configured simulation
+// mode.
+func (c Config) newSystem(spec simt.DeviceSpec, n int) *simt.System {
+	return simt.NewSystem(spec, n).SetMode(c.Mode)
+}
+
+// modeBanner warns when a figure experiment runs in fast mode, where
+// the modelled (counter-derived) columns are meaningless.
+func (c Config) modeBanner(w io.Writer) {
+	if c.Mode == simt.ModeFast {
+		fprintf(w, "NOTE: -sim fast skips cycle accounting; modelled speedup columns read zero.\n")
+		fprintf(w, "      Use -sim cycles for figures, -experiment trajectory for wall-clock.\n")
+	}
+}

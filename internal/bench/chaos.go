@@ -93,7 +93,7 @@ func Chaos(cfg Config, w io.Writer) ([]ChaosRow, error) {
 	var rows []ChaosRow
 	var clean *pipeline.Result
 	for _, sc := range chaosScenarios {
-		sys := simt.NewSystem(gtx580(), 4)
+		sys := cfg.newSystem(gtx580(), 4)
 		if sc.Spec != "" {
 			faults, err := simt.ParseFaults(sc.Spec, cfg.Seed+303, 4)
 			if err != nil {

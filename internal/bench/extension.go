@@ -83,7 +83,7 @@ func SpillStudy(cfg Config, w io.Writer) ([]SpillRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			t, cells, err := runStage(spec, Envnr, StageViterbi, mem, nil, vp, data, cfg.Workers)
+			t, cells, err := runStage(cfg, spec, Envnr, StageViterbi, mem, nil, vp, data)
 			if err != nil {
 				return nil, err
 			}
@@ -121,7 +121,7 @@ func extensionPoint(cfg Config, spec simt.DeviceSpec, db DBKind, m int) (Extensi
 	}
 	pl.Opts.GPUForward = true
 
-	res, err := pl.RunGPU(simt.NewDevice(spec), gpu.MemAuto, data)
+	res, err := pl.RunGPU(cfg.newDevice(spec), gpu.MemAuto, data)
 	if err != nil {
 		return row, err
 	}

@@ -29,6 +29,7 @@ type Fig10Row struct {
 // auto (optimal) memory strategy and HMMER3's filter thresholds.
 func Fig10(cfg Config, w io.Writer) ([]Fig10Row, error) {
 	spec := k40()
+	cfg.modeBanner(w)
 	fprintf(w, "Figure 10 — overall MSV+P7Viterbi speedup on a single %s\n", spec.Name)
 	fprintf(w, "%12s %8s %10s %10s\n", "DB", "M", "overall", "MSV-pass")
 	var rows []Fig10Row
@@ -79,7 +80,7 @@ func combinedPoint(cfg Config, spec simt.DeviceSpec, sys *simt.System, db DBKind
 	var msvT, vitT float64
 	var res *pipeline.Result
 	if sys == nil {
-		dev := simt.NewDevice(spec)
+		dev := cfg.newDevice(spec)
 		res, err = pl.RunGPU(dev, gpu.MemAuto, data)
 		if err != nil {
 			return row, err

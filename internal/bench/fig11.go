@@ -2,8 +2,6 @@ package bench
 
 import (
 	"io"
-
-	"hmmer3gpu/internal/simt"
 )
 
 // Fig11Row is one point of Figure 11: overall combined-stage speedup
@@ -23,12 +21,13 @@ type Fig11Row struct {
 // a 4x GTX 580 (Fermi) system.
 func Fig11(cfg Config, w io.Writer) ([]Fig11Row, error) {
 	spec := gtx580()
+	cfg.modeBanner(w)
 	fprintf(w, "Figure 11 — overall MSV+P7Viterbi speedup on 4x %s\n", spec.Name)
 	fprintf(w, "%12s %8s %10s %10s %10s\n", "DB", "M", "4-GPU", "1-GPU", "scaling")
 	var rows []Fig11Row
 	for _, db := range []DBKind{Swissprot, Envnr} {
 		for _, m := range cfg.Sizes {
-			sys := simt.NewSystem(spec, 4)
+			sys := cfg.newSystem(spec, 4)
 			p4, err := combinedPoint(cfg, spec, sys, db, m)
 			if err != nil {
 				return nil, err

@@ -50,12 +50,12 @@ type Fig9Row struct {
 // the GPU time and DP cells, both extrapolated to the kind's full
 // paper-scale database (the simulator's counters are linear in the
 // workload; see perf.GPUTimeScaled).
-func runStage(spec simt.DeviceSpec, kind DBKind, stage Stage, mem gpu.MemConfig,
-	mp *profile.MSVProfile, vp *profile.VitProfile, db *seq.Database, workers int) (float64, int64, error) {
+func runStage(cfg Config, spec simt.DeviceSpec, kind DBKind, stage Stage, mem gpu.MemConfig,
+	mp *profile.MSVProfile, vp *profile.VitProfile, db *seq.Database) (float64, int64, error) {
 
-	dev := simt.NewDevice(spec)
+	dev := cfg.newDevice(spec)
 	ddb := gpu.UploadDB(dev, db)
-	s := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: workers}
+	s := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: cfg.Workers}
 	var rep *gpu.SearchReport
 	var err error
 	var m int
@@ -88,6 +88,7 @@ func cpuStageTime(stage Stage, cells int64) float64 {
 func Fig9(cfg Config, w io.Writer) ([]Fig9Row, error) {
 	spec := k40()
 	var rows []Fig9Row
+	cfg.modeBanner(w)
 	fprintf(w, "Figure 9 — stage speedups vs HMMER3 SSE on %s (baseline: %s)\n",
 		spec.Name, perf.BaselineI5().Name)
 
@@ -139,7 +140,7 @@ func fig9Point(cfg Config, spec simt.DeviceSpec, db DBKind, stage Stage, m int) 
 	if plan, err := planOf(spec, m, gpu.MemShared); err == nil {
 		row.SharedFits = true
 		row.SharedOcc = plan.Occupancy.Fraction
-		t, cells, err := runStage(spec, db, stage, gpu.MemShared, mp, vp, data, cfg.Workers)
+		t, cells, err := runStage(cfg, spec, db, stage, gpu.MemShared, mp, vp, data)
 		if err != nil {
 			return row, err
 		}
@@ -150,7 +151,7 @@ func fig9Point(cfg Config, spec simt.DeviceSpec, db DBKind, stage Stage, m int) 
 		return row, err
 	}
 	row.GlobalOcc = plan.Occupancy.Fraction
-	t, cells, err := runStage(spec, db, stage, gpu.MemGlobal, mp, vp, data, cfg.Workers)
+	t, cells, err := runStage(cfg, spec, db, stage, gpu.MemGlobal, mp, vp, data)
 	if err != nil {
 		return row, err
 	}

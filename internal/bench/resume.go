@@ -14,7 +14,6 @@ import (
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/seq"
-	"hmmer3gpu/internal/simt"
 	"hmmer3gpu/internal/stats"
 	"hmmer3gpu/internal/workload"
 )
@@ -111,7 +110,7 @@ func Resume(cfg Config, w io.Writer) ([]ResumeRow, error) {
 	defer os.RemoveAll(dir)
 
 	run := func(ck *pipeline.CheckpointConfig) (*pipeline.Result, time.Duration, error) {
-		sys := simt.NewSystem(gtx580(), 2)
+		sys := cfg.newSystem(gtx580(), 2)
 		start := time.Now()
 		res, err := pl.RunMultiGPUStream(sys, gpu.MemAuto, bytes.NewReader(fasta.Bytes()),
 			pipeline.StreamConfig{BatchResidues: batchResidues, Checkpoint: ck})

@@ -111,7 +111,7 @@ func SDC(cfg Config, w io.Writer) ([]SDCRow, error) {
 		if sc.ECC {
 			spec = simt.TeslaK40()
 		}
-		sys := simt.NewSystem(spec, 1)
+		sys := cfg.newSystem(spec, 1)
 		if sc.Spec != "" {
 			faults, err := simt.ParseFaults(sc.Spec, cfg.Seed+505, 1)
 			if err != nil {

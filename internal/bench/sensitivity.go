@@ -9,7 +9,6 @@ import (
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/seq"
-	"hmmer3gpu/internal/simt"
 	"hmmer3gpu/internal/stats"
 	"hmmer3gpu/internal/workload"
 )
@@ -82,7 +81,7 @@ func Sensitivity(cfg Config, w io.Writer) ([]SensitivityRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gpuRes, err := pl.RunGPU(simt.NewDevice(k40()), gpu.MemAuto, db)
+		gpuRes, err := pl.RunGPU(cfg.newDevice(k40()), gpu.MemAuto, db)
 		if err != nil {
 			return nil, err
 		}

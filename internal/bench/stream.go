@@ -9,7 +9,6 @@ import (
 	"hmmer3gpu/internal/perf"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/seq"
-	"hmmer3gpu/internal/simt"
 	"hmmer3gpu/internal/stats"
 	"hmmer3gpu/internal/workload"
 )
@@ -87,7 +86,7 @@ func StreamScaling(cfg Config, w io.Writer) ([]StreamScalingRow, error) {
 	var rows []StreamScalingRow
 	var base float64
 	for _, n := range []int{1, 2, 4} {
-		sys := simt.NewSystem(spec, n)
+		sys := cfg.newSystem(spec, n)
 		res, err := pl.RunMultiGPUStream(sys, gpu.MemAuto, bytes.NewReader(fasta.Bytes()),
 			pipeline.StreamConfig{BatchResidues: batchResidues})
 		if err != nil {

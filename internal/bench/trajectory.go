@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/profile"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/stats"
+	"hmmer3gpu/internal/workload"
+)
+
+// TrajectorySchema identifies the BENCH_<rev>.json layout; benchdiff
+// refuses files with any other schema string.
+const TrajectorySchema = "hmmer3gpu-bench/v1"
+
+// TrajectorySuite is one timed suite of the benchmark trajectory.
+// Unlike the figure experiments, which report modelled device time,
+// the trajectory records host wall-clock: it tracks how fast the
+// simulator itself runs, revision over revision.
+type TrajectorySuite struct {
+	// Suite names the workload ("fig9-kernels", "fig10-pipeline").
+	Suite string `json:"suite"`
+	// WallSeconds is the measured wall-clock time of the suite's
+	// simulator work (workload generation and calibration excluded).
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the exact number of DP cells the suite executed.
+	Cells int64 `json:"cells"`
+	// CellsPerSec is Cells / WallSeconds.
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// TrajectoryReport is the persisted benchmark-trajectory record
+// (BENCH_<rev>.json): the timings plus enough host context for
+// benchdiff to warn before comparing apples to oranges.
+type TrajectoryReport struct {
+	Schema    string            `json:"schema"`
+	Rev       string            `json:"rev"`
+	SimMode   string            `json:"sim_mode"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Suites    []TrajectorySuite `json:"suites"`
+}
+
+// Trajectory times the simulator on two fixed workloads — the Figure 9
+// kernel sweep and the Figure 10 combined pipeline — and returns the
+// record to persist as BENCH_<rev>.json. Run it with -sim fast for the
+// CI trajectory (wall-clock is the quantity under test; the cycle
+// counters are not).
+func Trajectory(cfg Config, rev string, w io.Writer) (*TrajectoryReport, error) {
+	rep := &TrajectoryReport{
+		Schema:    TrajectorySchema,
+		Rev:       rev,
+		SimMode:   cfg.Mode.String(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	fprintf(w, "Benchmark trajectory — rev %s, sim mode %s\n", rev, cfg.Mode)
+	fprintf(w, "%-16s %12s %16s %16s\n", "suite", "wall", "cells", "cells/s")
+
+	for _, run := range []struct {
+		name string
+		f    func(Config) (time.Duration, int64, error)
+	}{
+		{"fig9-kernels", trajectoryKernels},
+		{"fig10-pipeline", trajectoryPipeline},
+	} {
+		wall, cells, err := run.f(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory %s: %w", run.name, err)
+		}
+		s := TrajectorySuite{Suite: run.name, WallSeconds: wall.Seconds(), Cells: cells}
+		if s.WallSeconds > 0 {
+			s.CellsPerSec = float64(s.Cells) / s.WallSeconds
+		}
+		rep.Suites = append(rep.Suites, s)
+		fprintf(w, "%-16s %12s %16d %16.4g\n",
+			s.Suite, wall.Round(time.Millisecond), s.Cells, s.CellsPerSec)
+	}
+	return rep, nil
+}
+
+// trajectoryKernels is the fig9-shaped suite: every (database, stage,
+// model size, memory config) kernel point. Workload generation happens
+// before the clock starts; the timed region covers device creation,
+// upload and launch. Cells are exact: residues times model size per
+// executed kernel.
+func trajectoryKernels(cfg Config) (time.Duration, int64, error) {
+	type unit struct {
+		kind  DBKind
+		stage Stage
+		mem   gpu.MemConfig
+		mp    *profile.MSVProfile
+		vp    *profile.VitProfile
+		data  *seq.Database
+		cells int64
+	}
+	spec := k40()
+	var units []unit
+	for _, db := range []DBKind{Swissprot, Envnr} {
+		for _, stage := range []Stage{StageMSV, StageViterbi} {
+			for _, m := range cfg.Sizes {
+				h, err := cfg.model(m)
+				if err != nil {
+					return 0, 0, err
+				}
+				budget := cfg.MSVCellBudget
+				planOf := gpu.PlanMSV
+				if stage == StageViterbi {
+					budget = cfg.VitCellBudget
+					planOf = gpu.PlanViterbi
+				}
+				data, err := cfg.database(db, budget, h)
+				if err != nil {
+					return 0, 0, err
+				}
+				mp, vp := configuredProfiles(h, data)
+				for _, mem := range []gpu.MemConfig{gpu.MemShared, gpu.MemGlobal} {
+					if _, err := planOf(spec, m, mem); err != nil {
+						continue // model does not fit this configuration
+					}
+					units = append(units, unit{db, stage, mem, mp, vp, data,
+						data.TotalResidues() * int64(m)})
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	var cells int64
+	for _, u := range units {
+		if _, _, err := runStage(cfg, spec, u.kind, u.stage, u.mem, u.mp, u.vp, u.data); err != nil {
+			return 0, 0, err
+		}
+		cells += u.cells
+	}
+	return time.Since(start), cells, nil
+}
+
+// trajectoryPipeline is the fig10-shaped suite: the combined
+// MSV+P7Viterbi pipeline over the size sweep on a single K40.
+// Pipelines are constructed (and calibrated) before the clock starts;
+// cells come from the pipeline's exact per-stage accounting.
+func trajectoryPipeline(cfg Config) (time.Duration, int64, error) {
+	type unit struct {
+		pl   *pipeline.Pipeline
+		data *seq.Database
+	}
+	spec := k40()
+	var units []unit
+	for _, db := range []DBKind{Swissprot, Envnr} {
+		for _, m := range cfg.Sizes {
+			h, err := cfg.model(m)
+			if err != nil {
+				return 0, 0, err
+			}
+			dbSpec := db.specMinSeqs(cfg.MSVCellBudget, m, cfg.Seed+int64(m)*2+int64(db), 300)
+			data, err := workload.Generate(dbSpec, h, alphabet.New())
+			if err != nil {
+				return 0, 0, err
+			}
+			opts := pipeline.DefaultOptions()
+			opts.SkipForward = true
+			opts.Workers = cfg.Workers
+			opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: cfg.Seed, TailMass: 0.04}
+			pl, err := pipeline.New(h, int(data.MeanLen()), opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			units = append(units, unit{pl, data})
+		}
+	}
+
+	start := time.Now()
+	var cells int64
+	for _, u := range units {
+		res, err := u.pl.RunGPU(cfg.newDevice(spec), gpu.MemAuto, u.data)
+		if err != nil {
+			return 0, 0, err
+		}
+		cells += res.MSV.Cells + res.Viterbi.Cells
+	}
+	return time.Since(start), cells, nil
+}
+
+// WriteFile writes the report as BENCH_<rev>.json under dir and
+// returns the path.
+func (r *TrajectoryReport) WriteFile(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.Rev+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTrajectory loads and schema-checks a BENCH_<rev>.json.
+func ReadTrajectory(path string) (*TrajectoryReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r TrajectoryReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != TrajectorySchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, TrajectorySchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/simt"
+)
+
+func TestTrajectoryQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	cfg.Mode = simt.ModeFast
+	var buf bytes.Buffer
+	rep, err := Trajectory(cfg, "test", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != TrajectorySchema || rep.Rev != "test" || rep.SimMode != "fast" {
+		t.Errorf("report header = %q/%q/%q", rep.Schema, rep.Rev, rep.SimMode)
+	}
+	if len(rep.Suites) != 2 {
+		t.Fatalf("got %d suites, want 2", len(rep.Suites))
+	}
+	for _, s := range rep.Suites {
+		if s.WallSeconds <= 0 || s.Cells <= 0 || s.CellsPerSec <= 0 {
+			t.Errorf("suite %q: degenerate record %+v", s.Suite, s)
+		}
+	}
+	if !strings.Contains(buf.String(), "fig10-pipeline") {
+		t.Error("report text missing the pipeline suite row")
+	}
+
+	// Round-trip: WriteFile must produce a file ReadTrajectory accepts
+	// and that decodes to the same record.
+	dir := t.TempDir()
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != rep.Rev || len(got.Suites) != len(rep.Suites) ||
+		got.Suites[0] != rep.Suites[0] || got.Suites[1] != rep.Suites[1] {
+		t.Errorf("round-trip mismatch:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+// benchStage runs the M=120 swissprot MSV kernel point, the
+// trajectory's smallest unit of simulator work, in the given mode.
+func benchStage(b *testing.B, mode simt.Mode) {
+	cfg := QuickConfig()
+	cfg.Mode = mode
+	h, err := cfg.model(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := cfg.database(Swissprot, cfg.MSVCellBudget, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, vp := configuredProfiles(h, data)
+	cells := data.TotalResidues() * 120
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runStage(cfg, k40(), Swissprot, StageMSV, gpu.MemShared, mp, vp, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkMSVKernelFast tracks the simulator's functional-mode
+// throughput on one kernel point; BenchmarkMSVKernelCycles is the
+// same work under full cycle accounting, so the pair exposes the
+// accounting overhead directly in benchstat output.
+func BenchmarkMSVKernelFast(b *testing.B)   { benchStage(b, simt.ModeFast) }
+func BenchmarkMSVKernelCycles(b *testing.B) { benchStage(b, simt.ModeCycleAccurate) }

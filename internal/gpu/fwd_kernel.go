@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"sync"
+
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/simt"
 )
@@ -11,6 +13,8 @@ type fwdRun struct {
 	prof *DeviceFwdProfile
 	plan LaunchPlan
 	out  []FwdResult
+	// states pools per-warp register buffers across blocks.
+	states sync.Pool
 }
 
 // Shared layout: per warp three float32 row buffers (M, I, D), then
@@ -38,8 +42,6 @@ func (r *fwdRun) modelBase(hasShuffle bool) int {
 }
 
 type fwdWarpState struct {
-	addrs               []int
-	gaddr               []int64
 	curM, curI, curD    []float32
 	nextM, nextI, nextD []float32
 	pmT, piT            []float32
@@ -54,7 +56,6 @@ type fwdWarpState struct {
 func newFwdWarpState(lanes int) *fwdWarpState {
 	mk := func() []float32 { return make([]float32, lanes) }
 	st := &fwdWarpState{
-		addrs: make([]int, lanes), gaddr: make([]int64, lanes),
 		curM: mk(), curI: mk(), curD: mk(),
 		nextM: mk(), nextI: mk(), nextD: mk(),
 		pmT: mk(), piT: mk(),
@@ -79,7 +80,11 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 	p := r.prof
 	m := p.P.M
 	rowBase := r.rowBase(w.WarpInBlock)
-	st := newFwdWarpState(lanes)
+	st, _ := r.states.Get().(*fwdWarpState)
+	if st == nil {
+		st = newFwdWarpState(lanes)
+	}
+	defer r.states.Put(st)
 
 	nSeqs := len(r.db.Packed)
 	span := w.TotalWarps()
@@ -91,14 +96,11 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 
 		for region := 0; region < 3; region++ {
 			for k0 := 0; k0 <= m; k0 += lanes {
-				for l := 0; l < lanes; l++ {
-					if k0+l <= m {
-						st.addrs[l] = rowBase + region*4*(m+1) + 4*(k0+l)
-					} else {
-						st.addrs[l] = -1
-					}
+				n := m + 1 - k0
+				if n > lanes {
+					n = lanes
 				}
-				w.SharedStoreF32(st.addrs, st.negs)
+				w.SharedSpanStoreF32(st.negs, rowBase+region*4*(m+1)+4*k0, n)
 			}
 		}
 
@@ -108,11 +110,7 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 
 		for i := 0; i < seqLen; i++ {
 			if i%alphabet.ResiduesPerWord == 0 {
-				a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
-				for l := 0; l < lanes; l++ {
-					st.gaddr[l] = a
-				}
-				w.GlobalLoad(st.gaddr, 4)
+				w.GlobalBroadcastLoad(packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord), 4)
 			}
 			res := alphabet.PackedAt(words, i)
 			if res == alphabet.PackSentinel {
@@ -135,8 +133,8 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 				if p0+lanes < m {
 					r.prefetch3(w, st, rowBase, p0+lanes, m)
 				}
-				r.loadF(w, st, st.pmT, r.mOff(rowBase, 0), p0+1, m)
-				r.loadF(w, st, st.piT, r.iOff(rowBase, 0), p0+1, m)
+				r.loadF(w, st.pmT, r.mOff(rowBase, 0), p0+1, m, w.Lanes())
+				r.loadF(w, st.piT, r.iOff(rowBase, 0), p0+1, m, w.Lanes())
 				r.meterModel(w, st, res, p0, m)
 
 				for l := 0; l < lanes; l++ {
@@ -155,11 +153,11 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 				}
 				w.ALU(16) // lse trees are ~2x the max trees
 
-				r.storeF(w, st, st.mv, r.mOff(rowBase, 0), p0+1, m)
-				r.storeF(w, st, st.iv, r.iOff(rowBase, 0), p0+1, m)
+				r.storeF(w, st.mv, r.mOff(rowBase, 0), p0+1, m, lanes)
+				r.storeF(w, st.iv, r.iOff(rowBase, 0), p0+1, m, lanes)
 
 				// D seeds from the new M row.
-				r.loadF(w, st, st.pmT, r.mOff(rowBase, 0), p0, m)
+				r.loadF(w, st.pmT, r.mOff(rowBase, 0), p0, m, lanes)
 				for l := 0; l < lanes; l++ {
 					t := p0 + 1 + l
 					if t > m {
@@ -175,7 +173,7 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 
 				// Log-semiring Kogge-Stone scan over the chunk.
 				r.ddScanLse(w, st)
-				r.storeF(w, st, st.dv, r.dOff(rowBase, 0), p0+1, m)
+				r.storeF(w, st.dv, r.dOff(rowBase, 0), p0+1, m, lanes)
 
 				lastT := p0 + lanes
 				if lastT > m {
@@ -202,75 +200,57 @@ func (r *fwdRun) kernel(w *simt.Warp) {
 		}
 
 		r.out[seqID] = FwdResult{Score: float64(xC + p.TMove)}
-		st.gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
-		for l := 1; l < lanes; l++ {
-			st.gaddr[l] = -1
-		}
-		w.GlobalStore(st.gaddr, 8)
+		w.GlobalSpanStore(r.db.ScoreAddr+int64(8*seqID), 8, 1)
 	}
 }
 
 func (r *fwdRun) load3(w *simt.Warp, st *fwdWarpState, rowBase, p0, m int) {
-	r.loadF(w, st, st.curM, r.mOff(rowBase, 0), p0, m)
-	r.loadF(w, st, st.curI, r.iOff(rowBase, 0), p0, m)
-	r.loadF(w, st, st.curD, r.dOff(rowBase, 0), p0, m)
+	lanes := w.Lanes()
+	r.loadF(w, st.curM, r.mOff(rowBase, 0), p0, m, lanes)
+	r.loadF(w, st.curI, r.iOff(rowBase, 0), p0, m, lanes)
+	r.loadF(w, st.curD, r.dOff(rowBase, 0), p0, m, lanes)
 }
 
 func (r *fwdRun) prefetch3(w *simt.Warp, st *fwdWarpState, rowBase, p0, m int) {
-	r.loadF(w, st, st.nextM, r.mOff(rowBase, 0), p0, m)
-	r.loadF(w, st, st.nextI, r.iOff(rowBase, 0), p0, m)
-	r.loadF(w, st, st.nextD, r.dOff(rowBase, 0), p0, m)
+	lanes := w.Lanes()
+	r.loadF(w, st.nextM, r.mOff(rowBase, 0), p0, m, lanes)
+	r.loadF(w, st.nextI, r.iOff(rowBase, 0), p0, m, lanes)
+	r.loadF(w, st.nextD, r.dOff(rowBase, 0), p0, m, lanes)
 }
 
-func (r *fwdRun) loadF(w *simt.Warp, st *fwdWarpState, dst []float32, base0, p0, m int) {
-	for l := 0; l < w.Lanes(); l++ {
-		if p0+l <= m {
-			st.addrs[l] = base0 + 4*(p0+l)
-		} else {
-			st.addrs[l] = -1
-		}
+// loadF reads cells at positions p0+l (a conflict-free contiguous
+// span) into dst.
+func (r *fwdRun) loadF(w *simt.Warp, dst []float32, base0, p0, m, lanes int) {
+	n := m + 1 - p0
+	if n > lanes {
+		n = lanes
 	}
-	w.SharedLoadF32Into(dst, st.addrs)
+	w.SharedSpanLoadF32(dst, base0+4*p0, n)
 }
 
-func (r *fwdRun) storeF(w *simt.Warp, st *fwdWarpState, vals []float32, base0, p0, m int) {
-	for l := 0; l < w.Lanes(); l++ {
-		if p0+l <= m {
-			st.addrs[l] = base0 + 4*(p0+l)
-		} else {
-			st.addrs[l] = -1
-		}
+// storeF writes cells at positions p0+l.
+func (r *fwdRun) storeF(w *simt.Warp, vals []float32, base0, p0, m, lanes int) {
+	n := m + 1 - p0
+	if n > lanes {
+		n = lanes
 	}
-	w.SharedStoreF32(st.addrs, vals)
+	w.SharedSpanStoreF32(vals, base0+4*p0, n)
 }
 
 // meterModel accounts the float parameter fetches (metered like the
 // Viterbi kernel's; values come from the host tables).
 func (r *fwdRun) meterModel(w *simt.Warp, st *fwdWarpState, res byte, p0, m int) {
-	lanes := w.Lanes()
+	n := m - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
+	}
 	base := r.modelBase(w.HasShuffle())
 	for arr := 0; arr < 8; arr++ {
 		if r.plan.MemConfig == MemShared {
-			b := base + arr*4*(m+1)
-			for l := 0; l < lanes; l++ {
-				if p0+1+l <= m {
-					st.addrs[l] = b + 4*(p0+l)
-				} else {
-					st.addrs[l] = -1
-				}
-			}
-			w.SharedLoadF32Into(st.accO, st.addrs)
+			w.SharedSpanTouch(base+arr*4*(m+1)+4*p0, 4, n, false)
 			continue
 		}
-		b := r.prof.TableAddr + int64(arr*4*(m+1))
-		for l := 0; l < lanes; l++ {
-			if p0+1+l <= m {
-				st.gaddr[l] = b + int64(4*(p0+l))
-			} else {
-				st.gaddr[l] = -1
-			}
-		}
-		w.GlobalLoadCached(st.gaddr, 4)
+		w.GlobalSpanLoadCached(r.prof.TableAddr+int64(arr*4*(m+1))+int64(4*p0), 4, n)
 	}
 	_ = res
 }
@@ -317,32 +297,15 @@ func (r *fwdRun) warpLse(w *simt.Warp, st *fwdWarpState) float32 {
 	}
 	// Fermi: fold through the shared scratch region.
 	base := r.scratchBase(w)
-	for l := 0; l < lanes; l++ {
-		st.addrs[l] = base + 4*l
-	}
-	w.SharedStoreF32(st.addrs, st.xEv)
+	w.SharedSpanStoreF32(st.xEv, base, lanes)
 	copy(st.shflA, st.xEv)
 	for stride := lanes / 2; stride > 0; stride >>= 1 {
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				st.addrs[l] = base + 4*(l+stride)
-			} else {
-				st.addrs[l] = -1
-			}
-		}
-		w.SharedLoadF32Into(st.shflB, st.addrs)
+		w.SharedSpanLoadF32(st.shflB, base+4*stride, stride)
 		w.ALU(2)
 		for l := 0; l < stride; l++ {
 			st.shflA[l] = lseF32(st.shflA[l], st.shflB[l])
 		}
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				st.addrs[l] = base + 4*l
-			} else {
-				st.addrs[l] = -1
-			}
-		}
-		w.SharedStoreF32(st.addrs, st.shflA)
+		w.SharedSpanStoreF32(st.shflA, base, stride)
 	}
 	return st.shflA[0]
 }

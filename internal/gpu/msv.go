@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math"
+	"sync"
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/cpu"
@@ -19,6 +20,10 @@ type msvRun struct {
 	plan   LaunchPlan
 	packed bool // residue packing on (off only in the packing ablation)
 	out    []cpu.FilterResult
+	// states pools per-warp register buffers across the blocks a host
+	// worker executes (a fresh allocation per warp per block is pure
+	// GC pressure: the buffers are fully re-initialised per sequence).
+	states sync.Pool
 }
 
 // Shared-memory layout per block for the MSV kernel:
@@ -43,6 +48,27 @@ func (r *msvRun) modelBase(hasShuffle bool) int {
 	return base
 }
 
+// msvWarpState holds a warp's preallocated register buffers.
+type msvWarpState struct {
+	cur  []uint8
+	next []uint8
+	temp []uint8
+	xEv  []uint8
+	zero []uint8
+	rs   *reduceScratch
+}
+
+func newMSVWarpState(lanes int) *msvWarpState {
+	return &msvWarpState{
+		cur:  make([]uint8, lanes),
+		next: make([]uint8, lanes),
+		temp: make([]uint8, lanes),
+		xEv:  make([]uint8, lanes),
+		zero: make([]uint8, lanes),
+		rs:   newReduceScratch(lanes),
+	}
+}
+
 // kernel is the warp-synchronous MSV alignment kernel (Algorithm 1).
 func (r *msvRun) kernel(w *simt.Warp) {
 	lanes := w.Lanes()
@@ -52,16 +78,12 @@ func (r *msvRun) kernel(w *simt.Warp) {
 	overflowAt := mp.OverflowThreshold()
 	rowBase := r.rowBase(w.WarpInBlock)
 	scratchBase := r.scratchBase(w)
-	rs := newReduceScratch(lanes)
-
-	// Per-warp register buffers (allocated once per warp).
-	addrs := make([]int, lanes)
-	gaddr := make([]int64, lanes)
-	cur := make([]uint8, lanes)
-	next := make([]uint8, lanes)
-	temp := make([]uint8, lanes)
-	xEv := make([]uint8, lanes)
-	zero := make([]uint8, lanes)
+	st, _ := r.states.Get().(*msvWarpState)
+	if st == nil {
+		st = newMSVWarpState(lanes)
+	}
+	defer r.states.Put(st)
+	cur, next := st.cur, st.next
 
 	// Block prologue: with the model in shared memory, the block loads
 	// the emission table from global once (metered as the cooperative
@@ -71,32 +93,22 @@ func (r *msvRun) kernel(w *simt.Warp) {
 		mb := r.modelBase(w.HasShuffle())
 		tableBytes := deviceAlphaSize * (m + 1)
 		for off := 0; off < tableBytes; off += 4 * lanes {
-			for l := 0; l < lanes; l++ {
-				if off+4*l < tableBytes {
-					gaddr[l] = r.prof.TableAddr + int64(off+4*l)
-				} else {
-					gaddr[l] = -1
-				}
+			n := (tableBytes - off + 3) / 4
+			if n > lanes {
+				n = lanes
 			}
-			w.GlobalLoad(gaddr, 4)
+			w.GlobalSpanLoad(r.prof.TableAddr+int64(off), 4, n)
 		}
 		// Materialise the table so emission reads flow through the
 		// simulated shared memory (stores metered in 32-byte groups).
-		row := make([]uint8, lanes)
 		for rcode := 0; rcode < deviceAlphaSize; rcode++ {
 			src := r.prof.Cost[rcode]
 			for k0 := 0; k0 <= m; k0 += lanes {
-				n := 0
-				for l := 0; l < lanes; l++ {
-					if k0+l <= m {
-						addrs[l] = mb + rcode*(m+1) + k0 + l
-						row[l] = src[k0+l]
-						n++
-					} else {
-						addrs[l] = -1
-					}
+				n := m + 1 - k0
+				if n > lanes {
+					n = lanes
 				}
-				w.SharedStoreU8(addrs, row)
+				w.SharedSpanStoreU8(src[k0:], mb+rcode*(m+1)+k0, n)
 			}
 		}
 	}
@@ -111,14 +123,11 @@ func (r *msvRun) kernel(w *simt.Warp) {
 
 		// Clear this warp's DP row buffer (the -inf floor is byte 0).
 		for p0 := 0; p0 <= m; p0 += lanes {
-			for l := 0; l < lanes; l++ {
-				if p0+l <= m {
-					addrs[l] = rowBase + p0 + l
-				} else {
-					addrs[l] = -1
-				}
+			n := m + 1 - p0
+			if n > lanes {
+				n = lanes
 			}
-			w.SharedStoreU8(addrs, zero)
+			w.SharedSpanStoreU8(st.zero, rowBase+p0, n)
 		}
 
 		xJ := uint8(0)
@@ -130,18 +139,11 @@ func (r *msvRun) kernel(w *simt.Warp) {
 			// the same address: one transaction, hardware broadcast).
 			if r.packed {
 				if i%alphabet.ResiduesPerWord == 0 {
-					a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
-					for l := 0; l < lanes; l++ {
-						gaddr[l] = a
-					}
-					w.GlobalLoad(gaddr, 4)
+					w.GlobalBroadcastLoad(packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord), 4)
 				}
 			} else {
 				// Packing ablation: one byte-per-residue fetch per row.
-				for l := 0; l < lanes; l++ {
-					gaddr[l] = seqAddr + int64(i)
-				}
-				w.GlobalLoad(gaddr, 1)
+				w.GlobalBroadcastLoad(seqAddr+int64(i), 1)
 			}
 			res := alphabet.PackedAt(words, i)
 			if res == alphabet.PackSentinel {
@@ -153,22 +155,22 @@ func (r *msvRun) kernel(w *simt.Warp) {
 			costRow := r.prof.Cost[res]
 			xBtbm := satmath.SubU8(xB, mp.TBM)
 			for l := 0; l < lanes; l++ {
-				xEv[l] = 0
+				st.xEv[l] = 0
 			}
 			w.ALU(2)
 
 			// Step 1 (Figure 5): load the first 32 previous-row cells.
-			r.loadRow(w, addrs, cur, rowBase, 0, m)
+			r.loadRow(w, cur, rowBase, 0, m)
 
 			for p0 := 0; p0 < m; p0 += lanes {
 				// Step 2: cache the next 32 dependencies before the
 				// in-place update can overwrite the warp boundary.
 				if p0+lanes < m {
-					r.loadRow(w, addrs, next, rowBase, p0+lanes, m)
+					r.loadRow(w, next, rowBase, p0+lanes, m)
 				}
 
 				// Emission costs for target positions p0+1+l.
-				r.loadCosts(w, addrs, gaddr, temp, costRow, res, p0, m)
+				r.loadCosts(w, st.temp, costRow, res, p0, m)
 
 				// temp = max(mmx, xB) + bias - em(res, p)  (line 15).
 				for l := 0; l < lanes; l++ {
@@ -178,27 +180,24 @@ func (r *msvRun) kernel(w *simt.Warp) {
 					}
 					sv := satmath.MaxU8(cur[l], xBtbm)
 					sv = satmath.AddU8(sv, mp.Bias)
-					sv = satmath.SubU8(sv, temp[l])
-					temp[l] = sv
-					xEv[l] = satmath.MaxU8(xEv[l], sv)
+					sv = satmath.SubU8(sv, st.temp[l])
+					st.temp[l] = sv
+					st.xEv[l] = satmath.MaxU8(st.xEv[l], sv)
 				}
 				w.ALU(4)
 
 				// Step 3: write the updated cells back (line 18).
-				for l := 0; l < lanes; l++ {
-					if p0+1+l <= m {
-						addrs[l] = rowBase + p0 + 1 + l
-					} else {
-						addrs[l] = -1
-					}
+				n := m - p0
+				if n > lanes {
+					n = lanes
 				}
-				w.SharedStoreU8(addrs, temp)
+				w.SharedSpanStoreU8(st.temp, rowBase+p0+1, n)
 
 				cur, next = next, cur
 			}
 
 			// Warp-shuffled max reduction and broadcast (line 20).
-			xE := warpMaxU8(w, xEv, scratchBase, rs)
+			xE := warpMaxU8(w, st.xEv, scratchBase, st.rs)
 			if xE >= overflowAt {
 				overflowed = true
 				break
@@ -213,52 +212,34 @@ func (r *msvRun) kernel(w *simt.Warp) {
 		} else {
 			r.out[seqID] = cpu.FilterResult{Score: mp.ScoreToNats(xJ)}
 		}
-		// Save the final score (line 23).
-		gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
-		for l := 1; l < lanes; l++ {
-			gaddr[l] = -1
-		}
-		w.GlobalStore(gaddr, 8)
+		// Save the final score (line 23): one active lane, 8 bytes.
+		w.GlobalSpanStore(r.db.ScoreAddr+int64(8*seqID), 8, 1)
 	}
 }
 
 // loadRow reads previous-row cells at positions p0+l into dst through
 // shared memory (consecutive bytes: intrinsically conflict-free).
-func (r *msvRun) loadRow(w *simt.Warp, addrs []int, dst []uint8, rowBase, p0, m int) {
-	for l := 0; l < w.Lanes(); l++ {
-		if p0+l <= m {
-			addrs[l] = rowBase + p0 + l
-		} else {
-			addrs[l] = -1
-		}
+func (r *msvRun) loadRow(w *simt.Warp, dst []uint8, rowBase, p0, m int) {
+	n := m + 1 - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
 	}
-	w.SharedLoadU8Into(dst, addrs)
+	w.SharedSpanLoadU8(dst, rowBase+p0, n)
 }
 
 // loadCosts fetches the emission costs for targets p0+1+l into dst,
 // metering shared or global traffic per the launch's memory
 // configuration.
-func (r *msvRun) loadCosts(w *simt.Warp, addrs []int, gaddr []int64, dst []uint8, costRow []uint8, res byte, p0, m int) {
-	lanes := w.Lanes()
+func (r *msvRun) loadCosts(w *simt.Warp, dst []uint8, costRow []uint8, res byte, p0, m int) {
+	n := m - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
+	}
 	if r.plan.MemConfig == MemShared {
 		mb := r.modelBase(w.HasShuffle())
-		for l := 0; l < lanes; l++ {
-			if t := p0 + 1 + l; t <= m {
-				addrs[l] = mb + int(res)*(m+1) + t
-			} else {
-				addrs[l] = -1
-			}
-		}
-		w.SharedLoadU8Into(dst, addrs)
+		w.SharedSpanLoadU8(dst, mb+int(res)*(m+1)+p0+1, n)
 		return
 	}
-	for l := 0; l < lanes; l++ {
-		if t := p0 + 1 + l; t <= m {
-			gaddr[l] = r.prof.TableAddr + int64(int(res)*(m+1)+t)
-			dst[l] = costRow[t]
-		} else {
-			gaddr[l] = -1
-		}
-	}
-	w.GlobalLoadCached(gaddr, 1)
+	w.GlobalSpanLoadCached(r.prof.TableAddr+int64(int(res)*(m+1)+p0+1), 1, n)
+	copy(dst[:n], costRow[p0+1:p0+1+n])
 }

@@ -15,7 +15,6 @@ import "hmmer3gpu/internal/simt"
 // reductions.
 type reduceScratch struct {
 	a, b   []int32
-	addrs  []int
 	bytes  []uint8
 	bytes2 []uint8
 	words  []int16
@@ -26,7 +25,6 @@ func newReduceScratch(lanes int) *reduceScratch {
 	return &reduceScratch{
 		a:      make([]int32, lanes),
 		b:      make([]int32, lanes),
-		addrs:  make([]int, lanes),
 		bytes:  make([]uint8, lanes),
 		bytes2: make([]uint8, lanes),
 		words:  make([]int16, lanes),
@@ -56,43 +54,23 @@ func warpMaxU8(w *simt.Warp, vals []uint8, scratchBase int, rs *reduceScratch) u
 
 	// Fermi fallback: strided binary reduction through shared memory.
 	// Each stride step is one partner load, one max, one store by the
-	// active half-warp.
-	for l := 0; l < lanes; l++ {
-		rs.addrs[l] = scratchBase + l
-	}
-	w.SharedStoreU8(rs.addrs, vals)
+	// active half-warp (consecutive cells: conflict-free spans).
+	w.SharedSpanStoreU8(vals, scratchBase, lanes)
 	cur := rs.bytes
 	copy(cur, vals)
 	for stride := lanes / 2; stride > 0; stride >>= 1 {
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				rs.addrs[l] = scratchBase + l + stride
-			} else {
-				rs.addrs[l] = -1
-			}
-		}
 		partner := rs.bytes2
-		w.SharedLoadU8Into(partner, rs.addrs)
+		w.SharedSpanLoadU8(partner, scratchBase+stride, stride)
 		w.ALU(1)
 		for l := 0; l < stride; l++ {
 			if partner[l] > cur[l] {
 				cur[l] = partner[l]
 			}
 		}
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				rs.addrs[l] = scratchBase + l
-			} else {
-				rs.addrs[l] = -1
-			}
-		}
-		w.SharedStoreU8(rs.addrs, cur)
+		w.SharedSpanStoreU8(cur, scratchBase, stride)
 	}
 	// Broadcast the result back to every lane (one shared read).
-	for l := 0; l < lanes; l++ {
-		rs.addrs[l] = scratchBase
-	}
-	w.SharedLoadU8Into(rs.bytes2, rs.addrs)
+	w.SharedBroadcastU8(scratchBase)
 	return cur[0]
 }
 
@@ -115,40 +93,20 @@ func warpMaxI16(w *simt.Warp, vals []int16, scratchBase int, rs *reduceScratch) 
 		return int16(rs.a[0])
 	}
 
-	for l := 0; l < lanes; l++ {
-		rs.addrs[l] = scratchBase + 2*l
-	}
-	w.SharedStoreI16(rs.addrs, vals)
+	w.SharedSpanStoreI16(vals, scratchBase, lanes)
 	cur := rs.words
 	copy(cur, vals)
 	partner := rs.words2
 	for stride := lanes / 2; stride > 0; stride >>= 1 {
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				rs.addrs[l] = scratchBase + 2*(l+stride)
-			} else {
-				rs.addrs[l] = -1
-			}
-		}
-		w.SharedLoadI16Into(partner, rs.addrs)
+		w.SharedSpanLoadI16(partner, scratchBase+2*stride, stride)
 		w.ALU(1)
 		for l := 0; l < stride; l++ {
 			if partner[l] > cur[l] {
 				cur[l] = partner[l]
 			}
 		}
-		for l := 0; l < lanes; l++ {
-			if l < stride {
-				rs.addrs[l] = scratchBase + 2*l
-			} else {
-				rs.addrs[l] = -1
-			}
-		}
-		w.SharedStoreI16(rs.addrs, cur)
+		w.SharedSpanStoreI16(cur, scratchBase, stride)
 	}
-	for l := 0; l < lanes; l++ {
-		rs.addrs[l] = scratchBase
-	}
-	w.SharedLoadI16Into(partner, rs.addrs)
+	w.SharedBroadcastI16(scratchBase)
 	return cur[0]
 }

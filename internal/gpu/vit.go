@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math"
+	"sync"
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/cpu"
@@ -25,6 +26,9 @@ type vitRun struct {
 	// iteration and the total iterations, summed over all warps
 	// (written at launch end, read by the ablation benchmark).
 	lazyRows, lazyIters []int64 // indexed by global warp id
+	// states pools per-warp register buffers across blocks (the DP
+	// rows are re-initialised per sequence, so reuse is safe).
+	states sync.Pool
 }
 
 // Shared-memory layout per block for the Viterbi kernel:
@@ -59,8 +63,6 @@ func (r *vitRun) modelBase(hasShuffle bool) int {
 
 // vitWarpState holds a warp's preallocated register buffers.
 type vitWarpState struct {
-	addrs  []int
-	gaddr  []int64
 	curM   []int16
 	curI   []int16
 	curD   []int16
@@ -74,8 +76,6 @@ type vitWarpState struct {
 	dv     []int16
 	ddCand []int16
 	xEv    []int16
-	msc    []int16
-	pred   []bool
 	neg    []int16
 	wgt    []int16
 	// rowBuf backs the spilled DP rows (row-in-global variant only);
@@ -85,10 +85,8 @@ type vitWarpState struct {
 	scan   *ddScanState
 }
 
-func newVitWarpState(lanes int) *vitWarpState {
+func newVitWarpState(lanes, rowCells int) *vitWarpState {
 	st := &vitWarpState{
-		addrs:  make([]int, lanes),
-		gaddr:  make([]int64, lanes),
 		curM:   make([]int16, lanes),
 		curI:   make([]int16, lanes),
 		curD:   make([]int16, lanes),
@@ -102,12 +100,13 @@ func newVitWarpState(lanes int) *vitWarpState {
 		dv:     make([]int16, lanes),
 		ddCand: make([]int16, lanes),
 		xEv:    make([]int16, lanes),
-		msc:    make([]int16, lanes),
-		pred:   make([]bool, lanes),
 		neg:    make([]int16, lanes),
 		wgt:    make([]int16, lanes),
 		rs:     newReduceScratch(lanes),
 		scan:   newDDScanState(lanes),
+	}
+	if rowCells > 0 {
+		st.rowBuf = make([]int16, rowCells)
 	}
 	for l := range st.neg {
 		st.neg[l] = satmath.NegInf16
@@ -124,10 +123,17 @@ func (r *vitRun) kernel(w *simt.Warp) {
 	neg := satmath.NegInf16
 	rowBase := r.rowBase(w.WarpInBlock)
 	scratchBase := r.scratchBase(w)
-	st := newVitWarpState(lanes)
+	st, _ := r.states.Get().(*vitWarpState)
+	if st == nil {
+		rowCells := 0
+		if r.plan.RowsInGlobal {
+			rowCells = 3 * (m + 1)
+		}
+		st = newVitWarpState(lanes, rowCells)
+	}
+	defer r.states.Put(st)
 	if r.plan.RowsInGlobal {
 		rowBase = 0 // helpers address the warp's private spilled area
-		st.rowBuf = make([]int16, 3*(m+1))
 	}
 
 	// Model prologue: meter the cooperative global->shared copy when
@@ -135,14 +141,11 @@ func (r *vitRun) kernel(w *simt.Warp) {
 	if r.plan.MemConfig == MemShared && w.WarpInBlock == 0 {
 		tableBytes := 2*deviceAlphaSize*(m+1) + 14*(m+1)
 		for off := 0; off < tableBytes; off += 4 * lanes {
-			for l := 0; l < lanes; l++ {
-				if off+4*l < tableBytes {
-					st.gaddr[l] = r.prof.TableAddr + int64(off+4*l)
-				} else {
-					st.gaddr[l] = -1
-				}
+			n := (tableBytes - off + 3) / 4
+			if n > lanes {
+				n = lanes
 			}
-			w.GlobalLoad(st.gaddr, 4)
+			w.GlobalSpanLoad(r.prof.TableAddr+int64(off), 4, n)
 		}
 	}
 
@@ -168,11 +171,7 @@ func (r *vitRun) kernel(w *simt.Warp) {
 
 		for i := 0; i < seqLen; i++ {
 			if i%alphabet.ResiduesPerWord == 0 {
-				a := packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord)
-				for l := 0; l < lanes; l++ {
-					st.gaddr[l] = a
-				}
-				w.GlobalLoad(st.gaddr, 4)
+				w.GlobalBroadcastLoad(packedWordAddr(seqAddr, i/alphabet.ResiduesPerWord), 4)
 			}
 			res := alphabet.PackedAt(words, i)
 			if res == alphabet.PackSentinel {
@@ -283,18 +282,26 @@ func (r *vitRun) kernel(w *simt.Warp) {
 					// lazy design avoids.)
 					for iter := 0; iter < lanes; iter++ {
 						r.loadAt(w, st, st.ddCand, r.dOff(rowBase, 0), p0, m)
+						// The vote predicate folds into a host flag in
+						// the same pass that computes the candidates.
+						settled := true
 						for l := 0; l < lanes; l++ {
 							t := p0 + 1 + l
 							if t > m {
-								st.pred[l] = true
 								continue
 							}
-							st.ddCand[l] = satmath.AddI16(st.ddCand[l], vp.TDD[t-1])
-							st.pred[l] = st.dv[l] >= st.ddCand[l]
+							cand := satmath.AddI16(st.ddCand[l], vp.TDD[t-1])
+							st.ddCand[l] = cand
+							if st.dv[l] < cand {
+								settled = false
+							}
 						}
 						w.ALU(3)
-						if !r.eager && w.VoteAll(st.pred) {
-							break
+						if !r.eager {
+							w.Vote()
+							if settled {
+								break
+							}
 						}
 						rowIters++
 						for l := 0; l < lanes; l++ {
@@ -343,11 +350,7 @@ func (r *vitRun) kernel(w *simt.Warp) {
 		} else {
 			r.out[seqID] = cpu.FilterResult{Score: vp.ScoreToNats(xC)}
 		}
-		st.gaddr[0] = r.db.ScoreAddr + int64(8*seqID)
-		for l := 1; l < lanes; l++ {
-			st.gaddr[l] = -1
-		}
-		w.GlobalStore(st.gaddr, 8)
+		w.GlobalSpanStore(r.db.ScoreAddr+int64(8*seqID), 8, 1)
 	}
 
 	if r.lazyRows != nil {
@@ -372,64 +375,47 @@ func (r *vitRun) prefetchRow3(w *simt.Warp, st *vitWarpState, rowBase, p0, m int
 	r.loadAt(w, st, st.nextD, r.dOff(rowBase, 0), p0, m)
 }
 
-// loadAt gathers int16 cells at positions p0+l from a row region whose
-// position-0 byte offset is base0 (warp-relative when rows are
-// spilled to global memory).
+// loadAt gathers int16 cells at positions p0+l (consecutive cells: a
+// conflict-free span) from a row region whose position-0 byte offset
+// is base0 (warp-relative when rows are spilled to global memory).
 func (r *vitRun) loadAt(w *simt.Warp, st *vitWarpState, dst []int16, base0, p0, m int) {
+	n := m + 1 - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
+	}
+	off0 := base0 + 2*p0
 	if r.plan.RowsInGlobal {
 		warpBase := r.rowAddr + int64(w.GlobalWarpID())*int64(6*(m+1))
-		for l := 0; l < w.Lanes(); l++ {
-			if p0+l <= m {
-				off := base0 + 2*(p0+l)
-				st.gaddr[l] = warpBase + int64(off)
-				dst[l] = st.rowBuf[off/2]
-			} else {
-				st.gaddr[l] = -1
-			}
-		}
-		w.GlobalLoadCached(st.gaddr, 2)
+		w.GlobalSpanLoadCached(warpBase+int64(off0), 2, n)
+		copy(dst[:n], st.rowBuf[off0/2:off0/2+n])
 		return
 	}
-	for l := 0; l < w.Lanes(); l++ {
-		if p0+l <= m {
-			st.addrs[l] = base0 + 2*(p0+l)
-		} else {
-			st.addrs[l] = -1
-		}
-	}
-	w.SharedLoadI16Into(dst, st.addrs)
+	w.SharedSpanLoadI16(dst, off0, n)
 }
 
 // storeAt scatters int16 cells to positions p0+l.
 func (r *vitRun) storeAt(w *simt.Warp, st *vitWarpState, vals []int16, base0, p0, m int) {
+	n := m + 1 - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
+	}
+	off0 := base0 + 2*p0
 	if r.plan.RowsInGlobal {
 		warpBase := r.rowAddr + int64(w.GlobalWarpID())*int64(6*(m+1))
-		for l := 0; l < w.Lanes(); l++ {
-			if p0+l <= m {
-				off := base0 + 2*(p0+l)
-				st.gaddr[l] = warpBase + int64(off)
-				st.rowBuf[off/2] = vals[l]
-			} else {
-				st.gaddr[l] = -1
-			}
-		}
-		w.GlobalStoreCached(st.gaddr, 2)
+		w.GlobalSpanStoreCached(warpBase+int64(off0), 2, n)
+		copy(st.rowBuf[off0/2:off0/2+n], vals[:n])
 		return
 	}
-	for l := 0; l < w.Lanes(); l++ {
-		if p0+l <= m {
-			st.addrs[l] = base0 + 2*(p0+l)
-		} else {
-			st.addrs[l] = -1
-		}
-	}
-	w.SharedStoreI16(st.addrs, vals)
+	w.SharedSpanStoreI16(vals, off0, n)
 }
 
 // meterModel accounts the emission and transition parameter fetches
 // for one chunk (the values themselves come from the host tables).
 func (r *vitRun) meterModel(w *simt.Warp, st *vitWarpState, res byte, p0, m int) {
-	lanes := w.Lanes()
+	n := m - p0
+	if lanes := w.Lanes(); n > lanes {
+		n = lanes
+	}
 	if r.plan.MemConfig == MemShared {
 		mb := r.modelBase(w.HasShuffle())
 		// Emission row + 7 transition arrays: 8 shared gathers of
@@ -441,14 +427,7 @@ func (r *vitRun) meterModel(w *simt.Warp, st *vitWarpState, res byte, p0, m int)
 			} else {
 				b = mb + 2*deviceAlphaSize*(m+1) + (arr-1)*2*(m+1)
 			}
-			for l := 0; l < lanes; l++ {
-				if p0+1+l <= m {
-					st.addrs[l] = b + 2*(p0+l)
-				} else {
-					st.addrs[l] = -1
-				}
-			}
-			w.SharedLoadI16Into(st.msc, st.addrs)
+			w.SharedSpanTouch(b+2*p0, 2, n, false)
 		}
 		return
 	}
@@ -459,13 +438,6 @@ func (r *vitRun) meterModel(w *simt.Warp, st *vitWarpState, res byte, p0, m int)
 		} else {
 			b = r.prof.TransAddr + int64((arr-1)*2*(m+1))
 		}
-		for l := 0; l < lanes; l++ {
-			if p0+1+l <= m {
-				st.gaddr[l] = b + int64(2*(p0+l))
-			} else {
-				st.gaddr[l] = -1
-			}
-		}
-		w.GlobalLoadCached(st.gaddr, 2)
+		w.GlobalSpanLoadCached(b+int64(2*p0), 2, n)
 	}
 }

@@ -1,0 +1,133 @@
+package simt
+
+// CostModel is the optional-cost seam between kernel execution and
+// microarchitectural accounting, extending the obs package's
+// nil-receiver philosophy: a warp with a nil CostModel performs the
+// same data movement through the same fault and race machinery but
+// records nothing and allocates nothing, so functional runs pay zero
+// accounting cost. Device.Launch installs the model per launch from
+// Device.Mode; every Warp operation consults it behind a nil check.
+type CostModel interface {
+	// ALU accounts n arithmetic warp instructions.
+	ALU(w *Warp, n int)
+	// SharedAccess accounts one generic per-lane shared-memory access
+	// (gather or scatter; addrs are byte addresses, negative entries
+	// mark inactive lanes) including bank-conflict replays.
+	SharedAccess(w *Warp, sm *SharedMem, addrs []int, store bool)
+	// SharedSpan accounts a contiguous shared access of `active`
+	// consecutive cells: at most `banks` consecutive words, which map
+	// to pairwise-distinct banks — conflict-free by construction.
+	SharedSpan(w *Warp, active int, store bool)
+	// SharedBroadcast accounts an all-lanes-same-word shared read
+	// (hardware broadcast: one conflict-free access).
+	SharedBroadcast(w *Warp)
+	// GlobalAccess accounts one generic per-lane global access of
+	// width bytes per lane, counting 128-byte coalesced transactions.
+	GlobalAccess(w *Warp, addrs []int64, width int, cached, store bool)
+	// GlobalSpan accounts a fully-coalesced global access: `active`
+	// lanes covering [base, base+active*width).
+	GlobalSpan(w *Warp, base int64, width, active int, cached, store bool)
+	// GlobalBroadcast accounts an all-lanes-same-address global read.
+	GlobalBroadcast(w *Warp, addr int64, width int, cached bool)
+	// Shuffle and Vote account one warp-wide exchange / vote
+	// instruction.
+	Shuffle(w *Warp)
+	Vote(w *Warp)
+	// Sync accounts the barrier instruction itself (stall cycles are
+	// added by Warp.Sync from the block maximum).
+	Sync(w *Warp)
+}
+
+// cycleModel is the cycle-accurate CostModel: the accounting that was
+// historically inlined in every Warp operation.
+type cycleModel struct{}
+
+func (cycleModel) ALU(w *Warp, n int) {
+	w.stats.ALUOps += int64(n)
+	w.addCycles(int64(n))
+}
+
+func (cycleModel) SharedAccess(w *Warp, sm *SharedMem, addrs []int, store bool) {
+	d := sm.conflictDegree(addrs)
+	w.noteLanes(addrs)
+	if store {
+		w.stats.SharedStores += int64(d)
+	} else {
+		w.stats.SharedLoads += int64(d)
+	}
+	w.stats.BankConflictReplays += int64(d - 1)
+	w.addCycles(int64(d))
+}
+
+func (cycleModel) SharedSpan(w *Warp, active int, store bool) {
+	w.stats.TotalLaneSlots += int64(w.dev.Spec.WarpSize)
+	w.stats.ActiveLaneSlots += int64(active)
+	if store {
+		w.stats.SharedStores++
+	} else {
+		w.stats.SharedLoads++
+	}
+	w.addCycles(1)
+}
+
+func (cycleModel) SharedBroadcast(w *Warp) {
+	lanes := int64(w.dev.Spec.WarpSize)
+	w.stats.TotalLaneSlots += lanes
+	w.stats.ActiveLaneSlots += lanes
+	w.stats.SharedLoads++
+	w.addCycles(1)
+}
+
+func (cycleModel) GlobalAccess(w *Warp, addrs []int64, width int, cached, store bool) {
+	t := int64(coalescedTransactions(addrs, width))
+	w.noteLanes64(addrs)
+	globalCharge(w, t, cached, store)
+}
+
+func (cycleModel) GlobalSpan(w *Warp, base int64, width, active int, cached, store bool) {
+	w.stats.TotalLaneSlots += int64(w.dev.Spec.WarpSize)
+	w.stats.ActiveLaneSlots += int64(active)
+	// Distinct 128-byte segments touched by [base, base+active*width).
+	t := (base+int64(active*width)-1)>>7 - base>>7 + 1
+	globalCharge(w, t, cached, store)
+}
+
+func (cycleModel) GlobalBroadcast(w *Warp, addr int64, width int, cached bool) {
+	lanes := int64(w.dev.Spec.WarpSize)
+	w.stats.TotalLaneSlots += lanes
+	w.stats.ActiveLaneSlots += lanes
+	t := (addr+int64(width)-1)>>7 - addr>>7 + 1
+	globalCharge(w, t, cached, false)
+}
+
+func globalCharge(w *Warp, t int64, cached, store bool) {
+	switch {
+	case cached && store:
+		w.stats.CachedStoreTransactions += t
+		w.stats.CachedBytes += t * 128
+	case cached:
+		w.stats.CachedLoadTransactions += t
+		w.stats.CachedBytes += t * 128
+	case store:
+		w.stats.GlobalStoreTransactions += t
+		w.stats.GlobalBytes += t * 128
+	default:
+		w.stats.GlobalLoadTransactions += t
+		w.stats.GlobalBytes += t * 128
+	}
+	w.addCycles(t)
+}
+
+func (cycleModel) Shuffle(w *Warp) {
+	w.stats.ShuffleOps++
+	w.addCycles(1)
+}
+
+func (cycleModel) Vote(w *Warp) {
+	w.stats.VoteOps++
+	w.addCycles(1)
+}
+
+func (cycleModel) Sync(w *Warp) {
+	w.stats.Syncs++
+}

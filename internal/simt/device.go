@@ -34,6 +34,9 @@ type Device struct {
 	// abandoned grid finishes on leaked goroutines whose results are
 	// discarded). 0 disables the watchdog.
 	LaunchTimeout time.Duration
+	// Mode selects cycle-accurate accounting (the default) or fast
+	// functional execution with a nil CostModel; see Mode.
+	Mode Mode
 
 	mu         sync.Mutex
 	nextGlobal int64
@@ -121,6 +124,16 @@ type blockRun struct {
 	barrier *blockBarrier
 }
 
+// blockCtx is one worker's reusable execution context: the shared
+// memory, warp structs and stat accumulator are allocated once per
+// worker and recycled across every block the worker claims, so the
+// per-block cost is a reset instead of an allocation burst.
+type blockCtx struct {
+	run   blockRun
+	warps []Warp
+	stats KernelStats
+}
+
 // Launch executes kernel over the grid and aggregates statistics
 // deterministically (warp order within block, block order within
 // grid), regardless of host scheduling.
@@ -156,7 +169,8 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		obs.Int("warps_per_block", int64(cfg.WarpsPerBlock)),
 		obs.Int("shared_bytes_per_block", int64(cfg.SharedBytesPerBlock)),
 		obs.Float("occupancy", occ.Fraction),
-		obs.String("occupancy_limiter", occ.Limiter))
+		obs.String("occupancy_limiter", occ.Limiter),
+		obs.String("sim_mode", d.Mode.String()))
 
 	if err := d.Faults.onLaunch(d.Track()); err != nil {
 		span.Annotate(obs.Bool("fault_injected", true), obs.String("error", err.Error()))
@@ -169,7 +183,13 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	// how the host schedules the blocks below.
 	memPlan := d.Faults.memPlan(spec.ECC, cfg.SharedBytesPerBlock, cfg.Blocks)
 
-	blockStats := make([]KernelStats, cfg.Blocks)
+	// The launch's cost model: nil in fast mode, so every warp
+	// operation's accounting collapses to one predictable branch.
+	var cost CostModel
+	if d.Mode != ModeFast {
+		cost = cycleModel{}
+	}
+
 	workers := cfg.HostWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -208,22 +228,42 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		panicked.Store(true)
 	}
 
-	runBlock := func(b int) {
-		br := &blockRun{
-			shared: newSharedMem(cfg.SharedBytesPerBlock, spec.SharedMemBanks, cfg.DetectRaces),
+	// concurrent: only a cooperative multi-warp block runs its warps on
+	// separate goroutines (they must all make progress to reach the
+	// barrier); warp-synchronous blocks — the paper's kernels — run
+	// their warps serially on the claiming worker with no locking.
+	concurrent := cfg.Cooperative && cfg.WarpsPerBlock > 1
+
+	newCtx := func() *blockCtx {
+		return &blockCtx{
+			run: blockRun{
+				shared: newSharedMem(cfg.SharedBytesPerBlock, spec.SharedMemBanks, cfg.DetectRaces),
+			},
+			warps: make([]Warp, cfg.WarpsPerBlock),
 		}
+	}
+
+	runBlock := func(bc *blockCtx, b int) {
+		var faults map[int]byte
 		if memPlan != nil {
-			br.shared.faults = memPlan.shared[b]
+			faults = memPlan.shared[b]
 		}
-		warps := make([]*Warp, cfg.WarpsPerBlock)
-		for wi := range warps {
-			warps[wi] = &Warp{
+		br := &bc.run
+		br.shared.reset(faults, concurrent)
+		br.barrier = nil
+		if cfg.Cooperative {
+			// A one-warp cooperative block syncs trivially (n=1).
+			br.barrier = newBlockBarrier(cfg.WarpsPerBlock)
+		}
+		for wi := range bc.warps {
+			bc.warps[wi] = Warp{
 				BlockIdx:      b,
 				WarpInBlock:   wi,
 				NumBlocks:     cfg.Blocks,
 				WarpsPerBlock: cfg.WarpsPerBlock,
 				dev:           d,
 				block:         br,
+				cost:          cost,
 			}
 		}
 		runWarp := func(w *Warp) {
@@ -240,36 +280,31 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 			}()
 			kernel(w)
 		}
-		if cfg.Cooperative && cfg.WarpsPerBlock > 1 {
-			br.barrier = newBlockBarrier(cfg.WarpsPerBlock)
+		if concurrent {
 			var wg sync.WaitGroup
-			wg.Add(len(warps))
-			for _, w := range warps {
+			wg.Add(len(bc.warps) - 1)
+			for wi := 1; wi < len(bc.warps); wi++ {
 				go func(w *Warp) {
 					defer wg.Done()
 					runWarp(w)
-				}(w)
+				}(&bc.warps[wi])
 			}
+			runWarp(&bc.warps[0])
 			wg.Wait()
 		} else {
-			if cfg.Cooperative {
-				// A one-warp cooperative block syncs trivially.
-				br.barrier = newBlockBarrier(1)
-			}
-			for _, w := range warps {
-				runWarp(w)
+			for wi := range bc.warps {
+				runWarp(&bc.warps[wi])
 				if panicked.Load() {
 					break
 				}
 			}
 		}
-		var bs KernelStats
-		for _, w := range warps {
+		for wi := range bc.warps {
+			w := &bc.warps[wi]
 			w.stats.WarpsExecuted = 1
-			bs.Add(&w.stats)
+			bc.stats.Add(&w.stats)
 		}
-		bs.SharedRaces += br.shared.races
-		blockStats[b] = bs
+		bc.stats.SharedRaces += br.shared.races
 	}
 
 	// Cancellation is polled between blocks, so an in-flight block runs
@@ -290,30 +325,51 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		}
 	}
 
+	// Block scheduling is a single atomic claim counter: workers pull
+	// the next block index lock-free and only ever park at a true sync
+	// point (a cooperative block barrier) — there is no per-warp
+	// goroutine ping-pong and no scheduler mutex. Worker contexts are
+	// collected for the deterministic stat sum (integer addition, so
+	// claim order cannot change the totals).
+	var next atomic.Int64
+	var ctxMu sync.Mutex
+	var ctxs []*blockCtx
+
+	workerLoop := func(bc *blockCtx) {
+		for {
+			b := int(next.Add(1) - 1)
+			if b >= cfg.Blocks || panicked.Load() || cancelRequested() {
+				return
+			}
+			runBlock(bc, b)
+			// The block loop has no natural yield points (the per-warp
+			// goroutine design it replaced yielded constantly), so on a
+			// GOMAXPROCS=1 host a launch could starve concurrent device
+			// workers and cancellation senders for its whole duration.
+			// One yield per block keeps multi-device interleaving fair.
+			runtime.Gosched()
+		}
+	}
+
 	runGrid := func() {
 		if workers <= 1 {
-			for b := 0; b < cfg.Blocks && !panicked.Load() && !cancelRequested(); b++ {
-				runBlock(b)
-			}
+			bc := newCtx()
+			workerLoop(bc)
+			ctxMu.Lock()
+			ctxs = append(ctxs, bc)
+			ctxMu.Unlock()
 			return
 		}
-		var next int64
-		var mu sync.Mutex
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for i := 0; i < workers; i++ {
 			go func() {
 				defer wg.Done()
-				for {
-					mu.Lock()
-					b := int(next)
-					next++
-					mu.Unlock()
-					if b >= cfg.Blocks || panicked.Load() || cancelRequested() {
-						return
-					}
-					runBlock(b)
-				}
+				bc := newCtx()
+				workerLoop(bc)
+				ctxMu.Lock()
+				ctxs = append(ctxs, bc)
+				ctxMu.Unlock()
 			}()
 		}
 		wg.Wait()
@@ -351,9 +407,11 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 	}
 
 	rep := &LaunchReport{Occupancy: occ}
-	for b := range blockStats {
-		rep.Stats.Add(&blockStats[b])
+	ctxMu.Lock()
+	for _, bc := range ctxs {
+		rep.Stats.Add(&bc.stats)
 	}
+	ctxMu.Unlock()
 	span.Annotate(
 		obs.Int("warps_executed", rep.Stats.WarpsExecuted),
 		obs.Int("issue_cycles", rep.Stats.IssueCycles),
@@ -387,58 +445,71 @@ func (b *blockBarrier) poison() {
 	b.p2.breakBarrier()
 }
 
+// phaseBarrier is event-driven: the last arriver swaps in a fresh
+// generation channel and closes the old one, waking every parked warp
+// with a single close instead of a broadcast-and-recheck loop. Warps
+// therefore park exactly once per barrier (a true sync point) and
+// never spin on a condition variable.
 type phaseBarrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	gen    int
-	agg    int64
-	result int64
-	broken bool
+	mu      sync.Mutex
+	n       int
+	count   int
+	agg     int64
+	result  int64
+	release chan struct{}
+	broken  atomic.Bool
 }
 
 func newPhaseBarrier(n int) *phaseBarrier {
-	b := &phaseBarrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &phaseBarrier{n: n, release: make(chan struct{})}
 }
 
 // wait blocks until all n participants have arrived and returns the
 // maximum of the submitted values. A broken barrier panics with
 // barrierBroken (recovered and swallowed by the launch).
+//
+// Waiters read b.result without the lock after waking: the two-phase
+// barrier protocol guarantees the next generation cannot overwrite it
+// until every waiter of this generation has re-arrived at the second
+// phase, which orders the read before the write.
 func (b *phaseBarrier) wait(val int64) int64 {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.broken {
+	if b.broken.Load() {
+		b.mu.Unlock()
 		panic(barrierBroken{})
 	}
-	gen := b.gen
 	if val > b.agg {
 		b.agg = val
 	}
 	b.count++
 	if b.count == b.n {
-		b.result = b.agg
+		res := b.agg
+		b.result = res
 		b.agg = 0
 		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.result
+		ch := b.release
+		b.release = make(chan struct{})
+		b.mu.Unlock()
+		close(ch)
+		return res
 	}
-	for gen == b.gen {
-		if b.broken {
-			panic(barrierBroken{})
-		}
-		b.cond.Wait()
+	ch := b.release
+	b.mu.Unlock()
+	<-ch
+	if b.broken.Load() {
+		panic(barrierBroken{})
 	}
 	return b.result
 }
 
-// breakBarrier marks the barrier broken and wakes every waiter.
+// breakBarrier marks the barrier broken and wakes every waiter. The
+// current generation channel is swapped out under the lock before
+// closing, so a concurrent normal release can never double-close it.
 func (b *phaseBarrier) breakBarrier() {
+	b.broken.Store(true)
 	b.mu.Lock()
-	b.broken = true
-	b.cond.Broadcast()
+	ch := b.release
+	b.release = make(chan struct{})
 	b.mu.Unlock()
+	close(ch)
 }

@@ -1,0 +1,111 @@
+package simt
+
+import "testing"
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"cycles", ModeCycleAccurate, false},
+		{"cycle-accurate", ModeCycleAccurate, false},
+		{"accurate", ModeCycleAccurate, false},
+		{"fast", ModeFast, false},
+		{"functional", ModeFast, false},
+		{"", 0, true},
+		{"FAST", 0, true},
+		{"turbo", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseMode(%q) error = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if ModeCycleAccurate.String() != "cycles" || ModeFast.String() != "fast" {
+		t.Errorf("String(): got %q/%q, want cycles/fast",
+			ModeCycleAccurate, ModeFast)
+	}
+}
+
+// TestFastModeRecordsNothing pins the nil-CostModel contract: a fast
+// launch that exercises every metered operation class reports stats
+// equal to the zero KernelStats apart from WarpsExecuted — no cycles,
+// no transactions, no lane occupancy.
+func TestFastModeRecordsNothing(t *testing.T) {
+	dev := NewDevice(TeslaK40())
+	dev.Mode = ModeFast
+	const blocks, wpb = 4, 2
+	kernel := func(w *Warp) {
+		lanes := w.Lanes()
+		f := make([]float32, lanes)
+		i16 := make([]int16, lanes)
+		u8 := make([]uint8, lanes)
+		addrs64 := make([]int64, lanes)
+		for l := range addrs64 {
+			addrs64[l] = int64(4 * l)
+		}
+		w.ALU(7)
+		w.SharedSpanStoreF32(f, 0, lanes)
+		w.SharedSpanLoadF32(f, 0, lanes)
+		w.SharedSpanStoreI16(i16, 0, lanes)
+		w.SharedSpanLoadI16(i16, 0, lanes)
+		w.SharedSpanStoreU8(u8, 0, lanes)
+		w.SharedSpanLoadU8(u8, 0, lanes)
+		w.SharedSpanTouch(0, 4, lanes, false)
+		w.SharedBroadcastF32(0)
+		w.GlobalLoad(addrs64, 4)
+		w.GlobalSpanLoadCached(0, 4, lanes)
+		w.GlobalSpanStore(0, 8, 1)
+		w.GlobalBroadcastLoad(0, 4)
+		w.ShflXorF32Into(f, f, 1)
+		w.Vote()
+		w.VoteAll(make([]bool, lanes))
+	}
+	rep, err := dev.Launch(LaunchConfig{
+		Blocks: blocks, WarpsPerBlock: wpb, SharedBytesPerBlock: 1024,
+	}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := KernelStats{WarpsExecuted: blocks * wpb}
+	if rep.Stats != want {
+		t.Errorf("fast-mode stats = %+v, want %+v", rep.Stats, want)
+	}
+}
+
+// TestFastModeOpsAllocateNothing asserts the fast-path ops a kernel's
+// inner loop issues are allocation-free: the whole point of ModeFast
+// is that per-op overhead collapses to a nil check and a slice copy.
+func TestFastModeOpsAllocateNothing(t *testing.T) {
+	dev := NewDevice(TeslaK40())
+	dev.Mode = ModeFast
+	var allocs float64
+	_, err := dev.Launch(LaunchConfig{
+		Blocks: 1, WarpsPerBlock: 1, SharedBytesPerBlock: 1024,
+	}, func(w *Warp) {
+		lanes := w.Lanes()
+		f := make([]float32, lanes)
+		i16 := make([]int16, lanes)
+		allocs = testing.AllocsPerRun(100, func() {
+			w.SharedSpanStoreF32(f, 0, lanes)
+			w.SharedSpanLoadF32(f, 0, lanes)
+			w.SharedSpanStoreI16(i16, 0, lanes)
+			w.SharedSpanLoadI16(i16, 0, lanes)
+			w.SharedSpanTouch(0, 4, lanes, false)
+			w.ALU(3)
+			w.Vote()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("fast-mode span ops allocate %.1f objects per iteration, want 0", allocs)
+	}
+}

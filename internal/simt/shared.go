@@ -17,6 +17,12 @@ type SharedMem struct {
 	data  []byte
 	banks int
 
+	// concurrent is set per block by the scheduler: true only when a
+	// cooperative multi-warp block runs its warps on separate
+	// goroutines. Serial (warp-synchronous) blocks skip the mutex
+	// entirely — the common case, and the hot path.
+	concurrent bool
+
 	// faults, when non-nil, is this block's silent-corruption overlay
 	// (byte offset -> XOR mask, drawn once per launch by
 	// MemFaultInjector). The mask is applied on the read path so a
@@ -57,6 +63,25 @@ func newSharedMem(size, banks int, trackRaces bool) *SharedMem {
 
 // Size returns the shared allocation size in bytes.
 func (sm *SharedMem) Size() int { return len(sm.data) }
+
+// reset prepares a pooled SharedMem for the next block: zeroed
+// storage, fresh race-tracking state, and the block's fault overlay.
+// Reuse keeps the per-block cost at one memclr instead of an
+// allocation + GC pressure per block.
+func (sm *SharedMem) reset(faults map[int]byte, concurrent bool) {
+	clear(sm.data)
+	sm.faults = faults
+	sm.concurrent = concurrent
+	sm.races = 0
+	sm.epoch = 0
+	if sm.trackRaces {
+		for i := range sm.lastWarp {
+			sm.lastWarp[i] = -1
+		}
+		clear(sm.lastEpoch)
+		clear(sm.lastWrite)
+	}
+}
 
 // at reads one byte through the silent-corruption overlay. All load
 // paths go through it; the store paths write sm.data directly.
@@ -151,6 +176,28 @@ func (sm *SharedMem) noteAccess(warp int32, addrs []int, width int, isWrite bool
 				sm.lastEpoch[b] = sm.epoch
 				sm.lastWrite[b] = isWrite
 			}
+		}
+	}
+}
+
+// noteSpan is noteAccess for a contiguous byte range [base, base+n):
+// the same per-byte epoch bookkeeping without the address vector.
+func (sm *SharedMem) noteSpan(warp int32, base, n int, isWrite bool) {
+	if !sm.trackRaces {
+		return
+	}
+	if base < 0 {
+		return
+	}
+	for b := base; b < base+n && b < len(sm.lastWarp); b++ {
+		if sm.lastEpoch[b] == sm.epoch && sm.lastWarp[b] >= 0 && sm.lastWarp[b] != warp &&
+			(isWrite || sm.lastWrite[b]) {
+			sm.races++
+		}
+		if isWrite || sm.lastEpoch[b] != sm.epoch || sm.lastWarp[b] < 0 {
+			sm.lastWarp[b] = warp
+			sm.lastEpoch[b] = sm.epoch
+			sm.lastWrite[b] = isWrite
 		}
 	}
 }

@@ -24,6 +24,15 @@ func NewSystem(spec DeviceSpec, n int) *System {
 	return sys
 }
 
+// SetMode sets the simulation mode on every device and returns the
+// system for chaining.
+func (sys *System) SetMode(m Mode) *System {
+	for _, dev := range sys.Devices {
+		dev.Mode = m
+	}
+	return sys
+}
+
 // ApplyFaults attaches one injector per device index (the map
 // ParseFaults returns); an index beyond the system's devices is an
 // error.

@@ -19,6 +19,10 @@ type Warp struct {
 
 	dev   *Device
 	block *blockRun
+	// cost is the launch's CostModel; nil in ModeFast, in which case
+	// every operation still moves the same data through the same fault
+	// and race machinery but records nothing.
+	cost  CostModel
 	stats KernelStats
 
 	cyclesSinceSync int64
@@ -67,43 +71,33 @@ func (w *Warp) noteLanes64(addrs []int64) {
 
 // ALU accounts n arithmetic warp instructions.
 func (w *Warp) ALU(n int) {
-	w.stats.ALUOps += int64(n)
-	w.addCycles(int64(n))
+	if w.cost != nil {
+		w.cost.ALU(w, n)
+	}
 }
 
 // SharedLoadU8 gathers one byte per lane from block shared memory.
 // addrs must have one entry per lane; negative entries mark inactive
 // lanes. Bank conflicts are counted and cost replay cycles.
 func (w *Warp) SharedLoadU8(addrs []int) []uint8 {
-	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedLoads += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
 	out := make([]uint8, len(addrs))
-	for i, a := range addrs {
-		if a >= 0 {
-			out[i] = sm.at(a)
-		}
-	}
+	w.SharedLoadU8Into(out, addrs)
 	return out
 }
 
 // SharedStoreU8 scatters one byte per lane into block shared memory.
 func (w *Warp) SharedStoreU8(addrs []int, vals []uint8) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedStores += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, true)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, true)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 1, true)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			sm.data[a] = vals[i]
@@ -114,35 +108,24 @@ func (w *Warp) SharedStoreU8(addrs []int, vals []uint8) {
 // SharedLoadI16 gathers one 16-bit word per lane (addresses in bytes,
 // must be 2-aligned).
 func (w *Warp) SharedLoadI16(addrs []int) []int16 {
-	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedLoads += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
 	out := make([]int16, len(addrs))
-	for i, a := range addrs {
-		if a >= 0 {
-			out[i] = int16(uint16(sm.at(a)) | uint16(sm.at(a+1))<<8)
-		}
-	}
+	w.SharedLoadI16Into(out, addrs)
 	return out
 }
 
 // SharedStoreI16 scatters one 16-bit word per lane.
 func (w *Warp) SharedStoreI16(addrs []int, vals []int16) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedStores += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, true)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, true)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 2, true)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			sm.data[a] = byte(uint16(vals[i]))
@@ -157,11 +140,9 @@ func (w *Warp) SharedStoreI16(addrs []int, vals []int16) {
 // actual data from its own Go-side buffers; the simulator only meters
 // the traffic.
 func (w *Warp) GlobalLoad(addrs []int64, width int) {
-	t := coalescedTransactions(addrs, width)
-	w.noteLanes64(addrs)
-	w.stats.GlobalLoadTransactions += int64(t)
-	w.stats.GlobalBytes += int64(t) * 128
-	w.addCycles(int64(t))
+	if w.cost != nil {
+		w.cost.GlobalAccess(w, addrs, width, false, false)
+	}
 }
 
 // GlobalLoadCached accounts a warp read through the read-only data
@@ -169,30 +150,24 @@ func (w *Warp) GlobalLoad(addrs []int64, width int) {
 // parameters. Transactions are counted separately so the performance
 // model can treat most of them as L2 hits rather than DRAM traffic.
 func (w *Warp) GlobalLoadCached(addrs []int64, width int) {
-	t := coalescedTransactions(addrs, width)
-	w.noteLanes64(addrs)
-	w.stats.CachedLoadTransactions += int64(t)
-	w.stats.CachedBytes += int64(t) * 128
-	w.addCycles(int64(t))
+	if w.cost != nil {
+		w.cost.GlobalAccess(w, addrs, width, true, false)
+	}
 }
 
 // GlobalStoreCached accounts a warp write whose working set stays in
 // L2 (e.g. spilled DP rows that are re-read within the same kernel).
 func (w *Warp) GlobalStoreCached(addrs []int64, width int) {
-	t := coalescedTransactions(addrs, width)
-	w.noteLanes64(addrs)
-	w.stats.CachedStoreTransactions += int64(t)
-	w.stats.CachedBytes += int64(t) * 128
-	w.addCycles(int64(t))
+	if w.cost != nil {
+		w.cost.GlobalAccess(w, addrs, width, true, true)
+	}
 }
 
 // GlobalStore accounts a warp global-memory write.
 func (w *Warp) GlobalStore(addrs []int64, width int) {
-	t := coalescedTransactions(addrs, width)
-	w.noteLanes64(addrs)
-	w.stats.GlobalStoreTransactions += int64(t)
-	w.stats.GlobalBytes += int64(t) * 128
-	w.addCycles(int64(t))
+	if w.cost != nil {
+		w.cost.GlobalAccess(w, addrs, width, false, true)
+	}
 }
 
 // coalescedTransactions counts distinct 128-byte segments touched.
@@ -228,23 +203,17 @@ func coalescedTransactions(addrs []int64, width int) int {
 // (an illegal instruction on Fermi) it raises a structured kernel
 // fault that Device.Launch reports as a *KernelPanicError.
 func (w *Warp) ShflXorI32(vals []int32, mask int) []int32 {
-	if !w.dev.Spec.HasShuffle {
-		w.fail("shfl.xor", "no warp shuffle on this device")
-	}
-	w.stats.ShuffleOps++
-	w.addCycles(1)
 	out := make([]int32, len(vals))
-	for l := range vals {
-		out[l] = vals[l^mask]
-	}
+	w.ShflXorI32Into(out, vals, mask)
 	return out
 }
 
 // VoteAll is the warp-vote __all instruction: true iff the predicate
 // holds on every lane.
 func (w *Warp) VoteAll(pred []bool) bool {
-	w.stats.VoteOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Vote(w)
+	}
 	for _, p := range pred {
 		if !p {
 			return false
@@ -253,10 +222,20 @@ func (w *Warp) VoteAll(pred []bool) bool {
 	return true
 }
 
+// Vote meters one warp-vote instruction without scanning a predicate
+// vector: the op for kernels that fold the per-lane predicate into a
+// host-side flag while computing it (one pass instead of two).
+func (w *Warp) Vote() {
+	if w.cost != nil {
+		w.cost.Vote(w)
+	}
+}
+
 // VoteAny is the warp-vote __any instruction.
 func (w *Warp) VoteAny(pred []bool) bool {
-	w.stats.VoteOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Vote(w)
+	}
 	for _, p := range pred {
 		if p {
 			return true
@@ -272,9 +251,13 @@ func (w *Warp) Sync() {
 	if w.block.barrier == nil {
 		w.fail("__syncthreads", "barrier in a non-cooperative launch")
 	}
-	w.stats.Syncs++
+	if w.cost != nil {
+		w.cost.Sync(w)
+	}
 	maxCycles := w.block.barrier.wait(w.cyclesSinceSync)
-	w.stats.SyncStallCycles += maxCycles - w.cyclesSinceSync
+	if w.cost != nil {
+		w.stats.SyncStallCycles += maxCycles - w.cyclesSinceSync
+	}
 	w.cyclesSinceSync = 0
 	if w.WarpInBlock == 0 {
 		// Exactly one warp advances the race-tracking epoch; the

@@ -9,14 +9,16 @@ import "math"
 // SharedLoadU8Into gathers one byte per lane into dst.
 func (w *Warp) SharedLoadU8Into(dst []uint8, addrs []int) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedLoads += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, false)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 1, false)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			dst[i] = sm.at(a)
@@ -27,14 +29,16 @@ func (w *Warp) SharedLoadU8Into(dst []uint8, addrs []int) {
 // SharedLoadI16Into gathers one 16-bit word per lane into dst.
 func (w *Warp) SharedLoadI16Into(dst []int16, addrs []int) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedLoads += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, false)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 2, false)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			dst[i] = int16(uint16(sm.at(a)) | uint16(sm.at(a+1))<<8)
@@ -48,8 +52,9 @@ func (w *Warp) ShflXorI32Into(dst, vals []int32, mask int) {
 	if !w.dev.Spec.HasShuffle {
 		w.fail("shfl.xor", "no warp shuffle on this device")
 	}
-	w.stats.ShuffleOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Shuffle(w)
+	}
 	for l := range vals {
 		dst[l] = vals[l^mask]
 	}
@@ -62,8 +67,9 @@ func (w *Warp) ShflUpI32Into(dst, vals []int32, delta int) {
 	if !w.dev.Spec.HasShuffle {
 		w.fail("shfl.up", "no warp shuffle on this device")
 	}
-	w.stats.ShuffleOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Shuffle(w)
+	}
 	for l := range vals {
 		if l >= delta {
 			dst[l] = vals[l-delta]
@@ -76,14 +82,16 @@ func (w *Warp) ShflUpI32Into(dst, vals []int32, delta int) {
 // SharedLoadF32Into gathers one float32 per lane (byte addresses, 4-aligned).
 func (w *Warp) SharedLoadF32Into(dst []float32, addrs []int) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedLoads += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 4, false)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, false)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 4, false)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			bits := uint32(sm.at(a)) | uint32(sm.at(a+1))<<8 |
@@ -96,14 +104,16 @@ func (w *Warp) SharedLoadF32Into(dst []float32, addrs []int) {
 // SharedStoreF32 scatters one float32 per lane.
 func (w *Warp) SharedStoreF32(addrs []int, vals []float32) {
 	sm := w.block.shared
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	d := sm.conflictDegree(addrs)
-	w.noteLanes(addrs)
-	w.stats.SharedStores += int64(d)
-	w.stats.BankConflictReplays += int64(d - 1)
-	w.addCycles(int64(d))
-	sm.noteAccess(int32(w.WarpInBlock), addrs, 4, true)
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedAccess(w, sm, addrs, true)
+	}
+	if sm.trackRaces {
+		sm.noteAccess(int32(w.WarpInBlock), addrs, 4, true)
+	}
 	for i, a := range addrs {
 		if a >= 0 {
 			bits := math.Float32bits(vals[i])
@@ -120,8 +130,9 @@ func (w *Warp) ShflXorF32Into(dst, vals []float32, mask int) {
 	if !w.dev.Spec.HasShuffle {
 		w.fail("shfl.xor", "no warp shuffle on this device")
 	}
-	w.stats.ShuffleOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Shuffle(w)
+	}
 	for l := range vals {
 		dst[l] = vals[l^mask]
 	}
@@ -132,8 +143,9 @@ func (w *Warp) ShflUpF32Into(dst, vals []float32, delta int) {
 	if !w.dev.Spec.HasShuffle {
 		w.fail("shfl.up", "no warp shuffle on this device")
 	}
-	w.stats.ShuffleOps++
-	w.addCycles(1)
+	if w.cost != nil {
+		w.cost.Shuffle(w)
+	}
 	for l := range vals {
 		if l >= delta {
 			dst[l] = vals[l-delta]

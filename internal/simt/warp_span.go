@@ -1,0 +1,311 @@
+package simt
+
+import "math"
+
+// Span operations: the warp access patterns the paper's kernels
+// actually use — `active` lanes touching consecutive cells — expressed
+// as contiguous slice transfers instead of per-lane address gathers.
+// A span of at most 32 cells of width <= 4 covers at most `banks`
+// consecutive words, which map to pairwise-distinct banks, so the
+// access is conflict-free by construction and its cost is computed
+// analytically (CostModel.SharedSpan / GlobalSpan) rather than by
+// scanning an address vector. The data paths are tight loops over
+// adjacent bytes that the compiler can bounds-check-eliminate and keep
+// in cache; accounting, fault overlays and race tracking are
+// bit-identical to the equivalent gather/scatter call with addresses
+// base + lane*width (inactive tail lanes negative).
+
+// SharedSpanLoadU8 loads the n consecutive shared bytes at
+// [base, base+n) into dst[0:n]; lane l reads byte base+l.
+func (w *Warp) SharedSpanLoadU8(dst []uint8, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, false)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, n, false)
+	}
+	if sm.faults == nil {
+		copy(dst[:n], sm.data[base:base+n])
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = sm.at(base + i)
+	}
+}
+
+// SharedSpanStoreU8 stores src[0:n] to the consecutive shared bytes at
+// [base, base+n); lane l writes byte base+l.
+func (w *Warp) SharedSpanStoreU8(src []uint8, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, true)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, n, true)
+	}
+	copy(sm.data[base:base+n], src[:n])
+}
+
+// SharedSpanLoadI16 loads n consecutive 16-bit cells starting at byte
+// offset base (2-aligned) into dst[0:n]; lane l reads cell base+2*l.
+func (w *Warp) SharedSpanLoadI16(dst []int16, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, false)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, 2*n, false)
+	}
+	if sm.faults == nil {
+		src := sm.data[base : base+2*n : base+2*n]
+		for i := 0; i < n; i++ {
+			dst[i] = int16(uint16(src[2*i]) | uint16(src[2*i+1])<<8)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		a := base + 2*i
+		dst[i] = int16(uint16(sm.at(a)) | uint16(sm.at(a+1))<<8)
+	}
+}
+
+// SharedSpanStoreI16 stores src[0:n] to n consecutive 16-bit cells
+// starting at byte offset base.
+func (w *Warp) SharedSpanStoreI16(src []int16, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, true)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, 2*n, true)
+	}
+	dst := sm.data[base : base+2*n : base+2*n]
+	for i := 0; i < n; i++ {
+		v := uint16(src[i])
+		dst[2*i] = byte(v)
+		dst[2*i+1] = byte(v >> 8)
+	}
+}
+
+// SharedSpanLoadF32 loads n consecutive float32 cells starting at byte
+// offset base (4-aligned) into dst[0:n].
+func (w *Warp) SharedSpanLoadF32(dst []float32, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, false)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, 4*n, false)
+	}
+	if sm.faults == nil {
+		src := sm.data[base : base+4*n : base+4*n]
+		for i := 0; i < n; i++ {
+			bits := uint32(src[4*i]) | uint32(src[4*i+1])<<8 |
+				uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
+			dst[i] = math.Float32frombits(bits)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		a := base + 4*i
+		bits := uint32(sm.at(a)) | uint32(sm.at(a+1))<<8 |
+			uint32(sm.at(a+2))<<16 | uint32(sm.at(a+3))<<24
+		dst[i] = math.Float32frombits(bits)
+	}
+}
+
+// SharedSpanStoreF32 stores src[0:n] to n consecutive float32 cells
+// starting at byte offset base.
+func (w *Warp) SharedSpanStoreF32(src []float32, base, n int) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, true)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, 4*n, true)
+	}
+	dst := sm.data[base : base+4*n : base+4*n]
+	for i := 0; i < n; i++ {
+		bits := math.Float32bits(src[i])
+		dst[4*i] = byte(bits)
+		dst[4*i+1] = byte(bits >> 8)
+		dst[4*i+2] = byte(bits >> 16)
+		dst[4*i+3] = byte(bits >> 24)
+	}
+}
+
+// SharedSpanTouch meters a contiguous shared span access — n cells of
+// the given byte width, load or store — without moving any data. It is
+// the op for model-table reads whose values the kernel sources from
+// host memory: the table is never materialised in the block's shared
+// storage, so there is nothing to read, but the traffic must still be
+// accounted (and race-tracked) exactly like the SharedSpanLoad/Store
+// of the same shape. Reads have no side effects through the fault
+// overlay, so skipping the byte loop is invisible to results.
+func (w *Warp) SharedSpanTouch(base, width, n int, store bool) {
+	if n <= 0 {
+		return
+	}
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	// Keep the load/store ops' out-of-bounds failure mode.
+	_ = sm.data[base+width*n-1]
+	if w.cost != nil {
+		w.cost.SharedSpan(w, n, store)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), base, width*n, store)
+	}
+}
+
+// SharedBroadcastU8 reads one shared byte that every lane consumes: a
+// same-word hardware broadcast, one conflict-free access with all
+// lanes active.
+func (w *Warp) SharedBroadcastU8(addr int) uint8 {
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedBroadcast(w)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), addr, 1, false)
+	}
+	return sm.at(addr)
+}
+
+// SharedBroadcastI16 is the 16-bit same-word broadcast read.
+func (w *Warp) SharedBroadcastI16(addr int) int16 {
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedBroadcast(w)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), addr, 2, false)
+	}
+	return int16(uint16(sm.at(addr)) | uint16(sm.at(addr+1))<<8)
+}
+
+// SharedBroadcastF32 is the float32 same-word broadcast read.
+func (w *Warp) SharedBroadcastF32(addr int) float32 {
+	sm := w.block.shared
+	if sm.concurrent {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	if w.cost != nil {
+		w.cost.SharedBroadcast(w)
+	}
+	if sm.trackRaces {
+		sm.noteSpan(int32(w.WarpInBlock), addr, 4, false)
+	}
+	bits := uint32(sm.at(addr)) | uint32(sm.at(addr+1))<<8 |
+		uint32(sm.at(addr+2))<<16 | uint32(sm.at(addr+3))<<24
+	return math.Float32frombits(bits)
+}
+
+// GlobalSpanLoad meters a fully-coalesced warp read: `active` lanes
+// reading width bytes each from consecutive addresses starting at
+// base (lane l reads base + l*width; tail lanes inactive). Like
+// GlobalLoad, only the traffic is metered — data lives in host
+// buffers.
+func (w *Warp) GlobalSpanLoad(base int64, width, active int) {
+	if active <= 0 {
+		return
+	}
+	if w.cost != nil {
+		w.cost.GlobalSpan(w, base, width, active, false, false)
+	}
+}
+
+// GlobalSpanLoadCached is GlobalSpanLoad through the read-only data
+// cache path.
+func (w *Warp) GlobalSpanLoadCached(base int64, width, active int) {
+	if active <= 0 {
+		return
+	}
+	if w.cost != nil {
+		w.cost.GlobalSpan(w, base, width, active, true, false)
+	}
+}
+
+// GlobalSpanStore meters a fully-coalesced warp write.
+func (w *Warp) GlobalSpanStore(base int64, width, active int) {
+	if active <= 0 {
+		return
+	}
+	if w.cost != nil {
+		w.cost.GlobalSpan(w, base, width, active, false, true)
+	}
+}
+
+// GlobalSpanStoreCached meters a coalesced write that stays in L2.
+func (w *Warp) GlobalSpanStoreCached(base int64, width, active int) {
+	if active <= 0 {
+		return
+	}
+	if w.cost != nil {
+		w.cost.GlobalSpan(w, base, width, active, true, true)
+	}
+}
+
+// GlobalBroadcastLoad meters an all-lanes-same-address global read of
+// width bytes (the packed-residue word fetch: one transaction,
+// hardware broadcast).
+func (w *Warp) GlobalBroadcastLoad(addr int64, width int) {
+	if w.cost != nil {
+		w.cost.GlobalBroadcast(w, addr, width, false)
+	}
+}

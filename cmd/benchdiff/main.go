@@ -7,9 +7,10 @@
 // The exit status is 1 when any suite in the new record is slower than
 // the baseline by more than the threshold fraction. Suites present in
 // only one record are reported but never fail the comparison (the
-// baseline predates them or they were retired). A host or sim-mode
-// mismatch between the two records prints a warning, since wall-clock
-// comparisons across different machines or modes are unreliable.
+// baseline predates them or they were retired). A host, sim-mode, or
+// toolchain mismatch between the two records prints a loud banner on
+// stderr, since wall-clock comparisons across different machines or
+// modes are unreliable.
 package main
 
 import (
@@ -41,17 +42,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	var mismatches []string
 	if base.SimMode != cur.SimMode {
-		fmt.Printf("WARNING: sim mode differs (%s vs %s); wall-clock comparison is unreliable\n",
-			base.SimMode, cur.SimMode)
+		mismatches = append(mismatches,
+			fmt.Sprintf("sim mode differs: %s vs %s", base.SimMode, cur.SimMode))
 	}
 	if base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH || base.NumCPU != cur.NumCPU {
-		fmt.Printf("WARNING: host differs (%s/%s %d cpus vs %s/%s %d cpus); wall-clock comparison is unreliable\n",
-			base.GOOS, base.GOARCH, base.NumCPU, cur.GOOS, cur.GOARCH, cur.NumCPU)
+		mismatches = append(mismatches,
+			fmt.Sprintf("host differs: %s/%s %d cpus vs %s/%s %d cpus",
+				base.GOOS, base.GOARCH, base.NumCPU, cur.GOOS, cur.GOARCH, cur.NumCPU))
 	}
 	if base.GoVersion != cur.GoVersion {
-		fmt.Printf("WARNING: toolchain differs (%s vs %s)\n", base.GoVersion, cur.GoVersion)
+		mismatches = append(mismatches,
+			fmt.Sprintf("toolchain differs: %s vs %s", base.GoVersion, cur.GoVersion))
 	}
+	warnMismatches(mismatches)
 
 	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.0f%%\n",
 		base.Rev, base.SimMode, cur.Rev, cur.SimMode, *threshold*100)
@@ -96,6 +101,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: ok")
+}
+
+// warnMismatches prints a hard-to-miss banner on stderr when the two
+// records were collected under different conditions. The comparison
+// still runs — a cross-host diff is sometimes all you have — but the
+// table below it must not be read as a clean regression signal.
+func warnMismatches(mismatches []string) {
+	if len(mismatches) == 0 {
+		return
+	}
+	const bar = "============================================================"
+	fmt.Fprintln(os.Stderr, bar)
+	fmt.Fprintln(os.Stderr, "WARNING: the two records are NOT directly comparable:")
+	for _, m := range mismatches {
+		fmt.Fprintf(os.Stderr, "  - %s\n", m)
+	}
+	fmt.Fprintln(os.Stderr, "wall-clock ratios below are unreliable; treat any")
+	fmt.Fprintln(os.Stderr, "REGRESSION/improved verdicts as suspect.")
+	fmt.Fprintln(os.Stderr, bar)
 }
 
 func fatalf(format string, args ...any) {

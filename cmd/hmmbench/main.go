@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"hmmer3gpu/internal/bench"
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/simt"
 )
@@ -46,6 +47,9 @@ func main() {
 		traceFmt   = flag.String("traceformat", "chrome", "trace file format: chrome|jsonl")
 		simMode    = flag.String("sim", "cycles", "simulator mode: cycles (cycle-accurate) or fast (functional)")
 		rev        = flag.String("rev", "dev", "revision label for -experiment trajectory (BENCH_<rev>.json)")
+		kprof      = flag.String("kprof", "", "write a kernel-grained profile of every launch to this file as JSON; render with hmmprof")
+		cpuprof    = flag.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) to this file")
+		memprof    = flag.String("memprofile", "", "write a host heap profile (runtime/pprof) to this file on exit")
 		outDir     = flag.String("out", ".", "output directory for -experiment trajectory")
 	)
 	flag.Parse()
@@ -63,6 +67,15 @@ func main() {
 		fatalf("%v", err)
 	}
 	cfg.Mode = mode
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
+	if *kprof != "" {
+		cfg.Prof = kernprof.NewCollector()
+		defer flushKprof(cfg.Prof, *kprof)
+	}
 	if *trace != "" {
 		if *traceFmt != "chrome" && *traceFmt != "jsonl" {
 			fatalf("unknown -traceformat %q (want chrome or jsonl)", *traceFmt)
@@ -169,6 +182,16 @@ func main() {
 	if !ran {
 		fatalf("unknown experiment %q (want fig1|fig9|fig10|fig11|pfam|ablation|extension|sensitivity|stream|chaos|sdc|resume|trajectory|all)", *experiment)
 	}
+}
+
+// flushKprof writes the accumulated kernel profile on exit.
+func flushKprof(c *kernprof.Collector, path string) {
+	prof := c.Profile()
+	if err := prof.WriteFile(path); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("kernel profile (%d launches) written to %s; render with: hmmprof %s\n",
+		len(prof.Launches), path, path)
 }
 
 // flushTrace writes the experiments' accumulated spans on exit.

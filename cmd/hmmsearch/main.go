@@ -27,6 +27,7 @@ import (
 	"hmmer3gpu/internal/checkpoint"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/refimpl"
@@ -55,6 +56,9 @@ func main() {
 		trace    = flag.String("trace", "", "write a span timeline of the run to this file (search, stage, batch, and kernel spans)")
 		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome (load in ui.perfetto.dev or chrome://tracing) | jsonl")
 		metrics  = flag.String("metrics", "", "write run counters to this file in Prometheus text format")
+		kprof    = flag.String("kprof", "", "write a kernel-grained profile (occupancy, stall attribution, counters) to this file as JSON; render with hmmprof")
+		cpuprof  = flag.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) to this file")
+		memprof  = flag.String("memprofile", "", "write a host heap profile (runtime/pprof) to this file on exit")
 		sim      = flag.String("sim", "cycles", "simulator mode: cycles (cycle-accurate counters) or fast (functional, no accounting); results are identical")
 
 		faultSpec    = flag.String("faults", "", "inject device faults (multigpu streaming): \"<dev>:<fault>[,...][;...]\" with faults p=<prob>, at=<ordinal>, hang=<ordinal>, dead[=<ordinal>], flip@p=<prob>, flip@shared=<prob>, flip@launch=<ordinal> — e.g. \"0:p=0.2;2:dead\" or \"0:flip@p=1e-4\"")
@@ -78,8 +82,10 @@ func main() {
 	}
 
 	abc := alphabet.New()
-	sk := newSinks(*trace, *traceFmt, *metrics)
-	var err error
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	check(err)
+	defer stopProf()
+	sk := newSinks(*trace, *traceFmt, *metrics, *kprof)
 	simMode, err = simt.ParseMode(*sim)
 	check(err)
 
@@ -205,12 +211,15 @@ func main() {
 type sinks struct {
 	tracer              *obs.Tracer
 	registry            *obs.Registry
+	collector           *kernprof.Collector
 	tracePath, traceFmt string
 	metricsPath         string
+	kprofPath           string
 }
 
-func newSinks(tracePath, traceFmt, metricsPath string) *sinks {
-	s := &sinks{tracePath: tracePath, traceFmt: traceFmt, metricsPath: metricsPath}
+func newSinks(tracePath, traceFmt, metricsPath, kprofPath string) *sinks {
+	s := &sinks{tracePath: tracePath, traceFmt: traceFmt,
+		metricsPath: metricsPath, kprofPath: kprofPath}
 	if tracePath != "" {
 		if traceFmt != "chrome" && traceFmt != "jsonl" {
 			fatalf("unknown -traceformat %q (want chrome or jsonl)", traceFmt)
@@ -220,6 +229,9 @@ func newSinks(tracePath, traceFmt, metricsPath string) *sinks {
 	if metricsPath != "" {
 		s.registry = obs.NewRegistry()
 	}
+	if kprofPath != "" {
+		s.collector = kernprof.NewCollector()
+	}
 	return s
 }
 
@@ -227,17 +239,27 @@ func newSinks(tracePath, traceFmt, metricsPath string) *sinks {
 func (s *sinks) apply(opts *pipeline.Options) {
 	opts.Trace = s.tracer
 	opts.Metrics = s.registry
+	opts.Profiler = s.collector
 }
 
-// flush writes the trace and metrics files after the search finishes.
+// flush writes the kernel profile, trace, and metrics files after the
+// search finishes. The kernel profile merges into the registry first,
+// so -kprof counters also land in the -metrics Prometheus output.
 func (s *sinks) flush() {
+	if s.collector != nil {
+		prof := s.collector.Profile()
+		prof.Record(s.registry)
+		check(prof.WriteFile(s.kprofPath))
+		fmt.Printf("kernel profile (%d launches) written to %s; render with: hmmprof %s\n",
+			len(prof.Launches), s.kprofPath, s.kprofPath)
+	}
 	if s.tracer != nil {
 		fh, err := os.Create(s.tracePath)
 		check(err)
 		if s.traceFmt == "jsonl" {
 			check(s.tracer.WriteJSONL(fh))
 		} else {
-			check(s.tracer.WriteChromeTrace(fh))
+			check(s.tracer.WriteChromeTraceWithCounters(fh, s.registry))
 		}
 		check(fh.Close())
 		fmt.Printf("trace (%s, %d spans) written to %s\n",

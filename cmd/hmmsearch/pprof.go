@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles enables the runtime/pprof collectors requested by
+// -cpuprofile/-memprofile and returns the function that stops the CPU
+// profile and writes the heap snapshot. The returned stop runs on the
+// normal exit path only; error exits (os.Exit) drop the profiles, as
+// with go test.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			fh, err := os.Create(memPath)
+			if err != nil {
+				return
+			}
+			runtime.GC() // snapshot live objects, not garbage
+			pprof.WriteHeapProfile(fh)
+			fh.Close()
+		}
+	}, nil
+}

@@ -1,91 +1,191 @@
 // Command tracecheck validates observability artifacts produced by
-// hmmsearch -trace / -metrics, for use as a CI gate:
+// hmmsearch/hmmbench, for use as a CI gate:
 //
 //	tracecheck -format chrome run.chrome.json
+//	tracecheck -format chrome -min-counters 4 run.chrome.json
 //	tracecheck -metrics run.prom -require hmmer_simt_,hmmer_pipeline_,hmmer_sched_
+//	tracecheck -metrics run.prom -require-hist hmmer_sched_batch_seconds
+//	tracecheck -kprof run.kprof.json
 //
-// It exits nonzero when a trace file is empty or malformed, or when a
-// metrics file is missing a required series prefix. The checks are the
-// same validators the unit tests use (internal/obs), so CI and tests
-// cannot drift apart.
+// It exits nonzero when a trace file is empty or malformed, when a
+// metrics file is missing a required series prefix or histogram
+// triple, or when a kernel profile fails its schema/invariant checks.
+// The checks are the same validators the unit tests use (internal/obs,
+// internal/kernprof), so CI and tests cannot drift apart.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 )
 
+var errUsage = errors.New("usage: tracecheck [flags] [trace-file...]")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments and output so tests can drive
+// the real command path.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
 	var (
-		format      = flag.String("format", "chrome", "trace file format: chrome|jsonl")
-		metricsPath = flag.String("metrics", "", "Prometheus text file to validate")
-		require     = flag.String("require", "", "comma-separated metric name prefixes that must each match at least one series in -metrics")
+		format      = fs.String("format", "chrome", "trace file format: chrome|jsonl")
+		metricsPath = fs.String("metrics", "", "Prometheus text file to validate")
+		require     = fs.String("require", "", "comma-separated metric name prefixes that must each match at least one series in -metrics")
+		requireHist = fs.String("require-hist", "", "comma-separated histogram base names that must each expose a full _bucket/_sum/_count triple in -metrics")
+		minCounters = fs.Int("min-counters", 0, "minimum number of Chrome counter (\"C\") events each trace file must carry")
+		kprofPaths  = fs.String("kprof", "", "comma-separated kernel-profile files (hmmsearch/hmmbench -kprof) to validate")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 && *metricsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [flags] [trace-file...]")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 && *metricsPath == "" && *kprofPaths == "" {
+		return errUsage
 	}
 
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
-		check(path, err)
-		var spans int
+		if err != nil {
+			return err
+		}
 		switch *format {
 		case "chrome":
-			spans, err = obs.ValidateChromeTrace(data)
+			st, err := obs.ValidateChromeTraceStats(data)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if st.Spans == 0 {
+				return fmt.Errorf("%s: trace is valid but holds no spans", path)
+			}
+			if st.Counters < *minCounters {
+				return fmt.Errorf("%s: %d counter event(s), want at least %d", path, st.Counters, *minCounters)
+			}
+			fmt.Fprintf(stdout, "%s: ok (chrome, %d spans, %d counters)\n", path, st.Spans, st.Counters)
 		case "jsonl":
-			spans, err = obs.ValidateJSONL(data)
+			spans, err := obs.ValidateJSONL(data)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if spans == 0 {
+				return fmt.Errorf("%s: trace is valid but holds no spans", path)
+			}
+			if *minCounters > 0 {
+				return fmt.Errorf("-min-counters applies to chrome traces only")
+			}
+			fmt.Fprintf(stdout, "%s: ok (jsonl, %d spans)\n", path, spans)
 		default:
-			fatalf("unknown -format %q (want chrome or jsonl)", *format)
+			return fmt.Errorf("unknown -format %q (want chrome or jsonl)", *format)
 		}
-		check(path, err)
-		if spans == 0 {
-			fatalf("%s: trace is valid but holds no spans", path)
-		}
-		fmt.Printf("%s: ok (%s, %d spans)\n", path, *format, spans)
 	}
 
 	if *metricsPath != "" {
-		data, err := os.ReadFile(*metricsPath)
-		check(*metricsPath, err)
-		series, err := obs.ParsePrometheus(data)
-		check(*metricsPath, err)
-		if len(series) == 0 {
-			fatalf("%s: no metric series", *metricsPath)
+		if err := checkMetrics(*metricsPath, *require, *requireHist, stdout); err != nil {
+			return err
 		}
-		for _, prefix := range strings.Split(*require, ",") {
-			prefix = strings.TrimSpace(prefix)
-			if prefix == "" {
-				continue
-			}
-			found := false
-			for name := range series {
-				if strings.HasPrefix(name, prefix) {
-					found = true
-					break
-				}
-			}
-			if !found {
-				fatalf("%s: no series with required prefix %q", *metricsPath, prefix)
-			}
-		}
-		fmt.Printf("%s: ok (%d series)\n", *metricsPath, len(series))
 	}
+
+	for _, path := range splitList(*kprofPaths) {
+		p, err := kernprof.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(p.Launches) == 0 {
+			return fmt.Errorf("%s: profile is valid but holds no launches", path)
+		}
+		fmt.Fprintf(stdout, "%s: ok (kernprof, %d launches, schema %s)\n", path, len(p.Launches), p.Schema)
+	}
+	return nil
 }
 
-func check(path string, err error) {
+// checkMetrics validates one Prometheus text file against the required
+// series prefixes and histogram triples.
+func checkMetrics(path, require, requireHist string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("%s: %v", path, err)
+		return err
 	}
+	series, err := obs.ParsePrometheus(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("%s: no metric series", path)
+	}
+	for _, prefix := range splitList(require) {
+		found := false
+		for name := range series {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: no series with required prefix %q", path, prefix)
+		}
+	}
+	for _, base := range splitList(requireHist) {
+		if err := checkHist(series, base); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	fmt.Fprintf(stdout, "%s: ok (%d series)\n", path, len(series))
+	return nil
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
-	os.Exit(1)
+// checkHist asserts the Prometheus exposition holds a complete
+// histogram triple for base: at least one _bucket series including the
+// +Inf bucket, plus _sum and _count. Label sets are allowed on every
+// series (le splices in alongside), so matching is by name prefix.
+func checkHist(series map[string]float64, base string) error {
+	var buckets, inf, sum, count bool
+	for name := range series {
+		switch {
+		case strings.HasPrefix(name, base+"_bucket{"):
+			buckets = true
+			if strings.Contains(name, `le="+Inf"`) {
+				inf = true
+			}
+		case name == base+"_sum" || strings.HasPrefix(name, base+"_sum{"):
+			sum = true
+		case name == base+"_count" || strings.HasPrefix(name, base+"_count{"):
+			count = true
+		}
+	}
+	switch {
+	case !buckets:
+		return fmt.Errorf("histogram %q: no _bucket series", base)
+	case !inf:
+		return fmt.Errorf("histogram %q: no le=\"+Inf\" bucket", base)
+	case !sum:
+		return fmt.Errorf("histogram %q: missing _sum", base)
+	case !count:
+		return fmt.Errorf("histogram %q: missing _count", base)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }

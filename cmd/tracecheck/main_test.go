@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmmer3gpu/internal/kernprof"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/simt"
+)
+
+// writeArtifacts produces one of each artifact kind the way the real
+// commands do: a Chrome trace with counter events, a Prometheus dump
+// with a histogram triple, and a kernel profile from a live launch.
+func writeArtifacts(t *testing.T) (trace, metrics, kprof string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	reg := obs.NewRegistry()
+	h := obs.NewHist(obs.LatencyBuckets())
+	h.Observe(0.004)
+	h.Observe(0.250)
+	reg.MergeHist("hmmer_sched_batch_seconds", h)
+	reg.AddInt("hmmer_sched_batches_total", 2)
+
+	tr := obs.New()
+	sp := tr.Start("host", "search")
+	sp.End()
+
+	trace = filepath.Join(dir, "trace.json")
+	fh, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTraceWithCounters(fh, reg); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	metrics = filepath.Join(dir, "metrics.prom")
+	fh, err = os.Create(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(fh); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	col := kernprof.NewCollector()
+	dev := simt.NewDevice(simt.TeslaK40())
+	dev.Profiler = col
+	_, err = dev.Launch(simt.LaunchConfig{
+		Blocks: 2, WarpsPerBlock: 2, Name: "msv",
+	}, func(w *simt.Warp) { w.ALU(3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	kprof = filepath.Join(dir, "prof.json")
+	if err := col.Profile().WriteFile(kprof); err != nil {
+		t.Fatal(err)
+	}
+	return trace, metrics, kprof
+}
+
+func TestValidatesAllArtifactKinds(t *testing.T) {
+	trace, metrics, kprof := writeArtifacts(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-format", "chrome", "-min-counters", "1",
+		"-metrics", metrics,
+		"-require", "hmmer_sched_",
+		"-require-hist", "hmmer_sched_batch_seconds",
+		"-kprof", kprof,
+		trace,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"counters)", "series)", "kernprof, 1 launches"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMinCountersFails(t *testing.T) {
+	trace, _, _ := writeArtifacts(t)
+	err := run([]string{"-min-counters", "1000", trace}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "counter event") {
+		t.Fatalf("err = %v, want counter-count failure", err)
+	}
+}
+
+func TestRequireHistFails(t *testing.T) {
+	_, metrics, _ := writeArtifacts(t)
+	err := run([]string{"-metrics", metrics, "-require-hist", "no_such_hist"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no _bucket series") {
+		t.Fatalf("err = %v, want missing-bucket failure", err)
+	}
+	// A plain counter must not satisfy a histogram requirement.
+	err = run([]string{"-metrics", metrics, "-require-hist", "hmmer_sched_batches_total"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("counter series accepted as a histogram")
+	}
+}
+
+func TestKprofRejectsBadSchema(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"wrong/v0","launches":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kprof", bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad kernel profile accepted")
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err != errUsage {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/seq"
@@ -44,6 +45,10 @@ type Config struct {
 	// modelled columns read zero and only wall-clock comparisons (the
 	// trajectory experiment) are meaningful.
 	Mode simt.Mode
+	// Prof, when non-nil, is attached to every device the harness
+	// creates and collects kernel-grained profiles (hmmbench -kprof);
+	// sweep experiments tag launches with their sweep coordinates.
+	Prof *kernprof.Collector
 }
 
 // DefaultConfig returns budgets sized for a laptop run of the full
@@ -158,13 +163,22 @@ func gtx580() simt.DeviceSpec { return simt.GTX580() }
 func (c Config) newDevice(spec simt.DeviceSpec) *simt.Device {
 	d := simt.NewDevice(spec)
 	d.Mode = c.Mode
+	// The guard matters: assigning a nil *Collector would still make
+	// the Profiler interface non-nil and turn on per-block sampling.
+	if c.Prof != nil {
+		d.Profiler = c.Prof
+	}
 	return d
 }
 
 // newSystem creates n identical devices in the configured simulation
 // mode.
 func (c Config) newSystem(spec simt.DeviceSpec, n int) *simt.System {
-	return simt.NewSystem(spec, n).SetMode(c.Mode)
+	sys := simt.NewSystem(spec, n).SetMode(c.Mode)
+	if c.Prof != nil {
+		sys.SetProfiler(c.Prof)
+	}
+	return sys
 }
 
 // modeBanner warns when a figure experiment runs in fast mode, where

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/kernprof"
 )
 
 func TestFig9Quick(t *testing.T) {
@@ -397,5 +398,47 @@ func TestSensitivityQuick(t *testing.T) {
 		if r.DecoyFPR > 0.05 {
 			t.Errorf("rate %.2f: decoy FPR %.3f too high", r.MutationRate, r.DecoyFPR)
 		}
+	}
+}
+
+// TestFig9ProfilerAcceptance is the PR's acceptance criterion: on a
+// fig9 sweep spanning the paper's model ≈ 1002 crossover, the
+// collected profile must (a) validate, (b) report achieved occupancy
+// within 5% of predicted for every launch, and (c) flag the
+// shared-config occupancy collapse between the sizes bracketing 1002.
+func TestFig9ProfilerAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness simulation is slow")
+	}
+	cfg := QuickConfig()
+	cfg.Sizes = []int{400, 960, 1056, 1528}
+	cfg.Prof = kernprof.NewCollector()
+	if _, err := Fig9(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	prof := cfg.Prof.Profile()
+	if len(prof.Launches) == 0 {
+		t.Fatal("fig9 collected no launches")
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range prof.Launches {
+		pred, ach := l.Predicted.Fraction, l.Achieved.Fraction
+		if pred <= 0 {
+			t.Errorf("launch %d (%s %v): predicted occupancy %g", l.Seq, l.Kernel, l.Labels, pred)
+			continue
+		}
+		if diff := ach - pred; diff > 0.05*pred || diff < -0.05*pred {
+			t.Errorf("launch %d (%s %v): achieved %.3f vs predicted %.3f, off by more than 5%%",
+				l.Seq, l.Kernel, l.Labels, ach, pred)
+		}
+	}
+	var rep bytes.Buffer
+	if err := prof.WriteOccupancy(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "occupancy collapse") {
+		t.Errorf("sweep across M=960..1056 did not flag the shared-config occupancy collapse:\n%s", rep.String())
 	}
 }

@@ -53,18 +53,25 @@ type Fig9Row struct {
 func runStage(cfg Config, spec simt.DeviceSpec, kind DBKind, stage Stage, mem gpu.MemConfig,
 	mp *profile.MSVProfile, vp *profile.VitProfile, db *seq.Database) (float64, int64, error) {
 
+	m := 0
+	if stage == StageViterbi {
+		m = vp.M
+	} else {
+		m = mp.M
+	}
+	cfg.Prof.SetLabels(map[string]string{
+		"db": kind.String(), "stage": stage.String(),
+		"m": fmt.Sprint(m), "mem": mem.String(),
+	})
 	dev := cfg.newDevice(spec)
 	ddb := gpu.UploadDB(dev, db)
 	s := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: cfg.Workers}
 	var rep *gpu.SearchReport
 	var err error
-	var m int
 	if stage == StageMSV {
 		rep, err = s.MSVSearch(gpu.UploadMSVProfile(dev, mp), ddb)
-		m = mp.M
 	} else {
 		rep, err = s.ViterbiSearch(gpu.UploadVitProfile(dev, vp), ddb)
-		m = vp.M
 	}
 	if err != nil {
 		return 0, 0, err

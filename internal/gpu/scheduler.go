@@ -95,6 +95,14 @@ type ScheduleReport struct {
 	Util []DeviceUtilization
 	// Faults summarises the run's fault handling (zero when clean).
 	Faults FaultReport
+	// BatchSeconds is the distribution of per-batch processing attempt
+	// durations across all devices (failed attempts included — a retry
+	// storm shows up as a fat tail, exactly what the mean hides).
+	BatchSeconds *obs.Hist
+	// QueueWaitSeconds is the distribution of the waits counted by
+	// DeviceUtilization.QueueWait: how long a worker sat idle before
+	// claiming each batch.
+	QueueWaitSeconds *obs.Hist
 }
 
 // String renders the schedule: totals, then one line per device with
@@ -110,6 +118,11 @@ func (r *ScheduleReport) String() string {
 			i, u.Batches, u.Residues,
 			obs.Pct(float64(u.Residues), float64(r.Residues)),
 			u.Busy, obs.Pct(float64(u.Busy), float64(r.Wall)), u.QueueWait)
+	}
+	if r.BatchSeconds != nil && r.BatchSeconds.Count > 0 {
+		fmt.Fprintf(&b, "\n  batch latency: p50 %.3fs p99 %.3fs, queue-wait p99 %.3fs",
+			r.BatchSeconds.Quantile(0.5), r.BatchSeconds.Quantile(0.99),
+			r.QueueWaitSeconds.Quantile(0.99))
 	}
 	if r.Faults.Any() {
 		fmt.Fprintf(&b, "\n  %s", r.Faults.String())
@@ -144,6 +157,16 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 		reg.AddInt(obs.WithLabel("hmmer_sched_device_residues_total", "device", dev), u.Residues)
 		reg.Set(obs.WithLabel("hmmer_sched_device_busy_fraction", "device", dev), u.BusyFraction(r.Wall))
 	}
+	if r.BatchSeconds != nil && r.BatchSeconds.Count > 0 {
+		reg.MergeHist("hmmer_sched_batch_seconds", r.BatchSeconds)
+		reg.Set("hmmer_sched_batch_seconds_p50", r.BatchSeconds.Quantile(0.5))
+		reg.Set("hmmer_sched_batch_seconds_p99", r.BatchSeconds.Quantile(0.99))
+	}
+	if r.QueueWaitSeconds != nil && r.QueueWaitSeconds.Count > 0 {
+		reg.MergeHist("hmmer_sched_queue_wait_seconds", r.QueueWaitSeconds)
+		reg.Set("hmmer_sched_queue_wait_seconds_p50", r.QueueWaitSeconds.Quantile(0.5))
+		reg.Set("hmmer_sched_queue_wait_seconds_p99", r.QueueWaitSeconds.Quantile(0.99))
+	}
 	for i, d := range r.Faults.Devices {
 		dev := fmt.Sprint(i)
 		q := 0.0
@@ -156,6 +179,10 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 	}
 	reg.Help("hmmer_sched_device_queue_wait_seconds_total",
 		"wall time the device worker spent blocked on the work queue (starvation)")
+	reg.Help("hmmer_sched_batch_seconds",
+		"per-batch processing attempt duration across all devices")
+	reg.Help("hmmer_sched_queue_wait_seconds",
+		"per-claim wait a device worker spent idle on the work queue")
 	reg.Help("hmmer_sched_device_quarantined",
 		"1 when the device was quarantined by the circuit breaker during the run")
 	reg.Help("hmmer_sched_sdc_detected_total",
@@ -463,7 +490,9 @@ func (st *schedRun) runWorker(i int, dev *simt.Device,
 		}
 		// Only a wait that ends in claiming work counts as starvation;
 		// the shutdown/abort/quarantine exits above accrue nothing.
-		util.QueueWait += s.clock().Now().Sub(tw)
+		wait := s.clock().Now().Sub(tw)
+		util.QueueWait += wait
+		st.rep.QueueWaitSeconds.Observe(wait.Seconds())
 		if att.excl >= 0 && att.excl != i {
 			st.rep.Faults.Requeues++
 		}
@@ -478,13 +507,15 @@ func (st *schedRun) runWorker(i int, dev *simt.Device,
 			obs.Int("attempt", int64(att.tries)))
 		t0 := time.Now()
 		err := st.runBatch(i, dev, b, process)
-		util.Busy += time.Since(t0)
+		dur := time.Since(t0)
+		util.Busy += dur
 		if err != nil {
 			b.Trace.Annotate(obs.String("error", err.Error()))
 		}
 		b.Trace.End()
 
 		st.mu.Lock()
+		st.rep.BatchSeconds.Observe(dur.Seconds())
 		if err == nil {
 			util.Residues += b.DB.TotalResidues()
 			util.Batches++
@@ -665,10 +696,13 @@ func (st *schedRun) runFallback() {
 			obs.Int("batch", int64(b.Seq)),
 			obs.Int("offset", int64(b.Offset)),
 			obs.Bool("cpu_fallback", true))
+		t0 := time.Now()
 		committed, err := s.Fallback(b)
+		dur := time.Since(t0)
 		b.Trace.End()
 
 		st.mu.Lock()
+		st.rep.BatchSeconds.Observe(dur.Seconds())
 		st.active--
 		if err != nil {
 			st.failLocked(err)
@@ -753,8 +787,10 @@ func (s *Scheduler) RunBatches(ctx context.Context,
 
 	n := len(s.Sys.Devices)
 	rep := &ScheduleReport{
-		Util:   make([]DeviceUtilization, n),
-		Faults: FaultReport{Devices: make([]DeviceFaultStats, n)},
+		Util:             make([]DeviceUtilization, n),
+		Faults:           FaultReport{Devices: make([]DeviceFaultStats, n)},
+		BatchSeconds:     obs.NewHist(obs.LatencyBuckets()),
+		QueueWaitSeconds: obs.NewHist(obs.LatencyBuckets()),
 	}
 	st := &schedRun{
 		s:       s,

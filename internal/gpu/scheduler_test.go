@@ -1,13 +1,16 @@
 package gpu
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
 )
@@ -226,5 +229,65 @@ func TestDeviceWorkerReusesProfileUploads(t *testing.T) {
 				t.Fatalf("batch %d seq %d: Viterbi differs from fresh searcher", batch, i)
 			}
 		}
+	}
+}
+
+// TestSchedulerLatencyHistograms pins the first-class latency
+// distributions: every processed attempt lands in BatchSeconds, every
+// claim's wait in QueueWaitSeconds, and Record exports both as
+// Prometheus histograms with p50/p99 gauges.
+func TestSchedulerLatencyHistograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys := simt.NewSystem(simt.GTX580(), 2)
+	lens := make([]int, 12)
+	for i := range lens {
+		lens[i] = 20
+	}
+	s := &Scheduler{Sys: sys}
+	rep, err := s.Run(feedBatches(rng, lens),
+		func(devIdx int, dev *simt.Device, b Batch) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchSeconds == nil || rep.BatchSeconds.Count != uint64(len(lens)) {
+		t.Fatalf("BatchSeconds covers %+v, want %d observations", rep.BatchSeconds, len(lens))
+	}
+	if rep.QueueWaitSeconds == nil || rep.QueueWaitSeconds.Count != uint64(len(lens)) {
+		t.Fatalf("QueueWaitSeconds covers %+v, want %d observations", rep.QueueWaitSeconds, len(lens))
+	}
+	if p50 := rep.BatchSeconds.Quantile(0.5); p50 <= 0 {
+		t.Errorf("batch p50 = %g, want > 0", p50)
+	}
+	if p50, p99 := rep.BatchSeconds.Quantile(0.5), rep.BatchSeconds.Quantile(0.99); p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+	if !strings.Contains(rep.String(), "batch latency: p50") {
+		t.Errorf("String() missing latency line:\n%s", rep.String())
+	}
+
+	reg := obs.NewRegistry()
+	rep.Record(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE hmmer_sched_batch_seconds histogram",
+		"hmmer_sched_batch_seconds_bucket{le=\"+Inf\"}",
+		"hmmer_sched_batch_seconds_p50",
+		"hmmer_sched_batch_seconds_p99",
+		"# TYPE hmmer_sched_queue_wait_seconds histogram",
+		"hmmer_sched_queue_wait_seconds_p99",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+	if h, ok := reg.GetHist("hmmer_sched_batch_seconds"); !ok || h.Count != uint64(len(lens)) {
+		t.Errorf("registry histogram count = %+v, want %d", h, len(lens))
 	}
 }

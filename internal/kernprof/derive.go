@@ -1,0 +1,273 @@
+package kernprof
+
+// Derivations from raw per-block samples to the profile's headline
+// numbers. The achieved-occupancy model mirrors what the simulator
+// actually does with a grid: blocks land on SM (block % SMCount) and
+// an SM keeps at most Occupancy.BlocksPerSM of its blocks resident at
+// once, so blocks run in residency waves.
+//
+//   - Achieved.Fraction weights residency by wave: an SM with n
+//     blocks and r resident slots averages n/ceil(n/r) resident
+//     blocks per wave. For a grid sized by gpu.planLaunch (Blocks =
+//     BlocksPerSM × SMCount) this equals the prediction exactly;
+//     under- or over-subscribed grids show the tail-wave dip nvprof's
+//     achieved_occupancy reports for short kernels.
+//   - Achieved.ActiveFraction additionally weights by measured block
+//     cycles under a greedy slot schedule, so ragged block durations
+//     and idle warps pull it down — the honest "how busy were the
+//     resident slots" number.
+//
+// Stall attribution is an estimate, not a timeline: barrier stalls
+// are measured (SyncStallCycles), memory stall is exposed latency
+// (accesses × device latency, no overlap assumed), scheduler wait is
+// the slot/tail idleness of the residency model.
+
+import (
+	"sort"
+
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/simt"
+)
+
+// BlockCycleBuckets returns the bucket bounds (in cycles) for the
+// per-block duration histogram: powers of two from 256 to ~16M.
+func BlockCycleBuckets() []float64 {
+	out := make([]float64, 0, 17)
+	for v := 256.0; v <= 1<<24; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// cachedLatencyFraction scales the device's DRAM latency for traffic
+// served from L2 (the cached transaction classes).
+const cachedLatencyFraction = 0.25
+
+// buildRecord converts one raw launch profile into a LaunchRecord.
+// Callers hold the Collector lock (labels is read without copying).
+func buildRecord(p *simt.LaunchProfile, labels map[string]string) LaunchRecord {
+	stride := int64(p.SamplePeriod)
+	if stride < 1 {
+		stride = 1
+	}
+	var agg simt.KernelStats
+	hist := obs.NewHist(BlockCycleBuckets())
+	for i := range p.Samples {
+		agg.Add(&p.Samples[i].Stats)
+		hist.Observe(float64(p.Samples[i].Stats.IssueCycles + p.Samples[i].Stats.SyncStallCycles))
+	}
+
+	totalWarps := int64(p.Blocks) * int64(p.WarpsPerBlock)
+	rec := LaunchRecord{
+		Kernel:        p.Kernel,
+		Device:        p.Device,
+		Spec:          p.Spec.Name,
+		Mode:          p.Mode.String(),
+		Blocks:        p.Blocks,
+		WarpsPerBlock: p.WarpsPerBlock,
+		SharedBytes:   p.SharedBytesPerBlock,
+		RegsPerThread: p.RegsPerThread,
+		SamplePeriod:  int(stride),
+		SampledBlocks: len(p.Samples),
+		Predicted: OccupancyView{
+			BlocksPerSM: p.Occupancy.BlocksPerSM,
+			WarpsPerSM:  p.Occupancy.WarpsPerSM,
+			Fraction:    p.Occupancy.Fraction,
+			Limiter:     p.Occupancy.Limiter,
+		},
+		Counters:    counterMap(&agg, stride, totalWarps),
+		BlockCycles: hist,
+	}
+	if len(labels) > 0 {
+		rec.Labels = make(map[string]string, len(labels))
+		for k, v := range labels {
+			rec.Labels[k] = v
+		}
+	}
+
+	shared := agg.SharedLoads + agg.SharedStores
+	transactions := agg.GlobalLoadTransactions + agg.GlobalStoreTransactions +
+		agg.CachedLoadTransactions + agg.CachedStoreTransactions
+	rec.Derived = DerivedView{
+		WarpExecEfficiency:     clamp01(agg.LaneUtilization()),
+		GlobalTransactions:     transactions * stride,
+		SharedAccesses:         shared * stride,
+		ShuffleOps:             agg.ShuffleOps * stride,
+		VoteOps:                agg.VoteOps * stride,
+		BankConflictReplayRate: 0,
+		CoalescingEfficiency:   1,
+	}
+	if shared > 0 {
+		rec.Derived.BankConflictReplayRate = float64(agg.BankConflictReplays) / float64(shared)
+	}
+	if moved := agg.GlobalBytes + agg.CachedBytes; moved > 0 {
+		rec.Derived.CoalescingEfficiency = clamp01(float64(agg.GlobalRequestedBytes) / float64(moved))
+	}
+
+	achieved, perSM, schedWait := deriveOccupancy(p)
+	rec.Achieved = achieved
+	rec.PerSM = perSM
+
+	spec := p.Spec
+	memCycles := float64(shared)*spec.SharedLatency +
+		float64(agg.GlobalLoadTransactions+agg.GlobalStoreTransactions)*spec.GlobalLatency +
+		float64(agg.CachedLoadTransactions+agg.CachedStoreTransactions)*spec.GlobalLatency*cachedLatencyFraction
+	rec.Stalls = StallView{
+		ComputeCycles:       (agg.ALUOps + agg.ShuffleOps + agg.VoteOps) * stride,
+		MemoryCycles:        int64(memCycles) * stride,
+		BarrierCycles:       agg.SyncStallCycles * stride,
+		SchedulerWaitCycles: schedWait * stride,
+	}
+	return rec
+}
+
+// deriveOccupancy computes the achieved residency per SM, the
+// issue-weighted active occupancy, and the scheduler-wait cycles of
+// the greedy slot model.
+func deriveOccupancy(p *simt.LaunchProfile) (AchievedView, []SMRecord, int64) {
+	spec := p.Spec
+	smCount := spec.SMCount
+	if smCount < 1 {
+		smCount = 1
+	}
+	slots := p.Occupancy.BlocksPerSM
+	if slots < 1 {
+		slots = 1
+	}
+	maxWarps := float64(spec.MaxWarpsPerSM)
+	if maxWarps <= 0 {
+		maxWarps = float64(slots * p.WarpsPerBlock)
+	}
+	warpsPB := float64(p.WarpsPerBlock)
+
+	// Sampled block durations, grouped by SM. The duration estimate is
+	// the block's cycles divided across its (conceptually concurrent)
+	// warps.
+	type smState struct {
+		durations []int64
+		issue     int64
+		sampled   int
+	}
+	states := make([]smState, smCount)
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		sm := s.Block % smCount
+		d := (s.Stats.IssueCycles + s.Stats.SyncStallCycles) / int64(p.WarpsPerBlock)
+		if d < 1 {
+			d = 1
+		}
+		st := &states[sm]
+		st.durations = append(st.durations, d)
+		st.issue += s.Stats.IssueCycles
+		st.sampled++
+	}
+
+	var (
+		perSM        []SMRecord
+		sumWarps     float64 // residency-weighted
+		sumOcc       float64
+		activeSMs    int
+		sumActiveOcc float64
+		activeMeasSM int
+		makespans    = make([]int64, smCount)
+		slotIdle     = make([]int64, smCount)
+	)
+	for sm := 0; sm < smCount; sm++ {
+		// Full-grid block count on this SM under round-robin placement.
+		n := p.Blocks / smCount
+		if sm < p.Blocks%smCount {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		activeSMs++
+		waves := (n + slots - 1) / slots
+		residentBlocks := float64(n) / float64(waves)
+		warps := residentBlocks * warpsPB
+		if warps > maxWarps {
+			warps = maxWarps
+		}
+		occ := clamp01(warps / maxWarps)
+		sumWarps += warps
+		sumOcc += occ
+
+		rec := SMRecord{SM: sm, Blocks: n, SampledBlocks: states[sm].sampled,
+			IssueCycles: states[sm].issue, Occupancy: occ}
+
+		// Greedy slot schedule over the sampled durations: longest
+		// blocks first into the least-loaded of the resident slots.
+		if ds := states[sm].durations; len(ds) > 0 {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] > ds[j] })
+			loads := make([]int64, slots)
+			for _, d := range ds {
+				mi := 0
+				for j := 1; j < len(loads); j++ {
+					if loads[j] < loads[mi] {
+						mi = j
+					}
+				}
+				loads[mi] += d
+			}
+			var makespan, busy int64
+			for _, l := range loads {
+				if l > makespan {
+					makespan = l
+				}
+				busy += l
+			}
+			for _, l := range loads {
+				slotIdle[sm] += makespan - l
+			}
+			makespans[sm] = makespan
+			rec.Makespan = makespan
+			if makespan > 0 {
+				activeWarps := float64(busy) * warpsPB / float64(makespan)
+				if activeWarps > maxWarps {
+					activeWarps = maxWarps
+				}
+				sumActiveOcc += clamp01(activeWarps / maxWarps)
+				activeMeasSM++
+			}
+		}
+		perSM = append(perSM, rec)
+	}
+
+	var achieved AchievedView
+	if activeSMs > 0 {
+		achieved.WarpsPerSM = sumWarps / float64(activeSMs)
+		achieved.Fraction = clamp01(sumOcc / float64(activeSMs))
+	}
+	if activeMeasSM > 0 {
+		achieved.ActiveFraction = clamp01(sumActiveOcc / float64(activeMeasSM))
+	}
+
+	// Scheduler wait: warp-cycles idle inside an SM's slot schedule,
+	// plus whole-SM idleness at the device tail (SMs finished while
+	// the slowest one still ran).
+	var devMakespan int64
+	for _, m := range makespans {
+		if m > devMakespan {
+			devMakespan = m
+		}
+	}
+	var wait int64
+	for sm := 0; sm < smCount; sm++ {
+		if makespans[sm] == 0 && slotIdle[sm] == 0 {
+			continue
+		}
+		wait += slotIdle[sm] * int64(warpsPB)
+		wait += (devMakespan - makespans[sm]) * int64(slots) * int64(warpsPB)
+	}
+	return achieved, perSM, wait
+}

@@ -1,0 +1,285 @@
+package kernprof
+
+// Text renderers behind cmd/hmmprof: the kernel summary + occupancy
+// table (with automatic detection of the paper's shared-config
+// occupancy collapse across a model-size sweep) and the folded-stack
+// stall flamegraph. All output is deterministic — launches render in
+// collection order, groups sort lexically — so golden tests can pin
+// the format.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"hmmer3gpu/internal/obs"
+)
+
+// labelString renders a label set deterministically: "db=sp m=400".
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(labels))
+	for _, k := range sortedLabelKeys(labels) {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// WriteReport renders the full text report: header, per-kernel
+// summary, the occupancy table with collapse notes, and stall
+// attribution.
+func (p *Profile) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "kernprof profile: %d launches\n\n", len(p.Launches))
+	if len(p.Launches) == 0 {
+		return nil
+	}
+
+	// Per-kernel aggregate summary, in first-seen order.
+	type kagg struct {
+		kernel   string
+		launches int
+		warps    int64
+		instr    int64
+		laneAct  float64
+		laneTot  float64
+		replays  int64
+		sharedAc int64
+		reqByt   float64
+		movByt   float64
+	}
+	var order []string
+	aggs := make(map[string]*kagg)
+	for i := range p.Launches {
+		l := &p.Launches[i]
+		a, ok := aggs[l.Kernel]
+		if !ok {
+			a = &kagg{kernel: l.Kernel}
+			aggs[l.Kernel] = a
+			order = append(order, l.Kernel)
+		}
+		a.launches++
+		a.warps += l.Counters["warps_executed"]
+		a.instr += l.Counters["alu_ops"] + l.Derived.SharedAccesses +
+			l.Derived.GlobalTransactions + l.Derived.ShuffleOps + l.Derived.VoteOps
+		a.laneAct += float64(l.Counters["active_lane_slots"])
+		a.laneTot += float64(l.Counters["total_lane_slots"])
+		a.replays += l.Counters["bank_conflict_replays"]
+		a.sharedAc += l.Derived.SharedAccesses
+		a.reqByt += float64(l.Counters["global_requested_bytes"])
+		a.movByt += float64(l.Counters["global_bytes"] + l.Counters["cached_bytes"])
+	}
+	fmt.Fprintln(w, "== kernels ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tlaunches\twarps\tinstructions\twarp-eff\tbank-replay/access\tcoalescing")
+	for _, k := range order {
+		a := aggs[k]
+		warpEff := 1.0
+		if a.laneTot > 0 {
+			warpEff = a.laneAct / a.laneTot
+		}
+		replayRate := 0.0
+		if a.sharedAc > 0 {
+			replayRate = float64(a.replays) / float64(a.sharedAc)
+		}
+		coal := 1.0
+		if a.movByt > 0 {
+			coal = a.reqByt / a.movByt
+			if coal > 1 {
+				coal = 1
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%.3f\t%s\n",
+			a.kernel, a.launches, a.warps, a.instr, pct(warpEff), replayRate, pct(coal))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	if err := p.WriteOccupancy(w); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== stall attribution (cycles) ==")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tcompute\tmemory\tbarrier\tscheduler-wait")
+	type stall struct{ compute, memory, barrier, sched int64 }
+	stalls := make(map[string]*stall)
+	for i := range p.Launches {
+		l := &p.Launches[i]
+		s, ok := stalls[l.Kernel]
+		if !ok {
+			s = &stall{}
+			stalls[l.Kernel] = s
+		}
+		s.compute += l.Stalls.ComputeCycles
+		s.memory += l.Stalls.MemoryCycles
+		s.barrier += l.Stalls.BarrierCycles
+		s.sched += l.Stalls.SchedulerWaitCycles
+	}
+	for _, k := range order {
+		s := stalls[k]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", k, s.compute, s.memory, s.barrier, s.sched)
+	}
+	tw.Flush()
+
+	// Block-duration percentiles per kernel, when collected.
+	var havePcts bool
+	for i := range p.Launches {
+		if p.Launches[i].BlockCycles != nil && p.Launches[i].BlockCycles.Count > 0 {
+			havePcts = true
+			break
+		}
+	}
+	if havePcts {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "== block cycles (sampled) ==")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "kernel\tblocks\tp50\tp99\tmean")
+		merged := make(map[string]*histAgg)
+		for i := range p.Launches {
+			l := &p.Launches[i]
+			if l.BlockCycles == nil {
+				continue
+			}
+			m, ok := merged[l.Kernel]
+			if !ok {
+				m = &histAgg{}
+				merged[l.Kernel] = m
+			}
+			m.add(l)
+		}
+		for _, k := range order {
+			if m := merged[k]; m != nil && m.hist != nil && m.hist.Count > 0 {
+				fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\n",
+					k, m.hist.Count, m.hist.Quantile(0.5), m.hist.Quantile(0.99), m.hist.Mean())
+			}
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+type histAgg struct{ hist *obs.Hist }
+
+func (h *histAgg) add(l *LaunchRecord) {
+	if h.hist == nil {
+		h.hist = obs.NewHist(l.BlockCycles.Buckets)
+	}
+	h.hist.Merge(l.BlockCycles)
+}
+
+// WriteOccupancy renders the per-launch occupancy table and appends a
+// note for every detected shared-config-style occupancy collapse: a
+// group of launches differing only in their "m" label whose predicted
+// occupancy drops by ≥ 1.5× between adjacent model sizes (the paper's
+// crossover at model ≈ 1002).
+func (p *Profile) WriteOccupancy(w io.Writer) error {
+	fmt.Fprintln(w, "== occupancy ==")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tlabels\tgrid\tshared\tregs\tpredicted\tachieved\tactive\tlimiter")
+	for i := range p.Launches {
+		l := &p.Launches[i]
+		fmt.Fprintf(tw, "%s\t%s\t%dx%d\t%dB\t%d\t%s\t%s\t%s\t%s\n",
+			l.Kernel, labelString(l.Labels), l.Blocks, l.WarpsPerBlock,
+			l.SharedBytes, l.RegsPerThread,
+			pct(l.Predicted.Fraction), pct(l.Achieved.Fraction),
+			pct(l.Achieved.ActiveFraction), l.Predicted.Limiter)
+	}
+	tw.Flush()
+
+	for _, note := range p.collapseNotes() {
+		fmt.Fprintln(w, note)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// collapseNotes scans model-size sweeps for occupancy collapses.
+func (p *Profile) collapseNotes() []string {
+	type point struct {
+		m   int
+		occ float64
+	}
+	groups := make(map[string][]point)
+	var keys []string
+	for i := range p.Launches {
+		l := &p.Launches[i]
+		mstr, ok := l.Labels["m"]
+		if !ok {
+			continue
+		}
+		m, err := strconv.Atoi(mstr)
+		if err != nil {
+			continue
+		}
+		rest := make(map[string]string, len(l.Labels))
+		for k, v := range l.Labels {
+			if k != "m" {
+				rest[k] = v
+			}
+		}
+		key := l.Kernel + "[" + labelString(rest) + "]"
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], point{m: m, occ: l.Predicted.Fraction})
+	}
+	sort.Strings(keys)
+	var notes []string
+	for _, key := range keys {
+		pts := groups[key]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].m < pts[j].m })
+		for i := 1; i < len(pts); i++ {
+			prev, cur := pts[i-1], pts[i]
+			if prev.m == cur.m || cur.occ <= 0 {
+				continue
+			}
+			if prev.occ >= cur.occ*1.5 {
+				notes = append(notes, fmt.Sprintf(
+					"note: occupancy collapse in %s: %s at M=%d -> %s at M=%d",
+					key, pct(prev.occ), prev.m, pct(cur.occ), cur.m))
+			}
+		}
+	}
+	return notes
+}
+
+// WriteFlame renders the stall attribution as folded stacks
+// (flamegraph.pl / speedscope input): one stack per kernel and cause,
+// weighted in cycles.
+func (p *Profile) WriteFlame(w io.Writer) error {
+	type stall struct{ compute, memory, barrier, sched int64 }
+	stalls := make(map[string]*stall)
+	var order []string
+	for i := range p.Launches {
+		l := &p.Launches[i]
+		kernel := l.Kernel
+		if kernel == "" {
+			kernel = "kernel"
+		}
+		s, ok := stalls[kernel]
+		if !ok {
+			s = &stall{}
+			stalls[kernel] = s
+			order = append(order, kernel)
+		}
+		s.compute += l.Stalls.ComputeCycles
+		s.memory += l.Stalls.MemoryCycles
+		s.barrier += l.Stalls.BarrierCycles
+		s.sched += l.Stalls.SchedulerWaitCycles
+	}
+	for _, k := range order {
+		s := stalls[k]
+		fmt.Fprintf(w, "%s;compute %d\n", k, s.compute)
+		fmt.Fprintf(w, "%s;stall;memory-latency %d\n", k, s.memory)
+		fmt.Fprintf(w, "%s;stall;barrier %d\n", k, s.barrier)
+		fmt.Fprintf(w, "%s;stall;scheduler-wait %d\n", k, s.sched)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // jsonlSpan is the JSON-lines wire form of one span.
@@ -70,12 +71,23 @@ type chromeEvent struct {
 // the streaming scheduler directly. Span IDs and parent links ride in
 // each event's args.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceWithCounters(w, nil)
+}
+
+// WriteChromeTraceWithCounters is WriteChromeTrace plus one "C"
+// (counter) event per histogram metric in reg, stamped at the end of
+// the trace with the final p50/p90/p99/mean/count — so the latency
+// distribution of a run rides in the same artifact as its span gantt.
+// A nil registry (or one without histograms) degrades to the plain
+// span trace.
+func (t *Tracer) WriteChromeTraceWithCounters(w io.Writer, reg *Registry) error {
 	spans := t.Spans()
 
 	// Tracks become tids in order of first appearance, so the host
 	// row sits above the device rows.
 	tids := make(map[string]int)
 	var events []chromeEvent
+	var endTS float64
 	for _, s := range spans {
 		tid, ok := tids[s.Track]
 		if !ok {
@@ -92,11 +104,32 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		args["id"] = s.ID
 		args["parent"] = s.Parent
+		ts := float64(s.Start.Sub(t.Epoch())) / 1e3
+		dur := float64(s.Dur) / 1e3
+		if ts+dur > endTS {
+			endTS = ts + dur
+		}
 		events = append(events, chromeEvent{
 			Name: s.Name, Ph: "X", Pid: 1, Tid: tid,
-			TS:   float64(s.Start.Sub(t.Epoch())) / 1e3,
-			Dur:  float64(s.Dur) / 1e3,
+			TS:   ts,
+			Dur:  dur,
 			Args: args,
+		})
+	}
+
+	for _, m := range reg.Snapshot() {
+		if m.Kind != Histogram || m.Hist == nil {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: m.Name, Ph: "C", Pid: 1, Tid: 0, TS: endTS,
+			Args: map[string]any{
+				"p50":   m.Hist.Quantile(0.50),
+				"p90":   m.Hist.Quantile(0.90),
+				"p99":   m.Hist.Quantile(0.99),
+				"mean":  m.Hist.Mean(),
+				"count": m.Hist.Count,
+			},
 		})
 	}
 
@@ -128,7 +161,38 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "# TYPE %s %s\n", base, m.Kind)
 		}
+		if m.Kind == Histogram && m.Hist != nil {
+			writePromHist(bw, m)
+			continue
+		}
 		fmt.Fprintf(bw, "%s %g\n", m.Name, m.Value)
 	}
 	return bw.Flush()
+}
+
+// writePromHist explodes one histogram metric into the classic
+// Prometheus series triple: cumulative _bucket{le="..."} samples, a
+// _sum and a _count. Any label set on the metric name is preserved on
+// every series, with le spliced in alongside.
+func writePromHist(w io.Writer, m Metric) {
+	var cum uint64
+	for i, c := range m.Hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(m.Hist.Buckets) {
+			le = fmt.Sprintf("%g", m.Hist.Buckets[i])
+		}
+		fmt.Fprintf(w, "%s %d\n", WithLabel(suffixedName(m.Name, "_bucket"), "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s %g\n", suffixedName(m.Name, "_sum"), m.Hist.Sum)
+	fmt.Fprintf(w, "%s %d\n", suffixedName(m.Name, "_count"), m.Hist.Count)
+}
+
+// suffixedName appends a suffix to the base metric name, keeping any
+// label set in place: foo{a="b"} + _sum → foo_sum{a="b"}.
+func suffixedName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
 }

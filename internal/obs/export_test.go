@@ -173,7 +173,7 @@ func TestParsePrometheusRejects(t *testing.T) {
 		"bad value":      "m one\n",
 		"duplicate":      "m 1\nm 2\n",
 		"malformed TYPE": "# TYPE m\n",
-		"unknown kind":   "# TYPE m histogram\n",
+		"unknown kind":   "# TYPE m summary\n",
 	}
 	for label, doc := range cases {
 		if _, err := ParsePrometheus([]byte(doc)); err == nil {

@@ -1,0 +1,149 @@
+package obs
+
+// Hist is a fixed-bucket histogram: the third metric kind next to
+// counters and gauges, backing the first-class p50/p99 the scheduler
+// and profiler publish. Buckets are chosen at construction (they must
+// match to merge), observations are O(log buckets), and quantiles are
+// estimated by linear interpolation inside the winning bucket — the
+// same contract as a Prometheus classic histogram, which is exactly
+// what WritePrometheus renders it as.
+//
+// A nil *Hist ignores observations and reports zero everywhere,
+// extending the package's nil-receiver philosophy.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist accumulates observations into fixed buckets.
+type Hist struct {
+	// Buckets holds the ascending inclusive upper bounds; an implicit
+	// +Inf bucket follows the last one.
+	Buckets []float64 `json:"buckets"`
+	// Counts has len(Buckets)+1 entries: Counts[i] observations fell
+	// into (Buckets[i-1], Buckets[i]], the final entry is the +Inf
+	// overflow.
+	Counts []uint64 `json:"counts"`
+	// Sum and Count are the running total and number of observations.
+	Sum   float64 `json:"sum"`
+	Count uint64  `json:"count"`
+}
+
+// NewHist builds an empty histogram over the given ascending bucket
+// bounds (copied).
+func NewHist(buckets []float64) *Hist {
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	return &Hist{Buckets: b, Counts: make([]uint64, len(b)+1)}
+}
+
+// LatencyBuckets returns the default latency bucket bounds in seconds:
+// an exponential ladder from 1ms to ~2 minutes, sized for batch and
+// queue-wait latencies.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 0, 18)
+	for v := 0.001; v < 130; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Observe adds one observation.
+func (h *Hist) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.Buckets, v)
+	h.Counts[i]++
+	h.Sum += v
+	h.Count++
+}
+
+// Merge accumulates other into h. The bucket layouts must match.
+func (h *Hist) Merge(other *Hist) error {
+	if h == nil || other == nil {
+		return nil
+	}
+	if len(h.Buckets) != len(other.Buckets) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d buckets", len(h.Buckets), len(other.Buckets))
+	}
+	for i, b := range h.Buckets {
+		if b != other.Buckets[i] {
+			return fmt.Errorf("obs: merging histograms with mismatched bucket %d (%g vs %g)", i, b, other.Buckets[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+	h.Sum += other.Sum
+	h.Count += other.Count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the target rank. The
+// overflow bucket reports its lower bound (the histogram cannot see
+// beyond its last boundary); an empty histogram reports 0.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.Buckets) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			if len(h.Buckets) == 0 {
+				return 0
+			}
+			return h.Buckets[len(h.Buckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Buckets[i-1]
+		}
+		hi := h.Buckets[i]
+		frac := (rank - prev) / float64(c)
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// clone deep-copies the histogram (Snapshot uses it so exported
+// metrics cannot race with later observations).
+func (h *Hist) clone() *Hist {
+	if h == nil {
+		return nil
+	}
+	out := &Hist{
+		Buckets: append([]float64(nil), h.Buckets...),
+		Counts:  append([]uint64(nil), h.Counts...),
+		Sum:     h.Sum,
+		Count:   h.Count,
+	}
+	return out
+}

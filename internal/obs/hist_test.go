@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistObserveAndQuantile(t *testing.T) {
+	h := NewHist([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count != 8 {
+		t.Fatalf("count = %d, want 8", h.Count)
+	}
+	if want := 0.5 + 1.5 + 1.5 + 3 + 3 + 3 + 7 + 100; h.Sum != want {
+		t.Errorf("sum = %g, want %g", h.Sum, want)
+	}
+	wantCounts := []uint64{1, 2, 3, 1, 1}
+	for i, c := range h.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	// p50: rank 4 lands in the (2,4] bucket (cumulative 3 before it).
+	p50 := h.Quantile(0.5)
+	if p50 <= 2 || p50 > 4 {
+		t.Errorf("p50 = %g, want in (2,4]", p50)
+	}
+	// p100 falls in the overflow bucket: reports the last bound.
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 = %g, want 8 (last finite bound)", got)
+	}
+	if got := (&Hist{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	var nilH *Hist
+	nilH.Observe(3) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Mean() != 0 {
+		t.Error("nil histogram should report zero")
+	}
+}
+
+func TestHistQuantileMonotone(t *testing.T) {
+	h := NewHist(LatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 * float64(i%97+1))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %g < Quantile at lower q (%g)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist([]float64{1, 2})
+	b := NewHist([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 3 || a.Counts[0] != 1 || a.Counts[1] != 1 || a.Counts[2] != 1 {
+		t.Errorf("merged: %+v", a)
+	}
+	c := NewHist([]float64{1, 3})
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched buckets should error")
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Observe("lat_seconds", 0.003)
+	reg.Observe("lat_seconds", 0.5)
+	h, ok := reg.GetHist("lat_seconds")
+	if !ok || h.Count != 2 {
+		t.Fatalf("GetHist: %+v ok=%v", h, ok)
+	}
+	// The copy must be isolated from later observations.
+	reg.Observe("lat_seconds", 1)
+	if h.Count != 2 {
+		t.Error("GetHist returned a live reference, want a copy")
+	}
+	if v, _ := reg.Get("lat_seconds"); v != 3 {
+		t.Errorf("Get on a histogram = %g, want observation count 3", v)
+	}
+
+	other := NewHist(LatencyBuckets())
+	other.Observe(2)
+	if err := reg.MergeHist("lat_seconds", other); err != nil {
+		t.Fatal(err)
+	}
+	if h2, _ := reg.GetHist("lat_seconds"); h2.Count != 4 {
+		t.Errorf("after merge count = %d, want 4", h2.Count)
+	}
+
+	bad := NewHist([]float64{1})
+	if err := reg.MergeHist("lat_seconds", bad); err == nil {
+		t.Error("MergeHist with mismatched buckets should error")
+	}
+
+	var nilReg *Registry
+	nilReg.Observe("x", 1)
+	if err := nilReg.MergeHist("x", other); err != nil {
+		t.Errorf("nil registry MergeHist: %v", err)
+	}
+}
+
+// TestPrometheusHistogramRoundTrip pins the exposition: cumulative
+// _bucket series with le labels (spliced into any existing label
+// set), _sum, _count, a histogram TYPE line — and that ParsePrometheus
+// accepts the result.
+func TestPrometheusHistogramRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	name := WithLabel("hmmer_sched_batch_seconds", "device", 0)
+	reg.Observe(name, 0.5, 1, 2, 4)
+	reg.Observe(name, 1.5, 1, 2, 4)
+	reg.Observe(name, 99, 1, 2, 4)
+	reg.Help(name, "batch latency")
+	reg.AddInt("plain_total", 7)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	wants := []string{
+		"# TYPE hmmer_sched_batch_seconds histogram",
+		`hmmer_sched_batch_seconds_bucket{device="0",le="1"} 1`,
+		`hmmer_sched_batch_seconds_bucket{device="0",le="2"} 2`,
+		`hmmer_sched_batch_seconds_bucket{device="0",le="4"} 2`,
+		`hmmer_sched_batch_seconds_bucket{device="0",le="+Inf"} 3`,
+		`hmmer_sched_batch_seconds_sum{device="0"} 101`,
+		`hmmer_sched_batch_seconds_count{device="0"} 3`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	series, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParsePrometheus rejected histogram exposition: %v", err)
+	}
+	if series[`hmmer_sched_batch_seconds_count{device="0"}`] != 3 {
+		t.Error("parsed count series wrong")
+	}
+	if series["plain_total"] != 7 {
+		t.Error("scalar series lost")
+	}
+}
+
+// TestChromeTraceCounterEvents pins the "C" event export path and the
+// validator's census of it.
+func TestChromeTraceCounterEvents(t *testing.T) {
+	tr := New()
+	sp := tr.Start("host", "work")
+	sp.End()
+
+	reg := NewRegistry()
+	reg.Observe("hmmer_sched_batch_seconds", 0.25)
+	reg.Observe("hmmer_sched_batch_seconds", 0.75)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceWithCounters(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTraceStats(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validator rejected counter trace: %v", err)
+	}
+	if st.Spans != 1 || st.Counters != 1 {
+		t.Errorf("stats = %+v, want 1 span and 1 counter", st)
+	}
+	if !strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Error("no C event in output")
+	}
+
+	// Plain WriteChromeTrace stays counter-free.
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ValidateChromeTraceStats(buf.Bytes()); st.Counters != 0 {
+		t.Error("plain trace should have no counter events")
+	}
+
+	// A C event without args must fail validation.
+	bad := []byte(`{"traceEvents":[{"name":"c","ph":"C","pid":1,"tid":0,"ts":0}]}`)
+	if _, err := ValidateChromeTraceStats(bad); err == nil {
+		t.Error("C event without args should fail validation")
+	}
+}

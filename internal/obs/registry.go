@@ -7,18 +7,22 @@ import (
 	"sync"
 )
 
-// MetricKind distinguishes monotonic counters from point-in-time
-// gauges in the Prometheus exposition.
+// MetricKind distinguishes monotonic counters, point-in-time gauges
+// and bucketed histograms in the Prometheus exposition.
 type MetricKind uint8
 
 const (
 	Counter MetricKind = iota
 	Gauge
+	Histogram
 )
 
 func (k MetricKind) String() string {
-	if k == Gauge {
+	switch k {
+	case Gauge:
 		return "gauge"
+	case Histogram:
+		return "histogram"
 	}
 	return "counter"
 }
@@ -27,10 +31,15 @@ func (k MetricKind) String() string {
 type Metric struct {
 	// Name is the full series name, possibly carrying a label set
 	// (`hmmer_sched_device_busy_seconds{device="0"}`).
-	Name  string
-	Kind  MetricKind
-	Help  string
+	Name string
+	Kind MetricKind
+	Help string
+	// Value holds the counter/gauge sample; for a histogram it mirrors
+	// the observation count so Get keeps working uniformly.
 	Value float64
+	// Hist carries the bucket state of a Histogram metric (nil for the
+	// scalar kinds). Snapshot deep-copies it.
+	Hist *Hist
 }
 
 // BaseName strips the label set from the series name (the name the
@@ -100,6 +109,62 @@ func (r *Registry) Set(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// Observe adds one observation to the named histogram, creating it
+// with the given bucket bounds (LatencyBuckets when omitted) on first
+// use. Later calls ignore the bucket argument.
+func (r *Registry) Observe(name string, v float64, buckets ...float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	m := r.upsert(name, Histogram)
+	if m.Hist == nil {
+		m.Kind = Histogram
+		if len(buckets) == 0 {
+			buckets = LatencyBuckets()
+		}
+		m.Hist = NewHist(buckets)
+	}
+	m.Hist.Observe(v)
+	m.Value = float64(m.Hist.Count)
+	r.mu.Unlock()
+}
+
+// MergeHist accumulates a standalone histogram into the named
+// histogram metric, creating it with h's bucket layout if absent. A
+// bucket-layout mismatch is reported but leaves the metric untouched.
+func (r *Registry) MergeHist(name string, h *Hist) error {
+	if r == nil || h == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.upsert(name, Histogram)
+	if m.Hist == nil {
+		m.Kind = Histogram
+		m.Hist = NewHist(h.Buckets)
+	}
+	if err := m.Hist.Merge(h); err != nil {
+		return err
+	}
+	m.Value = float64(m.Hist.Count)
+	return nil
+}
+
+// GetHist returns a deep copy of the named histogram's current state.
+func (r *Registry) GetHist(name string) (*Hist, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[name]
+	if !ok || m.Hist == nil {
+		return nil, false
+	}
+	return m.Hist.clone(), true
+}
+
 // Help attaches a description rendered as the # HELP line.
 func (r *Registry) Help(name, text string) {
 	if r == nil {
@@ -135,7 +200,9 @@ func (r *Registry) Snapshot() []Metric {
 	r.mu.Lock()
 	out := make([]Metric, 0, len(r.metrics))
 	for _, name := range r.order {
-		out = append(out, *r.metrics[name])
+		m := *r.metrics[name]
+		m.Hist = m.Hist.clone()
+		out = append(out, m)
 	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -43,12 +43,30 @@ func ValidateJSONL(data []byte) (int, error) {
 	return n, nil
 }
 
+// ChromeTraceStats summarizes a validated Chrome trace document.
+type ChromeTraceStats struct {
+	// Spans counts X events plus matched B/E pairs.
+	Spans int
+	// Counters counts "C" counter events.
+	Counters int
+}
+
 // ValidateChromeTrace checks a Chrome trace_event JSON document (the
 // {"traceEvents": [...]} object form or a bare event array): it must
 // parse, every event needs a name and a phase, X events need a
 // duration field, and B/E begin/end events must balance per thread.
 // Returns the span count (X events plus matched B/E pairs).
 func ValidateChromeTrace(data []byte) (int, error) {
+	st, err := ValidateChromeTraceStats(data)
+	return st.Spans, err
+}
+
+// ValidateChromeTraceStats is ValidateChromeTrace returning the full
+// event census, including "C" counter events (which must carry a
+// non-empty args payload — an empty counter sample renders as nothing
+// in every viewer and always indicates an exporter bug).
+func ValidateChromeTraceStats(data []byte) (ChromeTraceStats, error) {
+	var st ChromeTraceStats
 	var doc struct {
 		TraceEvents []json.RawMessage `json:"traceEvents"`
 	}
@@ -56,52 +74,57 @@ func ValidateChromeTrace(data []byte) (int, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		// Retry the bare-array form.
 		if arrErr := json.Unmarshal(data, &events); arrErr != nil {
-			return 0, fmt.Errorf("obs: chrome trace: %w", err)
+			return st, fmt.Errorf("obs: chrome trace: %w", err)
 		}
 	} else {
 		events = doc.TraceEvents
 	}
 
 	type event struct {
-		Name *string  `json:"name"`
-		Ph   string   `json:"ph"`
-		Tid  int      `json:"tid"`
-		Dur  *float64 `json:"dur"`
+		Name *string                    `json:"name"`
+		Ph   string                     `json:"ph"`
+		Tid  int                        `json:"tid"`
+		Dur  *float64                   `json:"dur"`
+		Args map[string]json.RawMessage `json:"args"`
 	}
-	spans := 0
 	depth := make(map[int]int)
 	for i, raw := range events {
 		var ev event
 		if err := json.Unmarshal(raw, &ev); err != nil {
-			return spans, fmt.Errorf("obs: chrome trace event %d: %w", i, err)
+			return st, fmt.Errorf("obs: chrome trace event %d: %w", i, err)
 		}
 		if ev.Name == nil {
-			return spans, fmt.Errorf("obs: chrome trace event %d: missing name", i)
+			return st, fmt.Errorf("obs: chrome trace event %d: missing name", i)
 		}
 		switch ev.Ph {
 		case "":
-			return spans, fmt.Errorf("obs: chrome trace event %d (%q): missing ph", i, *ev.Name)
+			return st, fmt.Errorf("obs: chrome trace event %d (%q): missing ph", i, *ev.Name)
 		case "X":
 			if ev.Dur == nil {
-				return spans, fmt.Errorf("obs: chrome trace event %d (%q): X event without dur", i, *ev.Name)
+				return st, fmt.Errorf("obs: chrome trace event %d (%q): X event without dur", i, *ev.Name)
 			}
-			spans++
+			st.Spans++
 		case "B":
 			depth[ev.Tid]++
 		case "E":
 			depth[ev.Tid]--
 			if depth[ev.Tid] < 0 {
-				return spans, fmt.Errorf("obs: chrome trace event %d (%q): E without matching B on tid %d", i, *ev.Name, ev.Tid)
+				return st, fmt.Errorf("obs: chrome trace event %d (%q): E without matching B on tid %d", i, *ev.Name, ev.Tid)
 			}
-			spans++
+			st.Spans++
+		case "C":
+			if len(ev.Args) == 0 {
+				return st, fmt.Errorf("obs: chrome trace event %d (%q): C event without args", i, *ev.Name)
+			}
+			st.Counters++
 		}
 	}
 	for tid, d := range depth {
 		if d != 0 {
-			return spans, fmt.Errorf("obs: chrome trace: %d unclosed B event(s) on tid %d", d, tid)
+			return st, fmt.Errorf("obs: chrome trace: %d unclosed B event(s) on tid %d", d, tid)
 		}
 	}
-	return spans, nil
+	return st, nil
 }
 
 // ParsePrometheus parses text exposition line-by-line into a
@@ -128,7 +151,7 @@ func ParsePrometheus(data []byte) (map[string]float64, error) {
 					return nil, fmt.Errorf("obs: prom line %d: malformed TYPE line %q", line, text)
 				}
 				kind := fields[3]
-				if kind != "counter" && kind != "gauge" {
+				if kind != "counter" && kind != "gauge" && kind != "histogram" {
 					return nil, fmt.Errorf("obs: prom line %d: unknown type %q", line, kind)
 				}
 			}

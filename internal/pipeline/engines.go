@@ -138,6 +138,7 @@ func (pl *Pipeline) RunGPU(dev *simt.Device, mem gpu.MemConfig, db *seq.Database
 func (pl *Pipeline) RunGPUContext(ctx context.Context, dev *simt.Device, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
 	root := pl.startSearch("gpu", db)
 	defer root.End()
+	pl.attachProfiler(mem, dev)
 	searcher := &gpu.Searcher{Dev: dev, Mem: mem, HostWorkers: pl.Opts.Workers, Cancel: ctx.Done()}
 	result := &Result{}
 	extra := &GPUExtra{}
@@ -300,6 +301,7 @@ func (pl *Pipeline) RunMultiGPU(sys *simt.System, mem gpu.MemConfig, db *seq.Dat
 func (pl *Pipeline) RunMultiGPUContext(ctx context.Context, sys *simt.System, mem gpu.MemConfig, db *seq.Database) (*Result, error) {
 	root := pl.startSearch("multigpu", db)
 	defer root.End()
+	pl.attachProfiler(mem, sys.Devices...)
 	ms := &gpu.MultiSearcher{Sys: sys, Mem: mem, HostWorkers: pl.Opts.Workers, Cancel: ctx.Done()}
 	result := &Result{}
 	extra := &MultiGPUExtra{}

@@ -12,7 +12,24 @@ import (
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
 )
+
+// attachProfiler points every device of the run at Options.Profiler
+// and tags subsequent launches with the query's model size and memory
+// configuration; a nil Profiler leaves the devices untouched (the
+// nil-cost-when-off path in simt).
+func (pl *Pipeline) attachProfiler(mem gpu.MemConfig, devs ...*simt.Device) {
+	prof := pl.Opts.Profiler
+	if prof == nil {
+		return
+	}
+	prof.SetLabel("m", fmt.Sprint(pl.Prof.M))
+	prof.SetLabel("mem", mem.String())
+	for _, d := range devs {
+		d.Profiler = prof
+	}
+}
 
 // startSearch opens the root span of one run on the host track.
 func (pl *Pipeline) startSearch(engine string, db *seq.Database) *obs.Span {

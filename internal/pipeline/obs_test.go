@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/seq"
 	"hmmer3gpu/internal/simt"
@@ -184,5 +185,50 @@ func TestUntracedRunStaysCold(t *testing.T) {
 	}
 	if pl.Opts.Trace.Enabled() || pl.Opts.Metrics.Enabled() {
 		t.Fatal("default options unexpectedly enable observability")
+	}
+}
+
+// TestPipelineAttachesProfiler: a run with Options.Profiler set must
+// collect one record per kernel launch, tagged with the query's model
+// size and memory configuration.
+func TestPipelineAttachesProfiler(t *testing.T) {
+	h, err := workload.Model("prof", 64, abc, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.SwissprotLike(0.0001, 24)
+	spec.HomologFrac = 0.05
+	db, err := workload.Generate(spec, h, abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Calibration = stats.CalibrateOptions{N: 64, L: 100, Seed: 9, TailMass: 0.04}
+	opts.SkipForward = true
+	opts.Profiler = kernprof.NewCollector()
+	pl, err := New(h, int(db.MeanLen()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := simt.NewDevice(simt.TeslaK40())
+	if _, err := pl.RunGPU(dev, gpu.MemShared, db); err != nil {
+		t.Fatal(err)
+	}
+	prof := opts.Profiler.Profile()
+	if len(prof.Launches) == 0 {
+		t.Fatal("profiler collected no launches")
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]bool{}
+	for _, l := range prof.Launches {
+		kernels[l.Kernel] = true
+		if l.Labels["m"] != "64" || l.Labels["mem"] != "shared" {
+			t.Errorf("launch %s labels = %v, want m=64 mem=shared", l.Kernel, l.Labels)
+		}
+	}
+	if !kernels["msv"] || !kernels["p7viterbi"] {
+		t.Errorf("profiled kernels %v, want msv and p7viterbi", kernels)
 	}
 }

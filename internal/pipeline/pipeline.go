@@ -24,6 +24,7 @@ import (
 
 	"hmmer3gpu/internal/cpu"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/kernprof"
 	"hmmer3gpu/internal/obs"
 	"hmmer3gpu/internal/profile"
 	"hmmer3gpu/internal/refimpl"
@@ -79,6 +80,11 @@ type Options struct {
 	// Metrics receives the run's merged counters — stage stats,
 	// simulator kernel counters, scheduler utilization (nil disables).
 	Metrics *obs.Registry
+	// Profiler, when non-nil, is attached to every device the GPU
+	// engines run on and collects one kernel-grained profile per launch
+	// (see internal/kernprof); launches are tagged with the query's
+	// model size ("m") and memory configuration ("mem").
+	Profiler *kernprof.Collector
 }
 
 // DefaultOptions returns standard settings.

@@ -185,6 +185,7 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 	if sys == nil || len(sys.Devices) == 0 {
 		return nil, fmt.Errorf("pipeline: no devices")
 	}
+	pl.attachProfiler(mem, sys.Devices...)
 
 	// The journal opens (and replays) before any device work starts:
 	// a fingerprint or corruption error must abort the run before it

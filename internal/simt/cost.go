@@ -80,13 +80,16 @@ func (cycleModel) SharedBroadcast(w *Warp) {
 
 func (cycleModel) GlobalAccess(w *Warp, addrs []int64, width int, cached, store bool) {
 	t := int64(coalescedTransactions(addrs, width))
+	before := w.stats.ActiveLaneSlots
 	w.noteLanes64(addrs)
+	w.stats.GlobalRequestedBytes += (w.stats.ActiveLaneSlots - before) * int64(width)
 	globalCharge(w, t, cached, store)
 }
 
 func (cycleModel) GlobalSpan(w *Warp, base int64, width, active int, cached, store bool) {
 	w.stats.TotalLaneSlots += int64(w.dev.Spec.WarpSize)
 	w.stats.ActiveLaneSlots += int64(active)
+	w.stats.GlobalRequestedBytes += int64(active * width)
 	// Distinct 128-byte segments touched by [base, base+active*width).
 	t := (base+int64(active*width)-1)>>7 - base>>7 + 1
 	globalCharge(w, t, cached, store)
@@ -96,6 +99,7 @@ func (cycleModel) GlobalBroadcast(w *Warp, addr int64, width int, cached bool) {
 	lanes := int64(w.dev.Spec.WarpSize)
 	w.stats.TotalLaneSlots += lanes
 	w.stats.ActiveLaneSlots += lanes
+	w.stats.GlobalRequestedBytes += int64(width)
 	t := (addr+int64(width)-1)>>7 - addr>>7 + 1
 	globalCharge(w, t, cached, false)
 }

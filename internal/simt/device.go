@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,10 @@ type Device struct {
 	// Mode selects cycle-accurate accounting (the default) or fast
 	// functional execution with a nil CostModel; see Mode.
 	Mode Mode
+	// Profiler, when non-nil, receives a per-block counter profile of
+	// every successful launch (see Profiler in profiler.go). Nil — the
+	// default — collects nothing and costs one comparison per block.
+	Profiler Profiler
 
 	mu         sync.Mutex
 	nextGlobal int64
@@ -132,6 +137,9 @@ type blockCtx struct {
 	run   blockRun
 	warps []Warp
 	stats KernelStats
+	// samples accumulates this worker's profiled blocks when the
+	// device has a Profiler attached (nil otherwise).
+	samples []BlockProfile
 }
 
 // Launch executes kernel over the grid and aggregates statistics
@@ -190,6 +198,20 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		cost = cycleModel{}
 	}
 
+	// Profiling stride: 0 disables collection entirely (the common
+	// case), 1 profiles every block (always in cycle mode), and a
+	// fast-mode profiler may thin collection to every Nth block.
+	prof := d.Profiler
+	stride := 0
+	if prof != nil {
+		stride = 1
+		if cost == nil {
+			if s := prof.SamplePeriod(); s > 1 {
+				stride = s
+			}
+		}
+	}
+
 	workers := cfg.HostWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -243,6 +265,24 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 		}
 	}
 
+	// runWarp is shared by every block a worker claims; it captures
+	// only launch-lifetime state so the per-block path allocates
+	// nothing (a closure per block would cost one heap object each).
+	runWarp := func(w *Warp, br *blockRun, b int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(barrierBroken); ok {
+					return
+				}
+				capture(b, r)
+				if br.barrier != nil {
+					br.barrier.poison()
+				}
+			}
+		}()
+		kernel(w)
+	}
+
 	runBlock := func(bc *blockCtx, b int) {
 		var faults map[int]byte
 		if memPlan != nil {
@@ -255,6 +295,15 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 			// A one-warp cooperative block syncs trivially (n=1).
 			br.barrier = newBlockBarrier(cfg.WarpsPerBlock)
 		}
+		sampled := stride > 0 && b%stride == 0
+		bcost := cost
+		if sampled && bcost == nil {
+			// Fast-mode sampling: the sampled block runs with full cycle
+			// accounting attached. Accounting is pure bookkeeping — data
+			// movement, faults and races are identical — so results stay
+			// byte-identical to an unprofiled fast run.
+			bcost = cycleModel{}
+		}
 		for wi := range bc.warps {
 			bc.warps[wi] = Warp{
 				BlockIdx:      b,
@@ -263,22 +312,8 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 				WarpsPerBlock: cfg.WarpsPerBlock,
 				dev:           d,
 				block:         br,
-				cost:          cost,
+				cost:          bcost,
 			}
-		}
-		runWarp := func(w *Warp) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(barrierBroken); ok {
-						return
-					}
-					capture(b, r)
-					if br.barrier != nil {
-						br.barrier.poison()
-					}
-				}
-			}()
-			kernel(w)
 		}
 		if concurrent {
 			var wg sync.WaitGroup
@@ -286,18 +321,30 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 			for wi := 1; wi < len(bc.warps); wi++ {
 				go func(w *Warp) {
 					defer wg.Done()
-					runWarp(w)
+					runWarp(w, br, b)
 				}(&bc.warps[wi])
 			}
-			runWarp(&bc.warps[0])
+			runWarp(&bc.warps[0], br, b)
 			wg.Wait()
 		} else {
 			for wi := range bc.warps {
-				runWarp(&bc.warps[wi])
+				runWarp(&bc.warps[wi], br, b)
 				if panicked.Load() {
 					break
 				}
 			}
+		}
+		if sampled {
+			var bs KernelStats
+			for wi := range bc.warps {
+				w := &bc.warps[wi]
+				w.stats.WarpsExecuted = 1
+				bs.Add(&w.stats)
+			}
+			bs.SharedRaces += br.shared.races
+			bc.stats.Add(&bs)
+			bc.samples = append(bc.samples, BlockProfile{Block: b, Stats: bs})
+			return
 		}
 		for wi := range bc.warps {
 			w := &bc.warps[wi]
@@ -408,10 +455,30 @@ func (d *Device) Launch(cfg LaunchConfig, kernel func(*Warp)) (*LaunchReport, er
 
 	rep := &LaunchReport{Occupancy: occ}
 	ctxMu.Lock()
+	var samples []BlockProfile
 	for _, bc := range ctxs {
 		rep.Stats.Add(&bc.stats)
+		if prof != nil {
+			samples = append(samples, bc.samples...)
+		}
 	}
 	ctxMu.Unlock()
+	if prof != nil {
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Block < samples[j].Block })
+		prof.OnLaunch(&LaunchProfile{
+			Kernel:              cfg.Name,
+			Device:              d.Track(),
+			Spec:                spec,
+			Mode:                d.Mode,
+			Blocks:              cfg.Blocks,
+			WarpsPerBlock:       cfg.WarpsPerBlock,
+			SharedBytesPerBlock: cfg.SharedBytesPerBlock,
+			RegsPerThread:       cfg.RegsPerThread,
+			Occupancy:           occ,
+			SamplePeriod:        stride,
+			Samples:             samples,
+		})
+	}
 	span.Annotate(
 		obs.Int("warps_executed", rep.Stats.WarpsExecuted),
 		obs.Int("issue_cycles", rep.Stats.IssueCycles),

@@ -21,7 +21,7 @@ func (s *KernelStats) Record(reg *obs.Registry) {
 	v := reflect.ValueOf(*s)
 	t := v.Type()
 	for i := 0; i < t.NumField(); i++ {
-		reg.AddInt("hmmer_simt_"+snakeCase(t.Field(i).Name)+"_total", v.Field(i).Int())
+		reg.AddInt("hmmer_simt_"+SnakeCase(t.Field(i).Name)+"_total", v.Field(i).Int())
 	}
 	active, _ := reg.Get("hmmer_simt_active_lane_slots_total")
 	total, _ := reg.Get("hmmer_simt_total_lane_slots_total")
@@ -44,9 +44,11 @@ func (r *LaunchReport) Record(reg *obs.Registry, kernel string) {
 	reg.AddInt(obs.WithLabel("hmmer_simt_launches_total", "kernel", kernel), 1)
 }
 
-// snakeCase converts a Go field name (ALUOps, WarpsExecuted) to the
-// metric-name fragment (alu_ops, warps_executed).
-func snakeCase(name string) string {
+// SnakeCase converts a Go field name (ALUOps, WarpsExecuted) to the
+// metric-name fragment (alu_ops, warps_executed). Exported so the
+// kernprof profiler names its counters with the same reflective
+// convention and the two tables can never drift apart.
+func SnakeCase(name string) string {
 	var b strings.Builder
 	runes := []rune(name)
 	for i, r := range runes {

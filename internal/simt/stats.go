@@ -30,6 +30,11 @@ type KernelStats struct {
 	CachedLoadTransactions  int64
 	CachedStoreTransactions int64
 	CachedBytes             int64
+	// GlobalRequestedBytes is the bytes the active lanes actually asked
+	// for across all global accesses (cached included). Dividing by the
+	// 128-byte-granular traffic actually moved gives nvprof's
+	// gld_efficiency-style coalescing efficiency.
+	GlobalRequestedBytes int64
 	// ShuffleOps counts warp-shuffle instructions (Kepler path).
 	ShuffleOps int64
 	// VoteOps counts warp-vote instructions (__all / __any).
@@ -65,6 +70,7 @@ func (s *KernelStats) Add(other *KernelStats) {
 	s.CachedLoadTransactions += other.CachedLoadTransactions
 	s.CachedStoreTransactions += other.CachedStoreTransactions
 	s.CachedBytes += other.CachedBytes
+	s.GlobalRequestedBytes += other.GlobalRequestedBytes
 	s.ShuffleOps += other.ShuffleOps
 	s.VoteOps += other.VoteOps
 	s.Syncs += other.Syncs
@@ -97,10 +103,11 @@ func (s *KernelStats) Instructions() int64 {
 // counter cannot silently drop out of the rendering).
 func (s *KernelStats) String() string {
 	return fmt.Sprintf(
-		"warps=%d alu=%d shld=%d shst=%d bankrep=%d gld=%d gst=%d gbytes=%d cached=%d/%d cbytes=%d shfl=%d vote=%d sync=%d stall=%d races=%d lanes=%d/%d cycles=%d",
+		"warps=%d alu=%d shld=%d shst=%d bankrep=%d gld=%d gst=%d gbytes=%d cached=%d/%d cbytes=%d greq=%d shfl=%d vote=%d sync=%d stall=%d races=%d lanes=%d/%d cycles=%d",
 		s.WarpsExecuted, s.ALUOps, s.SharedLoads, s.SharedStores, s.BankConflictReplays,
 		s.GlobalLoadTransactions, s.GlobalStoreTransactions, s.GlobalBytes,
 		s.CachedLoadTransactions, s.CachedStoreTransactions, s.CachedBytes,
+		s.GlobalRequestedBytes,
 		s.ShuffleOps, s.VoteOps, s.Syncs, s.SyncStallCycles, s.SharedRaces,
 		s.ActiveLaneSlots, s.TotalLaneSlots, s.IssueCycles)
 }

@@ -69,9 +69,9 @@ func TestKernelStatsRecordCoversEveryField(t *testing.T) {
 	}
 	for i := 0; i < sv.NumField(); i++ {
 		field := sv.Type().Field(i).Name
-		name := "hmmer_simt_" + snakeCase(field) + "_total"
+		name := "hmmer_simt_" + SnakeCase(field) + "_total"
 		if want, ok := wantNames[field]; ok && name != want {
-			t.Errorf("snakeCase(%s) produced %q, want %q", field, name, want)
+			t.Errorf("SnakeCase(%s) produced %q, want %q", field, name, want)
 		}
 		got, ok := reg.Get(name)
 		if !ok {

@@ -68,3 +68,12 @@ func (sys *System) LaunchAll(launch func(i int, dev *Device) (*LaunchReport, err
 	}
 	return reports, nil
 }
+
+// SetProfiler attaches one Profiler to every device and returns the
+// system for chaining; a nil argument detaches profiling everywhere.
+func (sys *System) SetProfiler(p Profiler) *System {
+	for _, dev := range sys.Devices {
+		dev.Profiler = p
+	}
+	return sys
+}

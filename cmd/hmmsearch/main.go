@@ -19,12 +19,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/checkpoint"
+	"hmmer3gpu/internal/cluster"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
 	"hmmer3gpu/internal/kernprof"
@@ -69,6 +72,12 @@ func main() {
 		noFallback   = flag.Bool("no-fallback", false, "fail instead of completing on the host CPU when every device is quarantined")
 		verify       = flag.String("verify", "off", "result-integrity policy against silent data corruption (multigpu streaming): off | guards (discard and requeue corrupt batches) | dmr (re-execute corrupt batches on the host CPU)")
 
+		clusterN       = flag.Int("cluster", 0, "shard the streamed search across this many in-process worker nodes, each with -devices simulated devices (exercises the full cluster wire protocol; see cmd/hmmworker for real worker processes)")
+		clusterWorkers = flag.String("cluster-workers", "", "comma-separated hmmworker addresses (host:port) to shard the streamed search across over TCP")
+		clusterFaults  = flag.String("cluster-faults", "", "inject cluster faults: \"<worker>:<fault>[,...][;...]\" with faults refuse=N, kill=N, killp=P, torn=N, stall=N@D, dead=1, hello=bad — e.g. \"0:kill=1,dead=1\"")
+		clusterSeed    = flag.Int64("cluster-fault-seed", 1, "seed for probabilistic cluster fault injection (-cluster-faults killp=)")
+		clusterDeadl   = flag.Duration("cluster-deadline", 0, "per-batch assignment deadline in cluster mode (0 disables); a batch not answered in time is reclaimed and requeued, the late reply fenced")
+
 		journalPath = flag.String("journal", "", "journal committed batches to this crash-safe file (multigpu streaming); an interrupted run resumes with -resume")
 		resume      = flag.Bool("resume", false, "resume from the -journal file when it exists: journaled batches merge from disk and are not re-executed")
 		journalSync = flag.Int("journal-sync", 1, "fsync the journal every N appended batches (1 = every batch; larger trades re-executing up to N-1 batches after a crash for append throughput)")
@@ -90,17 +99,45 @@ func main() {
 	check(err)
 
 	if *stream > 0 {
+		budget := *batchres
+		if budget <= 0 {
+			budget = int64(*stream) * int64(*targlen)
+		}
+		co := ckptOpts{path: *journalPath, resume: *resume, syncEvery: *journalSync}
+		if *crashSpec != "" {
+			if *journalPath == "" {
+				fatalf("-crash requires -journal")
+			}
+			plan, err := checkpoint.ParseCrash(*crashSpec)
+			check(err)
+			co.crash = plan
+		}
+		if *resume && *journalPath == "" {
+			fatalf("-resume requires -journal")
+		}
+		if *clusterN > 0 || *clusterWorkers != "" {
+			cl := clusterOpts{
+				inProcess:       *clusterN,
+				addrs:           *clusterWorkers,
+				faults:          *clusterFaults,
+				faultSeed:       *clusterSeed,
+				batchDeadline:   *clusterDeadl,
+				maxRetries:      *maxRetries,
+				quarantineAfter: *quarAfter,
+				noFallback:      *noFallback,
+			}
+			runClusterStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
+				budget, *targlen, *workers, *evalue, *tblout, sk, cl, co)
+			sk.flush()
+			return
+		}
 		switch *engine {
 		case "cpu":
 			if *journalPath != "" || *resume {
-				fatalf("-journal/-resume require -engine multigpu")
+				fatalf("-journal/-resume require -engine multigpu or -cluster/-cluster-workers")
 			}
 			runStreaming(abc, flag.Arg(0), flag.Arg(1), *stream, *targlen, *workers, *evalue, *tblout, sk)
 		case "multigpu":
-			budget := *batchres
-			if budget <= 0 {
-				budget = int64(*stream) * int64(*targlen)
-			}
 			fo := faultOpts{
 				spec:            *faultSpec,
 				seed:            *faultSeed,
@@ -110,18 +147,6 @@ func main() {
 				noFallback:      *noFallback,
 				verify:          verifyMode(*verify),
 			}
-			co := ckptOpts{path: *journalPath, resume: *resume, syncEvery: *journalSync}
-			if *crashSpec != "" {
-				if *journalPath == "" {
-					fatalf("-crash requires -journal")
-				}
-				plan, err := checkpoint.ParseCrash(*crashSpec)
-				check(err)
-				co.crash = plan
-			}
-			if *resume && *journalPath == "" {
-				fatalf("-resume requires -journal")
-			}
 			runMultiStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
 				budget, *targlen, *workers, *evalue, *tblout, sk, fo, co)
 		default:
@@ -129,6 +154,9 @@ func main() {
 		}
 		sk.flush()
 		return
+	}
+	if *clusterN > 0 || *clusterWorkers != "" {
+		fatalf("-cluster/-cluster-workers require -stream")
 	}
 	if *journalPath != "" || *resume {
 		fatalf("-journal/-resume require -engine multigpu -stream")
@@ -382,6 +410,51 @@ type ckptOpts struct {
 	crash     *checkpoint.CrashPlan
 }
 
+// clusterOpts carries the cluster-mode flags.
+type clusterOpts struct {
+	// inProcess spins up this many in-process worker nodes; addrs lists
+	// TCP hmmworker addresses. Both can be combined.
+	inProcess int
+	addrs     string
+	// faults/faultSeed drive the deterministic cluster fault injector.
+	faults    string
+	faultSeed int64
+	// batchDeadline bounds one assignment (0 disables).
+	batchDeadline time.Duration
+	// maxRetries/quarantineAfter/noFallback mirror the single-node
+	// recovery knobs at the worker tier.
+	maxRetries      int
+	quarantineAfter int
+	noFallback      bool
+}
+
+// drainOnInterrupt installs the two-stage SIGINT policy shared by the
+// resumable streaming paths: the first interrupt drains gracefully
+// (in-flight batches finish and are journaled), the second aborts via
+// context cancellation. stop uninstalls the handler.
+func drainOnInterrupt() (ctx context.Context, drain chan struct{}, stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	drain = make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hmmsearch: interrupt: draining in-flight batches (interrupt again to abort)")
+		close(drain)
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "hmmsearch: second interrupt: aborting")
+		cancel()
+	}()
+	return ctx, drain, func() {
+		signal.Stop(sigc)
+		cancel()
+	}
+}
+
 // verifyMode parses the -verify flag.
 func verifyMode(s string) pipeline.VerifyMode {
 	switch s {
@@ -414,24 +487,8 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 	// journaled), then the run returns with a partial result. Second
 	// SIGINT: hard abort via context cancellation (kernels poll the
 	// cancel channel between blocks).
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	drain := make(chan struct{})
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt)
-	defer signal.Stop(sigc)
-	go func() {
-		if _, ok := <-sigc; !ok {
-			return
-		}
-		fmt.Fprintln(os.Stderr, "hmmsearch: interrupt: draining in-flight batches (interrupt again to abort)")
-		close(drain)
-		if _, ok := <-sigc; !ok {
-			return
-		}
-		fmt.Fprintln(os.Stderr, "hmmsearch: second interrupt: aborting")
-		cancel()
-	}()
+	ctx, drain, stop := drainOnInterrupt()
+	defer stop()
 
 	hf, err := os.Open(hmmPath)
 	check(err)
@@ -499,6 +556,137 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 		fmt.Printf("Run drained before the end of the stream: partial results only.\n")
 		if co.path != "" {
 			fmt.Printf("Resume with: hmmsearch -engine multigpu -stream -batchres %d -journal %s -resume ...\n",
+				batchResidues, co.path)
+		}
+	}
+	fmt.Printf("Pipeline: MSV %d/%d passed; Viterbi %d; Forward hits %d\n\n",
+		res.MSV.Out, res.MSV.In, res.Viterbi.Out, len(res.Hits))
+	fmt.Printf("%-12s %-28s %10s\n", "E-value", "sequence", "fwd bits")
+	shown := 0
+	for _, h := range res.Hits {
+		if h.EValue > evalue {
+			continue
+		}
+		fmt.Printf("%-12.3g %-28s %10.2f\n", h.EValue, h.Name, h.FwdBits)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("  (no hits below the E-value threshold)")
+	}
+	if tblout != "" {
+		check(writeTblout(tblout, query.Name, res))
+		fmt.Printf("\nper-target table written to %s\n", tblout)
+	}
+}
+
+// runClusterStreaming shards a FASTA stream across cluster workers:
+// in-process worker nodes (-cluster n, each driving -devices simulated
+// devices over the full wire protocol), TCP hmmworker processes
+// (-cluster-workers), or both. Worker loss is detected by heartbeat
+// and repaired by exactly-once requeue; with every worker gone the
+// run degrades to the local CPU unless -no-fallback. Journaling,
+// -resume, -crash, and the SIGINT drain behave exactly as in the
+// single-node streamed path — the coordinator reuses the same journal
+// as its commit log.
+func runClusterStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gpu.MemConfig,
+	devicesPerWorker int, batchResidues int64, targetLen, workers int, evalue float64,
+	tblout string, sk *sinks, cl clusterOpts, co ckptOpts) {
+
+	ctx, drain, stop := drainOnInterrupt()
+	defer stop()
+
+	hf, err := os.Open(hmmPath)
+	check(err)
+	query, err := hmm.Read(hf, abc)
+	check(err)
+	hf.Close()
+
+	opts := pipeline.DefaultOptions()
+	opts.Workers = workers
+	sk.apply(&opts)
+	pl, err := pipeline.New(query, targetLen, opts)
+	check(err)
+
+	cfg := pipeline.StreamConfig{
+		BatchResidues:   batchResidues,
+		MaxRetries:      cl.maxRetries,
+		QuarantineAfter: cl.quarantineAfter,
+		DisableFallback: cl.noFallback,
+		Drain:           drain,
+	}
+	if co.path != "" {
+		cfg.Checkpoint = &pipeline.CheckpointConfig{
+			Path:      co.path,
+			Resume:    co.resume,
+			SyncEvery: co.syncEvery,
+			Crash:     co.crash,
+		}
+	}
+
+	mode := byte(simMode)
+	ccfg := pipeline.ClusterConfig{
+		Mode:          mode,
+		BatchDeadline: cl.batchDeadline,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hmmsearch: "+format+"\n", args...)
+		},
+	}
+	if cl.faults != "" {
+		inject, err := cluster.ParseFaults(cl.faults, cl.faultSeed)
+		check(err)
+		ccfg.Inject = inject
+	}
+	if cl.inProcess > 0 {
+		ccfg.Workers = pl.InProcessClusterWorkers(cfg, mode, cl.inProcess, devicesPerWorker,
+			func() cluster.Exec {
+				sys := simt.NewSystem(simt.GTX580(), devicesPerWorker).SetMode(simMode)
+				return pl.ClusterExecGPU(sys, mem)
+			})
+	}
+	if cl.addrs != "" {
+		for _, addr := range strings.Split(cl.addrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			a := addr
+			ccfg.Workers = append(ccfg.Workers, cluster.WorkerSpec{
+				Name: a,
+				Dial: func(ctx context.Context) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "tcp", a)
+				},
+			})
+		}
+	}
+
+	ff, err := os.Open(fastaPath)
+	check(err)
+	defer ff.Close()
+	res, err := pl.RunClusterStreamContext(ctx, ff, cfg, ccfg)
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrInjectedCrash) {
+			// Distinct exit status so recovery tests can assert the
+			// simulated crash happened (and was not a real failure).
+			fmt.Fprintf(os.Stderr, "hmmsearch: %v\n", err)
+			os.Exit(3)
+		}
+		check(err)
+	}
+
+	extra := res.Extra.(*pipeline.ClusterStreamExtra)
+	rep := extra.Cluster
+	fmt.Printf("Query:    %s (M=%d, streamed in %d residue-balanced batches of ~%d residues)\n",
+		query.Name, query.M, rep.Batches, batchResidues)
+	fmt.Println(rep.String())
+	if st := extra.Checkpoint; st != nil {
+		fmt.Printf("Journal:  %s (%d batches journaled, %d replayed, %d torn-tail dropped, %d fsyncs)\n",
+			co.path, st.Journaled, st.Replayed, st.DroppedTail, st.Syncs)
+	}
+	if extra.Drained {
+		fmt.Printf("Run drained before the end of the stream: partial results only.\n")
+		if co.path != "" {
+			fmt.Printf("Resume with: hmmsearch -stream -batchres %d -journal %s -resume ...\n",
 				batchResidues, co.path)
 		}
 	}

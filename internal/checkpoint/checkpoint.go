@@ -18,7 +18,7 @@
 //
 // File layout:
 //
-//	magic (12 bytes) | fingerprint (32 bytes) | record*
+//	magic (12 bytes) | fingerprint (32 bytes) | sim mode (1 byte) | record*
 //	record: u32 frame length | u32 CRC-32 (IEEE) of body | body
 //	body:   u64 seq | u64 offset | u64 numSeqs | u64 residues | payload
 //
@@ -38,11 +38,13 @@ import (
 )
 
 // magic identifies a journal file; the trailing byte is the format
-// version.
-const magic = "HMM3GPUCKPT\x01"
+// version. Version 2 added the simulator-mode byte after the
+// fingerprint, so a resumed run can never silently mix cost models.
+const magic = "HMM3GPUCKPT\x02"
 
-// headerSize is the byte length of the magic + fingerprint prologue.
-const headerSize = len(magic) + 32
+// headerSize is the byte length of the magic + fingerprint + mode
+// prologue.
+const headerSize = len(magic) + 32 + 1
 
 // recordHeaderSize frames every record body: u32 length + u32 CRC.
 const recordHeaderSize = 8
@@ -106,6 +108,43 @@ func (e *FingerprintError) Error() string {
 		e.Got, e.Want)
 }
 
+// ModeMismatchError reports a journal written under a different
+// simulator mode (-sim fast vs cycles). The two modes are
+// result-identical by construction, but a resumed run that silently
+// mixed cost models would corrupt every timing artifact (traces,
+// metrics, benchmark records), so the mix is refused explicitly.
+type ModeMismatchError struct {
+	// Want is this run's mode; Got is the journal's.
+	Want, Got byte
+}
+
+// modeName renders the journal's mode byte with the CLI spelling used
+// by the -sim flag (the only two values current writers produce).
+func modeName(m byte) string {
+	switch m {
+	case 0:
+		return "cycles"
+	case 1:
+		return "fast"
+	}
+	return fmt.Sprintf("mode-%d", m)
+}
+
+func (e *ModeMismatchError) Error() string {
+	return fmt.Sprintf("checkpoint: journal was written with -sim %s but this run uses -sim %s: refusing to resume across cost models (rerun with -sim %s, or start fresh without -resume)",
+		modeName(e.Got), modeName(e.Want), modeName(e.Got))
+}
+
+// VersionError reports a journal written by a different format version
+// of this code (the magic matched but the version byte did not).
+type VersionError struct {
+	Want, Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("checkpoint: journal format version %d, this build reads version %d: refusing to resume", e.Got, e.Want)
+}
+
 // Stats counts the journal's activity for one run, exported through
 // internal/obs.
 type Stats struct {
@@ -153,6 +192,12 @@ type Options struct {
 	// Crash, when non-nil, injects a crash at a chosen append and
 	// window (see CrashPlan) for testing every recovery path.
 	Crash *CrashPlan
+	// Mode is the simulator mode the run executes under (the byte value
+	// of simt.Mode: 0 cycles, 1 fast). It is stamped into the journal
+	// header next to the fingerprint; Resume refuses a journal whose
+	// mode differs with a *ModeMismatchError, so a resumed run can
+	// never silently mix cost models.
+	Mode byte
 }
 
 func (o Options) syncEvery() int {
@@ -188,6 +233,7 @@ func Create(path string, fp Fingerprint, opts Options) (*Journal, error) {
 	hdr := make([]byte, 0, headerSize)
 	hdr = append(hdr, magic...)
 	hdr = append(hdr, fp[:]...)
+	hdr = append(hdr, opts.Mode)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("checkpoint: writing header: %w", err)
@@ -247,13 +293,19 @@ func (j *Journal) replay(fp Fingerprint) ([]Record, int64, error) {
 	if _, err := io.ReadFull(j.f, hdr); err != nil {
 		return nil, 0, fmt.Errorf("checkpoint: journal header unreadable (file shorter than %d bytes): %w", headerSize, err)
 	}
-	if string(hdr[:len(magic)]) != string(magic) {
+	if string(hdr[:len(magic)-1]) != magic[:len(magic)-1] {
 		return nil, 0, fmt.Errorf("checkpoint: not a journal file (bad magic)")
 	}
+	if hdr[len(magic)-1] != magic[len(magic)-1] {
+		return nil, 0, &VersionError{Want: magic[len(magic)-1], Got: hdr[len(magic)-1]}
+	}
 	var got Fingerprint
-	copy(got[:], hdr[len(magic):])
+	copy(got[:], hdr[len(magic):len(magic)+32])
 	if got != fp {
 		return nil, 0, &FingerprintError{Want: fp, Got: got}
+	}
+	if mode := hdr[len(magic)+32]; mode != j.opts.Mode {
+		return nil, 0, &ModeMismatchError{Want: j.opts.Mode, Got: mode}
 	}
 
 	var recs []Record

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,6 +102,65 @@ func TestFingerprintMismatchRefusesResume(t *testing.T) {
 	}
 	if fe.Want != fp(2) || fe.Got != fp(1) {
 		t.Fatalf("FingerprintError = %+v", fe)
+	}
+}
+
+func TestModeMismatchRefusesResume(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, fp(1), Options{Mode: 1}) // written in fast mode
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, rec(0, "x"))
+	j.Close()
+
+	_, _, err = Resume(path, fp(1), Options{Mode: 0}) // resumed in cycles mode
+	var me *ModeMismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("Resume across sim modes: err = %v, want *ModeMismatchError", err)
+	}
+	if me.Want != 0 || me.Got != 1 {
+		t.Fatalf("ModeMismatchError = %+v, want {Want:0 Got:1}", me)
+	}
+	for _, frag := range []string{"fast", "cycles", "refusing to resume"} {
+		if !strings.Contains(me.Error(), frag) {
+			t.Errorf("error %q does not mention %q", me.Error(), frag)
+		}
+	}
+
+	// Matching mode resumes fine.
+	j2, recs, err := Resume(path, fp(1), Options{Mode: 1})
+	if err != nil {
+		t.Fatalf("Resume with matching mode: %v", err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestVersionMismatchRefusesResume(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, fp(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(magic)-1] = 0x7f // forge a future format version
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Resume(path, fp(1), Options{})
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Resume with forged version: err = %v, want *VersionError", err)
+	}
+	if ve.Got != 0x7f {
+		t.Fatalf("VersionError = %+v, want Got 0x7f", ve)
 	}
 }
 

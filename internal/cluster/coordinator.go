@@ -1,0 +1,1048 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/seq"
+)
+
+// ErrAllWorkersLost reports that every worker was quarantined while
+// batches were still outstanding and no local executor was configured.
+var ErrAllWorkersLost = errors.New("cluster: all workers lost")
+
+// ErrDraining is the graceful-stop sentinel, shared with the
+// single-node scheduler so one producer serves both paths.
+var ErrDraining = gpu.ErrDraining
+
+// Default cluster knobs (used when the corresponding Config field is
+// zero).
+const (
+	DefaultHeartbeatEvery   = 250 * time.Millisecond
+	DefaultHeartbeatTimeout = 2 * time.Second
+	DefaultMaxConnects      = 3
+	DefaultQuarantineAfter  = 3
+	DefaultMaxRetries       = 3
+	DefaultBackoffBase      = 5 * time.Millisecond
+	DefaultBackoffCap       = 500 * time.Millisecond
+)
+
+// Batch is one unit of sharded work, mirroring gpu.Batch: identity in
+// the stream plus the one-shot merge token that makes requeues
+// exactly-once.
+type Batch struct {
+	// Seq is the batch ordinal in stream order.
+	Seq int
+	// Offset is the global database index of the batch's first
+	// sequence.
+	Offset int
+	// DB holds the batch's sequences.
+	DB *seq.Database
+
+	commit *atomic.Bool
+}
+
+// Commit claims the batch's one-shot merge token: exactly one caller
+// across every attempt at the batch — any worker, any epoch, or the
+// degraded local path — gets true. A zero Batch always commits.
+func (b Batch) Commit() bool {
+	if b.commit == nil {
+		return true
+	}
+	return b.commit.CompareAndSwap(false, true)
+}
+
+// WorkerSpec names one worker and knows how to reach it. Dial returns
+// a fresh connection; for in-process workers it returns one end of a
+// net.Pipe whose other end a WorkerServer is serving, so both
+// transports run the same wire code.
+type WorkerSpec struct {
+	Name string
+	Dial func(ctx context.Context) (net.Conn, error)
+}
+
+// Config shapes one Coordinator.
+type Config struct {
+	// Workers is the roster; at least one is required.
+	Workers []WorkerSpec
+	// Fingerprint and Mode are carried in the handshake; a worker
+	// reporting a different config fingerprint or simulator cost model
+	// is rejected at connect.
+	Fingerprint [32]byte
+	Mode        byte
+
+	// QueueDepth bounds parsed-but-unassigned batches (backpressure on
+	// the producer); 0 means two per worker. Requeues are exempt.
+	QueueDepth int
+	// HeartbeatEvery is the ping cadence per session; HeartbeatTimeout
+	// is how long a session may go without any frame from the worker
+	// before it is declared lost. Zero values use the defaults.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// BatchDeadline bounds one assignment: a batch not answered within
+	// it is reclaimed and requeued (the eventual late result is fenced
+	// by epoch). 0 disables per-batch deadlines — heartbeats still
+	// bound worker loss.
+	BatchDeadline time.Duration
+	// MaxConnects is the dial budget per (re)connect episode before the
+	// worker is quarantined; 0 means DefaultMaxConnects.
+	MaxConnects int
+	// QuarantineAfter is the circuit breaker: a worker with this many
+	// consecutive strikes (disconnects, deadlines, exec failures) is
+	// quarantined. 0 means DefaultQuarantineAfter.
+	QuarantineAfter int
+	// MaxRetries is the per-batch budget for remote execution failures
+	// (worker loss does not consume it); 0 means DefaultMaxRetries.
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between reconnects and retries.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// Local, when non-nil, executes a batch on the coordinator itself —
+	// the graceful degradation engaged once every worker is gone. It
+	// must merge its own results guarded by Batch.Commit and report
+	// whether that Commit succeeded.
+	Local func(b Batch) (committed bool, err error)
+	// Drain, when non-nil, requests a graceful stop once closed:
+	// submitted batches finish (processed, committed, journaled), new
+	// submissions are refused with ErrDraining.
+	Drain <-chan struct{}
+	// Clock substitutes a fake time source in tests; nil means the wall
+	// clock. The FaultInjector should share it.
+	Clock gpu.Clock
+	// Inject, when non-nil, applies fault plans to dials and
+	// connections.
+	Inject *FaultInjector
+	// Trace, when non-nil, parents one span per assignment on a
+	// per-worker track.
+	Trace *obs.Span
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) clock() gpu.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return gpu.RealClock()
+}
+
+func (c *Config) heartbeatEvery() time.Duration {
+	if c.HeartbeatEvery > 0 {
+		return c.HeartbeatEvery
+	}
+	return DefaultHeartbeatEvery
+}
+
+func (c *Config) heartbeatTimeout() time.Duration {
+	if c.HeartbeatTimeout > 0 {
+		return c.HeartbeatTimeout
+	}
+	return DefaultHeartbeatTimeout
+}
+
+func (c *Config) maxConnects() int {
+	if c.MaxConnects > 0 {
+		return c.MaxConnects
+	}
+	return DefaultMaxConnects
+}
+
+func (c *Config) quarantineAfter() int {
+	if c.QuarantineAfter > 0 {
+		return c.QuarantineAfter
+	}
+	if c.QuarantineAfter < 0 {
+		return 0
+	}
+	return DefaultQuarantineAfter
+}
+
+func (c *Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (c *Config) backoff(try int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := c.BackoffCap
+	if max <= 0 {
+		max = DefaultBackoffCap
+	}
+	shift := try - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << shift
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Coordinator shards a batch stream across the configured workers. It
+// is the cluster-level twin of gpu.Scheduler: same bounded pending
+// list, same claim/requeue discipline, with workers in place of
+// devices and the wire in place of function calls.
+type Coordinator struct {
+	Cfg Config
+}
+
+// clusterAttempt is one batch's place in the pending list.
+type clusterAttempt struct {
+	b     Batch
+	tries int // failed remote executions so far
+	excl  int // worker index that last failed it (-1: none)
+}
+
+// flightResult is what the reader hands a waiting slot: a result
+// payload or the worker's execution error.
+type flightResult struct {
+	payload []byte
+	execErr string
+}
+
+// flight is one in-flight assignment: (batch, epoch) on one session.
+// The epoch is the fence — a result frame must match both the batch's
+// live flight and its epoch, or it is dropped.
+type flight struct {
+	att       *clusterAttempt
+	epoch     uint64
+	ch        chan flightResult // buffered 1
+	delivered bool              // guarded by coordRun.mu
+}
+
+// session is one live connection to a worker.
+type session struct {
+	worker   int
+	name     string
+	capacity int
+	conn     net.Conn
+
+	wmu sync.Mutex // serialises frame writes (slots + heartbeat)
+
+	// dead closes when the session is torn down; deadFlag and cause are
+	// guarded by coordRun.mu, set before dead closes.
+	dead     chan struct{}
+	once     sync.Once
+	deadFlag bool
+	cause    error
+
+	lastSeen atomic.Int64 // clock nanos of the last frame from the worker
+
+	// closing is set just before the coordinator says goodbye, so the
+	// EOF the worker's close then produces reads as a clean shutdown,
+	// not a worker loss.
+	closing atomic.Bool
+
+	inflight map[int]*flight // by batch Seq; guarded by coordRun.mu
+}
+
+func (s *session) write(body []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.conn, body)
+}
+
+func (s *session) touch(now time.Time) { s.lastSeen.Store(now.UnixNano()) }
+
+// kill tears the session down exactly once: every still-inflight
+// (undelivered) batch is requeued — exactly once, because inflight
+// entries are removed both here and on delivery under the same lock —
+// and the connection is closed. A nil cause is a clean shutdown.
+func (s *session) kill(cr *coordRun, cause error) {
+	s.once.Do(func() {
+		cr.mu.Lock()
+		s.cause = cause
+		s.deadFlag = true
+		n := 0
+		for seqNo, fl := range s.inflight {
+			delete(s.inflight, seqNo)
+			cr.requeueLocked(fl.att, s.worker)
+			n++
+		}
+		if n > 0 {
+			cr.rep.Requeues += n
+			cr.rep.Workers[s.worker].Requeues += n
+		}
+		close(s.dead)
+		cr.cond.Broadcast()
+		cr.mu.Unlock()
+		s.conn.Close()
+		if cause != nil {
+			cr.c.Cfg.logf("cluster: worker %s session ended: %v (%d batches requeued)", s.name, cause, n)
+		}
+	})
+}
+
+// coordRun is the mutable state of one Run.
+type coordRun struct {
+	c        *Coordinator
+	rep      *Report
+	ctx      context.Context
+	commitFn func(b Batch, payload []byte) (bool, error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*clusterAttempt
+	// active counts batches claimed but not yet resolved; see
+	// gpu.schedRun for why drain detection needs it.
+	active   int
+	closed   bool
+	aborted  bool
+	draining bool
+	err      error
+	abortCh  chan struct{}
+	epoch    uint64 // next assignment epoch (globally unique)
+
+	quar         []bool
+	consec       []int
+	healthy      int
+	connectedOne []bool // worker has connected at least once
+	localStarted bool
+
+	wg sync.WaitGroup
+}
+
+func (cr *coordRun) failLocked(err error) {
+	if !cr.aborted {
+		cr.aborted = true
+		cr.err = err
+		close(cr.abortCh)
+	}
+	cr.cond.Broadcast()
+}
+
+func (cr *coordRun) fail(err error) {
+	cr.mu.Lock()
+	cr.failLocked(err)
+	cr.mu.Unlock()
+}
+
+func (cr *coordRun) doneLocked() bool {
+	return cr.closed && len(cr.pending) == 0 && cr.active == 0
+}
+
+// takeLocked claims the first pending attempt eligible for worker i
+// (i < 0: the local path, exclusions ignored).
+func (cr *coordRun) takeLocked(i int) *clusterAttempt {
+	for k, att := range cr.pending {
+		if i >= 0 && att.excl >= 0 && att.excl == i && cr.healthy > 1 {
+			continue
+		}
+		cr.pending = append(cr.pending[:k], cr.pending[k+1:]...)
+		cr.active++
+		cr.cond.Broadcast()
+		return att
+	}
+	return nil
+}
+
+func (cr *coordRun) requeueLocked(att *clusterAttempt, failedOn int) {
+	att.excl = failedOn
+	cr.pending = append(cr.pending, att)
+	cr.active--
+	cr.cond.Broadcast()
+}
+
+// quarantineLocked takes worker i out of service; losing the last
+// healthy worker degrades to the local executor when one is
+// configured, otherwise aborts the run if work is still outstanding.
+func (cr *coordRun) quarantineLocked(i int) {
+	if cr.quar[i] {
+		return
+	}
+	cr.quar[i] = true
+	cr.healthy--
+	cr.rep.Quarantines++
+	cr.rep.Workers[i].Quarantined = true
+	cr.c.Cfg.logf("cluster: worker %s quarantined (%d healthy left)", cr.c.Cfg.Workers[i].Name, cr.healthy)
+	if cr.healthy == 0 {
+		if cr.c.Cfg.Local != nil {
+			if !cr.localStarted {
+				cr.localStarted = true
+				cr.rep.Degraded = true
+				cr.c.Cfg.logf("cluster: all workers lost, degrading to local execution")
+				cr.wg.Add(1)
+				go cr.runLocal()
+			}
+		} else if !cr.doneLocked() {
+			cr.failLocked(fmt.Errorf("cluster: %d batches outstanding: %w",
+				len(cr.pending)+cr.active, ErrAllWorkersLost))
+		}
+	}
+	cr.cond.Broadcast()
+}
+
+// strikeLocked charges worker i one breaker strike; returns true when
+// the breaker trips (the caller must then kill the session, outside
+// the lock).
+func (cr *coordRun) strikeLocked(i int) bool {
+	cr.consec[i]++
+	if k := cr.c.Cfg.quarantineAfter(); k > 0 && cr.consec[i] >= k {
+		cr.quarantineLocked(i)
+		return true
+	}
+	return false
+}
+
+// runWorker owns worker i for the run: connect (with backoff),
+// serve the session until it dies, strike, reconnect — until the run
+// completes, aborts, or the worker is quarantined.
+func (cr *coordRun) runWorker(i int) {
+	defer cr.wg.Done()
+	cfg := &cr.c.Cfg
+	ws := &cr.rep.Workers[i]
+	for {
+		cr.mu.Lock()
+		if cr.aborted || cr.quar[i] || cr.doneLocked() {
+			cr.mu.Unlock()
+			return
+		}
+		cr.mu.Unlock()
+
+		sess, err := cr.connect(i)
+		if err != nil {
+			cr.mu.Lock()
+			ws.LastError = err.Error()
+			cr.quarantineLocked(i)
+			cr.mu.Unlock()
+			return
+		}
+		cr.serveSession(i, sess)
+
+		cr.mu.Lock()
+		if sess.cause != nil {
+			ws.Disconnects++
+			ws.LastError = sess.cause.Error()
+		}
+		if cr.aborted || cr.quar[i] || cr.doneLocked() {
+			cr.mu.Unlock()
+			return
+		}
+		// The session died with work remaining: strike and reconnect.
+		if cr.strikeLocked(i) {
+			cr.mu.Unlock()
+			return
+		}
+		delay := cfg.backoff(cr.consec[i])
+		cr.mu.Unlock()
+		select {
+		case <-cfg.clock().After(delay):
+		case <-cr.abortCh:
+			return
+		}
+	}
+}
+
+// connect dials worker i with up to MaxConnects attempts (capped
+// backoff between them) and completes the handshake. A handshake
+// rejection (version/fingerprint/mode) is permanent and returned
+// immediately — redialling a misconfigured worker cannot help.
+func (cr *coordRun) connect(i int) (*session, error) {
+	cfg := &cr.c.Cfg
+	spec := cfg.Workers[i]
+	ws := &cr.rep.Workers[i]
+	var lastErr error
+	for attempt := 0; attempt < cfg.maxConnects(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-cfg.clock().After(cfg.backoff(attempt)):
+			case <-cr.abortCh:
+				return nil, cr.runErr()
+			}
+		}
+		if err := cfg.Inject.AllowConnect(i); err != nil {
+			lastErr = err
+			cr.countConnectFailure(ws)
+			continue
+		}
+		conn, err := spec.Dial(cr.ctx)
+		if err != nil {
+			lastErr = err
+			cr.countConnectFailure(ws)
+			continue
+		}
+		conn = cfg.Inject.WrapConn(i, conn)
+		ack, err := cr.handshake(spec.Name, conn)
+		if err != nil {
+			conn.Close()
+			cr.countConnectFailure(ws)
+			var hs *HandshakeError
+			if errors.As(err, &hs) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		sess := &session{
+			worker:   i,
+			name:     spec.Name,
+			capacity: ack.Capacity,
+			conn:     conn,
+			dead:     make(chan struct{}),
+			inflight: make(map[int]*flight),
+		}
+		sess.touch(cfg.clock().Now())
+		cr.mu.Lock()
+		if cr.connectedOne[i] {
+			cr.rep.Reconnects++
+			ws.Reconnects++
+		}
+		cr.connectedOne[i] = true
+		cr.mu.Unlock()
+		cfg.logf("cluster: worker %s connected (capacity %d)", ack.Name, ack.Capacity)
+		return sess, nil
+	}
+	return nil, fmt.Errorf("cluster: worker %s unreachable after %d attempts: %w",
+		spec.Name, cfg.maxConnects(), lastErr)
+}
+
+func (cr *coordRun) countConnectFailure(ws *WorkerStats) {
+	cr.mu.Lock()
+	cr.rep.ConnectFailures++
+	ws.ConnectFailures++
+	cr.mu.Unlock()
+}
+
+func (cr *coordRun) runErr() error {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if cr.err != nil {
+		return cr.err
+	}
+	return errors.New("cluster: run aborted")
+}
+
+// handshake sends hello and awaits the ack, bounded by the heartbeat
+// timeout so a corrupt or wedged worker cannot hang the connect loop.
+func (cr *coordRun) handshake(name string, conn net.Conn) (HelloAck, error) {
+	cfg := &cr.c.Cfg
+	var ack HelloAck
+	hello := Handshake{Version: ProtoVersion, Fingerprint: cfg.Fingerprint, Mode: cfg.Mode}
+	if err := writeFrame(conn, encodeHello(hello)); err != nil {
+		return ack, fmt.Errorf("cluster: writing hello to %s: %w", name, err)
+	}
+	type readRes struct {
+		typ     byte
+		payload []byte
+		err     error
+	}
+	ch := make(chan readRes, 1)
+	go func() {
+		typ, payload, err := readFrame(conn)
+		ch <- readRes{typ, payload, err}
+	}()
+	var r readRes
+	select {
+	case r = <-ch:
+	case <-cfg.clock().After(cfg.heartbeatTimeout()):
+		conn.Close()
+		return ack, fmt.Errorf("cluster: handshake with %s timed out after %v", name, cfg.heartbeatTimeout())
+	case <-cr.abortCh:
+		conn.Close()
+		return ack, cr.runErr()
+	}
+	if r.err != nil {
+		return ack, fmt.Errorf("cluster: reading handshake from %s: %w", name, r.err)
+	}
+	switch r.typ {
+	case msgHelloAck:
+		ack, err := parseHelloAck(r.payload)
+		if err != nil {
+			return ack, err
+		}
+		if ack.Version != ProtoVersion {
+			return ack, &HandshakeError{Worker: name,
+				Reason: fmt.Sprintf("worker speaks protocol version %d, coordinator %d", ack.Version, ProtoVersion)}
+		}
+		if ack.Capacity < 1 {
+			ack.Capacity = 1
+		}
+		return ack, nil
+	case msgHelloNack:
+		reason, err := parseHelloNack(r.payload)
+		if err != nil {
+			return ack, err
+		}
+		return ack, &HandshakeError{Worker: name, Reason: reason}
+	default:
+		return ack, &WireError{Msg: r.typ, Reason: "unexpected handshake reply"}
+	}
+}
+
+// serveSession runs one session to completion: a reader, a
+// heartbeater, and capacity assignment slots. It returns once the
+// session is dead and all three have unwound.
+func (cr *coordRun) serveSession(i int, sess *session) {
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { defer aux.Done(); cr.readLoop(sess) }()
+	go func() { defer aux.Done(); cr.heartbeat(sess) }()
+	var slots sync.WaitGroup
+	slots.Add(sess.capacity)
+	for s := 0; s < sess.capacity; s++ {
+		go func() { defer slots.Done(); cr.runSlot(i, sess) }()
+	}
+	slots.Wait()
+	// All slots exited: either the session died under them, or the run
+	// is complete/aborted/quarantined — say goodbye and tear down.
+	sess.closing.Store(true)
+	sess.write(frameBodyGoodbye())
+	sess.kill(cr, nil)
+	aux.Wait()
+}
+
+func frameBodyGoodbye() []byte { return []byte{msgGoodbye} }
+
+// readLoop dispatches worker frames: results and exec errors are
+// fenced by (seq, epoch) against the live inflight table and handed to
+// the waiting slot; anything malformed kills the session.
+func (cr *coordRun) readLoop(sess *session) {
+	clock := cr.c.Cfg.clock()
+	for {
+		typ, payload, err := readFrame(sess.conn)
+		if err != nil {
+			if sess.closing.Load() {
+				sess.kill(cr, nil)
+			} else {
+				sess.kill(cr, fmt.Errorf("cluster: read from worker %s: %w", sess.name, err))
+			}
+			return
+		}
+		sess.touch(clock.Now())
+		switch typ {
+		case msgPong:
+			// touch above is the point of pongs
+		case msgResult:
+			seqNo, epoch, res, err := parseResultMsg(payload)
+			if err != nil {
+				sess.kill(cr, err)
+				return
+			}
+			cr.deliver(sess, int(seqNo), epoch, flightResult{payload: res})
+		case msgExecErr:
+			seqNo, epoch, msg, err := parseExecErr(payload)
+			if err != nil {
+				sess.kill(cr, err)
+				return
+			}
+			if msg == "" {
+				msg = "worker reported an unspecified execution error"
+			}
+			cr.deliver(sess, int(seqNo), epoch, flightResult{execErr: msg})
+		case msgGoodbye:
+			sess.kill(cr, fmt.Errorf("cluster: worker %s closed the session", sess.name))
+			return
+		default:
+			sess.kill(cr, &WireError{Msg: typ, Reason: "unexpected message from worker"})
+			return
+		}
+	}
+}
+
+// deliver fences one worker reply: only a reply matching a live
+// inflight entry and its exact assignment epoch reaches a slot. A
+// stale epoch or an already-reclaimed batch — the late result of a
+// presumed-dead worker or a blown deadline — is dropped and counted,
+// never merged: the commit token is the backstop, the fence means the
+// token race is never even entered.
+func (cr *coordRun) deliver(sess *session, seqNo int, epoch uint64, res flightResult) {
+	cr.mu.Lock()
+	fl := sess.inflight[seqNo]
+	if fl == nil || fl.epoch != epoch {
+		cr.rep.FencedResults++
+		cr.mu.Unlock()
+		cr.c.Cfg.logf("cluster: fenced late result for batch %d (epoch %d) from worker %s", seqNo, epoch, sess.name)
+		return
+	}
+	delete(sess.inflight, seqNo)
+	fl.delivered = true
+	cr.mu.Unlock()
+	fl.ch <- res
+}
+
+// heartbeat pings the session and declares it lost when no frame has
+// arrived within the timeout.
+func (cr *coordRun) heartbeat(sess *session) {
+	cfg := &cr.c.Cfg
+	clock := cfg.clock()
+	nonce := uint64(0)
+	for {
+		select {
+		case <-clock.After(cfg.heartbeatEvery()):
+		case <-sess.dead:
+			return
+		case <-cr.abortCh:
+			sess.kill(cr, errors.New("cluster: run aborted"))
+			return
+		}
+		nonce++
+		if err := sess.write(encodePingPong(msgPing, nonce)); err != nil {
+			sess.kill(cr, fmt.Errorf("cluster: ping to worker %s: %w", sess.name, err))
+			return
+		}
+		if idle := clock.Now().Sub(time.Unix(0, sess.lastSeen.Load())); idle > cfg.heartbeatTimeout() {
+			cr.mu.Lock()
+			cr.rep.HeartbeatTimeouts++
+			cr.mu.Unlock()
+			sess.kill(cr, fmt.Errorf("cluster: worker %s silent for %v (timeout %v)", sess.name, idle, cfg.heartbeatTimeout()))
+			return
+		}
+	}
+}
+
+// runSlot is one assignment slot on a session: claim a batch, ship it,
+// await the fenced reply (or deadline, or session death), commit.
+func (cr *coordRun) runSlot(i int, sess *session) {
+	cfg := &cr.c.Cfg
+	clock := cfg.clock()
+	ws := &cr.rep.Workers[i]
+	for {
+		cr.mu.Lock()
+		var att *clusterAttempt
+		for {
+			if cr.aborted || cr.quar[i] || sess.deadFlag {
+				cr.mu.Unlock()
+				return
+			}
+			if att = cr.takeLocked(i); att != nil {
+				break
+			}
+			if cr.doneLocked() {
+				cr.mu.Unlock()
+				return
+			}
+			cr.cond.Wait()
+		}
+		epoch := cr.epoch
+		cr.epoch++
+		fl := &flight{att: att, epoch: epoch, ch: make(chan flightResult, 1)}
+		sess.inflight[att.b.Seq] = fl
+		cr.mu.Unlock()
+
+		b := att.b
+		span := cfg.Trace.ChildOn("worker:"+sess.name, fmt.Sprintf("batch %d", b.Seq),
+			obs.Int("batch", int64(b.Seq)),
+			obs.Int("epoch", int64(epoch)),
+			obs.Int("seqs", int64(b.DB.NumSeqs())),
+			obs.Int("residues", b.DB.TotalResidues()),
+			obs.Int("attempt", int64(att.tries)))
+		t0 := clock.Now()
+		if err := sess.write(encodeBatchMsg(uint64(b.Seq), epoch, uint64(b.Offset), b.DB)); err != nil {
+			span.Annotate(obs.String("error", err.Error()))
+			span.End()
+			// kill requeues this flight along with the rest of the
+			// session's inflight table.
+			sess.kill(cr, fmt.Errorf("cluster: sending batch %d to worker %s: %w", b.Seq, sess.name, err))
+			return
+		}
+
+		var deadlineCh <-chan time.Time
+		if cfg.BatchDeadline > 0 {
+			deadlineCh = clock.After(cfg.BatchDeadline)
+		}
+		var res flightResult
+		gotRes := false
+		select {
+		case res = <-fl.ch:
+			gotRes = true
+		case <-deadlineCh:
+			// The reply may have raced the deadline; resolve under the
+			// lock — exactly one of {slot, reader} removes the flight.
+			cr.mu.Lock()
+			if fl.delivered {
+				cr.mu.Unlock()
+				res = <-fl.ch
+				gotRes = true
+			} else {
+				delete(sess.inflight, b.Seq)
+				cr.rep.Deadlines++
+				ws.Deadlines++
+				cr.rep.Requeues++
+				ws.Requeues++
+				cr.requeueLocked(att, i)
+				tripped := cr.strikeLocked(i)
+				cr.mu.Unlock()
+				span.Annotate(obs.String("error", "assignment deadline expired"))
+				span.End()
+				if tripped {
+					sess.kill(cr, fmt.Errorf("cluster: worker %s blew %d assignment deadlines", sess.name, cr.c.Cfg.quarantineAfter()))
+					return
+				}
+				continue
+			}
+		case <-sess.dead:
+			// kill requeued everything undelivered; but the reply may
+			// have been delivered just before death — then it is valid
+			// and must be processed, or the batch would be lost with the
+			// requeue already fenced off.
+			cr.mu.Lock()
+			d := fl.delivered
+			cr.mu.Unlock()
+			if !d {
+				span.Annotate(obs.String("error", "session died"))
+				span.End()
+				return
+			}
+			res = <-fl.ch
+			gotRes = true
+		case <-cr.abortCh:
+			span.End()
+			return
+		}
+		_ = gotRes
+		busy := clock.Now().Sub(t0)
+
+		if res.execErr != "" {
+			span.Annotate(obs.String("error", res.execErr))
+			span.End()
+			cr.mu.Lock()
+			cr.rep.RemoteFailures++
+			ws.Failures++
+			att.tries++
+			if att.tries > cfg.maxRetries() {
+				cr.active--
+				cr.failLocked(fmt.Errorf("cluster: batch %d failed on workers after %d attempts: %s",
+					b.Seq, att.tries, res.execErr))
+				cr.mu.Unlock()
+				return
+			}
+			tripped := cr.strikeLocked(i)
+			delay := cfg.backoff(att.tries)
+			cr.mu.Unlock()
+			// Stay counted in active through the backoff so siblings do
+			// not mistake the stream for drained.
+			select {
+			case <-clock.After(delay):
+			case <-cr.abortCh:
+				return
+			}
+			cr.mu.Lock()
+			cr.requeueLocked(att, i)
+			cr.mu.Unlock()
+			if tripped {
+				sess.kill(cr, fmt.Errorf("cluster: worker %s failed %d executions in a row", sess.name, cr.c.Cfg.quarantineAfter()))
+				return
+			}
+			continue
+		}
+
+		committed, err := cr.commitFn(b, res.payload)
+		span.End()
+		if err != nil {
+			cr.fail(err)
+			return
+		}
+		cr.mu.Lock()
+		if committed {
+			ws.Batches++
+			ws.Residues += b.DB.TotalResidues()
+			ws.Busy += busy
+		} else {
+			// Something else (a fenced requeue that re-ran, or the local
+			// path) won the merge token first.
+			cr.rep.FencedCommits++
+		}
+		cr.consec[i] = 0
+		cr.active--
+		cr.cond.Broadcast()
+		cr.mu.Unlock()
+	}
+}
+
+// runLocal drains the remaining stream on the coordinator itself once
+// every worker is quarantined.
+func (cr *coordRun) runLocal() {
+	defer cr.wg.Done()
+	for {
+		cr.mu.Lock()
+		var att *clusterAttempt
+		for {
+			if cr.aborted {
+				cr.mu.Unlock()
+				return
+			}
+			if att = cr.takeLocked(-1); att != nil {
+				break
+			}
+			if cr.doneLocked() {
+				cr.mu.Unlock()
+				return
+			}
+			cr.cond.Wait()
+		}
+		cr.mu.Unlock()
+
+		span := cr.c.Cfg.Trace.ChildOn("local", fmt.Sprintf("batch %d (local degraded)", att.b.Seq),
+			obs.Int("batch", int64(att.b.Seq)),
+			obs.Bool("local_degraded", true))
+		committed, err := cr.c.Cfg.Local(att.b)
+		span.End()
+
+		cr.mu.Lock()
+		cr.active--
+		if err != nil {
+			cr.failLocked(err)
+			cr.mu.Unlock()
+			return
+		}
+		if committed {
+			cr.rep.LocalBatches++
+		} else {
+			cr.rep.FencedCommits++
+		}
+		cr.cond.Broadcast()
+		cr.mu.Unlock()
+	}
+}
+
+// Run shards the produced batch stream across the configured workers.
+// produce must call submit once per batch (stream order); submit
+// blocks for backpressure and returns ErrDraining once a drain is
+// requested. commit is called at most once per completed delivery
+// with the worker's result payload; it must claim Batch.Commit, then
+// journal and merge, and report whether the claim succeeded. The local
+// degraded path (Cfg.Local) merges for itself.
+//
+// The report is returned for clean and drained runs; the first
+// unrecoverable error (produce, commit, context, all-workers-lost with
+// no local executor) aborts the run.
+func (c *Coordinator) Run(ctx context.Context,
+	produce func(submit func(b Batch) error) error,
+	commit func(b Batch, payload []byte) (committed bool, err error),
+) (*Report, error) {
+	if len(c.Cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	if commit == nil {
+		return nil, errors.New("cluster: no commit callback")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(c.Cfg.Workers)
+	depth := c.Cfg.QueueDepth
+	if depth <= 0 {
+		depth = 2 * n
+	}
+	rep := &Report{Workers: make([]WorkerStats, n)}
+	for i := range rep.Workers {
+		rep.Workers[i].Name = c.Cfg.Workers[i].Name
+	}
+	cr := &coordRun{
+		c:            c,
+		rep:          rep,
+		ctx:          ctx,
+		commitFn:     commit,
+		abortCh:      make(chan struct{}),
+		quar:         make([]bool, n),
+		consec:       make([]int, n),
+		connectedOne: make([]bool, n),
+		healthy:      n,
+	}
+	cr.cond = sync.NewCond(&cr.mu)
+
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cr.fail(ctx.Err())
+		case <-watchDone:
+		}
+	}()
+	if c.Cfg.Drain != nil {
+		go func() {
+			select {
+			case <-c.Cfg.Drain:
+				cr.mu.Lock()
+				cr.draining = true
+				cr.cond.Broadcast()
+				cr.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
+
+	start := time.Now()
+	cr.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go cr.runWorker(i)
+	}
+
+	submit := func(b Batch) error {
+		if b.DB == nil {
+			return fmt.Errorf("cluster: submitted batch %d has no database", b.Seq)
+		}
+		cr.mu.Lock()
+		defer cr.mu.Unlock()
+		if !cr.draining && c.Cfg.Drain != nil {
+			select {
+			case <-c.Cfg.Drain:
+				cr.draining = true
+				cr.cond.Broadcast()
+			default:
+			}
+		}
+		for len(cr.pending) >= depth && !cr.aborted && !cr.draining {
+			cr.cond.Wait()
+		}
+		if cr.aborted {
+			return fmt.Errorf("cluster: run aborted: %w", cr.err)
+		}
+		if cr.draining {
+			rep.Drained = true
+			return ErrDraining
+		}
+		b.commit = new(atomic.Bool)
+		cr.pending = append(cr.pending, &clusterAttempt{b: b, excl: -1})
+		rep.Batches++
+		rep.Seqs += b.DB.NumSeqs()
+		rep.Residues += b.DB.TotalResidues()
+		cr.cond.Broadcast()
+		return nil
+	}
+	perr := produce(submit)
+	if errors.Is(perr, ErrDraining) {
+		perr = nil
+	}
+	cr.mu.Lock()
+	cr.closed = true
+	cr.cond.Broadcast()
+	cr.mu.Unlock()
+	if perr != nil {
+		cr.fail(perr)
+	}
+	cr.wg.Wait()
+	rep.Wall = time.Since(start)
+	cr.mu.Lock()
+	ferr := cr.err
+	cr.mu.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return rep, nil
+}

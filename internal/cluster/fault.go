@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hmmer3gpu/internal/gpu"
+)
+
+// ErrInjectedRefusal marks a dial the fault injector refused, standing
+// in for a worker process that is down or unreachable.
+var ErrInjectedRefusal = errors.New("cluster: injected connect refusal")
+
+// ErrInjectedKill marks a connection the fault injector severed
+// mid-session, standing in for a worker process killed under the
+// coordinator.
+var ErrInjectedKill = errors.New("cluster: injected worker kill")
+
+// FaultPlan describes the faults to inject against one worker. Batch
+// ordinals count batch frames written to that worker across its whole
+// lifetime (all connections), so a plan is deterministic regardless of
+// how reconnects interleave. -1 disables an ordinal-triggered fault.
+type FaultPlan struct {
+	// RefuseConnects fails the worker's first N dials outright.
+	RefuseConnects int
+	// KillAtBatch severs the connection instead of writing the Nth
+	// (0-based) batch frame — the batch is lost before the worker sees
+	// it.
+	KillAtBatch int
+	// TornAtBatch writes only the front half of the Nth batch frame,
+	// then severs the connection — the worker observes a torn frame.
+	TornAtBatch int
+	// KillProb kills the connection before each batch frame with this
+	// probability, drawn from the injector's seeded stream.
+	KillProb float64
+	// StallAtBatch sleeps StallFor (on the injector's clock) before
+	// writing the Nth batch frame, modelling a network or worker stall
+	// long enough to trip heartbeat or batch deadlines.
+	StallAtBatch int
+	StallFor     time.Duration
+	// StayDead, combined with KillAtBatch/TornAtBatch/KillProb, refuses
+	// every dial after the first injected kill — the killed worker
+	// process stays gone instead of modelling a restart.
+	StayDead bool
+	// CorruptHello flips a byte in the first handshake frame of every
+	// connection, so the worker sees a checksum mismatch.
+	CorruptHello bool
+}
+
+func newFaultPlan() *FaultPlan {
+	return &FaultPlan{KillAtBatch: -1, TornAtBatch: -1, StallAtBatch: -1}
+}
+
+// FaultInjector drives deterministic chaos against cluster
+// connections. Probabilistic draws come from a per-worker stream
+// derived from one seed, and decisions key off per-worker event
+// ordinals — never goroutine interleaving — so the fault schedule of a
+// (seed, plans, workload) triple reproduces exactly run-to-run, which
+// the chaos determinism tests pin.
+type FaultInjector struct {
+	seed  int64
+	clock gpu.Clock
+
+	mu    sync.Mutex
+	rngs  map[int]*rand.Rand
+	plans map[int]*FaultPlan
+	// dials / batches count per-worker lifetime events; dead marks
+	// workers whose StayDead plan has fired.
+	dials   map[int]int
+	batches map[int]int
+	dead    map[int]bool
+	logs    map[int][]string
+}
+
+// NewFaultInjector returns an injector drawing from the given seed.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{
+		seed:    seed,
+		rngs:    make(map[int]*rand.Rand),
+		plans:   make(map[int]*FaultPlan),
+		dials:   make(map[int]int),
+		batches: make(map[int]int),
+		dead:    make(map[int]bool),
+		logs:    make(map[int][]string),
+		clock:   gpu.RealClock(),
+	}
+}
+
+// rngLocked returns worker's private seeded stream, derived from the
+// injector seed so distinct workers draw independently but
+// reproducibly.
+func (fi *FaultInjector) rngLocked(worker int) *rand.Rand {
+	r, ok := fi.rngs[worker]
+	if !ok {
+		r = rand.New(rand.NewSource(fi.seed ^ (int64(worker)+1)*0x5851F42D4C957F2D))
+		fi.rngs[worker] = r
+	}
+	return r
+}
+
+// SetClock substitutes the clock used for injected stalls (tests pass
+// the same fake clock the coordinator runs on).
+func (fi *FaultInjector) SetClock(c gpu.Clock) { fi.clock = c }
+
+// Plan registers a fault plan for one worker index, replacing any
+// previous plan.
+func (fi *FaultInjector) Plan(worker int, p *FaultPlan) {
+	fi.mu.Lock()
+	fi.plans[worker] = p
+	fi.mu.Unlock()
+}
+
+// Schedule returns the log of every fault decision the injector has
+// made ("w1 refuse-connect #0", "w0 kill batch #2", ...), grouped by
+// worker, each worker's decisions in event order. Two runs with the
+// same seed, plans, and workload produce the same schedule — the
+// determinism chaos tests pin this.
+func (fi *FaultInjector) Schedule() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	workers := make([]int, 0, len(fi.logs))
+	for w := range fi.logs {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	var out []string
+	for _, w := range workers {
+		out = append(out, fi.logs[w]...)
+	}
+	return out
+}
+
+func (fi *FaultInjector) record(worker int, format string, args ...any) {
+	fi.logs[worker] = append(fi.logs[worker], fmt.Sprintf(format, args...))
+}
+
+// AllowConnect consults the plan for one dial attempt; a non-nil error
+// means the dial must fail without touching the network.
+func (fi *FaultInjector) AllowConnect(worker int) error {
+	if fi == nil {
+		return nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	n := fi.dials[worker]
+	fi.dials[worker]++
+	if fi.dead[worker] {
+		fi.record(worker, "w%d refuse-connect #%d (dead)", worker, n)
+		return fmt.Errorf("%w (worker %d is dead, dial %d)", ErrInjectedRefusal, worker, n)
+	}
+	if p := fi.plans[worker]; p != nil && n < p.RefuseConnects {
+		fi.record(worker, "w%d refuse-connect #%d", worker, n)
+		return fmt.Errorf("%w (worker %d, dial %d)", ErrInjectedRefusal, worker, n)
+	}
+	return nil
+}
+
+// WrapConn wraps an established connection with the worker's fault
+// plan. With no plan (or a nil injector) the connection is returned
+// unchanged.
+func (fi *FaultInjector) WrapConn(worker int, conn net.Conn) net.Conn {
+	if fi == nil {
+		return conn
+	}
+	fi.mu.Lock()
+	p := fi.plans[worker]
+	fi.mu.Unlock()
+	if p == nil {
+		return conn
+	}
+	return &faultConn{Conn: conn, fi: fi, worker: worker, plan: p}
+}
+
+// faultConn intercepts writes on the coordinator side of a worker
+// connection. Frames are written as single contiguous buffers
+// (writeFrame), so each Write carries exactly one frame and the
+// message type sits at offset frameHeaderSize.
+type faultConn struct {
+	net.Conn
+	fi     *FaultInjector
+	worker int
+	plan   *FaultPlan
+
+	mu         sync.Mutex
+	killed     bool
+	wroteHello bool
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.killed {
+		fc.mu.Unlock()
+		return 0, ErrInjectedKill
+	}
+	typ := byte(0)
+	if len(b) > frameHeaderSize {
+		typ = b[frameHeaderSize]
+	}
+	if typ == msgHello && !fc.wroteHello {
+		fc.wroteHello = true
+		if fc.plan.CorruptHello {
+			fc.fi.mu.Lock()
+			fc.fi.record(fc.worker, "w%d corrupt-hello", fc.worker)
+			fc.fi.mu.Unlock()
+			corrupt := append([]byte(nil), b...)
+			corrupt[len(corrupt)-1] ^= 0xff
+			fc.mu.Unlock()
+			return fc.Conn.Write(corrupt)
+		}
+		fc.mu.Unlock()
+		return fc.Conn.Write(b)
+	}
+	if typ != msgBatch {
+		fc.mu.Unlock()
+		return fc.Conn.Write(b)
+	}
+
+	// One batch frame: consult the plan under the injector lock so the
+	// ordinal stream and rng draws are globally ordered.
+	fc.fi.mu.Lock()
+	n := fc.fi.batches[fc.worker]
+	fc.fi.batches[fc.worker]++
+	kill := fc.plan.KillAtBatch == n
+	torn := fc.plan.TornAtBatch == n
+	stall := fc.plan.StallAtBatch == n
+	if !kill && !torn && fc.plan.KillProb > 0 && fc.fi.rngLocked(fc.worker).Float64() < fc.plan.KillProb {
+		kill = true
+	}
+	switch {
+	case kill:
+		fc.fi.record(fc.worker, "w%d kill batch #%d", fc.worker, n)
+	case torn:
+		fc.fi.record(fc.worker, "w%d torn-frame batch #%d", fc.worker, n)
+	case stall:
+		fc.fi.record(fc.worker, "w%d stall batch #%d for %s", fc.worker, n, fc.plan.StallFor)
+	}
+	if (kill || torn) && fc.plan.StayDead {
+		fc.fi.dead[fc.worker] = true
+	}
+	clock := fc.fi.clock
+	fc.fi.mu.Unlock()
+
+	switch {
+	case kill:
+		fc.killed = true
+		fc.mu.Unlock()
+		fc.Conn.Close()
+		return 0, ErrInjectedKill
+	case torn:
+		fc.killed = true
+		fc.mu.Unlock()
+		half := b[:len(b)/2]
+		fc.Conn.Write(half)
+		fc.Conn.Close()
+		return len(half), ErrInjectedKill
+	case stall:
+		fc.mu.Unlock()
+		<-clock.After(fc.plan.StallFor)
+		return fc.Conn.Write(b)
+	}
+	fc.mu.Unlock()
+	return fc.Conn.Write(b)
+}
+
+// ParseFaults parses a fault specification of the form
+//
+//	worker:fault[,fault...][;worker:fault...]
+//
+// with faults
+//
+//	refuse=N    refuse the first N dials
+//	kill=N      sever the connection at batch frame N (0-based)
+//	killp=P     sever before each batch frame with probability P
+//	torn=N      write half of batch frame N, then sever
+//	stall=N@D   delay batch frame N by duration D (e.g. 2@3s)
+//	dead=1      refuse every dial after the first injected kill/torn
+//	hello=bad   corrupt the first handshake frame of every connection
+//
+// e.g. "1:kill=1,refuse=999;2:torn=0". An empty spec yields no plans.
+func ParseFaults(spec string, seed int64) (*FaultInjector, error) {
+	fi := NewFaultInjector(seed)
+	if strings.TrimSpace(spec) == "" {
+		return fi, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		worker, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: fault clause %q: want worker:fault[,fault...]", clause)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(worker))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("cluster: fault clause %q: bad worker index %q", clause, worker)
+		}
+		p := newFaultPlan()
+		for _, f := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+			if !ok {
+				return nil, fmt.Errorf("cluster: fault %q: want key=value", f)
+			}
+			switch key {
+			case "refuse":
+				p.RefuseConnects, err = strconv.Atoi(val)
+			case "kill":
+				p.KillAtBatch, err = strconv.Atoi(val)
+			case "torn":
+				p.TornAtBatch, err = strconv.Atoi(val)
+			case "killp":
+				p.KillProb, err = strconv.ParseFloat(val, 64)
+			case "stall":
+				at, dur, ok := strings.Cut(val, "@")
+				if !ok {
+					return nil, fmt.Errorf("cluster: fault %q: want stall=N@duration", f)
+				}
+				p.StallAtBatch, err = strconv.Atoi(at)
+				if err == nil {
+					p.StallFor, err = time.ParseDuration(dur)
+				}
+			case "dead":
+				if val != "1" {
+					return nil, fmt.Errorf("cluster: fault %q: want dead=1", f)
+				}
+				p.StayDead = true
+			case "hello":
+				if val != "bad" {
+					return nil, fmt.Errorf("cluster: fault %q: want hello=bad", f)
+				}
+				p.CorruptHello = true
+			default:
+				return nil, fmt.Errorf("cluster: unknown fault %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: fault %q: %v", f, err)
+			}
+		}
+		fi.Plan(w, p)
+	}
+	return fi, nil
+}

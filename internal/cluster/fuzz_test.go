@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder and
+// every message parser behind it. The parsers must never panic,
+// over-allocate past the frame bound, or accept a frame whose re-encode
+// disagrees with what was parsed.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(frame(encodeHello(Handshake{Version: ProtoVersion, Mode: 1})))
+	f.Add(frame(encodeHelloAck(HelloAck{Version: ProtoVersion, Capacity: 2, Name: "w0"})))
+	f.Add(frame(encodeHelloNack("mode mismatch")))
+	f.Add(frame(encodeBatchMsg(3, 7, 64, testBatchDB(1))))
+	f.Add(frame(encodeResultMsg(3, 7, []byte("payload"))))
+	f.Add(frame(encodeExecErr(3, 7, "device lost")))
+	f.Add(frame(encodePingPong(msgPing, 99)))
+	f.Add(frame([]byte{msgGoodbye}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, _, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		// The body parsers behind a valid frame must be total: no
+		// panics, structured errors only.
+		switch typ {
+		case msgHello:
+			if h, err := parseHello(payload); err == nil {
+				if !bytes.Equal(encodeHello(h)[1:], payload) {
+					t.Fatalf("hello re-encode disagrees")
+				}
+			}
+		case msgHelloAck:
+			if a, err := parseHelloAck(payload); err == nil {
+				if !bytes.Equal(encodeHelloAck(a)[1:], payload) {
+					t.Fatalf("helloAck re-encode disagrees")
+				}
+			}
+		case msgHelloNack:
+			if reason, err := parseHelloNack(payload); err == nil {
+				if !bytes.Equal(encodeHelloNack(reason)[1:], payload) {
+					t.Fatalf("helloNack re-encode disagrees")
+				}
+			}
+		case msgBatch:
+			if seqNo, epoch, offset, db, err := parseBatchMsg(payload); err == nil {
+				if !bytes.Equal(encodeBatchMsg(seqNo, epoch, offset, db)[1:], payload) {
+					t.Fatalf("batch re-encode disagrees")
+				}
+			}
+		case msgResult:
+			if seqNo, epoch, res, err := parseResultMsg(payload); err == nil {
+				if !bytes.Equal(encodeResultMsg(seqNo, epoch, res)[1:], payload) {
+					t.Fatalf("result re-encode disagrees")
+				}
+			}
+		case msgExecErr:
+			if seqNo, epoch, msg, err := parseExecErr(payload); err == nil {
+				if !bytes.Equal(encodeExecErr(seqNo, epoch, msg)[1:], payload) {
+					t.Fatalf("execErr re-encode disagrees")
+				}
+			}
+		case msgPing, msgPong:
+			parsePingPong(typ, payload)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"hmmer3gpu/internal/seq"
+)
+
+// Exec computes one batch on the worker and returns the opaque result
+// payload shipped back to the coordinator (the same encoding the
+// coordinator journals and merges — pipeline.EncodeResultPayload).
+type Exec func(ctx context.Context, seqNo uint64, db *seq.Database) ([]byte, error)
+
+// WorkerServer serves the worker side of the cluster protocol. One
+// server handles any number of coordinator connections (in practice
+// one); each connection validates the handshake, then executes up to
+// Capacity batches concurrently, writing results back as they finish.
+type WorkerServer struct {
+	// Name identifies the worker in handshakes and coordinator reports.
+	Name string
+	// Capacity is the number of batches the worker accepts in flight
+	// (its device count). Zero means 1.
+	Capacity int
+	// Fingerprint and Mode must match the coordinator's hello, or the
+	// connection is nacked — a worker launched against a different
+	// model, thresholds, or simulator cost model must never compute a
+	// batch.
+	Fingerprint [32]byte
+	Mode        byte
+	// Exec computes one batch. Required.
+	Exec Exec
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (ws *WorkerServer) logf(format string, args ...any) {
+	if ws.Logf != nil {
+		ws.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on ln until ctx is cancelled
+// or the listener is closed, serving each connection on its own
+// goroutine. It returns nil on a clean shutdown.
+func (ws *WorkerServer) Serve(ctx context.Context, ln net.Listener) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ws.ServeConn(ctx, conn); err != nil {
+				ws.logf("worker %s: connection ended: %v", ws.Name, err)
+			}
+		}()
+	}
+}
+
+// ServeConn serves one coordinator connection to completion: handshake,
+// then the batch/result loop until the coordinator says goodbye, the
+// connection drops, or ctx is cancelled. In-process workers call this
+// directly on one end of a net.Pipe, so the pipe and TCP paths run the
+// same code.
+func (ws *WorkerServer) ServeConn(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		// A cancelled context must unblock reads on the raw conn.
+		<-ctx.Done()
+		conn.Close()
+	}()
+
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s: reading hello: %w", ws.Name, err)
+	}
+	if typ != msgHello {
+		return &HandshakeError{Worker: ws.Name, Reason: fmt.Sprintf("first frame is type %d, want hello", typ)}
+	}
+	hello, err := parseHello(payload)
+	if err != nil {
+		return err
+	}
+	if reason := ws.vetHello(hello); reason != "" {
+		writeFrame(conn, encodeHelloNack(reason))
+		return &HandshakeError{Worker: ws.Name, Reason: reason}
+	}
+	capacity := ws.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
+	var wmu sync.Mutex // serialises result/pong writes from exec goroutines
+	write := func(body []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, body)
+	}
+	if err := write(encodeHelloAck(HelloAck{Version: ProtoVersion, Capacity: capacity, Name: ws.Name})); err != nil {
+		return fmt.Errorf("cluster: worker %s: writing helloAck: %w", ws.Name, err)
+	}
+	ws.logf("worker %s: coordinator connected (capacity %d)", ws.Name, capacity)
+
+	var execs sync.WaitGroup
+	defer execs.Wait() // cancel() above stops them; wait so conn.Close is last
+	slots := make(chan struct{}, capacity)
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("cluster: worker %s: read: %w", ws.Name, err)
+		}
+		switch typ {
+		case msgPing:
+			nonce, err := parsePingPong(typ, payload)
+			if err != nil {
+				return err
+			}
+			if err := write(encodePingPong(msgPong, nonce)); err != nil {
+				return err
+			}
+		case msgBatch:
+			seqNo, epoch, _, db, err := parseBatchMsg(payload)
+			if err != nil {
+				return err
+			}
+			slots <- struct{}{} // backpressure beyond capacity
+			execs.Add(1)
+			go func() {
+				defer execs.Done()
+				defer func() { <-slots }()
+				res, err := ws.Exec(ctx, seqNo, db)
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					write(encodeExecErr(seqNo, epoch, err.Error()))
+					return
+				}
+				write(encodeResultMsg(seqNo, epoch, res))
+			}()
+		case msgGoodbye:
+			ws.logf("worker %s: coordinator said goodbye", ws.Name)
+			execs.Wait()
+			return nil
+		default:
+			return &WireError{Msg: typ, Reason: "unexpected message from coordinator"}
+		}
+	}
+}
+
+func (ws *WorkerServer) vetHello(h Handshake) string {
+	if h.Version != ProtoVersion {
+		return fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, ProtoVersion)
+	}
+	if h.Fingerprint != ws.Fingerprint {
+		return fmt.Sprintf("config fingerprint %x does not match worker's %x",
+			h.Fingerprint[:6], ws.Fingerprint[:6])
+	}
+	if h.Mode != ws.Mode {
+		return fmt.Sprintf("simulator mode %d does not match worker's %d", h.Mode, ws.Mode)
+	}
+	return ""
+}

@@ -51,6 +51,10 @@ type realClock struct{}
 func (realClock) Now() time.Time                         { return time.Now() }
 func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// RealClock returns the wall clock, for components outside this
+// package (the cluster coordinator) that share the Clock seam.
+func RealClock() Clock { return realClock{} }
+
 // faultClass is the scheduler's triage of a processing error.
 type faultClass int
 

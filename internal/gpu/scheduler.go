@@ -167,13 +167,21 @@ func (r *ScheduleReport) Record(reg *obs.Registry) {
 		reg.Set("hmmer_sched_queue_wait_seconds_p50", r.QueueWaitSeconds.Quantile(0.5))
 		reg.Set("hmmer_sched_queue_wait_seconds_p99", r.QueueWaitSeconds.Quantile(0.99))
 	}
-	for i, d := range r.Faults.Devices {
-		dev := fmt.Sprint(i)
-		q := 0.0
-		if d.Quarantined {
-			q = 1
+	// The per-device fault series are emitted for every device the run
+	// used, not just devices with fault activity — and not only when a
+	// FaultReport happens to carry a per-device breakdown. A report
+	// built without one (len(Faults.Devices) < len(Util)) still exports
+	// explicit zeros, so tracecheck and Prometheus scrapes always see
+	// the same series set and "healthy" is distinguishable from "not
+	// scraped". ScheduleReport.String may elide quiet devices; metrics
+	// must not.
+	for i := 0; i < len(r.Util) || i < len(r.Faults.Devices); i++ {
+		var d DeviceFaultStats
+		if i < len(r.Faults.Devices) {
+			d = r.Faults.Devices[i]
 		}
-		reg.Set(obs.WithLabel("hmmer_sched_device_quarantined", "device", dev), q)
+		dev := fmt.Sprint(i)
+		reg.Set(obs.WithLabel("hmmer_sched_device_quarantined", "device", dev), obs.Flag(d.Quarantined))
 		reg.AddInt(obs.WithLabel("hmmer_sched_device_failures_total", "device", dev), int64(d.Failures))
 		reg.AddInt(obs.WithLabel("hmmer_sched_device_sdc_total", "device", dev), int64(d.SDCs))
 	}

@@ -291,3 +291,44 @@ func TestSchedulerLatencyHistograms(t *testing.T) {
 		t.Errorf("registry histogram count = %+v, want %d", h, len(lens))
 	}
 }
+
+// TestRecordEmitsStableDeviceSeries pins the metrics contract that a
+// clean run and a faulted run export the same series set: the
+// per-device quarantined gauge (and failure counters) appear for every
+// device with explicit zeros, even on a report whose FaultReport
+// carries no per-device breakdown at all. tracecheck -require and
+// presence-based Prometheus alerts depend on this.
+func TestRecordEmitsStableDeviceSeries(t *testing.T) {
+	rep := &ScheduleReport{
+		Util: make([]DeviceUtilization, 3),
+		// Deliberately no Faults.Devices: a hand-built or legacy report
+		// must still export the full series set.
+	}
+	reg := obs.NewRegistry()
+	rep.Record(reg)
+	for dev := 0; dev < 3; dev++ {
+		name := obs.WithLabel("hmmer_sched_device_quarantined", "device", dev)
+		v, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("clean report did not emit %s", name)
+		}
+		if v != 0 {
+			t.Fatalf("%s = %g, want 0", name, v)
+		}
+		if _, ok := reg.Get(obs.WithLabel("hmmer_sched_device_failures_total", "device", dev)); !ok {
+			t.Fatalf("clean report did not emit failures_total for device %d", dev)
+		}
+	}
+
+	// A quarantined device flips only its own gauge.
+	rep.Faults.Devices = make([]DeviceFaultStats, 3)
+	rep.Faults.Devices[1].Quarantined = true
+	reg2 := obs.NewRegistry()
+	rep.Record(reg2)
+	for dev, want := range []float64{0, 1, 0} {
+		name := obs.WithLabel("hmmer_sched_device_quarantined", "device", dev)
+		if v, _ := reg2.Get(name); v != want {
+			t.Errorf("%s = %g, want %g", name, v, want)
+		}
+	}
+}

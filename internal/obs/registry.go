@@ -209,6 +209,18 @@ func (r *Registry) Snapshot() []Metric {
 	return out
 }
 
+// Flag renders a boolean as a 0/1 gauge value. Boolean conditions
+// (quarantined, drained, degraded) must be exported on every run —
+// emitting the series only when true makes "false" indistinguishable
+// from "not scraped" and breaks alerting on series presence; Flag
+// keeps the always-emit call sites one expression.
+func Flag(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // WithLabel appends a {key="value"} label set to a series name (or
 // extends an existing set), keeping call sites free of quoting rules.
 func WithLabel(name, key string, value any) string {

@@ -122,6 +122,13 @@ func (res *Result) Record(reg *obs.Registry) {
 				}
 			}
 		}
+	case *ClusterStreamExtra:
+		if x.Cluster != nil {
+			x.Cluster.Record(reg)
+		}
+		if x.Checkpoint != nil {
+			x.Checkpoint.Record(reg)
+		}
 	}
 }
 

@@ -188,36 +188,13 @@ func (pl *Pipeline) RunMultiGPUStreamContext(ctx context.Context, sys *simt.Syst
 	pl.attachProfiler(mem, sys.Devices...)
 
 	// The journal opens (and replays) before any device work starts:
-	// a fingerprint or corruption error must abort the run before it
-	// spends hours recomputing.
-	var journal *checkpoint.Journal
-	skip := make(map[uint64]checkpoint.Record)
-	if ck := cfg.Checkpoint; ck != nil {
-		if pl.Opts.ComputeAlignments {
-			return nil, fmt.Errorf("pipeline: checkpoint journaling does not support alignment output: domain alignments are not encoded in journal records")
-		}
-		fp := pl.fingerprint(cfg)
-		opts := checkpoint.Options{SyncEvery: ck.SyncEvery, Crash: ck.Crash}
-		var err error
-		if ck.Resume && checkpoint.Exists(ck.Path) {
-			var recs []checkpoint.Record
-			journal, recs, err = checkpoint.Resume(ck.Path, fp, opts)
-			if err != nil {
-				return nil, err
-			}
-			for _, rec := range recs {
-				if _, dup := skip[rec.Seq]; dup {
-					journal.Close()
-					return nil, fmt.Errorf("pipeline: journal holds two records for batch %d: refusing to resume", rec.Seq)
-				}
-				skip[rec.Seq] = rec
-			}
-		} else {
-			journal, err = checkpoint.Create(ck.Path, fp, opts)
-			if err != nil {
-				return nil, err
-			}
-		}
+	// a fingerprint, mode, or corruption error must abort the run
+	// before it spends hours recomputing.
+	journal, skip, err := pl.openStreamJournal(cfg, byte(sys.Devices[0].Mode))
+	if err != nil {
+		return nil, err
+	}
+	if journal != nil {
 		defer journal.Close()
 	}
 

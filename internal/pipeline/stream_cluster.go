@@ -1,0 +1,331 @@
+package pipeline
+
+// Cluster-mode streaming: the two-level tier above the single-node
+// schedulers. A coordinator (this process) chunks the FASTA stream
+// into the same residue-balanced batches as RunMultiGPUStream and
+// shards them across worker processes over the cluster wire protocol
+// (see internal/cluster and DESIGN §2h). Workers execute batches with
+// the same deterministic engines, so the sharded hit table is
+// byte-identical to the single-node run's — clean, faulted, or
+// crash-resumed.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hmmer3gpu/internal/checkpoint"
+	"hmmer3gpu/internal/cluster"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// ClusterConfig configures the cluster tier of a streamed search. The
+// batching, retry, drain, and checkpoint knobs come from the
+// StreamConfig passed alongside it, so a cluster run journals and
+// resumes exactly like a single-node streamed run — the coordinator
+// reuses the checkpoint journal as its commit log.
+type ClusterConfig struct {
+	// Workers is the roster (required). Build specs with
+	// cluster.InProcess for same-process workers or a TCP dialer for
+	// worker processes; both run the same wire code.
+	Workers []cluster.WorkerSpec
+	// Mode is the simulator mode tag carried in the handshake and
+	// stamped into the journal header; a worker running a different
+	// cost model is rejected at connect, and a resume under a different
+	// mode refuses with a checkpoint.ModeMismatchError.
+	Mode byte
+
+	// HeartbeatEvery / HeartbeatTimeout / BatchDeadline / MaxConnects /
+	// BackoffBase / BackoffCap tune worker-loss detection and reconnect
+	// pacing; zero values use the cluster defaults.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	BatchDeadline    time.Duration
+	MaxConnects      int
+	BackoffBase      time.Duration
+	BackoffCap       time.Duration
+
+	// Inject, when non-nil, applies deterministic fault plans to dials
+	// and connections (chaos testing; see cluster.ParseFaults).
+	Inject *cluster.FaultInjector
+	// Clock substitutes a fake time source (tests); nil = wall clock.
+	Clock gpu.Clock
+	// Logf, when set, receives one line per cluster lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// ClusterStreamExtra carries a cluster run's observability.
+type ClusterStreamExtra struct {
+	// Cluster is the coordinator's report: per-worker shares, requeues,
+	// fence counters, quarantines, degradation.
+	Cluster *cluster.Report
+	// Drained reports a graceful early stop (StreamConfig.Drain).
+	Drained bool
+	// Replayed is the number of batches merged from the checkpoint
+	// journal instead of being dispatched (0 for a fresh run).
+	Replayed int
+	// Checkpoint carries the journal's counters when journaling was
+	// enabled.
+	Checkpoint *checkpoint.Stats
+}
+
+// NewWorkerServer returns a WorkerServer bound to this pipeline's
+// configuration: its handshake fingerprint is the same digest the
+// coordinator computes from an identically configured pipeline, so
+// only matching (model, thresholds, calibration, batch budget)
+// pairs ever exchange batches. exec computes one batch and returns
+// its EncodeResultPayload bytes.
+func (pl *Pipeline) NewWorkerServer(cfg StreamConfig, mode byte, name string, capacity int, exec cluster.Exec) *cluster.WorkerServer {
+	return &cluster.WorkerServer{
+		Name:        name,
+		Capacity:    capacity,
+		Fingerprint: pl.fingerprint(cfg),
+		Mode:        mode,
+		Exec:        exec,
+	}
+}
+
+// ClusterExecCPU returns a worker Exec running each batch through the
+// host CPU engine. The CPU and device engines are bit-identical, so a
+// cluster mixing CPU and device workers still merges one consistent
+// result.
+func (pl *Pipeline) ClusterExecCPU() cluster.Exec {
+	return func(ctx context.Context, _ uint64, db *seq.Database) ([]byte, error) {
+		res, err := pl.runCPUContext(ctx, db, nil)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeResultPayload(res), nil
+	}
+}
+
+// ClusterExecGPU returns a worker Exec that runs each batch on one of
+// the node's devices: filter stages on the device, Forward on the
+// host, exactly like the single-node streamed engine. Concurrent
+// batches (up to the server's capacity) each claim a device from the
+// pool.
+func (pl *Pipeline) ClusterExecGPU(sys *simt.System, mem gpu.MemConfig) cluster.Exec {
+	pool := make(chan *gpu.DeviceWorker, len(sys.Devices))
+	for _, dev := range sys.Devices {
+		pool <- gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
+	}
+	return func(ctx context.Context, _ uint64, db *seq.Database) ([]byte, error) {
+		w := <-pool
+		defer func() { pool <- w }()
+		res, _, err := pl.searchBatchOnDevice(ctx, w, db, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeResultPayload(res), nil
+	}
+}
+
+// RunClusterStream is RunClusterStreamContext without cancellation.
+func (pl *Pipeline) RunClusterStream(r io.Reader, cfg StreamConfig, ccfg ClusterConfig) (*Result, error) {
+	return pl.RunClusterStreamContext(context.Background(), r, cfg, ccfg)
+}
+
+// RunClusterStreamContext searches a FASTA stream across cluster
+// workers: the stream is chunked into residue-balanced batches
+// (identical to RunMultiGPUStream's chunking — enforced by the config
+// fingerprint) and each batch runs on whichever worker slot frees up
+// first. Worker loss is detected by heartbeat and repaired by
+// exactly-once requeue; once every worker is lost the remaining
+// batches complete on the coordinator's own CPU (graceful
+// degradation, disabled by cfg.DisableFallback). With cfg.Checkpoint
+// set, every committed batch lands in the crash-safe journal before
+// its merge is acknowledged, and a -resume run replays the journal
+// and re-shards only the remainder.
+//
+// The merged Result is bit-identical to the single-node run's for
+// every outcome the run can survive: clean, worker-faulted, degraded,
+// drained-then-resumed, or crashed-then-resumed.
+func (pl *Pipeline) RunClusterStreamContext(ctx context.Context, r io.Reader, cfg StreamConfig, ccfg ClusterConfig) (*Result, error) {
+	if cfg.BatchResidues < 1 {
+		return nil, fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
+	}
+	if len(ccfg.Workers) == 0 {
+		return nil, fmt.Errorf("pipeline: no cluster workers configured")
+	}
+	if cfg.Verify != VerifyOff {
+		return nil, fmt.Errorf("pipeline: -verify applies to device execution; cluster workers verify on their own nodes")
+	}
+	if pl.Opts.ComputeAlignments {
+		return nil, fmt.Errorf("pipeline: cluster mode does not support alignment output: domain alignments are not encoded in result payloads")
+	}
+
+	// The journal opens (and replays) before any worker connects: a
+	// fingerprint, mode, or corruption error must abort the run before
+	// it spends hours recomputing — and before any worker accepts a
+	// batch under a stale config.
+	journal, skip, err := pl.openStreamJournal(cfg, ccfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	root := pl.startSearch("cluster-stream", nil)
+	defer root.End()
+
+	final := &Result{}
+	var mu sync.Mutex
+
+	// commit is the single merge path for every executor (remote
+	// worker, degraded local path): the payload is validated before it
+	// is journaled (a corrupt worker payload must never become a
+	// durable record), the journal append happens strictly before the
+	// merge (write-ahead ordering), and the whole path is gated by the
+	// batch's one-shot commit token via the coordinator.
+	commit := func(b cluster.Batch, payload []byte) (bool, error) {
+		if !b.Commit() {
+			return false, nil
+		}
+		res, err := DecodeResultPayload(payload)
+		if err != nil {
+			return false, fmt.Errorf("pipeline: result payload for batch %d: %v", b.Seq, err)
+		}
+		if journal != nil {
+			if err := journal.Append(checkpoint.Record{
+				Seq:      uint64(b.Seq),
+				Offset:   uint64(b.Offset),
+				NumSeqs:  uint64(b.DB.NumSeqs()),
+				Residues: uint64(b.DB.TotalResidues()),
+				Payload:  payload,
+			}); err != nil {
+				return false, err
+			}
+		}
+		mu.Lock()
+		mergeBatch(final, res, b.Offset)
+		mu.Unlock()
+		return true, nil
+	}
+
+	coord := &cluster.Coordinator{Cfg: cluster.Config{
+		Workers:          ccfg.Workers,
+		Fingerprint:      pl.fingerprint(cfg),
+		Mode:             ccfg.Mode,
+		QueueDepth:       cfg.QueueDepth,
+		HeartbeatEvery:   ccfg.HeartbeatEvery,
+		HeartbeatTimeout: ccfg.HeartbeatTimeout,
+		BatchDeadline:    ccfg.BatchDeadline,
+		MaxConnects:      ccfg.MaxConnects,
+		QuarantineAfter:  cfg.QuarantineAfter,
+		MaxRetries:       cfg.MaxRetries,
+		BackoffBase:      ccfg.BackoffBase,
+		BackoffCap:       ccfg.BackoffCap,
+		Drain:            cfg.Drain,
+		Clock:            ccfg.Clock,
+		Inject:           ccfg.Inject,
+		Trace:            root,
+		Logf:             ccfg.Logf,
+	}}
+	if !cfg.DisableFallback {
+		// Degraded local execution: the coordinator's own CPU engine
+		// computes the same payload a worker would have shipped, and
+		// commits through the same journal-then-merge path.
+		coord.Cfg.Local = func(b cluster.Batch) (bool, error) {
+			res, err := pl.runCPUContext(ctx, b.DB, nil)
+			if err != nil {
+				return false, err
+			}
+			return commit(b, EncodeResultPayload(res))
+		}
+	}
+
+	var replayedBatches, replayedSeqs int
+	rep, err := coord.Run(ctx,
+		func(submit func(b cluster.Batch) error) error {
+			// The producer re-chunks the stream exactly as the original
+			// run did (same parser, same residue budget — enforced by
+			// the fingerprint), so batch ordinals and offsets line up
+			// with the journal's. Journaled batches merge from disk and
+			// are never dispatched; everything else ships to a worker.
+			seqNo, offset := uint64(0), 0
+			return seq.StreamFASTAResidues(r, pl.Prof.Abc, cfg.BatchResidues, func(db *seq.Database) error {
+				if rec, ok := skip[seqNo]; ok {
+					if rec.Offset != uint64(offset) || rec.NumSeqs != uint64(db.NumSeqs()) || rec.Residues != uint64(db.TotalResidues()) {
+						return fmt.Errorf("pipeline: journal record for batch %d does not match the input stream (journal: offset %d, %d seqs, %d residues; stream: offset %d, %d seqs, %d residues): was the database file changed?",
+							seqNo, rec.Offset, rec.NumSeqs, rec.Residues, offset, db.NumSeqs(), db.TotalResidues())
+					}
+					res, err := decodeBatchPayload(rec.Payload)
+					if err != nil {
+						return fmt.Errorf("pipeline: journal record for batch %d: %v", seqNo, err)
+					}
+					mu.Lock()
+					mergeBatch(final, res, offset)
+					mu.Unlock()
+					delete(skip, seqNo)
+					replayedBatches++
+					replayedSeqs += db.NumSeqs()
+					seqNo++
+					offset += db.NumSeqs()
+					return nil
+				}
+				if err := submit(cluster.Batch{Seq: int(seqNo), Offset: offset, DB: db}); err != nil {
+					return err
+				}
+				seqNo++
+				offset += db.NumSeqs()
+				return nil
+			})
+		},
+		commit)
+	if err != nil {
+		return nil, err
+	}
+	if len(skip) > 0 && !rep.Drained {
+		return nil, fmt.Errorf("pipeline: journal holds %d batches beyond the end of the input stream: was the database file changed?", len(skip))
+	}
+
+	extra := &ClusterStreamExtra{Cluster: rep, Drained: rep.Drained, Replayed: replayedBatches}
+	if journal != nil {
+		// Surface close/sync errors: an unsynced tail the caller was
+		// told is durable would break the resume contract.
+		if err := journal.Close(); err != nil {
+			return nil, err
+		}
+		st := journal.Stats()
+		extra.Checkpoint = &st
+	}
+	finalizeStream(final, rep.Seqs+replayedSeqs)
+	final.Extra = extra
+	final.Record(pl.Opts.Metrics)
+	return final, nil
+}
+
+// clusterInProcess returns a WorkerSpec served by ws inside this
+// process: each dial is one end of a net.Pipe whose other end ws
+// serves, so in-process workers exercise the identical wire code as
+// TCP workers.
+func clusterInProcess(ws *cluster.WorkerServer) cluster.WorkerSpec {
+	return cluster.WorkerSpec{
+		Name: ws.Name,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			c1, c2 := net.Pipe()
+			go ws.ServeConn(context.Background(), c2)
+			return c1, nil
+		},
+	}
+}
+
+// InProcessClusterWorkers builds n in-process worker nodes named
+// "local-0".."local-(n-1)", each serving exec with the given capacity
+// over net.Pipe. This is the -cluster n path of cmd/hmmsearch: a
+// single-process cluster that still exercises the full wire protocol,
+// handshake, and fault machinery.
+func (pl *Pipeline) InProcessClusterWorkers(cfg StreamConfig, mode byte, n, capacity int, exec func() cluster.Exec) []cluster.WorkerSpec {
+	specs := make([]cluster.WorkerSpec, n)
+	for i := range specs {
+		ws := pl.NewWorkerServer(cfg, mode, fmt.Sprintf("local-%d", i), capacity, exec())
+		specs[i] = clusterInProcess(ws)
+	}
+	return specs
+}

@@ -1,0 +1,222 @@
+// Command hmmload drives an hmmserved instance with closed-loop
+// concurrent clients and reports what the service did under that
+// offered load: how many queries were answered (fresh, cached,
+// degraded), how many were shed with 429 or refused with 503, and the
+// p50/p99 latency of the answered ones.
+//
+//	hmmload -url http://localhost:8731 -model query.hmm -db swiss -clients 16 -duration 10s
+//
+// Each client loops: POST the model, read the reply, repeat — so
+// concurrency (not request rate) is the offered load, the natural
+// shape for capacity probing. -qps adds an optional per-client pacing
+// delay. With -strict the exit status is nonzero if any 5xx or
+// transport error occurred, making it usable as a CI assertion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"time"
+
+	"hmmer3gpu/internal/obs"
+)
+
+// counters aggregates the fleet's outcomes; one mutex guards both the
+// counts and the latency histogram (obs.Hist is not internally locked).
+type counters struct {
+	mu        sync.Mutex
+	sent      int
+	ok        int
+	cached    int
+	degraded  int
+	shed429   int
+	refused   int
+	server5xx int
+	transport int
+	lat       *obs.Hist
+}
+
+func main() {
+	var (
+		base     = flag.String("url", "http://localhost:8731", "hmmserved base URL")
+		model    = flag.String("model", "", "profile HMM file to POST (required)")
+		db       = flag.String("db", "", "database name to search (required)")
+		clients  = flag.Int("clients", 8, "closed-loop concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		qps      = flag.Float64("qps", 0, "per-client pacing: at most this many queries/second each (0 = as fast as replies arrive)")
+		tenants  = flag.Int("tenants", 1, "spread clients across this many tenant identities (client i is tenant t<i%%n>)")
+		format   = flag.String("format", "tbl", "response format to request: tbl or json")
+		nocache  = flag.Bool("nocache", false, "send cache=off so every query computes fresh")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline to request via ?timeout= (0 = server default)")
+		asJSON   = flag.Bool("json", false, "print the summary as JSON instead of text")
+		strict   = flag.Bool("strict", false, "exit nonzero if any 5xx or transport error occurred")
+	)
+	flag.Parse()
+	if *model == "" || *db == "" {
+		fmt.Fprintln(os.Stderr, "usage: hmmload -model query.hmm -db name [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	modelBytes, err := os.ReadFile(*model)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *clients < 1 {
+		*clients = 1
+	}
+	if *tenants < 1 {
+		*tenants = 1
+	}
+
+	target, err := url.Parse(*base)
+	if err != nil {
+		fatalf("bad -url: %v", err)
+	}
+	target = target.JoinPath("/search")
+
+	agg := &counters{lat: obs.NewHist(obs.LatencyBuckets())}
+	httpc := &http.Client{}
+	stop := time.After(*duration)
+	stopped := make(chan struct{})
+	go func() { <-stop; close(stopped) }()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		tenant := fmt.Sprintf("t%d", i%*tenants)
+		go func() {
+			defer wg.Done()
+			var pace <-chan time.Time
+			if *qps > 0 {
+				t := time.NewTicker(time.Duration(float64(time.Second) / *qps))
+				defer t.Stop()
+				pace = t.C
+			}
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				q := url.Values{"db": {*db}, "format": {*format}, "tenant": {tenant}}
+				if *nocache {
+					q.Set("cache", "off")
+				}
+				if *timeout > 0 {
+					q.Set("timeout", timeout.String())
+				}
+				u := *target
+				u.RawQuery = q.Encode()
+				oneQuery(httpc, u.String(), modelBytes, agg)
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-stopped:
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	agg.mu.Lock()
+	defer agg.mu.Unlock()
+	answered := agg.ok
+	throughput := float64(answered) / elapsed.Seconds()
+	p50, p99 := agg.lat.Quantile(0.50), agg.lat.Quantile(0.99)
+	if *asJSON {
+		out := map[string]any{
+			"clients":        *clients,
+			"duration_s":     elapsed.Seconds(),
+			"sent":           agg.sent,
+			"ok":             agg.ok,
+			"cached":         agg.cached,
+			"degraded":       agg.degraded,
+			"shed_429":       agg.shed429,
+			"refused_503":    agg.refused,
+			"server_5xx":     agg.server5xx,
+			"transport_errs": agg.transport,
+			"throughput_qps": throughput,
+			"latency_p50_s":  p50,
+			"latency_p99_s":  p99,
+		}
+		b, _ := json.MarshalIndent(out, "", "  ")
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("hmmload: %d clients for %.1fs against %s\n", *clients, elapsed.Seconds(), *base)
+		fmt.Printf("  sent        %d\n", agg.sent)
+		fmt.Printf("  ok          %d (%d cached, %d degraded)\n", agg.ok, agg.cached, agg.degraded)
+		fmt.Printf("  shed 429    %d\n", agg.shed429)
+		fmt.Printf("  refused 503 %d\n", agg.refused)
+		fmt.Printf("  5xx         %d\n", agg.server5xx)
+		fmt.Printf("  transport   %d\n", agg.transport)
+		fmt.Printf("  throughput  %.2f answered/s\n", throughput)
+		fmt.Printf("  latency     p50 %.3fs  p99 %.3fs\n", p50, p99)
+	}
+	if *strict && (agg.server5xx > 0 || agg.transport > 0) {
+		fmt.Fprintf(os.Stderr, "hmmload: -strict: %d server 5xx, %d transport errors\n",
+			agg.server5xx, agg.transport)
+		os.Exit(1)
+	}
+}
+
+// oneQuery sends one POST and classifies the outcome. Latency is only
+// observed for answered (200) queries: shed and refused replies return
+// in microseconds and would drag the percentiles into meaninglessness.
+func oneQuery(httpc *http.Client, u string, model []byte, agg *counters) {
+	t0 := time.Now()
+	resp, err := httpc.Post(u, "application/octet-stream", bytes.NewReader(model))
+	if err != nil {
+		agg.mu.Lock()
+		agg.sent++
+		agg.transport++
+		agg.mu.Unlock()
+		return
+	}
+	_, readErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	dt := time.Since(t0).Seconds()
+
+	agg.mu.Lock()
+	defer agg.mu.Unlock()
+	agg.sent++
+	if readErr != nil {
+		agg.transport++
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		agg.ok++
+		agg.lat.Observe(dt)
+		if resp.Header.Get("X-Cache") == "hit" {
+			agg.cached++
+		}
+		if resp.Header.Get("X-Degraded") != "" {
+			agg.degraded++
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		agg.shed429++
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusGatewayTimeout:
+		agg.refused++
+	case resp.StatusCode >= 500:
+		agg.server5xx++
+	default:
+		// 4xx other than 429 is a client bug; surface it loudly.
+		agg.server5xx++
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hmmload: "+format+"\n", args...)
+	os.Exit(1)
+}

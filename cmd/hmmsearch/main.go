@@ -21,17 +21,16 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	"hmmer3gpu/internal/alphabet"
 	"hmmer3gpu/internal/checkpoint"
 	"hmmer3gpu/internal/cluster"
+	"hmmer3gpu/internal/drainctx"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
-	"hmmer3gpu/internal/kernprof"
-	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/obsio"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/refimpl"
 	"hmmer3gpu/internal/seq"
@@ -128,7 +127,7 @@ func main() {
 			}
 			runClusterStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
 				budget, *targlen, *workers, *evalue, *tblout, sk, cl, co)
-			sk.flush()
+			flushSinks(sk)
 			return
 		}
 		switch *engine {
@@ -152,7 +151,7 @@ func main() {
 		default:
 			fatalf("-stream requires -engine cpu or multigpu")
 		}
-		sk.flush()
+		flushSinks(sk)
 		return
 	}
 	if *clusterN > 0 || *clusterWorkers != "" {
@@ -169,7 +168,7 @@ func main() {
 	opts.ComputeAlignments = *aligns
 	opts.UseNull2 = *null2
 	opts.GPUForward = *gpufwd
-	sk.apply(&opts)
+	sk.Apply(&opts)
 	pl, err := pipeline.New(query, int(db.MeanLen()), opts)
 	check(err)
 
@@ -230,89 +229,38 @@ func main() {
 		check(writeTblout(*tblout, query.Name, res))
 		fmt.Printf("\nper-target table written to %s\n", *tblout)
 	}
-	sk.flush()
+	flushSinks(sk)
 }
 
-// sinks holds the run's optional observability outputs: a tracer and
-// a metrics registry created only when the matching flag was given,
-// so untraced runs keep the nil fast path end to end.
-type sinks struct {
-	tracer              *obs.Tracer
-	registry            *obs.Registry
-	collector           *kernprof.Collector
-	tracePath, traceFmt string
-	metricsPath         string
-	kprofPath           string
-}
+// sinks is the shared observability sink set (internal/obsio); the
+// trace/metrics/kprof flag handling lives there so hmmworker and
+// hmmserved interpret the flags identically.
+type sinks = obsio.Sinks
 
 func newSinks(tracePath, traceFmt, metricsPath, kprofPath string) *sinks {
-	s := &sinks{tracePath: tracePath, traceFmt: traceFmt,
-		metricsPath: metricsPath, kprofPath: kprofPath}
-	if tracePath != "" {
-		if traceFmt != "chrome" && traceFmt != "jsonl" {
-			fatalf("unknown -traceformat %q (want chrome or jsonl)", traceFmt)
-		}
-		s.tracer = obs.New()
-	}
-	if metricsPath != "" {
-		s.registry = obs.NewRegistry()
-	}
-	if kprofPath != "" {
-		s.collector = kernprof.NewCollector()
-	}
+	s, err := obsio.New(tracePath, traceFmt, metricsPath, kprofPath)
+	check(err)
 	return s
 }
 
-// apply attaches the sinks to the pipeline options.
-func (s *sinks) apply(opts *pipeline.Options) {
-	opts.Trace = s.tracer
-	opts.Metrics = s.registry
-	opts.Profiler = s.collector
+// flushSinks writes the artifact files, logging one line per artifact.
+func flushSinks(s *sinks) {
+	check(s.Flush(func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}))
 }
 
-// flush writes the kernel profile, trace, and metrics files after the
-// search finishes. The kernel profile merges into the registry first,
-// so -kprof counters also land in the -metrics Prometheus output.
-func (s *sinks) flush() {
-	if s.collector != nil {
-		prof := s.collector.Profile()
-		prof.Record(s.registry)
-		check(prof.WriteFile(s.kprofPath))
-		fmt.Printf("kernel profile (%d launches) written to %s; render with: hmmprof %s\n",
-			len(prof.Launches), s.kprofPath, s.kprofPath)
-	}
-	if s.tracer != nil {
-		fh, err := os.Create(s.tracePath)
-		check(err)
-		if s.traceFmt == "jsonl" {
-			check(s.tracer.WriteJSONL(fh))
-		} else {
-			check(s.tracer.WriteChromeTraceWithCounters(fh, s.registry))
-		}
-		check(fh.Close())
-		fmt.Printf("trace (%s, %d spans) written to %s\n",
-			s.traceFmt, len(s.tracer.Spans()), s.tracePath)
-	}
-	if s.registry != nil {
-		fh, err := os.Create(s.metricsPath)
-		check(err)
-		check(s.registry.WritePrometheus(fh))
-		check(fh.Close())
-		fmt.Printf("metrics (%d series) written to %s\n",
-			len(s.registry.Snapshot()), s.metricsPath)
-	}
-}
-
-// writeTblout emits a HMMER-style space-separated per-target table.
+// writeTblout emits a HMMER-style space-separated per-target table
+// (the shared pipeline.WriteTblout format, so hmmserved responses
+// byte-diff cleanly against this file).
 func writeTblout(path, queryName string, res *pipeline.Result) error {
 	fh, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(fh, "# target              query                 e-value   fwd-bits  vit-bits  msv-bits\n")
-	for _, h := range res.Hits {
-		fmt.Fprintf(fh, "%-20s %-20s %9.3g %9.2f %9.2f %9.2f\n",
-			h.Name, queryName, h.EValue, h.FwdBits, h.VitBits, h.MSVBits)
+	if err := pipeline.WriteTblout(fh, queryName, res); err != nil {
+		fh.Close()
+		return err
 	}
 	return fh.Close()
 }
@@ -358,7 +306,7 @@ func runStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, batch, targ
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = workers
-	sk.apply(&opts)
+	sk.Apply(&opts)
 	pl, err := pipeline.New(query, targetLen, opts)
 	check(err)
 
@@ -431,28 +379,10 @@ type clusterOpts struct {
 // drainOnInterrupt installs the two-stage SIGINT policy shared by the
 // resumable streaming paths: the first interrupt drains gracefully
 // (in-flight batches finish and are journaled), the second aborts via
-// context cancellation. stop uninstalls the handler.
-func drainOnInterrupt() (ctx context.Context, drain chan struct{}, stop func()) {
-	ctx, cancel := context.WithCancel(context.Background())
-	drain = make(chan struct{})
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		if _, ok := <-sigc; !ok {
-			return
-		}
-		fmt.Fprintln(os.Stderr, "hmmsearch: interrupt: draining in-flight batches (interrupt again to abort)")
-		close(drain)
-		if _, ok := <-sigc; !ok {
-			return
-		}
-		fmt.Fprintln(os.Stderr, "hmmsearch: second interrupt: aborting")
-		cancel()
-	}()
-	return ctx, drain, func() {
-		signal.Stop(sigc)
-		cancel()
-	}
+// context cancellation. stop uninstalls the handler. The policy lives
+// in internal/drainctx so hmmworker and hmmserved share it.
+func drainOnInterrupt() (ctx context.Context, drain <-chan struct{}, stop func()) {
+	return drainctx.Notify("hmmsearch", os.Stderr, os.Interrupt)
 }
 
 // verifyMode parses the -verify flag.
@@ -498,7 +428,7 @@ func runMultiStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem gp
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = workers
-	sk.apply(&opts)
+	sk.Apply(&opts)
 	pl, err := pipeline.New(query, targetLen, opts)
 	check(err)
 
@@ -603,7 +533,7 @@ func runClusterStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem 
 
 	opts := pipeline.DefaultOptions()
 	opts.Workers = workers
-	sk.apply(&opts)
+	sk.Apply(&opts)
 	pl, err := pipeline.New(query, targetLen, opts)
 	check(err)
 

@@ -15,16 +15,17 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
+	"syscall"
 
 	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/drainctx"
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/hmm"
+	"hmmer3gpu/internal/obsio"
 	"hmmer3gpu/internal/pipeline"
 	"hmmer3gpu/internal/simt"
 )
@@ -42,6 +43,10 @@ func main() {
 		stream   = flag.Int("stream", 0, "coordinator's -stream value (with -targlen, derives the batch residue budget when -batchres is 0)")
 		batchres = flag.Int64("batchres", 0, "coordinator's residue budget per batch (0 = stream * targlen); part of the handshake fingerprint")
 		targlen  = flag.Int("targlen", 350, "coordinator's assumed target length for -stream")
+		trace    = flag.String("trace", "", "write a span timeline of this worker's batches to this file on exit")
+		traceFmt = flag.String("traceformat", "chrome", "trace file format: chrome | jsonl")
+		metrics  = flag.String("metrics", "", "write this worker's counters to this file in Prometheus text format on exit")
+		kprof    = flag.String("kprof", "", "write a kernel-grained profile of this worker's launches to this file as JSON on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,12 +74,22 @@ func main() {
 	check(err)
 	hf.Close()
 
+	// Observability sinks share the hmmsearch flag semantics (same
+	// internal/obsio code): spans per batch, Prometheus counters, and a
+	// kernel-grained profile, written on exit. Apply guards against the
+	// typed-nil hazard — an unset *kernprof.Collector must never be
+	// assigned into the device's Profiler interface.
+	sk, err := obsio.New(*trace, *traceFmt, *metrics, *kprof)
+	check(err)
+
 	// The pipeline must calibrate exactly as the coordinator's does —
 	// pipeline.New is deterministic given (query, targlen, opts), and
 	// the resulting Gumbel/exponential parameters are part of the
-	// handshake fingerprint.
+	// handshake fingerprint (observability options are excluded from
+	// the fingerprint; they cannot change results).
 	opts := pipeline.DefaultOptions()
 	opts.Workers = *workers
+	sk.Apply(&opts)
 	pl, err := pipeline.New(query, *targlen, opts)
 	check(err)
 
@@ -110,16 +125,19 @@ func main() {
 		wname, ln.Addr(), *engine, slots, budget)
 	os.Stdout.Sync()
 
-	ctx, cancel := context.WithCancel(context.Background())
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		<-sigc
-		fmt.Fprintln(os.Stderr, "hmmworker: interrupt: shutting down")
-		cancel()
-	}()
+	// Two-stage shutdown: the first SIGINT/SIGTERM drains — in-flight
+	// batches finish and ship their results, new assignments are
+	// refused so the coordinator requeues them, and Serve returns once
+	// the coordinator disconnects. A second signal cancels ctx and
+	// aborts in-flight batches mid-kernel.
+	ctx, drain, stop := drainctx.Notify("hmmworker", os.Stderr, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ws.Drain = drain
 
 	check(ws.Serve(ctx, ln))
+	check(sk.Flush(func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}))
 }
 
 func memConfig(name string) gpu.MemConfig {

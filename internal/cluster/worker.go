@@ -33,8 +33,29 @@ type WorkerServer struct {
 	Mode        byte
 	// Exec computes one batch. Required.
 	Exec Exec
+	// Drain, when non-nil and closed, puts the server into graceful
+	// drain: in-flight batches finish and their results are written
+	// back, newly assigned batches are answered with an exec error
+	// ("worker draining") so the coordinator requeues them elsewhere,
+	// and Serve stops accepting new coordinator connections. Contrast
+	// with cancelling Serve's context, which aborts in-flight work.
+	Drain <-chan struct{}
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+}
+
+// drainingMsg is the exec-error text a draining worker answers new
+// batch assignments with; the coordinator requeues those batches.
+const drainingMsg = "worker draining"
+
+// draining reports whether Drain is closed (false when unset).
+func (ws *WorkerServer) draining() bool {
+	select {
+	case <-ws.Drain: // never fires while Drain is nil
+		return true
+	default:
+		return false
+	}
 }
 
 func (ws *WorkerServer) logf(format string, args ...any) {
@@ -50,7 +71,12 @@ func (ws *WorkerServer) Serve(ctx context.Context, ln net.Listener) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-ws.Drain:
+			// Draining: no new coordinators; existing connections keep
+			// serving (refusing new batches) until they end.
+		}
 		ln.Close()
 	}()
 	var wg sync.WaitGroup
@@ -143,11 +169,26 @@ func (ws *WorkerServer) ServeConn(ctx context.Context, conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			slots <- struct{}{} // backpressure beyond capacity
+			// The slot wait lives in the goroutine so the read loop keeps
+			// answering pings (and drain refusals) while all slots are
+			// busy; the coordinator's capacity window bounds how many
+			// assignments can pile up here.
 			execs.Add(1)
 			go func() {
 				defer execs.Done()
+				select {
+				case slots <- struct{}{}:
+				case <-ws.Drain:
+					write(encodeExecErr(seqNo, epoch, drainingMsg))
+					return
+				case <-ctx.Done():
+					return
+				}
 				defer func() { <-slots }()
+				if ws.draining() {
+					write(encodeExecErr(seqNo, epoch, drainingMsg))
+					return
+				}
 				res, err := ws.Exec(ctx, seqNo, db)
 				if ctx.Err() != nil {
 					return

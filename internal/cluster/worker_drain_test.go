@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/seq"
+)
+
+// drainClient speaks the coordinator side of the protocol over one end
+// of a net.Pipe, frame by frame, so the test controls exactly when
+// batches are assigned relative to the drain signal.
+type drainClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func (c *drainClient) hello(fp [32]byte, mode byte) {
+	c.t.Helper()
+	if err := writeFrame(c.conn, encodeHello(Handshake{Version: ProtoVersion, Fingerprint: fp, Mode: mode})); err != nil {
+		c.t.Fatalf("hello: %v", err)
+	}
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		c.t.Fatalf("helloAck: %v", err)
+	}
+	if typ != msgHelloAck {
+		c.t.Fatalf("hello answered with frame type %d", typ)
+	}
+	if _, err := parseHelloAck(payload); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *drainClient) sendBatch(seqNo uint64) {
+	c.t.Helper()
+	if err := writeFrame(c.conn, encodeBatchMsg(seqNo, 1, 0, testBatchDB(int(seqNo)))); err != nil {
+		c.t.Fatalf("batch %d: %v", seqNo, err)
+	}
+}
+
+// next reads one result-or-execErr frame and returns its batch seqNo
+// and the exec error text ("" for a successful result).
+func (c *drainClient) next() (uint64, string) {
+	c.t.Helper()
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	switch typ {
+	case msgResult:
+		seqNo, _, _, err := parseResultMsg(payload)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		return seqNo, ""
+	case msgExecErr:
+		seqNo, _, msg, err := parseExecErr(payload)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		return seqNo, msg
+	default:
+		c.t.Fatalf("unexpected frame type %d", typ)
+		return 0, ""
+	}
+}
+
+// A drained worker finishes the batch it is computing, answers batches
+// queued behind the busy slot (or assigned after the signal) with
+// drainingMsg so the coordinator requeues them elsewhere, keeps
+// answering pings throughout, and still exits cleanly on goodbye.
+func TestWorkerServerDrainRefusesNewFinishesInFlight(t *testing.T) {
+	const mode = 7
+	started := make(chan uint64, 8)
+	release := make(chan struct{})
+	drain := make(chan struct{})
+	ws := &WorkerServer{
+		Name:        "drainer",
+		Capacity:    1,
+		Fingerprint: testFP,
+		Mode:        mode,
+		Drain:       drain,
+		Exec: func(ctx context.Context, seqNo uint64, db *seq.Database) ([]byte, error) {
+			started <- seqNo
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return execPayload(seqNo, db), nil
+		},
+	}
+
+	c1, c2 := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ws.ServeConn(context.Background(), c2) }()
+	cl := &drainClient{t: t, conn: c1}
+	cl.hello(testFP, mode)
+
+	// Batch 0 occupies the only slot; batch 1 queues behind it.
+	cl.sendBatch(0)
+	select {
+	case got := <-started:
+		if got != 0 {
+			t.Fatalf("batch %d started, want 0", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch 0 never started")
+	}
+	cl.sendBatch(1)
+
+	// Drain. The queued batch 1 must come back refused; the in-flight
+	// batch 0 keeps computing.
+	close(drain)
+	seqNo, msg := cl.next()
+	if seqNo != 1 || msg != drainingMsg {
+		t.Fatalf("after drain got (%d, %q), want (1, %q)", seqNo, msg, drainingMsg)
+	}
+
+	// A batch assigned after the signal is refused too.
+	cl.sendBatch(2)
+	if seqNo, msg := cl.next(); seqNo != 2 || msg != drainingMsg {
+		t.Fatalf("post-drain batch got (%d, %q), want (2, %q)", seqNo, msg, drainingMsg)
+	}
+
+	// The read loop still answers pings mid-drain.
+	if err := writeFrame(c1, encodePingPong(msgPing, 99)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(c1)
+	if err != nil || typ != msgPong {
+		t.Fatalf("ping during drain: type %d, err %v", typ, err)
+	}
+	if nonce, _ := parsePingPong(typ, payload); nonce != 99 {
+		t.Fatalf("pong nonce %d, want 99", nonce)
+	}
+
+	// Release the in-flight batch: its real result is still written.
+	close(release)
+	seqNo, msg = cl.next()
+	if seqNo != 0 || msg != "" {
+		t.Fatalf("in-flight batch got (%d, %q), want (0, clean result)", seqNo, msg)
+	}
+
+	if err := writeFrame(c1, frameBodyGoodbye()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeConn after drain+goodbye: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeConn did not return after goodbye")
+	}
+}
+
+// Serve with a closed Drain channel stops accepting new coordinator
+// connections and returns once existing ones end.
+func TestWorkerServerServeStopsAcceptingOnDrain(t *testing.T) {
+	drain := make(chan struct{})
+	ws := &WorkerServer{
+		Name:        "drainer",
+		Capacity:    1,
+		Fingerprint: testFP,
+		Mode:        0,
+		Drain:       drain,
+		Exec:        testExec,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ws.Serve(context.Background(), ln) }()
+
+	close(drain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain with no connections")
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}

@@ -1,0 +1,61 @@
+// Package drainctx implements the two-stage shutdown policy shared by
+// every long-lived process in the tree (hmmsearch's streamed runs,
+// hmmworker, hmmserved): the first signal requests a graceful drain —
+// in-flight work finishes (and is journaled where a journal exists) —
+// and a second signal aborts hard via context cancellation.
+//
+// The split matters operationally: orchestrators send SIGTERM and
+// expect the process to stop accepting work, land what it holds
+// durably, and exit 0; a stuck drain is escalated with a second signal
+// (or SIGKILL), and the crash-recovery machinery picks up from there.
+package drainctx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+)
+
+// Notify installs the two-stage policy for the given signals
+// (os.Interrupt when none are named): the first signal closes the
+// returned drain channel, the second cancels the returned context.
+// One line per stage is written to w (os.Stderr when nil), prefixed
+// with prog. stop uninstalls the handler and releases the goroutine.
+func Notify(prog string, w io.Writer, sigs ...os.Signal) (ctx context.Context, drain <-chan struct{}, stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt}
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, sigs...)
+	ctx, drain, stopStage := twoStage(prog, w, sigc)
+	return ctx, drain, func() {
+		signal.Stop(sigc)
+		stopStage()
+	}
+}
+
+// twoStage is the signal-source-agnostic core (tests feed it a plain
+// channel): the first receive closes drain, the second cancels ctx. A
+// closed source channel ends the watcher without acting.
+func twoStage(prog string, w io.Writer, sigc <-chan os.Signal) (ctx context.Context, drain <-chan struct{}, stop func()) {
+	if w == nil {
+		w = os.Stderr
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	drainCh := make(chan struct{})
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintf(w, "%s: signal: draining in-flight work (signal again to abort)\n", prog)
+		close(drainCh)
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintf(w, "%s: second signal: aborting\n", prog)
+		cancel()
+	}()
+	return cctx, drainCh, cancel
+}

@@ -1,0 +1,59 @@
+package drainctx
+
+import (
+	"bytes"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTwoStage(t *testing.T) {
+	var buf bytes.Buffer
+	sigc := make(chan os.Signal, 2)
+	ctx, drain, stop := twoStage("prog", &buf, sigc)
+	defer stop()
+
+	select {
+	case <-drain:
+		t.Fatal("drain closed before any signal")
+	case <-ctx.Done():
+		t.Fatal("ctx cancelled before any signal")
+	default:
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case <-drain:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not close after the first signal")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("ctx cancelled after only one signal")
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("ctx did not cancel after the second signal")
+	}
+	if got := buf.String(); !bytes.Contains([]byte(got), []byte("prog: signal: draining")) ||
+		!bytes.Contains([]byte(got), []byte("prog: second signal: aborting")) {
+		t.Errorf("unexpected stage messages:\n%s", got)
+	}
+}
+
+func TestTwoStageClosedSourceIsInert(t *testing.T) {
+	sigc := make(chan os.Signal)
+	ctx, drain, stop := twoStage("prog", nil, sigc)
+	defer stop()
+	close(sigc)
+	select {
+	case <-drain:
+		t.Fatal("drain closed on a closed source")
+	case <-ctx.Done():
+		t.Fatal("ctx cancelled on a closed source")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// An allocated-but-never-observed histogram reports 0 at every
+// quantile (not NaN, not a bucket bound) so dashboards render a flat
+// zero instead of garbage before traffic arrives.
+func TestHistEmptyQuantiles(t *testing.T) {
+	h := NewHist(LatencyBuckets())
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %g, want 0", h.Mean())
+	}
+	// Out-of-range q values clamp rather than extrapolate.
+	h.Observe(0.002)
+	if lo, hi := h.Quantile(-0.5), h.Quantile(2); lo != h.Quantile(0) || hi != h.Quantile(1) {
+		t.Errorf("q clamp: Quantile(-0.5)=%g Quantile(2)=%g", lo, hi)
+	}
+}
+
+// With a single finite bucket and every observation beyond it, all
+// mass sits in the overflow bucket: p50 and p99 both report the last
+// finite bound — the histogram's honest "at least this much" answer.
+func TestHistSingleBucketOverflowQuantiles(t *testing.T) {
+	h := NewHist([]float64{0.010})
+	for i := 0; i < 100; i++ {
+		h.Observe(5.0)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 != 0.010 || p99 != 0.010 {
+		t.Errorf("overflow quantiles p50=%g p99=%g, want both 0.010 (last finite bound)", p50, p99)
+	}
+	if h.Count != 100 || h.Counts[len(h.Counts)-1] != 100 {
+		t.Errorf("overflow bucket holds %d of %d", h.Counts[len(h.Counts)-1], h.Count)
+	}
+}
+
+// Registry.Observe is the concurrency boundary for histograms (raw
+// Hist is deliberately unlocked); hammer one metric from many
+// goroutines so the race detector can vet the locking.
+func TestRegistryObserveConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				reg.Observe("t_latency_seconds", 0.001*float64((g*each+i)%50+1), LatencyBuckets()...)
+			}
+		}(g)
+	}
+	wg.Wait()
+	h, ok := reg.GetHist("t_latency_seconds")
+	if !ok {
+		t.Fatal("histogram missing after concurrent observes")
+	}
+	if h.Count != goroutines*each {
+		t.Fatalf("count = %d, want %d (lost observations under concurrency)", h.Count, goroutines*each)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0 {
+		t.Errorf("p99 = %g after %d observations", p99, h.Count)
+	}
+}

@@ -1,0 +1,117 @@
+// Package obsio wires the optional observability sinks — span tracer,
+// metrics registry, kernel-profile collector — to their output files.
+// It is the one place the -trace/-traceformat/-metrics/-kprof flag
+// quartet is interpreted, shared by hmmsearch, hmmworker, and
+// hmmserved so every binary emits the same artifact formats.
+//
+// Sinks are created only for the flags actually given, so an
+// unobserved run keeps the nil fast path end to end (obs and kernprof
+// are zero-cost when their handles are nil).
+package obsio
+
+import (
+	"fmt"
+	"os"
+
+	"hmmer3gpu/internal/kernprof"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/pipeline"
+)
+
+// Sinks holds a run's optional observability outputs. The zero value
+// (or New with four empty paths) is inert: Apply installs nils and
+// Flush writes nothing.
+type Sinks struct {
+	Tracer    *obs.Tracer
+	Registry  *obs.Registry
+	Collector *kernprof.Collector
+
+	tracePath, traceFmt string
+	metricsPath         string
+	kprofPath           string
+}
+
+// New builds the sinks for the given output paths; an empty path
+// disables that sink. traceFmt must be "chrome" or "jsonl" when
+// tracePath is set.
+func New(tracePath, traceFmt, metricsPath, kprofPath string) (*Sinks, error) {
+	s := &Sinks{tracePath: tracePath, traceFmt: traceFmt,
+		metricsPath: metricsPath, kprofPath: kprofPath}
+	if tracePath != "" {
+		if traceFmt != "chrome" && traceFmt != "jsonl" {
+			return nil, fmt.Errorf("unknown trace format %q (want chrome or jsonl)", traceFmt)
+		}
+		s.Tracer = obs.New()
+	}
+	if metricsPath != "" {
+		s.Registry = obs.NewRegistry()
+	}
+	if kprofPath != "" {
+		s.Collector = kernprof.NewCollector()
+	}
+	return s, nil
+}
+
+// Apply attaches the sinks to the pipeline options. Options.Profiler
+// is a concrete *kernprof.Collector, so a nil Collector stays nil here;
+// the typed-nil hazard lives one layer down, where the collector is
+// assigned to the Device.Profiler interface (pipeline.attachProfiler
+// and bench both guard it).
+func (s *Sinks) Apply(opts *pipeline.Options) {
+	opts.Trace = s.Tracer
+	opts.Metrics = s.Registry
+	opts.Profiler = s.Collector
+}
+
+// Flush writes the kernel profile, trace, and metrics files. The
+// kernel profile merges into the registry first, so -kprof counters
+// also land in the -metrics Prometheus output. logf (nilable) receives
+// one line per artifact written.
+func (s *Sinks) Flush(logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if s.Collector != nil {
+		prof := s.Collector.Profile()
+		prof.Record(s.Registry)
+		if err := prof.WriteFile(s.kprofPath); err != nil {
+			return err
+		}
+		logf("kernel profile (%d launches) written to %s; render with: hmmprof %s",
+			len(prof.Launches), s.kprofPath, s.kprofPath)
+	}
+	if s.Tracer != nil {
+		fh, err := os.Create(s.tracePath)
+		if err != nil {
+			return err
+		}
+		if s.traceFmt == "jsonl" {
+			err = s.Tracer.WriteJSONL(fh)
+		} else {
+			err = s.Tracer.WriteChromeTraceWithCounters(fh, s.Registry)
+		}
+		if err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		logf("trace (%s, %d spans) written to %s", s.traceFmt, len(s.Tracer.Spans()), s.tracePath)
+	}
+	if s.Registry != nil {
+		fh, err := os.Create(s.metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := s.Registry.WritePrometheus(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		logf("metrics (%d series) written to %s", len(s.Registry.Snapshot()), s.metricsPath)
+	}
+	return nil
+}

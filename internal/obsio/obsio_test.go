@@ -1,0 +1,66 @@
+package obsio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmmer3gpu/internal/pipeline"
+)
+
+func TestInertWhenUnconfigured(t *testing.T) {
+	s, err := New("", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts pipeline.Options
+	s.Apply(&opts)
+	if opts.Trace != nil || opts.Metrics != nil || opts.Profiler != nil {
+		t.Error("empty sinks installed non-nil handles")
+	}
+	if err := s.Flush(nil); err != nil {
+		t.Errorf("inert flush: %v", err)
+	}
+}
+
+func TestRejectsUnknownTraceFormat(t *testing.T) {
+	if _, err := New("x.trace", "protobuf", "", ""); err == nil {
+		t.Fatal("unknown trace format accepted")
+	}
+}
+
+func TestFlushWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace")
+	metricsPath := filepath.Join(dir, "run.prom")
+	s, err := New(tracePath, "jsonl", metricsPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s.Tracer.Start("host", "search")
+	sp.End()
+	s.Registry.AddInt("test_total", 3)
+	var lines []string
+	if err := s.Flush(func(format string, args ...any) {
+		lines = append(lines, format)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Errorf("expected 2 artifact log lines, got %d", len(lines))
+	}
+	for _, p := range []string{tracePath, metricsPath} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if len(b) == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+	}
+	b, _ := os.ReadFile(metricsPath)
+	if !strings.Contains(string(b), "test_total") {
+		t.Error("metrics file missing counter")
+	}
+}

@@ -8,6 +8,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"hmmer3gpu/internal/gpu"
 	"hmmer3gpu/internal/obs"
@@ -42,6 +43,37 @@ func (pl *Pipeline) startSearch(engine string, db *seq.Database) *obs.Span {
 		obs.Int("model_m", int64(pl.Prof.M)),
 		obs.Int("seqs", int64(db.NumSeqs())),
 		obs.Int("residues", db.TotalResidues()))
+}
+
+// startExec opens the span one cluster-worker batch executes under
+// and returns it with the wall-clock start (for endExec's histogram).
+func (pl *Pipeline) startExec(engine string, seqNo uint64, db *seq.Database) (*obs.Span, time.Time) {
+	sp := pl.Opts.Trace.Start("host", "cluster-exec",
+		obs.String("engine", engine),
+		obs.Int("batch", int64(seqNo)),
+		obs.Int("seqs", int64(db.NumSeqs())),
+		obs.Int("residues", db.TotalResidues()))
+	return sp, time.Now()
+}
+
+// endExec closes a worker batch span and publishes the worker-side
+// counters: batches executed, failures, and a latency histogram — the
+// per-node numbers a cluster operator scrapes to find a slow or sick
+// worker.
+func (pl *Pipeline) endExec(sp *obs.Span, t0 time.Time, engine string, err error) {
+	if err != nil {
+		sp.Annotate(obs.String("error", err.Error()))
+	}
+	sp.End()
+	reg := pl.Opts.Metrics
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddInt(obs.WithLabel("hmmer_worker_batches_total", "engine", engine), 1)
+	if err != nil {
+		reg.AddInt(obs.WithLabel("hmmer_worker_batch_errors_total", "engine", engine), 1)
+	}
+	reg.Observe("hmmer_worker_batch_seconds", time.Since(t0).Seconds(), obs.LatencyBuckets()...)
 }
 
 // startStage opens a stage span under parent and returns a closure

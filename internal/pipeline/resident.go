@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+
+	"hmmer3gpu/internal/alphabet"
+	"hmmer3gpu/internal/gpu"
+	"hmmer3gpu/internal/integrity"
+	"hmmer3gpu/internal/obs"
+	"hmmer3gpu/internal/perf"
+	"hmmer3gpu/internal/seq"
+	"hmmer3gpu/internal/simt"
+)
+
+// ResidentDB is a target database packed once and kept in memory for
+// the lifetime of a service process: the FASTA stream is chunked into
+// the same residue-budgeted batches a one-shot -stream run would
+// produce, so every query against it schedules identical work units —
+// the property that makes served hit tables byte-identical to the
+// one-shot CLI's. Hash fingerprints the raw input bytes and feeds the
+// result-cache key.
+type ResidentDB struct {
+	// Name is the caller's handle for the database (the serve-layer
+	// registry key).
+	Name string
+	// Hash is the SHA-256 of the raw FASTA bytes as read, before
+	// parsing — a content fingerprint, not a path.
+	Hash [32]byte
+	// Batches holds the pre-parsed residue-budgeted batches in stream
+	// order.
+	Batches []*seq.Database
+	// Seqs and Residues are stream-wide totals.
+	Seqs     int
+	Residues int64
+	// BatchResidues is the residue budget the batches were cut with.
+	BatchResidues int64
+}
+
+// LoadResidentDB parses a FASTA stream into a resident database,
+// chunked with the given residue budget (the same chunker as the
+// streaming engines, so batch boundaries match a -stream run with the
+// same budget) and hashed over the raw bytes.
+func LoadResidentDB(name string, r io.Reader, abc *alphabet.Alphabet, batchResidues int64) (*ResidentDB, error) {
+	if batchResidues < 1 {
+		return nil, fmt.Errorf("pipeline: resident batch residues %d < 1", batchResidues)
+	}
+	h := sha256.New()
+	rdb := &ResidentDB{Name: name, BatchResidues: batchResidues}
+	err := seq.StreamFASTAResidues(io.TeeReader(r, h), abc, batchResidues, func(db *seq.Database) error {
+		rdb.Batches = append(rdb.Batches, db)
+		rdb.Seqs += db.NumSeqs()
+		rdb.Residues += db.TotalResidues()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	copy(rdb.Hash[:], h.Sum(nil))
+	return rdb, nil
+}
+
+// RunResidentStreamContext searches a resident database across the
+// devices of a system with the streamed multi-device engine: the same
+// scheduler, fault policy, exactly-once commit tokens, integrity
+// guards, and host-CPU fallback as RunMultiGPUStreamContext, minus the
+// FASTA parsing (batches are already resident) and minus journaling
+// (a service query is retried by its client, not resumed from disk;
+// cfg.Checkpoint is rejected). Devices that quarantine mid-run drain
+// the remaining batches onto the host CPU, and because both engines
+// are deterministic the degraded result is byte-identical.
+func (pl *Pipeline) RunResidentStreamContext(ctx context.Context, sys *simt.System, mem gpu.MemConfig, rdb *ResidentDB, cfg StreamConfig) (*Result, error) {
+	if rdb == nil || len(rdb.Batches) == 0 {
+		return nil, fmt.Errorf("pipeline: resident database is empty")
+	}
+	if sys == nil || len(sys.Devices) == 0 {
+		return nil, fmt.Errorf("pipeline: no devices")
+	}
+	if cfg.Checkpoint != nil {
+		return nil, fmt.Errorf("pipeline: resident runs do not journal (checkpointing is the one-shot CLI's crash story; a service query is simply retried)")
+	}
+	pl.attachProfiler(mem, sys.Devices...)
+
+	workers := make([]*gpu.DeviceWorker, len(sys.Devices))
+	for i, dev := range sys.Devices {
+		workers[i] = gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
+	}
+
+	root := pl.startSearch("resident-stream", nil)
+	defer root.End()
+
+	final := &Result{}
+	extra := &MultiGPUStreamExtra{Launches: make([][]*simt.LaunchReport, len(sys.Devices))}
+	var mu sync.Mutex
+
+	sched := &gpu.Scheduler{
+		Sys:             sys,
+		QueueDepth:      cfg.QueueDepth,
+		Trace:           root,
+		MaxRetries:      cfg.MaxRetries,
+		QuarantineAfter: cfg.QuarantineAfter,
+		BatchTimeout:    cfg.BatchTimeout,
+		Drain:           cfg.Drain,
+	}
+	commitMerge := func(b gpu.Batch, res *Result, devIdx int, launches []*simt.LaunchReport) (bool, error) {
+		if !b.Commit() {
+			return false, nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		mergeBatch(final, res, b.Offset)
+		if devIdx >= 0 {
+			extra.Launches[devIdx] = append(extra.Launches[devIdx], launches...)
+		}
+		return true, nil
+	}
+	hostRerun := func(b gpu.Batch) (bool, error) {
+		res, err := pl.runCPUContext(ctx, b.DB, b.Trace)
+		if err != nil {
+			return false, err
+		}
+		return commitMerge(b, res, -1, nil)
+	}
+	if !cfg.DisableFallback {
+		sched.Fallback = hostRerun
+	}
+	var chk *integrity.Checker
+	if cfg.Verify != VerifyOff {
+		chk = &integrity.Checker{MSV: pl.MSV, Vit: pl.Vit}
+	}
+	if cfg.Verify == VerifyDMR {
+		sched.DMR = hostRerun
+	}
+	rep, err := sched.RunBatches(ctx,
+		func(submit func(b gpu.Batch) error) error {
+			offset := 0
+			for i, db := range rdb.Batches {
+				if err := submit(gpu.Batch{Seq: i, Offset: offset, DB: db}); err != nil {
+					return err
+				}
+				offset += db.NumSeqs()
+			}
+			return nil
+		},
+		func(devIdx int, _ *simt.Device, b gpu.Batch) error {
+			res, launches, err := pl.searchBatchOnDevice(ctx, workers[devIdx], b.DB, chk, b.Trace)
+			if err != nil {
+				return err
+			}
+			_, err = commitMerge(b, res, devIdx, launches)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	extra.Schedule = rep
+	extra.Drained = rep.Drained
+	finalizeStream(final, rep.Seqs)
+	final.Extra = extra
+	if reg := pl.Opts.Metrics; reg.Enabled() {
+		final.Record(reg)
+		var all []*simt.LaunchReport
+		for _, launches := range extra.Launches {
+			all = append(all, launches...)
+		}
+		perf.Record(reg, sys.Devices[0].Spec, "resident", all...)
+	}
+	return final, nil
+}
+
+// RunResidentCPUContext searches a resident database entirely on the
+// host CPU — the fully-degraded service path when every device in the
+// pool is cordoned. Batch boundaries and the merge/finalize sequence
+// match the device path exactly, so the hits are byte-identical.
+func (pl *Pipeline) RunResidentCPUContext(ctx context.Context, rdb *ResidentDB) (*Result, error) {
+	if rdb == nil || len(rdb.Batches) == 0 {
+		return nil, fmt.Errorf("pipeline: resident database is empty")
+	}
+	root := pl.startSearch("resident-cpu", nil)
+	defer root.End()
+	final := &Result{}
+	offset := 0
+	for i, db := range rdb.Batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batchSpan := root.Child(fmt.Sprintf("batch %d", i),
+			obs.Int("batch", int64(i)),
+			obs.Int("offset", int64(offset)),
+			obs.Int("seqs", int64(db.NumSeqs())),
+			obs.Int("residues", db.TotalResidues()))
+		res, err := pl.runCPUContext(ctx, db, batchSpan)
+		batchSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		mergeBatch(final, res, offset)
+		offset += db.NumSeqs()
+	}
+	finalizeStream(final, rdb.Seqs)
+	final.Record(pl.Opts.Metrics)
+	return final, nil
+}

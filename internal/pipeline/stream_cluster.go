@@ -95,8 +95,10 @@ func (pl *Pipeline) NewWorkerServer(cfg StreamConfig, mode byte, name string, ca
 // cluster mixing CPU and device workers still merges one consistent
 // result.
 func (pl *Pipeline) ClusterExecCPU() cluster.Exec {
-	return func(ctx context.Context, _ uint64, db *seq.Database) ([]byte, error) {
-		res, err := pl.runCPUContext(ctx, db, nil)
+	return func(ctx context.Context, seqNo uint64, db *seq.Database) ([]byte, error) {
+		sp, t0 := pl.startExec("cpu", seqNo, db)
+		res, err := pl.runCPUContext(ctx, db, sp)
+		pl.endExec(sp, t0, "cpu", err)
 		if err != nil {
 			return nil, err
 		}
@@ -110,14 +112,17 @@ func (pl *Pipeline) ClusterExecCPU() cluster.Exec {
 // batches (up to the server's capacity) each claim a device from the
 // pool.
 func (pl *Pipeline) ClusterExecGPU(sys *simt.System, mem gpu.MemConfig) cluster.Exec {
+	pl.attachProfiler(mem, sys.Devices...)
 	pool := make(chan *gpu.DeviceWorker, len(sys.Devices))
 	for _, dev := range sys.Devices {
 		pool <- gpu.NewDeviceWorker(dev, mem, pl.Opts.Workers, pl.MSV, pl.Vit)
 	}
-	return func(ctx context.Context, _ uint64, db *seq.Database) ([]byte, error) {
+	return func(ctx context.Context, seqNo uint64, db *seq.Database) ([]byte, error) {
 		w := <-pool
 		defer func() { pool <- w }()
-		res, _, err := pl.searchBatchOnDevice(ctx, w, db, nil, nil)
+		sp, t0 := pl.startExec("gpu", seqNo, db)
+		res, _, err := pl.searchBatchOnDevice(ctx, w, db, nil, sp)
+		pl.endExec(sp, t0, "gpu", err)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,24 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTblout emits the HMMER-style space-separated per-target table
+// for a search result. Every consumer of machine-readable hits — the
+// hmmsearch -tblout flag, hmmserved's tbl response format — goes
+// through this one formatter, so "byte-identical hit tables" is a
+// property of the Result alone, not of which front end rendered it.
+func WriteTblout(w io.Writer, queryName string, res *Result) error {
+	if _, err := fmt.Fprintf(w, "# target              query                 e-value   fwd-bits  vit-bits  msv-bits\n"); err != nil {
+		return err
+	}
+	for _, h := range res.Hits {
+		if _, err := fmt.Fprintf(w, "%-20s %-20s %9.3g %9.2f %9.2f %9.2f\n",
+			h.Name, queryName, h.EValue, h.FwdBits, h.VitBits, h.MSVBits); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrShed is returned by the admission controller when a query must be
+// shed: the token bucket is empty or the wait queue is full. The
+// server answers 429 with a Retry-After hint instead of queueing
+// unboundedly — shedding early is what keeps the p99 of *admitted*
+// queries bounded under overload.
+var ErrShed = errors.New("serve: overloaded, query shed")
+
+// ErrDraining is returned once the server has begun its graceful
+// drain: no new work is admitted and queued waiters are failed (the
+// handler journals them so nothing is silently lost).
+var ErrDraining = errors.New("serve: draining, not admitting queries")
+
+// tokenBucket rate-limits admissions: capacity burst, refilled at rate
+// tokens/second. rate <= 0 disables the limiter. now is injectable for
+// deterministic tests.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take consumes one token. When the bucket is empty it reports the
+// time until one token will have refilled — the 429 Retry-After hint.
+func (tb *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if tb == nil || tb.rate <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	t := tb.now()
+	tb.tokens = math.Min(tb.burst, tb.tokens+t.Sub(tb.last).Seconds()*tb.rate)
+	tb.last = t
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+}
+
+// admitter bounds the number of queries running concurrently and, when
+// all slots are busy, queues waiters in per-tenant FIFOs served round-
+// robin — one tenant flooding the queue cannot starve the others,
+// because each release hands the freed slot to the *next tenant's*
+// oldest waiter, not the globally oldest. The queue itself is bounded:
+// a waiter beyond maxQueue is shed immediately (bounded memory under
+// any offered load).
+type admitter struct {
+	mu       sync.Mutex
+	free     int
+	inflight int
+	queued   int
+	maxQueue int
+	tenants  map[string][]*waiter
+	ring     []string // tenants with waiters, in round-robin order
+	next     int
+	draining bool
+}
+
+type waiter struct {
+	tenant  string
+	ch      chan error // buffered(1); receives nil on grant
+	granted bool       // guarded by admitter.mu
+	removed bool       // guarded by admitter.mu
+}
+
+func newAdmitter(slots, maxQueue int) *admitter {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitter{free: slots, maxQueue: maxQueue, tenants: make(map[string][]*waiter)}
+}
+
+// acquire claims an execution slot for tenant, queueing (fairly,
+// bounded) when none is free. It returns ErrShed when the queue is
+// full, ErrDraining once the drain has begun, or ctx's error if the
+// caller's deadline expires while queued.
+func (a *admitter) acquire(ctx context.Context, tenant string) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if a.free > 0 {
+		a.free--
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrShed
+	}
+	w := &waiter{tenant: tenant, ch: make(chan error, 1)}
+	a.tenants[tenant] = append(a.tenants[tenant], w)
+	if len(a.tenants[tenant]) == 1 {
+		a.ring = append(a.ring, tenant)
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced our cancellation: the slot is ours, so give
+			// it back (which hands it to the next waiter).
+			a.mu.Unlock()
+			if err := <-w.ch; err == nil {
+				a.release()
+			}
+			return ctx.Err()
+		}
+		a.remove(w)
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// remove unlinks a cancelled waiter. Caller holds a.mu.
+func (a *admitter) remove(w *waiter) {
+	if w.removed || w.granted {
+		return
+	}
+	w.removed = true
+	q := a.tenants[w.tenant]
+	for i, x := range q {
+		if x == w {
+			a.tenants[w.tenant] = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(a.tenants[w.tenant]) == 0 {
+		delete(a.tenants, w.tenant)
+		a.dropFromRing(w.tenant)
+	}
+	a.queued--
+}
+
+func (a *admitter) dropFromRing(tenant string) {
+	for i, t := range a.ring {
+		if t == tenant {
+			a.ring = append(a.ring[:i:i], a.ring[i+1:]...)
+			if a.next > i {
+				a.next--
+			}
+			if len(a.ring) > 0 {
+				a.next %= len(a.ring)
+			} else {
+				a.next = 0
+			}
+			return
+		}
+	}
+}
+
+// release returns a slot: the next tenant in round-robin order (if any
+// has a waiter) receives it directly; otherwise the slot goes free.
+func (a *admitter) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	if len(a.ring) > 0 {
+		tenant := a.ring[a.next%len(a.ring)]
+		q := a.tenants[tenant]
+		w := q[0]
+		if len(q) == 1 {
+			delete(a.tenants, tenant)
+			a.dropFromRing(tenant)
+		} else {
+			a.tenants[tenant] = q[1:]
+			a.next = (a.next + 1) % len(a.ring)
+		}
+		a.queued--
+		w.granted = true
+		a.inflight++
+		w.ch <- nil
+		return
+	}
+	a.free++
+}
+
+// startDrain stops admitting and fails every queued waiter with
+// ErrDraining; their handlers journal the refusals. In-flight slots
+// are untouched — those queries run to completion.
+func (a *admitter) startDrain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	for _, q := range a.tenants {
+		for _, w := range q {
+			w.removed = true
+			w.ch <- ErrDraining
+		}
+	}
+	a.tenants = make(map[string][]*waiter)
+	a.ring = nil
+	a.next = 0
+	a.queued = 0
+}
+
+// depth reports the queue depth and in-flight count for health
+// endpoints and gauges.
+func (a *admitter) depth() (queued, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.inflight
+}

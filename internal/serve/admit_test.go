@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketFakeClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	tb := newTokenBucket(2, 3, clock) // 2/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, retry := tb.take()
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry hint %v, want (0, 500ms]-ish for rate 2/s", retry)
+	}
+	now = now.Add(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("take %d after refill refused", i)
+		}
+	}
+	if ok, _ := tb.take(); ok {
+		t.Fatal("third take after 1s refill admitted")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	tb := newTokenBucket(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatal("disabled bucket refused")
+		}
+	}
+}
+
+// acquireAsync queues an acquire and reports its result.
+func acquireAsync(a *admitter, tenant string) chan error {
+	ready := make(chan struct{})
+	out := make(chan error, 1)
+	go func() {
+		close(ready)
+		out <- a.acquire(context.Background(), tenant)
+	}()
+	<-ready
+	return out
+}
+
+func waitDepth(t *testing.T, a *admitter, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := a.depth(); q == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			q, _ := a.depth()
+			t.Fatalf("queue depth %d, want %d", q, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// One heavy tenant must not starve a light one: with tenant a holding
+// three queued waiters and tenant b one, released slots alternate
+// between the tenants' FIFOs instead of draining a first.
+func TestAdmitterRoundRobinFairness(t *testing.T) {
+	a := newAdmitter(1, 10)
+	if err := a.acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue in arrival order: a, a, a, b.
+	var grants []chan error
+	order := make(chan string, 4)
+	var mu sync.Mutex
+	granted := []string{}
+	for _, tenant := range []string{"a", "a", "a", "b"} {
+		tenant := tenant
+		ch := make(chan error, 1)
+		grants = append(grants, ch)
+		go func() {
+			err := a.acquire(context.Background(), tenant)
+			mu.Lock()
+			granted = append(granted, tenant)
+			mu.Unlock()
+			order <- tenant
+			ch <- err
+		}()
+		waitDepth(t, a, len(grants))
+	}
+
+	var got []string
+	for i := 0; i < 4; i++ {
+		a.release()
+		got = append(got, <-order)
+	}
+	a.release()
+	want := []string{"a", "b", "a", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (round-robin across tenants)", got, want)
+		}
+	}
+	for _, ch := range grants {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdmitterQueueBound(t *testing.T) {
+	a := newAdmitter(1, 1)
+	if err := a.acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	got := acquireAsync(a, "x")
+	waitDepth(t, a, 1)
+	// Queue full: the next acquire is shed immediately.
+	if err := a.acquire(context.Background(), "y"); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-queue acquire: %v, want ErrShed", err)
+	}
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	a.release()
+}
+
+func TestAdmitterDrainFailsWaiters(t *testing.T) {
+	a := newAdmitter(1, 5)
+	if err := a.acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	w1 := acquireAsync(a, "a")
+	waitDepth(t, a, 1)
+	w2 := acquireAsync(a, "b")
+	waitDepth(t, a, 2)
+
+	a.startDrain()
+	for _, ch := range []chan error{w1, w2} {
+		if err := <-ch; !errors.Is(err, ErrDraining) {
+			t.Fatalf("queued waiter at drain: %v, want ErrDraining", err)
+		}
+	}
+	if err := a.acquire(context.Background(), "c"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire: %v, want ErrDraining", err)
+	}
+	// The in-flight slot still releases cleanly.
+	a.release()
+}
+
+func TestAdmitterCancelledWaiterLeavesQueue(t *testing.T) {
+	a := newAdmitter(1, 5)
+	if err := a.acquire(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(ctx, "a") }()
+	waitDepth(t, a, 1)
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v", err)
+	}
+	waitDepth(t, a, 0)
+	// The released slot must not be consumed by the dead waiter.
+	a.release()
+	if err := a.acquire(context.Background(), "b"); err != nil {
+		t.Fatalf("slot lost to cancelled waiter: %v", err)
+	}
+	a.release()
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	l := newLRU[int](2)
+	l.put("a", 1)
+	l.put("b", 2)
+	l.get("a") // a is now most recent
+	l.put("c", 3)
+	if _, ok := l.get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if v, ok := l.get("a"); !ok || v != 1 {
+		t.Error("a missing after eviction round")
+	}
+	if v, ok := l.get("c"); !ok || v != 3 {
+		t.Error("c missing after insert")
+	}
+	if l.len() != 2 {
+		t.Errorf("len %d, want 2", l.len())
+	}
+}
+
+func TestLRUPeekDoesNotTouchRecency(t *testing.T) {
+	l := newLRU[int](2)
+	l.put("a", 1)
+	l.put("b", 2)
+	l.peek("a") // must NOT refresh a
+	l.put("c", 3)
+	if _, ok := l.peek("a"); ok {
+		t.Error("a should have been evicted: peek must not refresh recency")
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "container/list"
+
+// lru is a small entry-count-bounded LRU map. It is not internally
+// locked; callers guard it with their own mutex (the server holds one
+// lock across the lookup-then-insert sequences anyway).
+type lru[V any] struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry[V]
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the value and marks it most recently used.
+func (l *lru[V]) get(key string) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// peek returns the value without touching recency.
+func (l *lru[V]) peek(key string) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes key, evicting the least recently used
+// entry when over capacity.
+func (l *lru[V]) put(key string, val V) {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruEntry[V]{key: key, val: val})
+	if l.order.Len() > l.cap {
+		el := l.order.Back()
+		l.order.Remove(el)
+		delete(l.items, el.Value.(*lruEntry[V]).key)
+	}
+}
+
+func (l *lru[V]) len() int { return l.order.Len() }

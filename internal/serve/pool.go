@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"hmmer3gpu/internal/simt"
+)
+
+// devicePool owns the daemon's simulated devices and leases them to
+// queries. Unlike the one-shot CLI — where a quarantined device just
+// sits out the rest of the run — the pool remembers: a device whose
+// lease ends quarantined collects a strike, and at strikes >= cordon
+// threshold it is cordoned out of the pool for the life of the
+// process. A clean lease resets the strikes, so devices with one
+// transient bad run recover. With every device cordoned, leases come
+// back empty and the caller degrades to the host CPU.
+type devicePool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	devs    []*poolDevice
+	strikes int // cordon after this many consecutive quarantined leases
+}
+
+type poolDevice struct {
+	index    int
+	dev      *simt.Device
+	busy     bool
+	strikes  int
+	cordoned bool
+}
+
+func newDevicePool(devs []*simt.Device, cordonAfter int) *devicePool {
+	if cordonAfter < 1 {
+		cordonAfter = 2
+	}
+	p := &devicePool{strikes: cordonAfter}
+	p.cond = sync.NewCond(&p.mu)
+	for i, d := range devs {
+		p.devs = append(p.devs, &poolDevice{index: i, dev: d})
+	}
+	return p
+}
+
+// lease claims up to n healthy devices, blocking while healthy devices
+// exist but are all busy. It returns an empty lease — the degrade-to-
+// CPU signal — when every device is cordoned, and ctx's error if the
+// caller gives up while waiting.
+func (p *devicePool) lease(ctx context.Context, n int) ([]*poolDevice, error) {
+	if n < 1 {
+		n = 1
+	}
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var got []*poolDevice
+		healthy := 0
+		for _, d := range p.devs {
+			if d.cordoned {
+				continue
+			}
+			healthy++
+			if !d.busy && len(got) < n {
+				got = append(got, d)
+			}
+		}
+		if healthy == 0 {
+			return nil, nil
+		}
+		if len(got) > 0 {
+			for _, d := range got {
+				d.busy = true
+			}
+			return got, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// release ends a lease. quarantined[i] reports whether lease[i]'s
+// device ended the run quarantined (from the scheduler's fault
+// report); nil means the run never reached the scheduler (strikes are
+// left untouched).
+func (p *devicePool) release(lease []*poolDevice, quarantined []bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, d := range lease {
+		d.busy = false
+		if quarantined != nil {
+			if i < len(quarantined) && quarantined[i] {
+				d.strikes++
+				if d.strikes >= p.strikes {
+					d.cordoned = true
+				}
+			} else {
+				d.strikes = 0
+			}
+		}
+	}
+	p.cond.Broadcast()
+}
+
+// health reports pool state for /healthz, /readyz, and gauges.
+func (p *devicePool) health() (healthy, cordoned, busy int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range p.devs {
+		if d.cordoned {
+			cordoned++
+			continue
+		}
+		healthy++
+		if d.busy {
+			busy++
+		}
+	}
+	return
+}
+
+// cordonedIndexes lists cordoned device indexes (for health payloads).
+func (p *devicePool) cordonedIndexes() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for _, d := range p.devs {
+		if d.cordoned {
+			out = append(out, d.index)
+		}
+	}
+	return out
+}

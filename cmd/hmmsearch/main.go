@@ -76,6 +76,8 @@ func main() {
 		clusterFaults  = flag.String("cluster-faults", "", "inject cluster faults: \"<worker>:<fault>[,...][;...]\" with faults refuse=N, kill=N, killp=P, torn=N, stall=N@D, dead=1, hello=bad — e.g. \"0:kill=1,dead=1\"")
 		clusterSeed    = flag.Int64("cluster-fault-seed", 1, "seed for probabilistic cluster fault injection (-cluster-faults killp=)")
 		clusterDeadl   = flag.Duration("cluster-deadline", 0, "per-batch assignment deadline in cluster mode (0 disables); a batch not answered in time is reclaimed and requeued, the late reply fenced")
+		haStandby      = flag.Bool("ha-standby", false, "run as the hot-standby coordinator: keep warm connections to -cluster-workers, tail the -journal, and take over the run (fencing the dead primary by epoch) when the primary's <journal>.lock frees")
+		haEpoch        = flag.Uint64("ha-epoch", 0, "coordinator epoch for fencing: the primary runs at 1 (default), a standby takes over at 2; chain further standbys with higher epochs")
 
 		journalPath = flag.String("journal", "", "journal committed batches to this crash-safe file (multigpu streaming); an interrupted run resumes with -resume")
 		resume      = flag.Bool("resume", false, "resume from the -journal file when it exists: journaled batches merge from disk and are not re-executed")
@@ -115,6 +117,17 @@ func main() {
 			fatalf("-resume requires -journal")
 		}
 		if *clusterN > 0 || *clusterWorkers != "" {
+			if *haStandby {
+				if *clusterWorkers == "" || *clusterN > 0 {
+					fatalf("-ha-standby requires TCP workers (-cluster-workers): the standby must reach the same worker processes the primary used")
+				}
+				if *journalPath == "" {
+					fatalf("-ha-standby requires -journal: the primary's commit log is the handoff medium")
+				}
+				if *resume {
+					fatalf("-ha-standby replaces -resume: the standby tails the journal live and settles it at takeover")
+				}
+			}
 			cl := clusterOpts{
 				inProcess:       *clusterN,
 				addrs:           *clusterWorkers,
@@ -124,6 +137,8 @@ func main() {
 				maxRetries:      *maxRetries,
 				quarantineAfter: *quarAfter,
 				noFallback:      *noFallback,
+				standby:         *haStandby,
+				epoch:           *haEpoch,
 			}
 			runClusterStreaming(abc, flag.Arg(0), flag.Arg(1), memConfig(*mem), *devices,
 				budget, *targlen, *workers, *evalue, *tblout, sk, cl, co)
@@ -374,6 +389,10 @@ type clusterOpts struct {
 	maxRetries      int
 	quarantineAfter int
 	noFallback      bool
+	// standby runs the hot-standby protocol instead of a primary
+	// coordinator; epoch overrides the coordinator epoch for fencing.
+	standby bool
+	epoch   uint64
 }
 
 // drainOnInterrupt installs the two-stage SIGINT policy shared by the
@@ -593,11 +612,28 @@ func runClusterStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem 
 	ff, err := os.Open(fastaPath)
 	check(err)
 	defer ff.Close()
-	res, err := pl.RunClusterStreamContext(ctx, ff, cfg, ccfg)
+	var res *pipeline.Result
+	if cl.standby {
+		res, err = pl.RunStandbyClusterStreamContext(ctx, ff, cfg, ccfg,
+			pipeline.StandbyClusterConfig{Epoch: cl.epoch})
+	} else {
+		if co.path != "" {
+			// Hold the journal's flock for the whole run so a hot
+			// standby's takeover gates on this process's death: the
+			// kernel frees the lock when we exit, however we exit.
+			release, lerr := cluster.AcquireFileLeadership(co.path+".lock",
+				cluster.DefaultLeadershipPoll)(ctx)
+			check(lerr)
+			defer release()
+		}
+		ccfg.Epoch = cl.epoch
+		res, err = pl.RunClusterStreamContext(ctx, ff, cfg, ccfg)
+	}
 	if err != nil {
-		if errors.Is(err, checkpoint.ErrInjectedCrash) {
-			// Distinct exit status so recovery tests can assert the
-			// simulated crash happened (and was not a real failure).
+		if errors.Is(err, checkpoint.ErrInjectedCrash) || errors.Is(err, cluster.ErrInjectedCoordinatorKill) {
+			// Distinct exit status so recovery and failover tests can
+			// assert the simulated death happened (and was not a real
+			// failure).
 			fmt.Fprintf(os.Stderr, "hmmsearch: %v\n", err)
 			os.Exit(3)
 		}
@@ -609,6 +645,10 @@ func runClusterStreaming(abc *alphabet.Alphabet, hmmPath, fastaPath string, mem 
 	fmt.Printf("Query:    %s (M=%d, streamed in %d residue-balanced batches of ~%d residues)\n",
 		query.Name, query.M, rep.Batches, batchResidues)
 	fmt.Println(rep.String())
+	if rep.Failovers > 0 {
+		fmt.Printf("Failover: took over at epoch %d after tailing %d committed batches from the primary's journal\n",
+			rep.Epoch, rep.StandbyTailed)
+	}
 	if st := extra.Checkpoint; st != nil {
 		fmt.Printf("Journal:  %s (%d batches journaled, %d replayed, %d torn-tail dropped, %d fsyncs)\n",
 			co.path, st.Journaled, st.Replayed, st.DroppedTail, st.Syncs)

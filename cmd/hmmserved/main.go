@@ -93,7 +93,8 @@ func main() {
 		quarAfter   = flag.Int("quarantine-after", 0, "consecutive device failures before in-run quarantine (0 = default)")
 		verify      = flag.String("verify", "off", "result-integrity policy: off | guards | dmr")
 
-		drainJournal = flag.String("drain-journal", "", "journal queries refused during drain to this file, one JSON line each")
+		drainJournal = flag.String("drain-journal", "", "journal queries refused during drain to this file, one JSON line each; on startup any existing journal is replayed before /readyz flips healthy")
+		replayOut    = flag.String("replay-out", "", "write each replayed query's response to this directory as replay-<n>.tbl (audit artifacts)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -165,6 +166,24 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Replay any drain journal a previous life left behind, through the
+	// normal admission path, before advertising readiness: a restarted
+	// process answers every query it accepted before dying, and /readyz
+	// stays 503 until it has. Replay errors are logged, not fatal — a
+	// corrupt journal must not turn a restart into a crash loop.
+	if *drainJournal != "" {
+		rsum, err := srv.ReplayDrainJournal(*drainJournal, *replayOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmmserved: drain-journal replay: %v\n", err)
+		}
+		if rsum.Replayed > 0 || rsum.Failed > 0 {
+			fmt.Printf("hmmserved: replayed %d journaled queries (%d failed)\n",
+				rsum.Replayed, rsum.Failed)
+		}
+	}
+	srv.MarkReady()
+	fmt.Printf("hmmserved: ready\n")
 
 	// Two-stage termination: the first SIGTERM/SIGINT closes drain and
 	// we stop admitting, finish in-flight queries, journal the queued

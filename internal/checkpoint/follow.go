@@ -1,0 +1,303 @@
+// Journal following: the hot-standby half of the checkpoint package.
+// A Follower opens a live journal read-only and streams newly durable
+// records to a second process (the standby coordinator of DESIGN §2j)
+// while the primary is still appending. The frontier discipline makes
+// tailing safe against every mid-append state the appender can leave
+// behind:
+//
+//   - Poll only advances past complete, CRC-valid frames. A short
+//     frame header, short body, or checksum mismatch at the tail is
+//     treated as "the appender is mid-record" — Poll returns what is
+//     complete and re-reads from the same frontier next time, so a
+//     torn tail that is later overwritten by the real bytes (the
+//     appender finishing its write) is picked up cleanly.
+//   - Nothing before the frontier is ever re-interpreted, so a record
+//     is delivered exactly once per Follower.
+//   - TakeOver converts the read-only tail into an appending Journal
+//     with Resume's strict semantics: the torn tail (if any) is
+//     truncated, and a complete frame with a bad checksum — bit rot,
+//     not a torn write — refuses with *CorruptError.
+//
+// The follower reads whatever bytes the OS makes visible; on a shared
+// filesystem that is the page cache, which includes not-yet-fsynced
+// appends. That is safe: every complete CRC-valid frame the primary
+// wrote is a record the primary either acknowledged or was about to,
+// and re-merging it on takeover is idempotent under the (seq, epoch)
+// fence. "Newly fsynced" is therefore a lower bound on what Poll
+// returns, not an upper one.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// FollowerOptions configures a Follower.
+type FollowerOptions struct {
+	// Mode is the simulator mode this reader expects (see
+	// Options.Mode); a journal stamped with a different mode refuses
+	// with *ModeMismatchError.
+	Mode byte
+	// Offset, when nonzero, resumes tailing from a byte offset
+	// previously returned by Follower.Offset — a restarted reader
+	// skips records it already consumed. Zero starts just past the
+	// header.
+	Offset int64
+}
+
+// Follower tails a live journal. It is not safe for concurrent use.
+type Follower struct {
+	f    *os.File
+	fp   Fingerprint
+	mode byte
+	// off is the read frontier: the file offset just past the last
+	// complete, CRC-valid record returned by Poll.
+	off int64
+	// delivered counts records returned by Poll over the Follower's
+	// lifetime.
+	delivered int
+	closed    bool
+}
+
+// OpenFollower opens the journal at path for tailing, validating its
+// header against fp and opts.Mode exactly as Resume does. The file
+// must already hold a complete header (Create fsyncs it before
+// returning, so a journal that exists is header-complete).
+func OpenFollower(path string, fp Fingerprint, opts FollowerOptions) (*Follower, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := readHeader(f, fp, opts.Mode); err != nil {
+		f.Close()
+		return nil, err
+	}
+	off := int64(headerSize)
+	if opts.Offset > off {
+		off = opts.Offset
+	}
+	return &Follower{f: f, fp: fp, mode: opts.Mode, off: off}, nil
+}
+
+// readHeader validates the journal prologue at the start of f,
+// leaving the read position just past it. The checks (and their typed
+// errors) mirror Journal.replay.
+func readHeader(f *os.File, fp Fingerprint, mode byte) error {
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("checkpoint: journal header unreadable (file shorter than %d bytes): %w", headerSize, err)
+	}
+	if string(hdr[:len(magic)-1]) != magic[:len(magic)-1] {
+		return fmt.Errorf("checkpoint: not a journal file (bad magic)")
+	}
+	if hdr[len(magic)-1] != magic[len(magic)-1] {
+		return &VersionError{Want: magic[len(magic)-1], Got: hdr[len(magic)-1]}
+	}
+	var got Fingerprint
+	copy(got[:], hdr[len(magic):len(magic)+32])
+	if got != fp {
+		return &FingerprintError{Want: fp, Got: got}
+	}
+	if m := hdr[len(magic)+32]; m != mode {
+		return &ModeMismatchError{Want: mode, Got: m}
+	}
+	return nil
+}
+
+// Poll reads every complete record appended since the previous Poll
+// (or since opts.Offset) and returns them in journal order. An
+// incomplete or checksum-failing tail is not an error — the appender
+// may be mid-record, or the write may still be landing — so Poll
+// returns the complete prefix and retries the tail on the next call.
+// The only hard error is the file shrinking below the frontier, which
+// means the journal was truncated or replaced out from under the
+// reader.
+func (fo *Follower) Poll() ([]Record, error) {
+	if fo.closed {
+		return nil, fmt.Errorf("checkpoint: follower is closed")
+	}
+	fi, err := fo.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	size := fi.Size()
+	if size < fo.off {
+		return nil, fmt.Errorf("checkpoint: journal shrank from %d to %d bytes: truncated or replaced underneath the follower", fo.off, size)
+	}
+	var recs []Record
+	for {
+		rec, next, ok, err := readRecordAt(fo.f, fo.off, size)
+		if err != nil {
+			return recs, err
+		}
+		if !ok {
+			return recs, nil
+		}
+		recs = append(recs, rec)
+		fo.delivered++
+		fo.off = next
+	}
+}
+
+// readRecordAt attempts to read one complete record at offset off in a
+// file of the given size. ok=false with a nil error means the bytes at
+// off do not (yet) form a complete valid record — the tail frontier.
+func readRecordAt(f *os.File, off, size int64) (rec Record, next int64, ok bool, err error) {
+	if off+recordHeaderSize > size {
+		return rec, 0, false, nil
+	}
+	var hdr [recordHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return rec, 0, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length < bodyFixedSize || length > MaxRecordSize {
+		// An implausible length at the frontier is indistinguishable
+		// from a torn frame header mid-write; wait for the appender to
+		// finish (or for TakeOver's strict pass to judge it).
+		return rec, 0, false, nil
+	}
+	if off+recordHeaderSize+int64(length) > size {
+		return rec, 0, false, nil
+	}
+	body := make([]byte, length)
+	if _, err := f.ReadAt(body, off+recordHeaderSize); err != nil {
+		return rec, 0, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		// The body bytes may still be landing out of order; treat as
+		// pending and re-read next poll.
+		return rec, 0, false, nil
+	}
+	rec = Record{
+		Seq:      binary.LittleEndian.Uint64(body[0:8]),
+		Offset:   binary.LittleEndian.Uint64(body[8:16]),
+		NumSeqs:  binary.LittleEndian.Uint64(body[16:24]),
+		Residues: binary.LittleEndian.Uint64(body[24:32]),
+		Payload:  body[bodyFixedSize:],
+	}
+	return rec, off + recordHeaderSize + int64(length), true, nil
+}
+
+// Offset returns the current read frontier — the file offset just past
+// the last record Poll returned. Persist it to restart a reader
+// mid-file via FollowerOptions.Offset.
+func (fo *Follower) Offset() int64 { return fo.off }
+
+// Delivered returns the number of records this Follower has returned
+// from Poll over its lifetime.
+func (fo *Follower) Delivered() int { return fo.delivered }
+
+// Close releases the follower's file handle. TakeOver closes it
+// implicitly.
+func (fo *Follower) Close() error {
+	if fo.closed {
+		return nil
+	}
+	fo.closed = true
+	return fo.f.Close()
+}
+
+// TakeOver promotes the follower into the journal's appender: the
+// standby has decided the primary is dead and is assuming its commit
+// log. The file is reopened read-write and settled with Resume's
+// strict semantics — any records past the frontier not yet returned by
+// Poll are returned here (tail records), a torn tail is truncated
+// away (counted in Stats.DroppedTail), and a complete frame with a bad
+// checksum refuses with *CorruptError, because appending after bit rot
+// would wedge a corrupt record into the committed prefix. The follower
+// is closed either way; on success the returned Journal appends from
+// the settled tail and its Stats.Replayed counts every record tailed
+// across the follower's whole life (Poll + tail), so takeover metrics
+// match a plain Resume of the same journal.
+func (fo *Follower) TakeOver(opts Options) (*Journal, []Record, error) {
+	if fo.closed {
+		return nil, nil, fmt.Errorf("checkpoint: follower is closed")
+	}
+	frontier := fo.off
+	prior := fo.delivered
+	fo.Close()
+
+	f, err := os.OpenFile(fo.f.Name(), os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	opts.Mode = fo.mode
+	j := &Journal{f: f, opts: opts}
+	if err := readHeader(f, fo.fp, fo.mode); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	size := fi.Size()
+	if size < frontier {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: journal shrank from %d to %d bytes: truncated or replaced underneath the follower", frontier, size)
+	}
+
+	// Strict settle of the tail past the frontier: complete valid
+	// frames are records; a complete frame failing its CRC is bit rot
+	// (the primary is dead — nobody is still writing it); anything
+	// shorter is the torn tail.
+	var tail []Record
+	good := frontier
+	for i := prior; ; i++ {
+		rec, next, ok, err := readRecordAt(f, good, size)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if !ok {
+			if good+recordHeaderSize <= size {
+				// A full frame header fits; decide torn vs corrupt the
+				// way Resume does: a full-length body with a bad sum is
+				// corruption, anything truncated is a torn tail.
+				var hdr [recordHeaderSize]byte
+				if _, err := f.ReadAt(hdr[:], good); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("checkpoint: %w", err)
+				}
+				length := binary.LittleEndian.Uint32(hdr[0:4])
+				if length < bodyFixedSize || length > MaxRecordSize {
+					f.Close()
+					return nil, nil, &CorruptError{Index: i, Off: good, Reason: fmt.Sprintf("implausible frame length %d", length)}
+				}
+				if good+recordHeaderSize+int64(length) <= size {
+					f.Close()
+					return nil, nil, &CorruptError{Index: i, Off: good, Reason: "checksum mismatch"}
+				}
+			}
+			if good < size {
+				j.stats.DroppedTail++
+			}
+			break
+		}
+		tail = append(tail, rec)
+		good = next
+	}
+
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j.stats.Syncs++
+	j.written, j.synced = good, good
+	j.stats.Replayed = prior + len(tail)
+	return j, tail, nil
+}

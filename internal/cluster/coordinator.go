@@ -77,6 +77,14 @@ type Config struct {
 	// is rejected at connect.
 	Fingerprint [32]byte
 	Mode        byte
+	// Epoch is the coordinator's fencing epoch, carried in every
+	// active hello. Workers remember the highest epoch they have acked
+	// and nack (or fence batches from) anything lower, which is what
+	// makes hot-standby takeover safe: the standby runs at a higher
+	// epoch, so the old primary — alive but presumed dead — can no
+	// longer commit through the workers. Zero means 1 (a plain
+	// single-coordinator run).
+	Epoch uint64
 
 	// QueueDepth bounds parsed-but-unassigned batches (backpressure on
 	// the producer); 0 means two per worker. Requeues are exempt.
@@ -126,6 +134,13 @@ type Config struct {
 	Trace *obs.Span
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+}
+
+func (c *Config) coordEpoch() uint64 {
+	if c.Epoch > 0 {
+		return c.Epoch
+	}
+	return 1
 }
 
 func (c *Config) clock() gpu.Clock {
@@ -538,10 +553,14 @@ func (cr *coordRun) runErr() error {
 
 // handshake sends hello and awaits the ack, bounded by the heartbeat
 // timeout so a corrupt or wedged worker cannot hang the connect loop.
+// Stray pong frames are skipped: a connection inherited warm from a
+// standby (takeover promotion) may still hold the reply to the
+// standby's last keepalive ping.
 func (cr *coordRun) handshake(name string, conn net.Conn) (HelloAck, error) {
 	cfg := &cr.c.Cfg
 	var ack HelloAck
-	hello := Handshake{Version: ProtoVersion, Fingerprint: cfg.Fingerprint, Mode: cfg.Mode}
+	hello := Handshake{Version: ProtoVersion, Fingerprint: cfg.Fingerprint, Mode: cfg.Mode,
+		Role: RoleActive, Epoch: cfg.coordEpoch()}
 	if err := writeFrame(conn, encodeHello(hello)); err != nil {
 		return ack, fmt.Errorf("cluster: writing hello to %s: %w", name, err)
 	}
@@ -552,8 +571,14 @@ func (cr *coordRun) handshake(name string, conn net.Conn) (HelloAck, error) {
 	}
 	ch := make(chan readRes, 1)
 	go func() {
-		typ, payload, err := readFrame(conn)
-		ch <- readRes{typ, payload, err}
+		for {
+			typ, payload, err := readFrame(conn)
+			if err == nil && typ == msgPong {
+				continue
+			}
+			ch <- readRes{typ, payload, err}
+			return
+		}
 	}()
 	var r readRes
 	select {
@@ -750,6 +775,17 @@ func (cr *coordRun) runSlot(i int, sess *session) {
 			obs.Int("seqs", int64(b.DB.NumSeqs())),
 			obs.Int("residues", b.DB.TotalResidues()),
 			obs.Int("attempt", int64(att.tries)))
+		if err := cfg.Inject.BeforeAssign(); err != nil {
+			// An injected coordinator kill: the "primary" dies here, with
+			// this batch assigned-but-unsent and others possibly in
+			// flight — exactly the state a hot standby must take over
+			// from. Failing the run models the process dying; the caller
+			// (cmd/hmmsearch) exits without committing anything further.
+			span.Annotate(obs.String("error", err.Error()))
+			span.End()
+			cr.fail(err)
+			return
+		}
 		t0 := clock.Now()
 		if err := sess.write(encodeBatchMsg(uint64(b.Seq), epoch, uint64(b.Offset), b.DB)); err != nil {
 			span.Annotate(obs.String("error", err.Error()))
@@ -948,7 +984,7 @@ func (c *Coordinator) Run(ctx context.Context,
 	if depth <= 0 {
 		depth = 2 * n
 	}
-	rep := &Report{Workers: make([]WorkerStats, n)}
+	rep := &Report{Workers: make([]WorkerStats, n), Epoch: c.Cfg.coordEpoch()}
 	for i := range rep.Workers {
 		rep.Workers[i].Name = c.Cfg.Workers[i].Name
 	}

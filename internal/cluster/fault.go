@@ -23,6 +23,13 @@ var ErrInjectedRefusal = errors.New("cluster: injected connect refusal")
 // coordinator.
 var ErrInjectedKill = errors.New("cluster: injected worker kill")
 
+// ErrInjectedCoordinatorKill marks a run the fault injector aborted at
+// a chosen batch assignment, standing in for the coordinator process
+// itself dying mid-run — the event a hot standby exists to survive.
+// cmd/hmmsearch exits with status 3 on it, like an injected journal
+// crash.
+var ErrInjectedCoordinatorKill = errors.New("cluster: injected coordinator kill")
+
 // FaultPlan describes the faults to inject against one worker. Batch
 // ordinals count batch frames written to that worker across its whole
 // lifetime (all connections), so a plan is deterministic regardless of
@@ -77,19 +84,25 @@ type FaultInjector struct {
 	batches map[int]int
 	dead    map[int]bool
 	logs    map[int][]string
+	// assigns counts batch assignments across all workers (the
+	// coordinator-kill ordinal); coordKillAt is the assignment at which
+	// the coordinator "dies" (-1: never).
+	assigns     int
+	coordKillAt int
 }
 
 // NewFaultInjector returns an injector drawing from the given seed.
 func NewFaultInjector(seed int64) *FaultInjector {
 	return &FaultInjector{
-		seed:    seed,
-		rngs:    make(map[int]*rand.Rand),
-		plans:   make(map[int]*FaultPlan),
-		dials:   make(map[int]int),
-		batches: make(map[int]int),
-		dead:    make(map[int]bool),
-		logs:    make(map[int][]string),
-		clock:   gpu.RealClock(),
+		seed:        seed,
+		rngs:        make(map[int]*rand.Rand),
+		plans:       make(map[int]*FaultPlan),
+		dials:       make(map[int]int),
+		batches:     make(map[int]int),
+		dead:        make(map[int]bool),
+		logs:        make(map[int][]string),
+		clock:       gpu.RealClock(),
+		coordKillAt: -1,
 	}
 }
 
@@ -139,6 +152,35 @@ func (fi *FaultInjector) Schedule() []string {
 
 func (fi *FaultInjector) record(worker int, format string, args ...any) {
 	fi.logs[worker] = append(fi.logs[worker], fmt.Sprintf(format, args...))
+}
+
+// SetCoordinatorKill arms the coordinator-kill fault: the run aborts
+// with ErrInjectedCoordinatorKill at the nth (0-based) batch
+// assignment, counted across all workers in assignment order. -1
+// disarms it.
+func (fi *FaultInjector) SetCoordinatorKill(n int) {
+	fi.mu.Lock()
+	fi.coordKillAt = n
+	fi.mu.Unlock()
+}
+
+// BeforeAssign is consulted by the coordinator once per batch
+// assignment, just before the batch frame is written. A non-nil error
+// (ErrInjectedCoordinatorKill) means the coordinator process "dies"
+// here. Safe on a nil injector.
+func (fi *FaultInjector) BeforeAssign() error {
+	if fi == nil {
+		return nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	n := fi.assigns
+	fi.assigns++
+	if fi.coordKillAt >= 0 && n == fi.coordKillAt {
+		fi.record(-1, "coordinator kill at assignment #%d", n)
+		return fmt.Errorf("%w (assignment %d)", ErrInjectedCoordinatorKill, n)
+	}
+	return nil
 }
 
 // AllowConnect consults the plan for one dial attempt; a non-nil error
@@ -283,7 +325,15 @@ func (fc *faultConn) Write(b []byte) (int, error) {
 //	dead=1      refuse every dial after the first injected kill/torn
 //	hello=bad   corrupt the first handshake frame of every connection
 //
-// e.g. "1:kill=1,refuse=999;2:torn=0". An empty spec yields no plans.
+// plus one worker-less clause
+//
+//	kill-coordinator@N   abort the run (ErrInjectedCoordinatorKill) at
+//	                     the Nth (0-based) batch assignment, counted
+//	                     across all workers — the coordinator process
+//	                     dies; a hot standby must take over
+//
+// e.g. "1:kill=1,refuse=999;2:torn=0" or "kill-coordinator@4". An
+// empty spec yields no plans.
 func ParseFaults(spec string, seed int64) (*FaultInjector, error) {
 	fi := NewFaultInjector(seed)
 	if strings.TrimSpace(spec) == "" {
@@ -294,9 +344,17 @@ func ParseFaults(spec string, seed int64) (*FaultInjector, error) {
 		if clause == "" {
 			continue
 		}
+		if at, ok := strings.CutPrefix(clause, "kill-coordinator@"); ok {
+			n, err := strconv.Atoi(at)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("cluster: fault clause %q: want kill-coordinator@N", clause)
+			}
+			fi.SetCoordinatorKill(n)
+			continue
+		}
 		worker, rest, ok := strings.Cut(clause, ":")
 		if !ok {
-			return nil, fmt.Errorf("cluster: fault clause %q: want worker:fault[,fault...]", clause)
+			return nil, fmt.Errorf("cluster: fault clause %q: want worker:fault[,fault...] or kill-coordinator@N", clause)
 		}
 		w, err := strconv.Atoi(strings.TrimSpace(worker))
 		if err != nil || w < 0 {

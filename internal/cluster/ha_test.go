@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/seq"
+)
+
+// haClient extends the frame-by-frame test client with role/epoch
+// hellos for the failover tests.
+type haClient struct{ drainClient }
+
+func (c *haClient) helloRole(fp [32]byte, mode, role byte, epoch uint64) (acked bool, nackReason string) {
+	c.t.Helper()
+	h := Handshake{Version: ProtoVersion, Fingerprint: fp, Mode: mode, Role: role, Epoch: epoch}
+	if err := writeFrame(c.conn, encodeHello(h)); err != nil {
+		c.t.Fatalf("hello: %v", err)
+	}
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		c.t.Fatalf("hello reply: %v", err)
+	}
+	switch typ {
+	case msgHelloAck:
+		if _, err := parseHelloAck(payload); err != nil {
+			c.t.Fatal(err)
+		}
+		return true, ""
+	case msgHelloNack:
+		reason, err := parseHelloNack(payload)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		return false, reason
+	default:
+		c.t.Fatalf("hello answered with frame type %d", typ)
+		return false, ""
+	}
+}
+
+func haConn(t *testing.T, ws *WorkerServer) *haClient {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	go ws.ServeConn(context.Background(), c2)
+	t.Cleanup(func() { c1.Close() })
+	return &haClient{drainClient{t: t, conn: c1}}
+}
+
+func TestHelloRoleEpochRoundTrip(t *testing.T) {
+	h := Handshake{Version: ProtoVersion, Mode: 3, Role: RoleStandby, Epoch: 7}
+	for i := range h.Fingerprint {
+		h.Fingerprint[i] = byte(i * 5)
+	}
+	got, err := parseHello(encodeHello(h)[1:])
+	if err != nil {
+		t.Fatalf("parseHello: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+// A worker that has acked a newer active coordinator nacks an active
+// hello from a stale epoch — across connections, not just within one.
+func TestStaleActiveHelloNacked(t *testing.T) {
+	ws := &WorkerServer{Name: "w", Fingerprint: testFP, Mode: 1, Exec: testExec}
+
+	if ok, _ := haConn(t, ws).helloRole(testFP, 1, RoleActive, 2); !ok {
+		t.Fatal("epoch-2 hello nacked")
+	}
+	if got := ws.MaxEpoch(); got != 2 {
+		t.Fatalf("MaxEpoch = %d, want 2", got)
+	}
+
+	ok, reason := haConn(t, ws).helloRole(testFP, 1, RoleActive, 1)
+	if ok {
+		t.Fatal("stale epoch-1 hello acked")
+	}
+	if !strings.Contains(reason, staleEpochMsg) {
+		t.Fatalf("nack reason %q does not mention the epoch fence", reason)
+	}
+
+	// Equal epoch must still be acked: the same primary reconnecting
+	// after a transient drop is not a failover.
+	if ok, reason := haConn(t, ws).helloRole(testFP, 1, RoleActive, 2); !ok {
+		t.Fatalf("same-epoch reconnect nacked: %s", reason)
+	}
+}
+
+// A session whose acked epoch is superseded mid-run gets its batch
+// assignments answered with a stale-epoch exec error, never executed.
+func TestBatchFencedOnSupersededSession(t *testing.T) {
+	executed := make(chan uint64, 8)
+	ws := &WorkerServer{Name: "w", Fingerprint: testFP, Mode: 1,
+		Exec: func(ctx context.Context, seqNo uint64, db *seq.Database) ([]byte, error) {
+			executed <- seqNo
+			return execPayload(seqNo, db), nil
+		}}
+
+	old := haConn(t, ws)
+	if ok, _ := old.helloRole(testFP, 1, RoleActive, 1); !ok {
+		t.Fatal("epoch-1 hello nacked")
+	}
+	// The old primary still works before the takeover.
+	old.sendBatch(0)
+	if seqNo, msg := old.next(); seqNo != 0 || msg != "" {
+		t.Fatalf("pre-takeover batch got (%d, %q)", seqNo, msg)
+	}
+
+	// Takeover: a new active coordinator acks at epoch 2.
+	if ok, _ := haConn(t, ws).helloRole(testFP, 1, RoleActive, 2); !ok {
+		t.Fatal("epoch-2 hello nacked")
+	}
+
+	// The stale session's next assignment is fenced.
+	old.sendBatch(1)
+	seqNo, msg := old.next()
+	if seqNo != 1 || !strings.Contains(msg, staleEpochMsg) {
+		t.Fatalf("post-takeover batch got (%d, %q), want stale-epoch refusal", seqNo, msg)
+	}
+	if got := ws.FencedBatches(); got != 1 {
+		t.Fatalf("FencedBatches = %d, want 1", got)
+	}
+	select {
+	case got := <-executed:
+		if got != 0 {
+			t.Fatalf("fenced batch %d was executed", got)
+		}
+	default:
+	}
+	select {
+	case got := <-executed:
+		t.Fatalf("fenced batch %d was executed", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// A standby session may hold the connection and exchange pings but not
+// assign batches; a mid-session active hello promotes it in place.
+func TestStandbySessionPromotesInPlace(t *testing.T) {
+	ws := &WorkerServer{Name: "w", Fingerprint: testFP, Mode: 1, Exec: testExec}
+
+	cl := haConn(t, ws)
+	if ok, reason := cl.helloRole(testFP, 1, RoleStandby, 0); !ok {
+		t.Fatalf("standby hello nacked: %s", reason)
+	}
+	// A standby hello must not raise the epoch fence.
+	if got := ws.MaxEpoch(); got != 0 {
+		t.Fatalf("MaxEpoch after standby hello = %d, want 0", got)
+	}
+
+	// Pings flow on a standby session.
+	if err := writeFrame(cl.conn, encodePingPong(msgPing, 5)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(cl.conn)
+	if err != nil || typ != msgPong {
+		t.Fatalf("standby ping: type %d, err %v", typ, err)
+	}
+	if nonce, _ := parsePingPong(typ, payload); nonce != 5 {
+		t.Fatalf("pong nonce %d, want 5", nonce)
+	}
+
+	// Batches do not.
+	cl.sendBatch(0)
+	if seqNo, msg := cl.next(); seqNo != 0 || !strings.Contains(msg, "standby session") {
+		t.Fatalf("standby batch got (%d, %q), want standby refusal", seqNo, msg)
+	}
+
+	// Promotion: an active hello on the same connection.
+	if ok, reason := cl.helloRole(testFP, 1, RoleActive, 2); !ok {
+		t.Fatalf("promotion hello nacked: %s", reason)
+	}
+	cl.sendBatch(1)
+	if seqNo, msg := cl.next(); seqNo != 1 || msg != "" {
+		t.Fatalf("post-promotion batch got (%d, %q), want clean result", seqNo, msg)
+	}
+	if got := ws.MaxEpoch(); got != 2 {
+		t.Fatalf("MaxEpoch after promotion = %d, want 2", got)
+	}
+}
+
+// A promotion whose epoch is already superseded is nacked and the
+// session torn down.
+func TestStalePromotionNacked(t *testing.T) {
+	ws := &WorkerServer{Name: "w", Fingerprint: testFP, Mode: 1, Exec: testExec}
+	if ok, _ := haConn(t, ws).helloRole(testFP, 1, RoleActive, 3); !ok {
+		t.Fatal("epoch-3 hello nacked")
+	}
+	cl := haConn(t, ws)
+	if ok, _ := cl.helloRole(testFP, 1, RoleStandby, 0); !ok {
+		t.Fatal("standby hello nacked")
+	}
+	if ok, reason := cl.helloRole(testFP, 1, RoleActive, 2); ok || !strings.Contains(reason, staleEpochMsg) {
+		t.Fatalf("stale promotion: acked=%v reason=%q", ok, reason)
+	}
+}
+
+func TestParseFaultsKillCoordinator(t *testing.T) {
+	fi, err := ParseFaults("kill-coordinator@2", 1)
+	if err != nil {
+		t.Fatalf("ParseFaults: %v", err)
+	}
+	for n := 0; n < 2; n++ {
+		if err := fi.BeforeAssign(); err != nil {
+			t.Fatalf("assignment %d: unexpected kill: %v", n, err)
+		}
+	}
+	err = fi.BeforeAssign()
+	if !errors.Is(err, ErrInjectedCoordinatorKill) {
+		t.Fatalf("assignment 2: err = %v, want ErrInjectedCoordinatorKill", err)
+	}
+	// One-shot: later assignments proceed (the kill models one crash).
+	if err := fi.BeforeAssign(); err != nil {
+		t.Fatalf("assignment 3: unexpected second kill: %v", err)
+	}
+	if sched := strings.Join(fi.Schedule(), "\n"); !strings.Contains(sched, "coordinator kill") {
+		t.Fatalf("schedule does not record the coordinator kill: %s", sched)
+	}
+
+	// Grammar errors.
+	for _, bad := range []string{"kill-coordinator@", "kill-coordinator@-1", "kill-coordinator@x"} {
+		if _, err := ParseFaults(bad, 1); err == nil {
+			t.Fatalf("ParseFaults(%q) accepted", bad)
+		}
+	}
+	// Mixes with per-worker clauses.
+	if _, err := ParseFaults("0:kill=1;kill-coordinator@4", 1); err != nil {
+		t.Fatalf("mixed grammar rejected: %v", err)
+	}
+}
+
+// BeforeAssign fires inside a real run: the coordinator stops with
+// ErrInjectedCoordinatorKill after exactly n assignments, leaving later
+// batches unassigned — the crash window the standby recovers from.
+func TestCoordinatorKillStopsRun(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.SetCoordinatorKill(3)
+	cl := newCommitLog()
+	c := &Coordinator{Cfg: Config{
+		Workers:     pipeWorkers(1, 0, testExec),
+		Fingerprint: testFP,
+		Inject:      fi,
+		MaxRetries:  1,
+	}}
+	_, err := c.Run(context.Background(), produceN(8), cl.fn)
+	if !errors.Is(err, ErrInjectedCoordinatorKill) {
+		t.Fatalf("Run err = %v, want ErrInjectedCoordinatorKill", err)
+	}
+	if got := len(cl.snapshot()); got >= 8 {
+		t.Fatalf("killed run committed all %d batches", got)
+	}
+}
+
+// End-to-end failover against shared worker state: the primary dies
+// mid-run, a standby holding warm connections promotes at a higher
+// epoch and finishes the work, and a late batch from the stale primary
+// is fenced.
+func TestStandbyPromoteTakesOverWorkers(t *testing.T) {
+	const nWorkers, nBatches = 3, 8
+	// Persistent servers: the epoch fence lives in the WorkerServer, so
+	// primary and standby must dial the same instances.
+	servers := make([]*WorkerServer, nWorkers)
+	specs := make([]WorkerSpec, nWorkers)
+	for i := range servers {
+		ws := &WorkerServer{Name: fmt.Sprintf("w%d", i), Capacity: 1,
+			Fingerprint: testFP, Mode: 1, Exec: testExec}
+		servers[i] = ws
+		specs[i] = WorkerSpec{Name: ws.Name, Dial: func(ctx context.Context) (net.Conn, error) {
+			c1, c2 := net.Pipe()
+			go ws.ServeConn(context.Background(), c2)
+			return c1, nil
+		}}
+	}
+
+	// The standby warms its connections before the primary dies.
+	sb := NewStandby(StandbyConfig{Workers: specs, Fingerprint: testFP, Mode: 1,
+		PingEvery: 20 * time.Millisecond})
+	sb.Start(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for sb.Warm() < nWorkers {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby warmed %d/%d connections", sb.Warm(), nWorkers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Primary run at epoch 1, killed after 4 assignments.
+	fi := NewFaultInjector(1)
+	fi.SetCoordinatorKill(4)
+	primaryLog := newCommitLog()
+	primary := &Coordinator{Cfg: Config{Workers: specs, Fingerprint: testFP,
+		Mode: 1, Epoch: 1, Inject: fi}}
+	if _, err := primary.Run(context.Background(), produceN(nBatches), primaryLog.fn); !errors.Is(err, ErrInjectedCoordinatorKill) {
+		t.Fatalf("primary err = %v, want ErrInjectedCoordinatorKill", err)
+	}
+	committed := primaryLog.snapshot()
+
+	// Takeover: promote the warm connections, run the remaining batches
+	// at epoch 2. The promoted dials must be the warm conns (pipe conns
+	// whose worker side is already mid-session), exercised by the
+	// mid-session promotion hello.
+	promoted := sb.Promote()
+	standbyLog := newCommitLog()
+	standby := &Coordinator{Cfg: Config{Workers: promoted, Fingerprint: testFP,
+		Mode: 1, Epoch: 2}}
+	rep, err := standby.Run(context.Background(), func(submit func(b Batch) error) error {
+		off := 0
+		for i := 0; i < nBatches; i++ {
+			db := testBatchDB(i)
+			if _, done := committed[i]; !done {
+				if err := submit(Batch{Seq: i, Offset: off, DB: db}); err != nil {
+					return err
+				}
+			}
+			off += db.NumSeqs()
+		}
+		return nil
+	}, standbyLog.fn)
+	if err != nil {
+		t.Fatalf("standby Run: %v", err)
+	}
+	if rep.Epoch != 2 {
+		t.Fatalf("standby report epoch = %d, want 2", rep.Epoch)
+	}
+
+	// Exactly-once across the two runs: every batch committed by
+	// exactly one coordinator, payloads identical to a clean run.
+	for i := 0; i < nBatches; i++ {
+		p, fromPrimary := committed[i]
+		s, fromStandby := standbyLog.snapshot()[i]
+		if fromPrimary == fromStandby {
+			t.Fatalf("batch %d: primary=%v standby=%v, want exactly one", i, fromPrimary, fromStandby)
+		}
+		got := p
+		if fromStandby {
+			got = s
+		}
+		if want := execPayload(uint64(i), testBatchDB(i)); string(got) != string(want) {
+			t.Fatalf("batch %d payload = %q, want %q", i, got, want)
+		}
+	}
+
+	// A stale primary reconnecting at epoch 1 is nacked by every worker.
+	for _, ws := range servers {
+		if got := ws.MaxEpoch(); got != 2 {
+			t.Fatalf("worker %s MaxEpoch = %d, want 2", ws.Name, got)
+		}
+	}
+	stale := &Coordinator{Cfg: Config{Workers: specs, Fingerprint: testFP,
+		Mode: 1, Epoch: 1, MaxConnects: 1,
+		BackoffBase: time.Millisecond, BackoffCap: time.Millisecond}}
+	if _, err := stale.Run(context.Background(), produceN(1), newCommitLog().fn); err == nil {
+		t.Fatal("stale epoch-1 coordinator ran to completion after takeover")
+	}
+}
+
+// Standby.Close tears the warm connections down without promoting.
+func TestStandbyCloseWithoutPromote(t *testing.T) {
+	specs := pipeWorkers(2, 1, testExec)
+	sb := NewStandby(StandbyConfig{Workers: specs, Fingerprint: testFP, Mode: 1,
+		PingEvery: 20 * time.Millisecond})
+	sb.Start(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for sb.Warm() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby warmed %d/2 connections", sb.Warm())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sb.Close()
+	if got := sb.Warm(); got != 0 {
+		t.Fatalf("Warm after Close = %d, want 0", got)
+	}
+}
+
+// A standby redials after its worker drops the connection.
+func TestStandbyRedialsLostWorker(t *testing.T) {
+	ws := &WorkerServer{Name: "w0", Capacity: 1, Fingerprint: testFP, Mode: 1, Exec: testExec}
+	var dials int
+	var lastServer net.Conn
+	spec := WorkerSpec{Name: "w0", Dial: func(ctx context.Context) (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go ws.ServeConn(context.Background(), c2)
+		dials++
+		lastServer = c2
+		return c1, nil
+	}}
+	sb := NewStandby(StandbyConfig{Workers: []WorkerSpec{spec}, Fingerprint: testFP,
+		Mode: 1, PingEvery: 10 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond})
+	sb.Start(context.Background())
+	defer sb.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for sb.Warm() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never warmed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lastServer.Close() // worker "crashes"
+	for dials < 2 || sb.Warm() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never re-warmed (dials=%d warm=%d)", dials, sb.Warm())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The flock lease: exclusive while held, released on close, and the
+// waiter acquires it promptly.
+func TestFileLeadership(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.lock")
+	acquire := AcquireFileLeadership(path, time.Millisecond)
+
+	release1, err := acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// A second acquire blocks until the first releases.
+	got := make(chan error, 1)
+	var release2 func()
+	go func() {
+		r, err := acquire(context.Background())
+		release2 = r
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("second acquire succeeded while lock held (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release1()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("second acquire: %v", err)
+		}
+		release2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second acquire never completed after release")
+	}
+
+	// Context cancellation unblocks a waiter.
+	release3, err := acquire(context.Background())
+	if err != nil {
+		t.Fatalf("third acquire: %v", err)
+	}
+	defer release3()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled acquire err = %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,19 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// AcquireLeadership blocks until the caller holds the cluster
+// leadership lease, returning a release func. The pipeline's standby
+// run path parks on this between tailing the primary's journal and
+// taking it over; the file-backed implementation (AcquireFileLeadership)
+// keys the lease to an OS advisory lock that the kernel revokes the
+// instant the holder dies, so a crashed primary frees the lease without
+// any timeout tuning. Tests substitute a channel-backed implementation.
+type AcquireLeadership func(ctx context.Context) (release func(), err error)
+
+// DefaultLeadershipPoll is how often AcquireFileLeadership retries a
+// contended lock.
+const DefaultLeadershipPoll = 50 * time.Millisecond

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// AcquireFileLeadership on platforms without flock(2) degrades to an
+// immediate grant: single-host HA is a unix deployment concern, and the
+// rest of the failover machinery (epoch fencing, journal takeover)
+// still holds without the advisory lock.
+func AcquireFileLeadership(path string, poll time.Duration) AcquireLeadership {
+	_ = path
+	_ = poll
+	return func(ctx context.Context) (func(), error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+	}
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// AcquireFileLeadership returns an AcquireLeadership backed by an
+// exclusive flock(2) on path (conventionally "<journal>.lock"). The
+// lock is advisory and process-scoped: the kernel drops it when the
+// holder's descriptor closes — including when the holder is SIGKILLed —
+// so a standby polling it observes primary death with no lease clock.
+// poll <= 0 uses DefaultLeadershipPoll.
+func AcquireFileLeadership(path string, poll time.Duration) AcquireLeadership {
+	if poll <= 0 {
+		poll = DefaultLeadershipPoll
+	}
+	return func(ctx context.Context) (func(), error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: leadership lock %s: %w", path, err)
+		}
+		for {
+			err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+			if err == nil {
+				return func() { f.Close() }, nil
+			}
+			if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+				f.Close()
+				return nil, fmt.Errorf("cluster: leadership lock %s: %w", path, err)
+			}
+			select {
+			case <-ctx.Done():
+				f.Close()
+				return nil, ctx.Err()
+			case <-time.After(poll):
+			}
+		}
+	}
+}

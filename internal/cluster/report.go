@@ -42,6 +42,15 @@ type Report struct {
 	Residues int64
 	// Drained reports a graceful early stop (Drain channel closed).
 	Drained bool
+	// Epoch is the coordinator fencing epoch the run executed under.
+	Epoch uint64
+	// Failovers counts hot-standby takeovers this run performed (1 for
+	// a standby run that assumed a dead primary's journal and workers,
+	// 0 for a plain run).
+	Failovers int
+	// StandbyTailed counts journal records this run consumed while
+	// still a standby (tailing the primary's journal before takeover).
+	StandbyTailed int
 	// Degraded reports that the run lost every worker and finished on
 	// the coordinator's local executor.
 	Degraded bool
@@ -134,6 +143,9 @@ func (r *Report) Record(reg *obs.Registry) {
 	reg.AddInt("hmmer_cluster_connect_failures_total", int64(r.ConnectFailures))
 	reg.AddInt("hmmer_cluster_reconnects_total", int64(r.Reconnects))
 	reg.AddInt("hmmer_cluster_quarantines_total", int64(r.Quarantines))
+	reg.AddInt("hmmer_cluster_failovers_total", int64(r.Failovers))
+	reg.AddInt("hmmer_cluster_standby_tailed_total", int64(r.StandbyTailed))
+	reg.Set("hmmer_cluster_epoch", float64(r.Epoch))
 	for _, w := range r.Workers {
 		reg.Add(obs.WithLabel("hmmer_cluster_worker_busy_seconds_total", "worker", w.Name), w.Busy.Seconds())
 		reg.AddInt(obs.WithLabel("hmmer_cluster_worker_batches_total", "worker", w.Name), int64(w.Batches))
@@ -151,4 +163,10 @@ func (r *Report) Record(reg *obs.Registry) {
 		"1 when the run lost every worker and finished on the local executor")
 	reg.Help("hmmer_cluster_worker_quarantined",
 		"1 when the worker was quarantined by the circuit breaker during the run")
+	reg.Help("hmmer_cluster_failovers_total",
+		"hot-standby takeovers performed by this run (journal assumed, workers promoted)")
+	reg.Help("hmmer_cluster_standby_tailed_total",
+		"journal records consumed while tailing the primary as a standby")
+	reg.Help("hmmer_cluster_epoch",
+		"the coordinator fencing epoch this run executed under")
 }

@@ -37,8 +37,19 @@ import (
 )
 
 // ProtoVersion is the wire protocol version. A worker built from a
-// different protocol version is rejected at handshake.
-const ProtoVersion = 1
+// different protocol version is rejected at handshake. Version 2
+// extended hello with a coordinator role and fencing epoch (the
+// hot-standby handshake of DESIGN §2j).
+const ProtoVersion = 2
+
+// Coordinator roles carried in the hello. An active coordinator
+// assigns batches; a standby only holds the connection warm (pings)
+// until it promotes itself by sending a fresh active hello on the same
+// connection.
+const (
+	RoleActive  byte = 0
+	RoleStandby byte = 1
+)
 
 // MaxFrame bounds a single frame so a corrupt or hostile length field
 // cannot force a multi-gigabyte allocation. A batch frame holds one
@@ -52,7 +63,7 @@ const frameHeaderSize = 8
 // Message types (the first body byte). The body layouts are
 // little-endian throughout:
 //
-//	hello     (coordinator→worker): u8 version | fingerprint[32] | u8 mode
+//	hello     (coordinator→worker): u8 version | fingerprint[32] | u8 mode | u8 role | u64 epoch
 //	helloAck  (worker→coordinator): u8 version | u16 capacity | u16 nameLen | name
 //	helloNack (worker→coordinator): u16 reasonLen | reason
 //	batch     (coordinator→worker): u64 seq | u64 epoch | u64 offset | u32 nSeqs |
@@ -181,10 +192,21 @@ func decodeFrame(data []byte) (typ byte, payload, rest []byte, err error) {
 }
 
 // Handshake is the hello the coordinator opens every connection with.
+// A standby coordinator re-sends an active hello mid-session to
+// promote the warm connection (takeover); the worker re-vets it
+// against the highest active epoch it has ever acked, so a stale
+// primary reconnecting after a failover is nacked, never assigned to.
 type Handshake struct {
 	Version     byte
 	Fingerprint [32]byte
 	Mode        byte
+	// Role is RoleActive or RoleStandby.
+	Role byte
+	// Epoch is the coordinator's fencing epoch. A worker that has
+	// acked an active hello at epoch E nacks any later active hello
+	// with epoch < E and answers batch frames from the older session
+	// with a stale-epoch exec error.
+	Epoch uint64
 }
 
 // HelloAck is the worker's acceptance: its name and how many batches
@@ -196,20 +218,25 @@ type HelloAck struct {
 }
 
 func encodeHello(h Handshake) []byte {
-	body := make([]byte, 0, 1+1+32+1)
+	body := make([]byte, 0, 1+1+32+1+1+8)
 	body = append(body, msgHello, h.Version)
 	body = append(body, h.Fingerprint[:]...)
-	return append(body, h.Mode)
+	body = append(body, h.Mode, h.Role)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], h.Epoch)
+	return append(body, u64[:]...)
 }
 
 func parseHello(p []byte) (Handshake, error) {
 	var h Handshake
-	if len(p) != 1+32+1 {
-		return h, &WireError{Msg: msgHello, Reason: fmt.Sprintf("hello body is %d bytes, want %d", len(p), 1+32+1)}
+	if len(p) != 1+32+1+1+8 {
+		return h, &WireError{Msg: msgHello, Reason: fmt.Sprintf("hello body is %d bytes, want %d", len(p), 1+32+1+1+8)}
 	}
 	h.Version = p[0]
 	copy(h.Fingerprint[:], p[1:33])
 	h.Mode = p[33]
+	h.Role = p[34]
+	h.Epoch = binary.LittleEndian.Uint64(p[35:43])
 	return h, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"hmmer3gpu/internal/seq"
 )
@@ -42,11 +43,37 @@ type WorkerServer struct {
 	Drain <-chan struct{}
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+
+	// maxEpoch is the highest active-coordinator epoch this server has
+	// ever acked, across every connection in its lifetime. It is the
+	// worker's half of the failover fence: an active hello with a lower
+	// epoch is nacked (a stale primary reconnecting after a takeover),
+	// and a batch frame arriving on a session whose acked epoch has
+	// since been superseded is answered with a stale-epoch exec error,
+	// never executed.
+	maxEpoch atomic.Uint64
+
+	// fenced counts batch assignments refused for a stale epoch.
+	fenced atomic.Int64
 }
+
+// MaxEpoch returns the highest active-coordinator epoch the server has
+// acked (0 before any active coordinator connects).
+func (ws *WorkerServer) MaxEpoch() uint64 { return ws.maxEpoch.Load() }
+
+// FencedBatches returns the number of batch assignments this server
+// refused because their session's epoch had been superseded.
+func (ws *WorkerServer) FencedBatches() int64 { return ws.fenced.Load() }
 
 // drainingMsg is the exec-error text a draining worker answers new
 // batch assignments with; the coordinator requeues those batches.
 const drainingMsg = "worker draining"
+
+// staleEpochMsg prefixes the exec-error text a worker answers batch
+// assignments from a superseded coordinator epoch with. The batch is
+// never executed: the stale primary burns its retry budget and fails,
+// while the new primary (whose hello raised the fence) proceeds.
+const staleEpochMsg = "stale coordinator epoch"
 
 // draining reports whether Drain is closed (false when unset).
 func (ws *WorkerServer) draining() bool {
@@ -142,7 +169,12 @@ func (ws *WorkerServer) ServeConn(ctx context.Context, conn net.Conn) error {
 	if err := write(encodeHelloAck(HelloAck{Version: ProtoVersion, Capacity: capacity, Name: ws.Name})); err != nil {
 		return fmt.Errorf("cluster: worker %s: writing helloAck: %w", ws.Name, err)
 	}
-	ws.logf("worker %s: coordinator connected (capacity %d)", ws.Name, capacity)
+	// The session's role and epoch are only touched from this read
+	// loop (promotion is a mid-session hello, read here too), so plain
+	// variables suffice.
+	sessRole, sessEpoch := hello.Role, hello.Epoch
+	ws.logf("worker %s: %s coordinator connected (capacity %d, epoch %d)",
+		ws.Name, roleName(sessRole), capacity, sessEpoch)
 
 	var execs sync.WaitGroup
 	defer execs.Wait() // cancel() above stops them; wait so conn.Close is last
@@ -164,10 +196,48 @@ func (ws *WorkerServer) ServeConn(ctx context.Context, conn net.Conn) error {
 			if err := write(encodePingPong(msgPong, nonce)); err != nil {
 				return err
 			}
+		case msgHello:
+			// A mid-session hello: the peer is a standby promoting itself
+			// to active after a failover (or an active coordinator
+			// re-asserting itself). Re-vet exactly like the opening hello
+			// — a promotion whose epoch has already been superseded is
+			// nacked and the session torn down.
+			h, err := parseHello(payload)
+			if err != nil {
+				return err
+			}
+			if reason := ws.vetHello(h); reason != "" {
+				write(encodeHelloNack(reason))
+				return &HandshakeError{Worker: ws.Name, Reason: reason}
+			}
+			sessRole, sessEpoch = h.Role, h.Epoch
+			if err := write(encodeHelloAck(HelloAck{Version: ProtoVersion, Capacity: capacity, Name: ws.Name})); err != nil {
+				return fmt.Errorf("cluster: worker %s: writing helloAck: %w", ws.Name, err)
+			}
+			ws.logf("worker %s: session re-helloed as %s (epoch %d)", ws.Name, roleName(sessRole), sessEpoch)
 		case msgBatch:
 			seqNo, epoch, _, db, err := parseBatchMsg(payload)
 			if err != nil {
 				return err
+			}
+			if sessRole != RoleActive {
+				// A standby session must never assign work.
+				if err := write(encodeExecErr(seqNo, epoch, "standby session may not assign batches")); err != nil {
+					return err
+				}
+				break
+			}
+			if max := ws.maxEpoch.Load(); sessEpoch < max {
+				// The fence: a batch from a session whose acked epoch has
+				// been superseded by a newer active coordinator is refused,
+				// never executed — the old primary cannot double-commit
+				// work the new primary owns.
+				ws.fenced.Add(1)
+				ws.logf("worker %s: fenced batch %d from stale epoch %d (worker at %d)", ws.Name, seqNo, sessEpoch, max)
+				if err := write(encodeExecErr(seqNo, epoch, fmt.Sprintf("%s: session epoch %d, worker fenced at %d", staleEpochMsg, sessEpoch, max))); err != nil {
+					return err
+				}
+				break
 			}
 			// The slot wait lives in the goroutine so the read loop keeps
 			// answering pings (and drain refusals) while all slots are
@@ -209,6 +279,10 @@ func (ws *WorkerServer) ServeConn(ctx context.Context, conn net.Conn) error {
 	}
 }
 
+// vetHello validates a hello (opening or mid-session). A clean active
+// hello also raises the server-wide epoch fence as a side effect —
+// atomically with the staleness check, so two racing active hellos
+// resolve to one winner and one nack-or-equal.
 func (ws *WorkerServer) vetHello(h Handshake) string {
 	if h.Version != ProtoVersion {
 		return fmt.Sprintf("protocol version %d, worker speaks %d", h.Version, ProtoVersion)
@@ -220,5 +294,26 @@ func (ws *WorkerServer) vetHello(h Handshake) string {
 	if h.Mode != ws.Mode {
 		return fmt.Sprintf("simulator mode %d does not match worker's %d", h.Mode, ws.Mode)
 	}
+	if h.Role != RoleActive && h.Role != RoleStandby {
+		return fmt.Sprintf("unknown coordinator role %d", h.Role)
+	}
+	if h.Role == RoleActive {
+		for {
+			max := ws.maxEpoch.Load()
+			if h.Epoch < max {
+				return fmt.Sprintf("%s %d: this worker has acked epoch %d", staleEpochMsg, h.Epoch, max)
+			}
+			if ws.maxEpoch.CompareAndSwap(max, h.Epoch) {
+				break
+			}
+		}
+	}
 	return ""
+}
+
+func roleName(r byte) string {
+	if r == RoleStandby {
+		return "standby"
+	}
+	return "active"
 }

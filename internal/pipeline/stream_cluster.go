@@ -50,6 +50,11 @@ type ClusterConfig struct {
 	BackoffBase      time.Duration
 	BackoffCap       time.Duration
 
+	// Epoch is the coordinator fencing epoch (cluster.Config.Epoch):
+	// zero means 1, a plain primary run. A hot-standby takeover runs at
+	// a higher epoch so workers fence the presumed-dead primary.
+	Epoch uint64
+
 	// Inject, when non-nil, applies deterministic fault plans to dials
 	// and connections (chaos testing; see cluster.ParseFaults).
 	Inject *cluster.FaultInjector
@@ -151,17 +156,8 @@ func (pl *Pipeline) RunClusterStream(r io.Reader, cfg StreamConfig, ccfg Cluster
 // every outcome the run can survive: clean, worker-faulted, degraded,
 // drained-then-resumed, or crashed-then-resumed.
 func (pl *Pipeline) RunClusterStreamContext(ctx context.Context, r io.Reader, cfg StreamConfig, ccfg ClusterConfig) (*Result, error) {
-	if cfg.BatchResidues < 1 {
-		return nil, fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
-	}
-	if len(ccfg.Workers) == 0 {
-		return nil, fmt.Errorf("pipeline: no cluster workers configured")
-	}
-	if cfg.Verify != VerifyOff {
-		return nil, fmt.Errorf("pipeline: -verify applies to device execution; cluster workers verify on their own nodes")
-	}
-	if pl.Opts.ComputeAlignments {
-		return nil, fmt.Errorf("pipeline: cluster mode does not support alignment output: domain alignments are not encoded in result payloads")
+	if err := pl.vetClusterRun(cfg, ccfg); err != nil {
+		return nil, err
 	}
 
 	// The journal opens (and replays) before any worker connects: a
@@ -172,6 +168,39 @@ func (pl *Pipeline) RunClusterStreamContext(ctx context.Context, r io.Reader, cf
 	if err != nil {
 		return nil, err
 	}
+	return pl.runClusterCore(ctx, r, cfg, ccfg, journal, skip, haState{})
+}
+
+// vetClusterRun is the shared precondition check for the primary and
+// standby cluster paths.
+func (pl *Pipeline) vetClusterRun(cfg StreamConfig, ccfg ClusterConfig) error {
+	if cfg.BatchResidues < 1 {
+		return fmt.Errorf("pipeline: stream batch residues %d < 1", cfg.BatchResidues)
+	}
+	if len(ccfg.Workers) == 0 {
+		return fmt.Errorf("pipeline: no cluster workers configured")
+	}
+	if cfg.Verify != VerifyOff {
+		return fmt.Errorf("pipeline: -verify applies to device execution; cluster workers verify on their own nodes")
+	}
+	if pl.Opts.ComputeAlignments {
+		return fmt.Errorf("pipeline: cluster mode does not support alignment output: domain alignments are not encoded in result payloads")
+	}
+	return nil
+}
+
+// haState carries what a hot-standby takeover knows that a plain run
+// does not; the zero value is a plain run.
+type haState struct {
+	// failovers and standbyTailed flow into the coordinator report.
+	failovers     int
+	standbyTailed int
+}
+
+// runClusterCore is the shared body of the primary and standby cluster
+// paths: journal-gated commit, re-chunking producer, coordinator run,
+// merge. It owns journal (closes it on every path).
+func (pl *Pipeline) runClusterCore(ctx context.Context, r io.Reader, cfg StreamConfig, ccfg ClusterConfig, journal *checkpoint.Journal, skip map[uint64]checkpoint.Record, ha haState) (*Result, error) {
 	if journal != nil {
 		defer journal.Close()
 	}
@@ -217,6 +246,7 @@ func (pl *Pipeline) RunClusterStreamContext(ctx context.Context, r io.Reader, cf
 		Workers:          ccfg.Workers,
 		Fingerprint:      pl.fingerprint(cfg),
 		Mode:             ccfg.Mode,
+		Epoch:            ccfg.Epoch,
 		QueueDepth:       cfg.QueueDepth,
 		HeartbeatEvery:   ccfg.HeartbeatEvery,
 		HeartbeatTimeout: ccfg.HeartbeatTimeout,
@@ -289,6 +319,8 @@ func (pl *Pipeline) RunClusterStreamContext(ctx context.Context, r io.Reader, cf
 	if len(skip) > 0 && !rep.Drained {
 		return nil, fmt.Errorf("pipeline: journal holds %d batches beyond the end of the input stream: was the database file changed?", len(skip))
 	}
+	rep.Failovers = ha.failovers
+	rep.StandbyTailed = ha.standbyTailed
 
 	extra := &ClusterStreamExtra{Cluster: rep, Drained: rep.Drained, Replayed: replayedBatches}
 	if journal != nil {
@@ -319,6 +351,15 @@ func clusterInProcess(ws *cluster.WorkerServer) cluster.WorkerSpec {
 			return c1, nil
 		},
 	}
+}
+
+// InProcessWorkerSpec exposes the net.Pipe transport for callers that
+// must dial the same WorkerServer across coordinator runs: the epoch
+// fence lives in the server, so a hot-standby exercising takeover
+// in-process has to promote against the instances the primary used,
+// not fresh ones.
+func InProcessWorkerSpec(ws *cluster.WorkerServer) cluster.WorkerSpec {
+	return clusterInProcess(ws)
 }
 
 // InProcessClusterWorkers builds n in-process worker nodes named

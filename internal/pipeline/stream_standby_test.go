@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/checkpoint"
+	"hmmer3gpu/internal/cluster"
+)
+
+// chanLeadership grants the lease when the returned trigger is called
+// — the deterministic stand-in for the flock freeing on primary death.
+func chanLeadership() (cluster.AcquireLeadership, func()) {
+	ch := make(chan struct{})
+	acquire := func(ctx context.Context) (func(), error) {
+		select {
+		case <-ch:
+			return func() {}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return acquire, func() { close(ch) }
+}
+
+// TestStandbyTakeoverMatchesSingleNode is the in-process end-to-end
+// failover: the primary coordinator is killed mid-run by injection,
+// the hot standby — tailing the journal and holding warm connections
+// to the same three workers — takes over at epoch 2 and finishes the
+// stream. The merged result must be bit-identical to the single-node
+// run, with no batch merged twice.
+func TestStandbyTakeoverMatchesSingleNode(t *testing.T) {
+	pl, fasta, whole, batchResidues := faultStreamFixture(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := StreamConfig{BatchResidues: batchResidues,
+		Checkpoint: &CheckpointConfig{Path: path}}
+
+	// Persistent worker servers: the epoch fence lives in the server,
+	// so primary and standby must reach the same instances.
+	servers := make([]*cluster.WorkerServer, 3)
+	specs := make([]cluster.WorkerSpec, 3)
+	for i := range servers {
+		servers[i] = pl.NewWorkerServer(cfg, 0, fmt.Sprintf("w%d", i), 1, pl.ClusterExecCPU())
+		specs[i] = InProcessWorkerSpec(servers[i])
+	}
+
+	// The standby starts first (as deployed: it must be warm before the
+	// primary can die) and parks on the leadership lease.
+	acquire, grantLease := chanLeadership()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	standbyDone := make(chan outcome, 1)
+	go func() {
+		res, err := pl.RunStandbyClusterStream(bytes.NewReader(fasta),
+			cfg, ClusterConfig{Workers: specs},
+			StandbyClusterConfig{Acquire: acquire, PingEvery: 10 * time.Millisecond,
+				TailPoll: 5 * time.Millisecond})
+		standbyDone <- outcome{res, err}
+	}()
+
+	// The primary dies after its third batch assignment.
+	inject, err := cluster.ParseFaults("kill-coordinator@3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pl.RunClusterStream(bytes.NewReader(fasta), cfg,
+		ClusterConfig{Workers: specs, Inject: inject})
+	if !errors.Is(err, cluster.ErrInjectedCoordinatorKill) {
+		t.Fatalf("primary returned %v, want ErrInjectedCoordinatorKill", err)
+	}
+
+	// The dead primary's flock frees; the standby takes over.
+	grantLease()
+	var got outcome
+	select {
+	case got = <-standbyDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("standby never finished the takeover run")
+	}
+	if got.err != nil {
+		t.Fatalf("standby run failed: %v", got.err)
+	}
+	sameHits(t, "standby takeover", whole, got.res)
+
+	extra := got.res.Extra.(*ClusterStreamExtra)
+	if extra.Cluster.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", extra.Cluster.Failovers)
+	}
+	if extra.Cluster.Epoch != 2 {
+		t.Errorf("takeover epoch = %d, want 2", extra.Cluster.Epoch)
+	}
+	if extra.Cluster.StandbyTailed != extra.Replayed {
+		t.Errorf("StandbyTailed = %d but Replayed = %d: the takeover merged batches it never tailed",
+			extra.Cluster.StandbyTailed, extra.Replayed)
+	}
+	for _, ws := range servers {
+		if gotE := ws.MaxEpoch(); gotE != 2 {
+			t.Errorf("worker %s MaxEpoch = %d, want 2", ws.Name, gotE)
+		}
+	}
+
+	// Journal replay audit: the journal both coordinators wrote must
+	// hold exactly one record per batch (Resume's duplicate check plus
+	// the replay covering the whole stream) and replay to the same
+	// bytes with zero recomputation.
+	res, err := pl.RunClusterStream(bytes.NewReader(fasta),
+		StreamConfig{BatchResidues: batchResidues,
+			Checkpoint: &CheckpointConfig{Path: path, Resume: true}},
+		ClusterConfig{Workers: specs})
+	if err != nil {
+		t.Fatalf("post-failover journal replay: %v", err)
+	}
+	sameHits(t, "post-failover replay", whole, res)
+	replay := res.Extra.(*ClusterStreamExtra)
+	if replay.Cluster.Batches != 0 {
+		t.Errorf("replay dispatched %d batches, want 0 (journal must cover the whole stream)", replay.Cluster.Batches)
+	}
+}
+
+// A standby that wins leadership before any journal exists refuses to
+// run: its flag promised a takeover, not a fresh primary.
+func TestStandbyRefusesWithoutJournal(t *testing.T) {
+	pl, fasta, _, batchResidues := faultStreamFixture(t)
+	path := filepath.Join(t.TempDir(), "never-created.ckpt")
+	cfg := StreamConfig{BatchResidues: batchResidues,
+		Checkpoint: &CheckpointConfig{Path: path}}
+	acquire, grant := chanLeadership()
+	grant()
+	_, err := pl.RunStandbyClusterStream(bytes.NewReader(fasta), cfg,
+		ClusterConfig{Workers: cpuWorkers(pl, cfg, 1)},
+		StandbyClusterConfig{Acquire: acquire, TailPoll: time.Millisecond})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("no journal")) {
+		t.Fatalf("err = %v, want a no-journal refusal", err)
+	}
+}
+
+// A standby requires the checkpoint journal: it is the handoff medium.
+func TestStandbyRequiresCheckpoint(t *testing.T) {
+	pl, fasta, _, batchResidues := faultStreamFixture(t)
+	cfg := StreamConfig{BatchResidues: batchResidues}
+	_, err := pl.RunStandbyClusterStream(bytes.NewReader(fasta), cfg,
+		ClusterConfig{Workers: cpuWorkers(pl, cfg, 1)}, StandbyClusterConfig{})
+	if err == nil {
+		t.Fatal("standby ran without a checkpoint journal")
+	}
+}
+
+// The takeover settles a torn journal tail exactly as a crash-resume
+// would: the primary dies mid-append (checkpoint crash injection), the
+// standby truncates the torn half-record and recomputes that batch.
+func TestStandbyTakeoverSettlesTornTail(t *testing.T) {
+	pl, fasta, whole, batchResidues := faultStreamFixture(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := StreamConfig{BatchResidues: batchResidues,
+		Checkpoint: &CheckpointConfig{Path: path}}
+	specs := cpuWorkers(pl, cfg, 2)
+
+	acquire, grantLease := chanLeadership()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	standbyDone := make(chan outcome, 1)
+	go func() {
+		res, err := pl.RunStandbyClusterStream(bytes.NewReader(fasta),
+			cfg, ClusterConfig{Workers: specs},
+			StandbyClusterConfig{Acquire: acquire, PingEvery: 10 * time.Millisecond,
+				TailPoll: 5 * time.Millisecond})
+		standbyDone <- outcome{res, err}
+	}()
+
+	// The primary crashes inside its second journal append, leaving a
+	// torn half-record on disk.
+	crashCfg := cfg
+	crashCfg.Checkpoint = &CheckpointConfig{Path: path,
+		Crash: checkpoint.CrashAfter(1, checkpoint.WindowAfterAppend)}
+	_, err := pl.RunClusterStream(bytes.NewReader(fasta), crashCfg,
+		ClusterConfig{Workers: specs})
+	if !errors.Is(err, checkpoint.ErrInjectedCrash) {
+		t.Fatalf("primary returned %v, want ErrInjectedCrash", err)
+	}
+
+	grantLease()
+	var got outcome
+	select {
+	case got = <-standbyDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("standby never finished the takeover run")
+	}
+	if got.err != nil {
+		t.Fatalf("standby run failed: %v", got.err)
+	}
+	sameHits(t, "torn-tail takeover", whole, got.res)
+	extra := got.res.Extra.(*ClusterStreamExtra)
+	if extra.Checkpoint == nil || extra.Checkpoint.DroppedTail != 1 {
+		t.Errorf("checkpoint stats = %+v, want DroppedTail 1 (the torn half-record)", extra.Checkpoint)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+)
+
+// ReplaySummary reports what a drain-journal replay did.
+type ReplaySummary struct {
+	// Replayed is how many journaled queries were re-admitted and
+	// answered 200.
+	Replayed int
+	// Failed is how many could not be replayed (decode error or
+	// non-200 response); each is logged.
+	Failed int
+}
+
+// drainRecord is one journalRefusal line.
+type drainRecord struct {
+	Tenant      string `json:"tenant"`
+	DB          string `json:"db"`
+	Query       string `json:"query"`
+	Fingerprint string `json:"fingerprint"`
+	Model       string `json:"model"`
+	Reason      string `json:"reason"`
+}
+
+// ReplayDrainJournal re-admits every query journaled by a previous
+// process's drain, before this one advertises readiness: each line's
+// model upload is re-POSTed through the server's own /search handler —
+// the normal admission, cache, and execution path — so the replayed
+// response is byte-identical to what the dead process would have
+// returned. Call it after New and before MarkReady; a missing journal
+// is a clean no-op (first boot). When outDir is non-empty, each 200
+// response body is written to outDir/replay-<n>.tbl for auditing
+// (byte-diff against a fresh query in CI).
+//
+// Replay failures don't abort the remaining lines: one malformed
+// record must not turn a restart into a crash loop. They are counted,
+// logged, and exported as hmmer_serve_replay_failed_total.
+func (s *Server) ReplayDrainJournal(path, outDir string) (ReplaySummary, error) {
+	var sum ReplaySummary
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return sum, nil
+		}
+		return sum, fmt.Errorf("serve: drain journal: %w", err)
+	}
+	defer f.Close()
+	// Materialise both counters at zero so a clean replay still
+	// exports hmmer_serve_replay_failed_total 0 (CI pins it).
+	s.reg.AddInt("hmmer_serve_replayed_total", 0)
+	s.reg.AddInt("hmmer_serve_replay_failed_total", 0)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return sum, fmt.Errorf("serve: replay output: %w", err)
+		}
+	}
+
+	sc := bufio.NewScanner(f)
+	// Journal lines carry whole model uploads in base64; size the
+	// scanner for them rather than the 64 KiB default.
+	sc.Buffer(make([]byte, 64*1024), int(2*s.cfg.MaxModelBytes)+4096)
+	line := 0
+	fail := func(format string, args ...any) {
+		sum.Failed++
+		s.reg.AddInt("hmmer_serve_replay_failed_total", 1)
+		s.cfg.Logf("replay line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec drainRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			fail("bad record: %v", err)
+			continue
+		}
+		model, err := base64.StdEncoding.DecodeString(rec.Model)
+		if err != nil || len(model) == 0 {
+			fail("query %q has no replayable model payload (journal from an older version?)", rec.Query)
+			continue
+		}
+		status, body, err := s.selfPost(rec, model)
+		if err != nil {
+			fail("query %q: %v", rec.Query, err)
+			continue
+		}
+		if status != http.StatusOK {
+			fail("query %q re-admitted with status %d: %s", rec.Query, status, bytes.TrimSpace(body))
+			continue
+		}
+		sum.Replayed++
+		s.reg.AddInt("hmmer_serve_replayed_total", 1)
+		if outDir != "" {
+			out := filepath.Join(outDir, fmt.Sprintf("replay-%d.tbl", line-1))
+			if err := os.WriteFile(out, body, 0o644); err != nil {
+				return sum, fmt.Errorf("serve: replay output: %w", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, fmt.Errorf("serve: drain journal: %w", err)
+	}
+	s.cfg.Logf("drain-journal replay: %d replayed, %d failed", sum.Replayed, sum.Failed)
+	return sum, nil
+}
+
+// selfPost drives one journaled query through the server's own mux —
+// the identical code path an external client hits.
+func (s *Server) selfPost(rec drainRecord, model []byte) (int, []byte, error) {
+	u := "/search?db=" + url.QueryEscape(rec.DB) + "&tenant=" + url.QueryEscape(rec.Tenant)
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(model))
+	if err != nil {
+		return 0, nil, err
+	}
+	rw := &memResponse{header: make(http.Header), code: http.StatusOK}
+	s.mux.ServeHTTP(rw, req)
+	return rw.code, rw.body.Bytes(), nil
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter the replay
+// path needs.
+type memResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header         { return m.header }
+func (m *memResponse) WriteHeader(code int)        { m.code = code }
+func (m *memResponse) Write(p []byte) (int, error) { return m.body.Write(p) }

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hmmer3gpu/internal/pipeline"
+	"hmmer3gpu/internal/simt"
+)
+
+// rawTestServer is newTestServer without MarkReady, for tests that
+// exercise the pre-ready window.
+func rawTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	f := fixture(t)
+	rdb, err := pipeline.LoadResidentDB("test", bytes.NewReader(f.fasta), abc, f.budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		DBs:           map[string]*pipeline.ResidentDB{"test": rdb},
+		TargetLen:     fixtureTargetLen,
+		BatchResidues: f.budget,
+		Mode:          simt.ModeFast,
+		Devices:       2,
+		Logf:          t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// /readyz answers 503 (status "starting") from construction until
+// MarkReady; /healthz stays 200 throughout (the process is alive).
+func TestReadyzGatedUntilMarkReady(t *testing.T) {
+	s, ts := rawTestServer(t, nil)
+	var p healthPayload
+	getJSON(t, ts, "/readyz", http.StatusServiceUnavailable, &p)
+	if p.Ready || p.Status != "starting" {
+		t.Errorf("pre-ready readyz: %+v", p)
+	}
+	getJSON(t, ts, "/healthz", http.StatusOK, &p)
+
+	s.MarkReady()
+	getJSON(t, ts, "/readyz", http.StatusOK, &p)
+	if !p.Ready || p.Status != "ok" {
+		t.Errorf("post-ready readyz: %+v", p)
+	}
+}
+
+// The restart contract: queries journaled at drain are re-admitted by
+// a fresh server through its normal /search path, and the replayed
+// responses are byte-identical to what a fresh query returns.
+func TestRestartReplaysDrainJournalByteIdentical(t *testing.T) {
+	f := fixture(t)
+	journal := filepath.Join(t.TempDir(), "drain.jsonl")
+	outDir := filepath.Join(t.TempDir(), "replayed")
+
+	// First life: two queries queued behind a held slot get journaled
+	// at drain.
+	s1, ts1 := newTestServer(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.MaxQueue = 4
+		cfg.DrainJournal = journal
+	})
+	if err := s1.adm.acquire(context.Background(), "inflight"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postQuery(t, ts1, "db=test&cache=off&tenant=queued", f.modelText)
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("queued query at drain: status %d, want 503", resp.StatusCode)
+			}
+		}()
+	}
+	waitDepth(t, s1.adm, 2)
+	done := make(chan DrainSummary, 1)
+	go func() { done <- s1.Drain() }()
+	wg.Wait()
+	s1.adm.release()
+	var sum DrainSummary
+	select {
+	case sum = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+	if sum.Journaled != 2 {
+		t.Fatalf("journaled %d, want 2", sum.Journaled)
+	}
+
+	// Every journal line must carry a replayable model payload.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec drainRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Model == "" {
+			t.Fatal("journal record without model payload")
+		}
+	}
+
+	// Second life: a fresh server replays the journal before readiness.
+	s2, ts2 := rawTestServer(t, nil)
+	rsum, err := s2.ReplayDrainJournal(journal, outDir)
+	if err != nil {
+		t.Fatalf("ReplayDrainJournal: %v", err)
+	}
+	if rsum.Replayed != 2 || rsum.Failed != 0 {
+		t.Fatalf("replay summary %+v, want 2 replayed, 0 failed", rsum)
+	}
+	if got := counter(t, s2, "hmmer_serve_replayed_total"); got != 2 {
+		t.Errorf("hmmer_serve_replayed_total = %v, want 2", got)
+	}
+	s2.MarkReady()
+
+	// Replayed responses are byte-identical to the one-shot reference
+	// and to a fresh query against the restarted server.
+	_, fresh := postQuery(t, ts2, "db=test", f.modelText)
+	for i := 0; i < 2; i++ {
+		b, err := os.ReadFile(filepath.Join(outDir, "replay-"+string(rune('0'+i))+".tbl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, f.refTbl) {
+			t.Errorf("replayed response %d differs from one-shot reference", i)
+		}
+		if !bytes.Equal(b, fresh) {
+			t.Errorf("replayed response %d differs from fresh query", i)
+		}
+	}
+
+	// A missing journal is a clean first-boot no-op.
+	none, err := s2.ReplayDrainJournal(filepath.Join(t.TempDir(), "absent.jsonl"), "")
+	if err != nil || none.Replayed != 0 || none.Failed != 0 {
+		t.Errorf("missing journal: %+v, %v", none, err)
+	}
+}
+
+// A record without a model payload fails that line but not the replay.
+func TestReplayToleratesBadRecords(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "drain.jsonl")
+	lines := `{"tenant":"a","db":"test","query":"old","fingerprint":"ff","reason":"queued-at-drain"}
+not json at all
+`
+	if err := os.WriteFile(journal, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newTestServer(t, nil)
+	sum, err := s.ReplayDrainJournal(journal, "")
+	if err != nil {
+		t.Fatalf("ReplayDrainJournal: %v", err)
+	}
+	if sum.Replayed != 0 || sum.Failed != 2 {
+		t.Errorf("summary %+v, want 0 replayed, 2 failed", sum)
+	}
+	if got := counter(t, s, "hmmer_serve_replay_failed_total"); got != 2 {
+		t.Errorf("hmmer_serve_replay_failed_total = %v, want 2", got)
+	}
+}
+
+// The thundering herd: N concurrent identical cache-misses coalesce
+// onto one execution — one profile build, one admission, N identical
+// responses.
+func TestConcurrentIdenticalMissesCoalesce(t *testing.T) {
+	f := fixture(t)
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.MaxQueue = 4
+	})
+
+	// Hold the only slot so the leader parks in the admission queue
+	// while the followers arrive and coalesce.
+	if err := s.adm.acquire(context.Background(), "hog"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	type reply struct {
+		cache string
+		code  int
+		body  []byte
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := postQuery(t, ts, "db=test", f.modelText)
+			replies <- reply{resp.Header.Get("X-Cache"), resp.StatusCode, body}
+		}()
+	}
+
+	// Exactly one query queues (the leader); the rest coalesce.
+	waitDepth(t, s.adm, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(t, s, "hmmer_serve_search_coalesced_total") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %v, want %d", counter(t, s, "hmmer_serve_search_coalesced_total"), n-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.adm.release()
+
+	var miss, coalesced int
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("status %d", r.code)
+		}
+		if !bytes.Equal(r.body, f.refTbl) {
+			t.Error("coalesced response differs from reference")
+		}
+		switch r.cache {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Errorf("unexpected X-Cache %q", r.cache)
+		}
+	}
+	if miss != 1 || coalesced != n-1 {
+		t.Errorf("miss=%d coalesced=%d, want 1 and %d", miss, coalesced, n-1)
+	}
+	if builds := counter(t, s, "hmmer_serve_profile_builds_total"); builds != 1 {
+		t.Errorf("profile builds = %v, want 1 (the herd built once)", builds)
+	}
+	if q := counter(t, s, "hmmer_serve_queries_total"); q != n {
+		t.Errorf("queries_total = %v, want %d", q, n)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -36,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hmmer3gpu/internal/alphabet"
@@ -153,10 +155,17 @@ type Server struct {
 	adm    *admitter
 	pool   *devicePool
 
-	mu       sync.Mutex // guards profiles, results, building
-	profiles *lru[*profileEntry]
-	results  *lru[*pipeline.Result]
-	building map[string]*buildCall
+	mu        sync.Mutex // guards profiles, results, building, searching
+	profiles  *lru[*profileEntry]
+	results   *lru[*pipeline.Result]
+	building  map[string]*buildCall
+	searching map[string]*searchCall
+
+	// ready gates /readyz: it stays false — and load balancers keep
+	// traffic away — until the caller finishes startup work (resident
+	// DB loading, drain-journal replay) and calls MarkReady. /search
+	// itself is not gated: the replay path drives it pre-ready.
+	ready atomic.Bool
 
 	wg sync.WaitGroup // in-flight /search handlers
 
@@ -256,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 		profiles:    newLRU[*profileEntry](cfg.ProfileCap),
 		results:     newLRU[*pipeline.Result](cfg.ResultCap),
 		building:    make(map[string]*buildCall),
+		searching:   make(map[string]*searchCall),
 		abortCtx:    abortCtx,
 		abortCancel: abortCancel,
 	}
@@ -269,6 +279,12 @@ func New(cfg Config) (*Server, error) {
 
 // Handler is the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// MarkReady flips /readyz healthy. Call it after startup work —
+// binding the listener and replaying any drain journal — so a restart
+// never advertises readiness while journaled queries are still being
+// re-admitted.
+func (s *Server) MarkReady() { s.ready.Store(true) }
 
 // Abort hard-cancels every running query (the second-signal path):
 // their contexts cancel down to mid-kernel polls and the handlers
@@ -320,8 +336,12 @@ func (s *Server) isDraining() bool {
 }
 
 // journalRefusal appends one JSON line for a query refused during
-// drain, so nothing admitted-then-abandoned is silently lost.
-func (s *Server) journalRefusal(tenant, db, query, fp, reason string) {
+// drain, so nothing admitted-then-abandoned is silently lost. The
+// record carries the full model upload (base64), which is what makes
+// the journal replayable: a restarted server re-POSTs each line
+// through its own admission path and produces byte-identical
+// responses (ReplayDrainJournal).
+func (s *Server) journalRefusal(tenant, db, query, fp string, model []byte, reason string) {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	s.journaled++
@@ -334,6 +354,7 @@ func (s *Server) journalRefusal(tenant, db, query, fp, reason string) {
 		"db":          db,
 		"query":       query,
 		"fingerprint": fp,
+		"model":       base64.StdEncoding.EncodeToString(model),
 		"reason":      reason,
 	}
 	b, _ := json.Marshal(rec)
@@ -501,19 +522,48 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	stopAbort := context.AfterFunc(s.abortCtx, cancel)
 	defer stopAbort()
 
+	// Coalesce identical concurrent misses: if another handler is
+	// already computing this exact (fingerprint, database) result, wait
+	// for it instead of burning a second admission slot on duplicate
+	// work — the thundering-herd case of N clients uploading the same
+	// model at once costs one execution. Skipped when the client asked
+	// for cache=off: that is an explicit request for a fresh run.
+	var call *searchCall
+	if useCache {
+		s.mu.Lock()
+		if c, ok := s.searching[key]; ok {
+			s.mu.Unlock()
+			s.reg.AddInt("hmmer_serve_search_coalesced_total", 1)
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				s.queryErr(w, ctx, ctx.Err())
+				return
+			}
+			if c.err != nil {
+				s.admitErr(w, ctx, c.err, tenant, dbName, entry, body)
+				return
+			}
+			s.respond(w, format, entry, c.res, start, "coalesced", c.degraded)
+			return
+		}
+		call = &searchCall{done: make(chan struct{})}
+		s.searching[key] = call
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.searching, key)
+			s.mu.Unlock()
+			close(call.done)
+		}()
+	}
+
 	queueStart := time.Now()
 	if err := s.adm.acquire(ctx, tenant); err != nil {
-		switch {
-		case errors.Is(err, ErrShed):
-			s.shed(w, time.Second)
-		case errors.Is(err, ErrDraining):
-			s.reg.AddInt("hmmer_serve_refused_drain_total", 1)
-			s.journalRefusal(tenant, dbName, entry.name, hex.EncodeToString(entry.fp[:]), "queued-at-drain")
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "draining: queued query refused (journaled)", http.StatusServiceUnavailable)
-		default:
-			s.queryErr(w, ctx, err)
+		if call != nil {
+			call.err = err
 		}
+		s.admitErr(w, ctx, err, tenant, dbName, entry, body)
 		return
 	}
 	defer s.adm.release()
@@ -521,8 +571,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	res, degraded, err := s.execute(ctx, entry, rdb)
 	if err != nil {
+		if call != nil {
+			call.err = err
+		}
 		s.queryErr(w, ctx, err)
 		return
+	}
+	if call != nil {
+		call.res, call.degraded = res, degraded
 	}
 	if degraded != "" {
 		s.reg.AddInt("hmmer_serve_degraded_total", 1)
@@ -531,6 +587,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.storeResult(key, res)
 	}
 	s.respond(w, format, entry, res, start, "miss", degraded)
+}
+
+// searchCall is one in-flight cache-miss execution that concurrent
+// identical queries coalesce onto; done closes when the leader's
+// handler returns with res/degraded or err populated.
+type searchCall struct {
+	done     chan struct{}
+	res      *pipeline.Result
+	degraded string
+	err      error
+}
+
+// admitErr maps an admission (or coalesced-leader) failure to its
+// response. A query refused because drain started while it was queued
+// is journaled — coalesced followers too: each was an accepted query,
+// and each must be replayable.
+func (s *Server) admitErr(w http.ResponseWriter, ctx context.Context, err error, tenant, dbName string, entry *profileEntry, body []byte) {
+	switch {
+	case errors.Is(err, ErrShed):
+		s.shed(w, time.Second)
+	case errors.Is(err, ErrDraining):
+		s.reg.AddInt("hmmer_serve_refused_drain_total", 1)
+		s.journalRefusal(tenant, dbName, entry.name, hex.EncodeToString(entry.fp[:]), body, "queued-at-drain")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining: queued query refused (journaled)", http.StatusServiceUnavailable)
+	default:
+		s.queryErr(w, ctx, err)
+	}
 }
 
 // execute runs one admitted query: lease devices (or degrade to the
@@ -694,6 +778,7 @@ func writeJSONResult(w io.Writer, query string, res *pipeline.Result) error {
 // healthPayload is the /healthz and /readyz body.
 type healthPayload struct {
 	Status   string `json:"status"`
+	Ready    bool   `json:"ready"`
 	Draining bool   `json:"draining"`
 	Devices  struct {
 		Total    int   `json:"total"`
@@ -721,9 +806,12 @@ func (s *Server) health() healthPayload {
 	p.Queue.Depth, p.Queue.Inflight = s.adm.depth()
 	p.Queue.Max = s.cfg.MaxQueue
 	p.Draining = s.isDraining()
+	p.Ready = s.ready.Load()
 	switch {
 	case p.Draining:
 		p.Status = "draining"
+	case !p.Ready:
+		p.Status = "starting" // startup (DB load / journal replay) still running
 	case healthy == 0:
 		p.Status = "degraded" // still serving, on the host CPU
 	default:
@@ -738,13 +826,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.health())
 }
 
-// handleReadyz is readiness: 503 once draining (load balancers stop
-// routing here), 200 otherwise — including the degraded all-devices-
-// cordoned state, which still serves correct results from the CPU.
+// handleReadyz is readiness: 503 until MarkReady (resident DBs loaded
+// and any drain-journal replay finished) and again once draining —
+// load balancers route here only between those points. The degraded
+// all-devices-cordoned state stays 200: it still serves correct
+// results from the CPU.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	p := s.health()
 	code := http.StatusOK
-	if p.Draining {
+	if p.Draining || !p.Ready {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, p)
